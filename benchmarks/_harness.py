@@ -1,0 +1,44 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark regenerates one of the paper's analytical comparisons
+(DESIGN.md §3 maps experiment ids to paper sections).  Results are printed
+and also written to ``benchmarks/results/<experiment>.txt`` so they survive
+pytest's output capture; EXPERIMENTS.md summarizes paper-vs-measured.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Iterable, List, Sequence
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def format_table(
+    title: str,
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    note: str = "",
+) -> str:
+    """Render an aligned text table."""
+    str_rows: List[List[str]] = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [title, "=" * len(title)]
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row)))
+    if note:
+        lines.append("")
+        lines.append(note)
+    return "\n".join(lines)
+
+
+def publish(experiment: str, table: str) -> None:
+    """Print the table and persist it under benchmarks/results/."""
+    print("\n" + table + "\n")
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{experiment}.txt").write_text(table + "\n")

@@ -1,0 +1,59 @@
+"""A1 (ablation) — Section 5.4's merged Phase 0/1 variant.
+
+"We could reduce the number of phases of our ◇C-Consensus protocol by
+merging Phases 0 and 1 … This reduction on the number of phases has the
+cost of augmenting the number of messages, which becomes Ω(n²) instead of
+Θ(n)."  We measure both protocol variants side by side: phases per round,
+messages per round (sweeping n), and decision latency in nice runs.
+"""
+
+import pytest
+
+from repro.analysis import max_phases_per_round, messages_per_round
+from repro.workloads import nice_run
+
+from _harness import format_table, publish
+
+NS = (4, 6, 8, 12)
+
+
+def measure(n, merged, seeds=(1, 2, 3)):
+    """Phases, messages, and mean decision latency over a few seeds (the
+    latency of a single run is dominated by per-link jitter)."""
+    phases = msgs = 0
+    latencies = []
+    for seed in seeds:
+        run = nice_run("ec", n=n, seed=seed,
+                       merged_phase01=merged).run(until=600.0)
+        assert run.decided
+        phases = max_phases_per_round(run.world.trace, "ec")
+        msgs = messages_per_round(run.world.trace)[1]
+        latencies.append(max(p.decision_time for p in run.protocols))
+    return phases, msgs, sum(latencies) / len(latencies)
+
+
+def test_a1_merged_phase01(benchmark):
+    rows = []
+    for n in NS:
+        p0, m0, l0 = measure(n, merged=False)
+        p1, m1, l1 = measure(n, merged=True)
+        rows.append((n, p0, m0, f"{l0:.1f}", p1, m1, f"{l1:.1f}"))
+        assert p0 == 5 and p1 == 4
+        assert m0 == 4 * (n - 1)
+        # Merged: phase 0+1 costs n(n-1) alone, plus prop/ack linear terms.
+        assert m1 >= n * (n - 1)
+        # One fewer communication step: merged decides no later on average
+        # (allow jitter slack — links draw uniform per-message delays).
+        assert l1 <= l0 + 0.6
+    table = format_table(
+        "A1 — merged Phase 0/1 variant vs the standard protocol (nice runs)",
+        ["n", "std phases", "std msgs", "std latency",
+         "merged phases", "merged msgs", "merged latency"],
+        rows,
+        note="Paper (Sec. 5.4): merging Phases 0 and 1 saves one "
+        "communication step but raises messages/round from Θ(n) to Ω(n²).",
+    )
+    publish("a1_merged_phase01", table)
+
+    benchmark.pedantic(lambda: measure(8, True, seeds=(1,)),
+                       rounds=3, iterations=1)

@@ -1,0 +1,86 @@
+"""A4 (ablation) — leadership stability (related work [2] of the paper).
+
+The paper's related-work section singles out *stable* Ω implementations
+(Aguilera et al., DISC 2001): "once a leader is elected, it remains the
+leader for as long as it does not crash and its links behave well".  The
+simple leader-based Ω reinstates any lower-id process whose heartbeat gets
+through, so a low-id process with *intermittently* flaky links keeps
+displacing a perfectly good leader.
+
+We stress both implementations with recurring degradation windows on p0's
+output links and count leadership changes observed across all other
+processes.  Both satisfy Ω; only the accusation-counter variant is stable.
+"""
+
+import pytest
+
+from repro.fd import LeaderBasedOmega, StableLeaderOmega
+from repro.sim import (
+    FixedDelay,
+    NetworkController,
+    ReliableLink,
+    UniformDelay,
+    World,
+)
+
+from _harness import format_table, publish
+
+N = 5
+END = 3000.0
+
+
+def run_case(factory, seed=4):
+    world = World(n=N, seed=seed, default_link=ReliableLink(FixedDelay(1.0)))
+    dets = world.attach_all(factory)
+    ctl = NetworkController(world)
+    for start in range(100, int(END) - 200, 200):
+        for dst in range(1, N):
+            ctl.degrade_between(
+                float(start), float(start + 100), 0, dst,
+                ReliableLink(UniformDelay(30.0, 60.0)),
+            )
+    world.run(until=END)
+    churn = 0
+    for det in dets[1:]:
+        history = [
+            ev.get("trusted")
+            for ev in world.trace.select(
+                kind="fd", pid=det.pid,
+                where=lambda e: e.get("channel") == "fd",
+            )
+        ]
+        churn += sum(1 for a, b in zip(history, history[1:]) if a != b)
+    final_leaders = sorted({det.trusted() for det in dets[1:]})
+    return churn, final_leaders
+
+
+def test_a4_leader_stability(benchmark):
+    plain_churn, plain_final = run_case(
+        lambda pid: LeaderBasedOmega(initial_timeout=8.0, timeout_increment=0.0)
+    )
+    stable_churn, stable_final = run_case(
+        lambda pid: StableLeaderOmega(initial_timeout=8.0, timeout_increment=0.0)
+    )
+    rows = [
+        ("leader-based [16]", plain_churn, plain_final),
+        ("stable (accusation counters) [2]", stable_churn, stable_final),
+    ]
+    table = format_table(
+        f"A4 — leadership churn with an intermittently flaky low-id process "
+        f"(n={N}, recurring 100-unit degradation windows on p0's links)",
+        ["Omega implementation", "leader changes observed", "final leaders"],
+        rows,
+        note="Paper (related work [2]): a stable implementation keeps the "
+        "elected leader as long as it does not crash and its links behave; "
+        "the simple reinstating rule flip-flops on every flaky window.",
+    )
+    publish("a4_leader_stability", table)
+
+    assert len(stable_final) == 1
+    assert plain_churn > 3 * max(1, stable_churn)
+
+    benchmark.pedantic(
+        lambda: run_case(lambda pid: StableLeaderOmega(initial_timeout=8.0),
+                         seed=5),
+        rounds=2, iterations=1,
+    )

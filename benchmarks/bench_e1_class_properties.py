@@ -1,0 +1,140 @@
+"""E1 — Fig. 1 / Definition 1: every implemented detector satisfies its
+class properties, measured on random crash patterns.
+
+Regenerates (as a measured table) the class grid of Fig. 1 plus the ◇C
+definition: for each detector implementation, the fraction of random runs
+on which every required property held, and the mean measured stabilization
+time.  Expected: 100% across the board.
+"""
+
+import random
+
+import pytest
+
+from repro.analysis import check_fd_class_on_world, summarize
+from repro.fd import (
+    EVENTUALLY_CONSISTENT,
+    EVENTUALLY_PERFECT,
+    EVENTUALLY_STRONG,
+    HeartbeatEventuallyPerfect,
+    LeaderBasedOmega,
+    OMEGA,
+    RingDetector,
+    attach_ec_stack,
+)
+from repro.sim import World
+from repro.workloads import partially_synchronous_link
+
+from _harness import format_table, publish
+
+SEEDS = range(4)
+N = 5
+GST = 60.0
+END = 2500.0
+
+
+def build_world(seed, attach):
+    world = World(
+        n=N, seed=seed, default_link=partially_synchronous_link(gst=GST)
+    )
+    attach(world)
+    rng = random.Random(seed)
+    victim = rng.randrange(1, N)  # keep p0 alive: candidate leader
+    world.schedule_crash(victim, rng.uniform(80.0, 200.0))
+    return world
+
+
+DETECTORS = [
+    (
+        "heartbeat",
+        "<>P",
+        EVENTUALLY_PERFECT,
+        lambda w: w.attach_all(
+            lambda pid: HeartbeatEventuallyPerfect(initial_timeout=8.0)
+        ),
+    ),
+    (
+        "ring",
+        "<>P",
+        EVENTUALLY_PERFECT,
+        lambda w: w.attach_all(lambda pid: RingDetector(initial_timeout=10.0)),
+    ),
+    (
+        "ring-as-<>S+leader",
+        "<>S",
+        EVENTUALLY_STRONG,
+        lambda w: w.attach_all(lambda pid: RingDetector(initial_timeout=10.0)),
+    ),
+    (
+        "leader-based",
+        "Omega",
+        OMEGA,
+        lambda w: w.attach_all(
+            lambda pid: LeaderBasedOmega(initial_timeout=8.0)
+        ),
+    ),
+    (
+        "ec-stack(ring)",
+        "<>C",
+        EVENTUALLY_CONSISTENT,
+        lambda w: attach_ec_stack(w, suspects="ring", initial_timeout=10.0),
+    ),
+    (
+        "ec-stack(complement)",
+        "<>C",
+        EVENTUALLY_CONSISTENT,
+        lambda w: attach_ec_stack(
+            w, suspects="complement", initial_timeout=10.0
+        ),
+    ),
+]
+
+
+def run_all():
+    rows = []
+    for name, symbol, fd_class, attach in DETECTORS:
+        ok_count = 0
+        stabilizations = []
+        for seed in SEEDS:
+            world = build_world(seed, attach)
+            world.run(until=END)
+            results = check_fd_class_on_world(world, fd_class)
+            if all(results.values()):
+                ok_count += 1
+                stabilizations.append(
+                    max(r.stabilized_at or 0.0 for r in results.values())
+                )
+        stats = summarize(stabilizations)
+        rows.append(
+            (
+                name,
+                symbol,
+                f"{ok_count}/{len(list(SEEDS))}",
+                f"{stats.mean:.0f}" if stabilizations else "n/a",
+            )
+        )
+    return rows
+
+
+def test_e1_class_properties(benchmark):
+    rows = run_all()
+    table = format_table(
+        "E1 — detector class properties on random crash runs "
+        f"(n={N}, GST={GST})",
+        ["implementation", "class", "runs satisfying class", "mean stab. time"],
+        rows,
+        note="Paper (Fig. 1 / Def. 1): every implementation must satisfy "
+        "all properties of its class — expect every row at 100%.",
+    )
+    publish("e1_class_properties", table)
+    for row in rows:
+        passed, total = row[2].split("/")
+        assert passed == total, row
+
+    # Timing anchor: one representative detector run.
+    def one_run():
+        world = build_world(0, DETECTORS[0][3])
+        world.run(until=500.0)
+        return world
+
+    benchmark.pedantic(one_run, rounds=3, iterations=1)

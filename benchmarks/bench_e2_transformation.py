@@ -1,0 +1,90 @@
+"""E2 — Theorem 1: the ◇C → ◇P transformation (Fig. 2) yields ◇P.
+
+Sweeps GST and output-link loss; for each setting verifies strong
+completeness + eventual strong accuracy on the transformed detector and
+reports the measured stabilization time and crash-detection latency.
+"""
+
+import pytest
+
+from repro.analysis import check_fd_class_on_world, detection_latency
+from repro.fd import (
+    EVENTUALLY_CONSISTENT,
+    EVENTUALLY_PERFECT,
+    OracleConfig,
+    OracleFailureDetector,
+)
+from repro.sim import FairLossyLink, FixedDelay, ReliableLink, World
+from repro.transform import CToPTransformation
+from repro.workloads import partially_synchronous_link
+
+from _harness import format_table, publish
+
+N = 6
+LEADER = 0
+CRASH_AT = 250.0
+END = 3000.0
+
+
+def build(seed, gst, loss):
+    world = World(n=N, seed=seed, default_link=ReliableLink(FixedDelay(1.0)))
+    world.network.set_links_to(
+        LEADER, lambda: partially_synchronous_link(gst=gst, pre_max=30.0)
+    )
+    if loss:
+        world.network.set_links_from(
+            LEADER,
+            lambda: FairLossyLink(
+                inner=ReliableLink(FixedDelay(1.0)), loss_prob=loss
+            ),
+        )
+    for pid in world.pids:
+        src = world.attach(pid, OracleFailureDetector(
+            EVENTUALLY_CONSISTENT,
+            OracleConfig(pre_behavior="ideal", leader=LEADER),
+            channel="fd.c"))
+        world.attach(pid, CToPTransformation(
+            src, send_period=5.0, alive_period=5.0,
+            initial_timeout=8.0, channel="fdp"))
+    world.schedule_crash(N - 1, CRASH_AT)
+    return world
+
+
+def run_case(seed, gst, loss):
+    world = build(seed, gst, loss)
+    world.run(until=END)
+    results = check_fd_class_on_world(world, EVENTUALLY_PERFECT, channel="fdp")
+    latency = detection_latency(
+        world.trace, N - 1, CRASH_AT, world.correct_pids, channel="fdp"
+    )
+    stab = max((r.stabilized_at or 0.0) for r in results.values())
+    return all(results.values()), stab, latency
+
+
+def test_e2_transformation_theorem1(benchmark):
+    rows = []
+    all_ok = True
+    for gst in (0.0, 60.0, 150.0):
+        for loss in (0.0, 0.3, 0.6):
+            ok, stab, latency = run_case(1, gst, loss)
+            all_ok &= ok
+            rows.append((
+                f"{gst:.0f}", f"{loss:.0%}",
+                "yes" if ok else "NO",
+                f"{stab:.0f}",
+                f"{latency:.1f}" if latency is not None else "n/a",
+            ))
+    table = format_table(
+        f"E2 — <>C → <>P transformation under partial synchrony (n={N})",
+        ["GST", "output loss", "<>P holds", "stabilized at", "det. latency"],
+        rows,
+        note="Paper (Thm. 1): with partially synchronous leader inputs and "
+        "fair-lossy leader outputs, the transformation implements <>P for "
+        "every GST and loss level.",
+    )
+    publish("e2_transformation", table)
+    assert all_ok
+
+    benchmark.pedantic(
+        lambda: run_case(2, 60.0, 0.3), rounds=3, iterations=1
+    )

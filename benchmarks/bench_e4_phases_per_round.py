@@ -1,0 +1,44 @@
+"""E4 — Section 5.4: communication steps (phases) per round.
+
+Measures, from protocol traces, the number of distinct phases each round of
+each consensus protocol goes through.  Paper: ◇C-consensus 5, Chandra–Toueg
+4, Mostefaoui–Raynal 3 (and the merged-Phase-0/1 ◇C variant 4 — ablation A1
+covers its message cost).
+"""
+
+import pytest
+
+from repro.analysis import max_phases_per_round
+from repro.workloads import nice_run
+
+from _harness import format_table, publish
+
+EXPECTED = {"ec": 5, "ct": 4, "mr": 3}
+
+
+def measure(algo, n=5, seed=0, **kwargs):
+    run = nice_run(algo, n=n, seed=seed, **kwargs).run(until=400.0)
+    assert run.decided
+    return max_phases_per_round(run.world.trace, algo)
+
+
+def test_e4_phases_per_round(benchmark):
+    rows = []
+    for algo, expected in EXPECTED.items():
+        got = measure(algo)
+        rows.append((algo, got, expected, "ok" if got == expected else "NO"))
+        assert got == expected, (algo, got)
+    merged = measure("ec", merged_phase01=True)
+    rows.append(("ec (merged 0+1)", merged, 4, "ok" if merged == 4 else "NO"))
+    assert merged == 4
+    table = format_table(
+        "E4 — phases (communication steps) per round, measured from traces",
+        ["protocol", "measured", "paper", "match"],
+        rows,
+        note="Paper (Sec. 5.4): <>C-consensus has five phases per round, "
+        "Chandra–Toueg four, Mostefaoui–Raynal three; merging Phases 0 "
+        "and 1 trades one phase for Θ(n²) messages.",
+    )
+    publish("e4_phases_per_round", table)
+
+    benchmark.pedantic(lambda: measure("ec"), rounds=3, iterations=1)

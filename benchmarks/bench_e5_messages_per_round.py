@@ -1,0 +1,68 @@
+"""E5 — Section 5.4: messages exchanged per round in nice runs.
+
+Paper (normal case — no crashes, no detector mistakes): ◇C-consensus 4n
+(Θ(n)), Chandra–Toueg 3n (Θ(n)), Mostefaoui–Raynal 3n² (Θ(n²)); Reliable
+Broadcast traffic excluded in all cases.  We count actual network sends
+tagged with the round number, sweep n, and fit the scaling exponent.
+"""
+
+import math
+
+import pytest
+
+from repro.analysis import messages_per_round
+from repro.workloads import nice_run
+
+from _harness import format_table, publish
+
+NS = (4, 6, 8, 12, 16)
+
+
+def round1_messages(algo, n, seed=1):
+    run = nice_run(algo, n=n, seed=seed).run(until=600.0)
+    assert run.decided, (algo, n)
+    return messages_per_round(run.world.trace)[1]
+
+
+def scaling_exponent(points):
+    """Log-log slope between smallest and largest n."""
+    (n0, m0), (n1, m1) = points[0], points[-1]
+    return math.log(m1 / m0) / math.log(n1 / n0)
+
+
+def test_e5_messages_per_round(benchmark):
+    formulas = {
+        "ec": lambda n: 4 * (n - 1),
+        "ct": lambda n: 3 * (n - 1),
+        "mr": lambda n: 3 * n * (n - 1),
+    }
+    rows = []
+    exponents = {}
+    for algo, formula in formulas.items():
+        points = []
+        for n in NS:
+            got = round1_messages(algo, n)
+            expected = formula(n)
+            assert got == expected, (algo, n, got, expected)
+            points.append((n, got))
+        exponents[algo] = scaling_exponent(points)
+        rows.append(
+            (algo, *[p[1] for p in points], f"{exponents[algo]:.2f}")
+        )
+    table = format_table(
+        "E5 — messages per round in nice runs (columns: n = "
+        + ", ".join(map(str, NS)) + ")",
+        ["protocol", *[f"n={n}" for n in NS], "log-log slope"],
+        rows,
+        note="Paper (Sec. 5.4): <>C ≈ 4n and CT ≈ 3n are Θ(n) (slope → 1); "
+        "MR ≈ 3n² is Θ(n²) (slope → 2).  Counts exclude Reliable "
+        "Broadcast, as in the paper.",
+    )
+    publish("e5_messages_per_round", table)
+    assert exponents["ec"] < 1.3
+    assert exponents["ct"] < 1.3
+    assert exponents["mr"] > 1.7
+
+    benchmark.pedantic(
+        lambda: round1_messages("ec", 8), rounds=3, iterations=1
+    )

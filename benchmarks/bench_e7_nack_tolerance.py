@@ -1,0 +1,113 @@
+"""E7 — Section 5.4 improvement: deciding despite negative replies.
+
+Scenario: the (correct) coordinator is permanently suspected by k
+processes, which therefore answer its propositions with nacks, while the
+remaining n−k processes ack.  The detectors are heterogeneous and *never*
+reach global ◇C stability during the measured window — exactly the regime
+where the accuracy-aware waits matter.
+
+Paper's claims reproduced:
+
+* ◇C-consensus: the coordinator waits for a majority *and* every process it
+  does not suspect, so with a majority of acks it decides in round 1 even
+  though nacks arrived — for every k < ⌈n/2⌉;
+* Chandra–Toueg: the coordinator examines only the first ⌈(n+1)/2⌉ replies
+  and one nack among them blocks the round — with k ≥ 1 nackers (whose
+  nacks arrive before the acks' extra round trip) round 1 fails and the
+  rotation must reach a coordinator nobody slanders;
+* Mostefaoui–Raynal: waits for exactly n−f messages; with only a majority
+  assumption a single divergent view among the first n−f blocks the round.
+"""
+
+import pytest
+
+from repro.analysis import extract_outcome, require_consensus
+from repro.broadcast import ReliableBroadcast
+from repro.consensus import ALGORITHMS, propose_all
+from repro.fd import ScriptedFailureDetector
+from repro.sim import World
+from repro.workloads import lan_link
+
+from _harness import format_table, publish
+
+N = 7
+STAB = 500.0  # detectors heal long after the decisions we measure
+
+
+def make_script(pid, nackers, algo):
+    """Heterogeneous detector views: nackers permanently suspect p0."""
+
+    def script(p, now):
+        if now >= STAB or p not in nackers:
+            return frozenset(), 0
+        if algo == "mr":
+            # MR reads only `trusted`: a divergent leader view is the
+            # analogue of a negative reply.
+            return frozenset(), p
+        return frozenset({0}), 0
+
+    return script
+
+
+def run_case(algo, k, seed=0):
+    nackers = frozenset(range(1, 1 + k))
+    world = World(n=N, seed=seed, default_link=lan_link())
+    protos = []
+    for pid in world.pids:
+        fd = world.attach(
+            pid, ScriptedFailureDetector(make_script(pid, nackers, algo))
+        )
+        rb = world.attach(pid, ReliableBroadcast(channel="consensus.rb"))
+        protos.append(world.attach(pid, ALGORITHMS[algo](fd, rb)))
+    world.start()
+    propose_all(protos)
+    world.run(until=4000.0)
+    outcome = extract_outcome(world.trace, algo)
+    require_consensus(outcome, world.correct_pids)
+    rounds = set(outcome.decision_rounds.values())
+    assert len(rounds) == 1
+    decision_round = rounds.pop()
+    decided_before_stab = max(outcome.decision_times.values()) < STAB
+    return decision_round, decided_before_stab
+
+
+def test_e7_nack_tolerance(benchmark):
+    rows = []
+    results = {}
+    for k in (0, 1, 2, 3):
+        row = [k]
+        for algo in ("ec", "ct", "mr"):
+            decision_round, early = run_case(algo, k)
+            results[(algo, k)] = (decision_round, early)
+            row.append(f"round {decision_round}" + ("" if early else " (post-stab)"))
+        rows.append(tuple(row))
+    table = format_table(
+        f"E7 — decision round with k permanent nackers of the coordinator "
+        f"(n={N}, majority={N//2+1})",
+        ["k", "<>C-consensus", "Chandra–Toueg", "Mostefaoui–Raynal"],
+        rows,
+        note="Paper (Sec. 5.4): <>C decides in round 1 with a majority of "
+        "positive replies even alongside nacks; in CT one nack among the "
+        "first majority blocks the round (rotation eventually escapes); "
+        "in MR a divergent view among the first n−f blocks the round "
+        "(only detector stabilization escapes).",
+    )
+    publish("e7_nack_tolerance", table)
+
+    # <>C: always round 1, always before stabilization.
+    for k in (0, 1, 2, 3):
+        assert results[("ec", k)] == (1, True), results[("ec", k)]
+    # CT: blocked in round 1 as soon as there is one nacker.
+    assert results[("ct", 0)][0] == 1
+    for k in (1, 2, 3):
+        assert results[("ct", k)][0] > 1, results[("ct", k)]
+    # MR: clean when k=0; with divergent views a round only succeeds when
+    # delivery jitter keeps every divergent message out of the first n−f,
+    # so the decision round balloons with k.
+    assert results[("mr", 0)] == (1, True)
+    previous = 1
+    for k in (1, 2, 3):
+        assert results[("mr", k)][0] > previous, results
+        previous = results[("mr", k)][0]
+
+    benchmark.pedantic(lambda: run_case("ec", 2), rounds=3, iterations=1)

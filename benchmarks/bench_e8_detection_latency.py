@@ -1,0 +1,98 @@
+"""E8 — Section 4 discussion: crash-detection latency.
+
+The paper notes the Fig. 2 approach "has the additional benefit of not
+suffering of the high latency in crash detection of [the ring] algorithm
+(due to the propagation of the list of suspected processes over the
+ring)".  We crash one process and measure the time until *every* correct
+process suspects it, sweeping n: the ring's latency grows linearly (one
+neighbour hop per period), the transformation's stays flat (timeout + one
+broadcast hop), and the all-to-all heartbeat is flat but costs n² messages.
+"""
+
+import pytest
+
+from repro.analysis import detection_latency
+from repro.fd import (
+    EVENTUALLY_CONSISTENT,
+    HeartbeatEventuallyPerfect,
+    OracleConfig,
+    OracleFailureDetector,
+    RingDetector,
+)
+from repro.sim import FixedDelay, ReliableLink, World
+from repro.transform import CToPTransformation
+
+from _harness import format_table, publish
+
+PERIOD = 5.0
+TIMEOUT = 12.0
+CRASH_AT = 100.0
+NS = (4, 8, 12, 16)
+
+
+def latency_fig2(n, seed=1):
+    world = World(n=n, seed=seed, default_link=ReliableLink(FixedDelay(1.0)))
+    for pid in world.pids:
+        src = world.attach(pid, OracleFailureDetector(
+            EVENTUALLY_CONSISTENT, OracleConfig(pre_behavior="ideal"),
+            channel="fd.c"))
+        world.attach(pid, CToPTransformation(
+            src, send_period=PERIOD, alive_period=PERIOD,
+            initial_timeout=TIMEOUT, channel="fdp"))
+    victim = n // 2
+    world.schedule_crash(victim, CRASH_AT)
+    world.run(until=6000.0)
+    return detection_latency(world.trace, victim, CRASH_AT,
+                             world.correct_pids, channel="fdp")
+
+
+def latency_ring(n, seed=1):
+    world = World(n=n, seed=seed, default_link=ReliableLink(FixedDelay(1.0)))
+    world.attach_all(
+        lambda pid: RingDetector(period=PERIOD, initial_timeout=TIMEOUT))
+    victim = n // 2
+    world.schedule_crash(victim, CRASH_AT)
+    world.run(until=6000.0)
+    return detection_latency(world.trace, victim, CRASH_AT,
+                             world.correct_pids, channel="fd")
+
+
+def latency_heartbeat(n, seed=1):
+    world = World(n=n, seed=seed, default_link=ReliableLink(FixedDelay(1.0)))
+    world.attach_all(
+        lambda pid: HeartbeatEventuallyPerfect(period=PERIOD,
+                                               initial_timeout=TIMEOUT))
+    victim = n // 2
+    world.schedule_crash(victim, CRASH_AT)
+    world.run(until=6000.0)
+    return detection_latency(world.trace, victim, CRASH_AT,
+                             world.correct_pids, channel="fd")
+
+
+def test_e8_detection_latency(benchmark):
+    rows = []
+    fig2_lat, ring_lat = {}, {}
+    for n in NS:
+        f = latency_fig2(n)
+        r = latency_ring(n)
+        h = latency_heartbeat(n)
+        assert f is not None and r is not None and h is not None
+        fig2_lat[n], ring_lat[n] = f, r
+        rows.append((n, f"{f:.1f}", f"{r:.1f}", f"{h:.1f}"))
+    table = format_table(
+        "E8 — time until every correct process suspects a crashed process "
+        f"(period={PERIOD}, timeout={TIMEOUT})",
+        ["n", "Fig.2 <>C→<>P", "ring [15]", "all-to-all [6]"],
+        rows,
+        note="Paper (Sec. 4): the ring's suspicion list travels hop by hop "
+        "— Θ(n) periods; Fig. 2 broadcasts the leader's list directly, so "
+        "its latency is flat in n (like the n²-message all-to-all).",
+    )
+    publish("e8_detection_latency", table)
+    # The ring's latency grows with n; Fig. 2's stays flat and below it.
+    assert ring_lat[NS[-1]] > 2 * ring_lat[NS[0]] - PERIOD
+    assert fig2_lat[NS[-1]] < 1.5 * fig2_lat[NS[0]]
+    for n in NS[1:]:
+        assert fig2_lat[n] < ring_lat[n]
+
+    benchmark.pedantic(lambda: latency_fig2(8), rounds=3, iterations=1)

@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Side-by-side comparison of the failure-detector implementations.
+
+Runs the three message-passing detector families of the paper's Section 3/4
+discussion under identical conditions (partial synchrony, one crash) and
+prints, for each: steady-state message cost per period, crash-detection
+latency, and the elected leader — the quantities behind experiments E3/E8.
+
+Run:  python examples/fd_comparison.py
+"""
+
+from repro import World
+from repro.analysis import channel_message_count, detection_latency
+from repro.fd import (
+    EVENTUALLY_CONSISTENT,
+    HeartbeatEventuallyPerfect,
+    LeaderBasedOmega,
+    OracleConfig,
+    OracleFailureDetector,
+    RingDetector,
+)
+from repro.transform import CToPTransformation
+from repro.workloads import partially_synchronous_link
+
+N = 8
+PERIOD = 5.0
+CRASH_AT = 150.0
+END = 2500.0
+MEASURE_FROM = 1200.0  # steady state window
+
+
+def run_detector(name, attach):
+    world = World(
+        n=N, seed=5, default_link=partially_synchronous_link(gst=50.0)
+    )
+    channel = attach(world)
+    victim = N // 2
+    world.schedule_crash(victim, CRASH_AT)
+    world.run(until=END)
+    msgs = channel_message_count(world.trace, channel, after=MEASURE_FROM)
+    per_period = msgs / ((END - MEASURE_FROM) / PERIOD)
+    latency = detection_latency(
+        world.trace, victim, CRASH_AT, world.correct_pids, channel=channel
+    )
+    sample = world.component(0, channel)
+    leader = sample.trusted()
+    return per_period, latency, leader
+
+
+def main() -> None:
+    def heartbeat(world):
+        world.attach_all(lambda pid: HeartbeatEventuallyPerfect(period=PERIOD))
+        return "fd"
+
+    def ring(world):
+        world.attach_all(lambda pid: RingDetector(period=PERIOD))
+        return "fd"
+
+    def omega(world):
+        world.attach_all(lambda pid: LeaderBasedOmega(period=PERIOD))
+        return "fd"
+
+    def fig2(world):
+        for pid in world.pids:
+            src = world.attach(pid, OracleFailureDetector(
+                EVENTUALLY_CONSISTENT, OracleConfig(pre_behavior="ideal"),
+                channel="fd.c"))
+            world.attach(pid, CToPTransformation(
+                src, send_period=PERIOD, alive_period=PERIOD, channel="fdp"))
+        return "fdp"
+
+    rows = [
+        ("all-to-all heartbeat <>P  [CT96]", heartbeat, f"n(n-1) = {N*(N-1)}"),
+        ("ring <>S/<>P              [LAF99]", ring, f"2n     = {2*N}"),
+        ("leader-based Omega        [LFA00]", omega, f"n-1    = {N-1}"),
+        ("<>C -> <>P  (Fig. 2)      [paper]", fig2, f"2(n-1) = {2*(N-1)}"),
+    ]
+    print(f"n = {N}, period = {PERIOD}, crash of p{N//2} at t = {CRASH_AT}\n")
+    print(f"{'detector':38s} {'msgs/period':>12s} {'(paper)':>14s} "
+          f"{'latency':>9s} {'leader':>7s}")
+    for name, attach, paper_cost in rows:
+        per_period, latency, leader = run_detector(name, attach)
+        lat = f"{latency:.1f}" if latency is not None else "n/a"
+        led = f"p{leader}" if leader is not None else "-"
+        print(f"{name:38s} {per_period:12.1f} {paper_cost:>14s} "
+              f"{lat:>9s} {led:>7s}")
+    print("\nNote the trade-off the paper highlights: the ring is cheap but")
+    print("slow to converge (suspicions hop around the ring), while the")
+    print("Fig. 2 transformation is both cheaper and fast — the leader")
+    print("broadcasts its list directly.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""A fault-tolerant work-dispatcher built on the ◇C leader election.
+
+The paper's ◇C class bundles Ω's eventual leader election with ◇S suspect
+sets.  This example uses both halves of the interface directly (no
+consensus): the currently trusted process acts as the dispatcher handing
+work items to workers it does *not* suspect; when the dispatcher crashes,
+the detector converges on a new leader and the work keeps flowing, skipping
+the workers that crashed along the way.
+
+Run:  python examples/leader_election_service.py
+"""
+
+from repro import Component, World, attach_ec_stack
+from repro.workloads import partially_synchronous_link
+
+N = 6
+WORK_ITEMS = 40
+
+
+class Dispatcher(Component):
+    """Every process runs this; only the self-trusted one hands out work."""
+
+    channel = "work"
+
+    def __init__(self, fd, queue):
+        super().__init__()
+        self.fd = fd
+        self.queue = queue  # shared description of work to do (ids)
+        self.completed = {}  # item -> worker that did it
+        self.in_flight = {}
+        self.done_log = []
+
+    def on_start(self):
+        self.periodically(3.0, self.dispatch)
+
+    def dispatch(self):
+        if self.fd.trusted() != self.pid:
+            return  # not the leader right now
+        workers = [
+            q for q in range(self.n)
+            if q != self.pid and q not in self.fd.suspected()
+        ]
+        if not workers:
+            return
+        for item in list(self.queue):
+            if item in self.completed or item in self.in_flight:
+                continue
+            worker = workers[item % len(workers)]
+            self.in_flight[item] = worker
+            self.send(worker, ("DO", item), tag="work")
+        # Re-dispatch items stuck at workers we now suspect.
+        for item, worker in list(self.in_flight.items()):
+            if worker in self.fd.suspected():
+                del self.in_flight[item]
+
+    def on_message(self, src, payload):
+        kind = payload[0]
+        if kind == "DO":
+            # Worker role: do the "work" and report back to whoever asked.
+            self.send(src, ("DONE", payload[1], self.pid), tag="done")
+        elif kind == "DONE":
+            _, item, worker = payload
+            if item not in self.completed:
+                self.completed[item] = worker
+                self.done_log.append((self.now, item, worker))
+            self.in_flight.pop(item, None)
+
+
+def main() -> None:
+    world = World(n=N, seed=21,
+                  default_link=partially_synchronous_link(gst=20.0))
+    detectors = attach_ec_stack(world, suspects="ring", initial_timeout=8.0)
+    queue = list(range(WORK_ITEMS))
+    dispatchers = [
+        world.attach(pid, Dispatcher(detectors[pid], queue))
+        for pid in world.pids
+    ]
+    world.start()
+
+    # The first leader (p0) and one worker (p3) crash mid-run.
+    world.schedule_crash(0, 60.0)
+    world.schedule_crash(3, 100.0)
+    world.run(until=1200.0)
+
+    live = [d for d in dispatchers if not d.crashed]
+    leader = detectors[live[0].pid].trusted()
+    print(f"crashed: {sorted(world.crashed_pids)}; final leader: p{leader}")
+    merged = {}
+    for d in live:
+        merged.update(d.completed)
+    print(f"completed {len(merged)}/{WORK_ITEMS} work items")
+    by_worker = {}
+    for item, worker in merged.items():
+        by_worker.setdefault(worker, 0)
+        by_worker[worker] += 1
+    for worker in sorted(by_worker):
+        marker = " (crashed later)" if worker in world.crashed_pids else ""
+        print(f"  worker p{worker}: {by_worker[worker]} items{marker}")
+    assert len(merged) == WORK_ITEMS, "work was lost!"
+    assert leader in world.correct_pids
+    print("all work completed despite leader + worker crashes ✔")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The metadata lives in ``pyproject.toml``; this file exists so that editable
+installs work on environments without the ``wheel`` package (offline boxes
+where the PEP-517 editable path cannot build a wheel).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,26 @@
+"""Reproduction of "Eventually consistent failure detectors" (Larrea,
+Fernández, Arévalo; J. Parallel Distrib. Comput. 65, 2005 — originally
+announced 2001).
+
+The package provides:
+
+* a deterministic discrete-event simulator of asynchronous / partially
+  synchronous crash-prone message-passing systems (:mod:`repro.sim`);
+* the failure-detector class taxonomy with oracle and message-passing
+  implementations, including the paper's new class ◇C (:mod:`repro.fd`);
+* the class transformations of Section 3 and the ◇C → ◇P algorithm of
+  Section 4 / Fig. 2 (:mod:`repro.transform`);
+* the ◇C-based Uniform Consensus algorithm of Section 5 / Figs. 3–4 plus
+  the Chandra–Toueg, Mostefaoui–Raynal and Paxos baselines
+  (:mod:`repro.consensus`);
+* trace-based property checkers and metrics (:mod:`repro.analysis`) and
+  canonical experiment scenarios (:mod:`repro.workloads`).
+
+The curated public API is re-exported here from :mod:`repro.core`.
+"""
+
+from .core import *  # noqa: F401,F403
+from .core import __all__ as _core_all
+
+__version__ = "1.0.0"
+__all__ = list(_core_all) + ["__version__"]

@@ -1,0 +1,77 @@
+"""Trace analysis: failure-detector and consensus property checkers, and
+quantitative run metrics (messages/phases/rounds, detection latency)."""
+
+from .consensus_properties import (
+    ConsensusOutcome,
+    check_consensus,
+    extract_outcome,
+    require_consensus,
+)
+from .fd_properties import (
+    FDRecord,
+    PropertyCheck,
+    build_histories,
+    check_eventual_strong_accuracy,
+    check_eventual_weak_accuracy,
+    check_fd_class,
+    check_fd_class_on_world,
+    check_omega,
+    check_strong_completeness,
+    check_trusted_not_suspected,
+    check_weak_completeness,
+    crash_times,
+    require_fd_class,
+)
+from .metrics import (
+    channel_message_count,
+    detection_latency,
+    max_phases_per_round,
+    mean_messages_per_round,
+    messages_per_round,
+    phases_per_round,
+    round_at,
+    rounds_after,
+    rounds_after_system,
+    steady_state_message_rate,
+)
+from .report import collect_results, render_report
+from .stats import Summary, geometric_mean, summarize
+from .timeline import leader_timeline, round_timeline, suspicion_timeline
+
+__all__ = [
+    "ConsensusOutcome",
+    "check_consensus",
+    "extract_outcome",
+    "require_consensus",
+    "FDRecord",
+    "PropertyCheck",
+    "build_histories",
+    "check_eventual_strong_accuracy",
+    "check_eventual_weak_accuracy",
+    "check_fd_class",
+    "check_fd_class_on_world",
+    "check_omega",
+    "check_strong_completeness",
+    "check_trusted_not_suspected",
+    "check_weak_completeness",
+    "crash_times",
+    "require_fd_class",
+    "channel_message_count",
+    "detection_latency",
+    "max_phases_per_round",
+    "mean_messages_per_round",
+    "messages_per_round",
+    "phases_per_round",
+    "round_at",
+    "rounds_after",
+    "rounds_after_system",
+    "steady_state_message_rate",
+    "Summary",
+    "collect_results",
+    "render_report",
+    "leader_timeline",
+    "round_timeline",
+    "suspicion_timeline",
+    "geometric_mean",
+    "summarize",
+]

@@ -1,0 +1,109 @@
+"""Trace-based checkers for the (Uniform) Consensus properties.
+
+The four properties of Section 5.1:
+
+* **Termination** — every correct process eventually decides;
+* **Uniform integrity** — every process decides at most once;
+* **(Uniform) agreement** — no two processes (correct *or faulty*, for the
+  uniform variant this library always checks) decide differently;
+* **Validity** — every decided value was proposed by some process.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, FrozenSet, List, Optional
+
+from ..errors import PropertyViolation
+from ..sim.trace import Trace
+from ..types import ProcessId, Time
+
+__all__ = ["ConsensusOutcome", "extract_outcome", "check_consensus",
+           "require_consensus"]
+
+
+@dataclass
+class ConsensusOutcome:
+    """Everything a consensus run produced, extracted from its trace."""
+
+    algo: str
+    proposals: Dict[ProcessId, Any] = field(default_factory=dict)
+    decisions: Dict[ProcessId, Any] = field(default_factory=dict)
+    decision_times: Dict[ProcessId, Time] = field(default_factory=dict)
+    decision_rounds: Dict[ProcessId, Optional[int]] = field(default_factory=dict)
+    decide_event_counts: Dict[ProcessId, int] = field(default_factory=dict)
+
+    @property
+    def decided_values(self) -> List[Any]:
+        """All decided values (possibly with duplicates across processes)."""
+        return list(self.decisions.values())
+
+
+def extract_outcome(trace: Trace, algo: Optional[str] = None) -> ConsensusOutcome:
+    """Collect proposals and decisions for one algorithm from *trace*.
+
+    With several consensus instances in one world, pass *algo* to select one
+    (matches the protocol's ``name``); by default the first algorithm seen
+    is used.
+    """
+    outcome = ConsensusOutcome(algo=algo or "")
+    for ev in trace.events:
+        if ev.kind not in ("propose", "decide"):
+            continue
+        ev_algo = ev.get("algo")
+        if algo is None:
+            algo = ev_algo
+            outcome.algo = ev_algo
+        if ev_algo != algo:
+            continue
+        if ev.kind == "propose":
+            outcome.proposals[ev.pid] = ev.get("value")
+        else:
+            outcome.decide_event_counts[ev.pid] = (
+                outcome.decide_event_counts.get(ev.pid, 0) + 1
+            )
+            outcome.decisions[ev.pid] = ev.get("value")
+            outcome.decision_times[ev.pid] = ev.time
+            outcome.decision_rounds[ev.pid] = ev.get("round")
+    return outcome
+
+
+def check_consensus(
+    outcome: ConsensusOutcome,
+    correct: FrozenSet[ProcessId],
+) -> Dict[str, bool]:
+    """Evaluate the four Uniform Consensus properties on *outcome*.
+
+    Returns ``{"termination": ..., "uniform-agreement": ...,
+    "validity": ..., "uniform-integrity": ...}``.
+    """
+    proposers = set(outcome.proposals)
+    decided = outcome.decisions
+    termination = all(p in decided for p in correct if p in proposers)
+    # Values may be unhashable; compare pairwise against the first.
+    values = list(decided.values())
+    agreement = all(v == values[0] for v in values) if values else True
+    proposed_values = list(outcome.proposals.values())
+    validity = all(v in proposed_values for v in decided.values())
+    integrity = all(c == 1 for c in outcome.decide_event_counts.values())
+    return {
+        "termination": termination,
+        "uniform-agreement": agreement,
+        "validity": validity,
+        "uniform-integrity": integrity,
+    }
+
+
+def require_consensus(
+    outcome: ConsensusOutcome,
+    correct: FrozenSet[ProcessId],
+) -> Dict[str, bool]:
+    """Like :func:`check_consensus` but raises on any violated property."""
+    results = check_consensus(outcome, correct)
+    failed = [name for name, ok in results.items() if not ok]
+    if failed:
+        raise PropertyViolation(
+            f"consensus ({outcome.algo}) violates {failed}; "
+            f"decisions={outcome.decisions}"
+        )
+    return results

@@ -1,0 +1,347 @@
+"""Trace-based checkers for failure-detector properties.
+
+"Eventually permanently P" cannot be decided on a finite run, so the
+checkers compute the **earliest time from which P holds for the rest of the
+run** (the measured stabilization time) and declare the property satisfied
+when that time leaves a non-trivial stable suffix — by default the final
+``margin`` fraction of the run must be clean.  Runs used by tests and
+benchmarks are long enough that real stabilization (GST, oracle scripts,
+adaptive timeouts) happens well before the margin.
+
+All checkers quantify over *correct* processes only, exactly like the
+definitions in Section 1.1 of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from ..errors import PropertyViolation
+from ..fd.classes import FDClass
+from ..sim.trace import Trace
+from ..types import ProcessId, Time
+
+__all__ = [
+    "FDRecord",
+    "PropertyCheck",
+    "build_histories",
+    "crash_times",
+    "check_strong_completeness",
+    "check_weak_completeness",
+    "check_eventual_strong_accuracy",
+    "check_eventual_weak_accuracy",
+    "check_omega",
+    "check_trusted_not_suspected",
+    "check_fd_class",
+    "require_fd_class",
+]
+
+#: One sampled detector output: (time, suspected set, trusted process).
+FDRecord = Tuple[Time, FrozenSet[ProcessId], Optional[ProcessId]]
+
+
+@dataclass(frozen=True)
+class PropertyCheck:
+    """Result of checking one eventual property on one run."""
+
+    name: str
+    ok: bool
+    stabilized_at: Optional[Time]
+    end_time: Time
+    witness: Optional[ProcessId] = None
+    detail: str = ""
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+
+# --------------------------------------------------------------------------
+# Trace extraction
+# --------------------------------------------------------------------------
+
+def build_histories(
+    trace: Trace, channel: str = "fd"
+) -> Dict[ProcessId, List[FDRecord]]:
+    """Per-process detector output histories for one detector *channel*."""
+    histories: Dict[ProcessId, List[FDRecord]] = {}
+    for ev in trace.events:
+        if ev.kind == "fd" and ev.get("channel") == channel:
+            histories.setdefault(ev.pid, []).append(
+                (ev.time, ev.get("suspected"), ev.get("trusted"))
+            )
+    return histories
+
+
+def crash_times(trace: Trace) -> Dict[ProcessId, Time]:
+    """``pid -> crash time`` for every crash recorded in *trace*."""
+    return {ev.pid: ev.time for ev in trace.events if ev.kind == "crash"}
+
+
+# --------------------------------------------------------------------------
+# Core suffix machinery
+# --------------------------------------------------------------------------
+
+def _stabilization(
+    histories: Dict[ProcessId, List[FDRecord]],
+    pids: FrozenSet[ProcessId],
+    violated,
+) -> Optional[Time]:
+    """Earliest time from which ``violated(pid, suspected, trusted)`` is
+    false at every process in *pids* for the remainder of the run.
+
+    Histories are step functions: a record's value holds until the next
+    record, so the stabilization point is the timestamp of the first record
+    opening the final clean stretch.  Returns ``None`` when some process is
+    still violating at its last record (never stabilizes) or has no records
+    at all (nothing can be verified about it).
+    """
+    worst = 0.0
+    for pid in pids:
+        records = histories.get(pid, [])
+        clean_since: Optional[Time] = None
+        for time, suspected, trusted in records:
+            if violated(pid, suspected, trusted):
+                clean_since = None
+            elif clean_since is None:
+                clean_since = time
+        if clean_since is None:
+            return None
+        if clean_since > worst:
+            worst = clean_since
+    return worst
+
+
+def _result(
+    name: str,
+    stabilized_at: Optional[Time],
+    end_time: Time,
+    margin: float,
+    witness: Optional[ProcessId] = None,
+    detail: str = "",
+) -> PropertyCheck:
+    if stabilized_at is None:
+        return PropertyCheck(name, False, None, end_time, witness, detail)
+    ok = stabilized_at <= end_time * (1.0 - margin)
+    return PropertyCheck(name, ok, stabilized_at, end_time, witness, detail)
+
+
+# --------------------------------------------------------------------------
+# Individual properties
+# --------------------------------------------------------------------------
+
+def check_strong_completeness(
+    histories: Dict[ProcessId, List[FDRecord]],
+    crashed: Dict[ProcessId, Time],
+    correct: FrozenSet[ProcessId],
+    end_time: Time,
+    margin: float = 0.1,
+) -> PropertyCheck:
+    """Eventually every crashed process is permanently suspected by *every*
+    correct process."""
+    if not crashed:
+        return PropertyCheck("strong-completeness", True, 0.0, end_time,
+                             detail="vacuous: no crashes")
+    crashed_set = frozenset(crashed)
+
+    def violated(pid, suspected, trusted):
+        return not crashed_set <= suspected
+
+    worst = _stabilization(histories, correct, violated)
+    if worst is not None:
+        worst = max(worst, max(crashed.values()))
+    return _result("strong-completeness", worst, end_time, margin)
+
+
+def check_weak_completeness(
+    histories: Dict[ProcessId, List[FDRecord]],
+    crashed: Dict[ProcessId, Time],
+    correct: FrozenSet[ProcessId],
+    end_time: Time,
+    margin: float = 0.1,
+) -> PropertyCheck:
+    """Eventually every crashed process is permanently suspected by *some*
+    correct process."""
+    if not crashed:
+        return PropertyCheck("weak-completeness", True, 0.0, end_time,
+                             detail="vacuous: no crashes")
+    crashed_set = frozenset(crashed)
+    best: Optional[Tuple[Time, ProcessId]] = None
+    for pid in correct:
+        worst = _stabilization(
+            histories, frozenset({pid}),
+            lambda _p, suspected, _t: not crashed_set <= suspected,
+        )
+        if worst is None:
+            continue
+        worst = max(worst, max(crashed.values()))
+        if best is None or worst < best[0]:
+            best = (worst, pid)
+    if best is None:
+        return PropertyCheck("weak-completeness", False, None, end_time)
+    return _result("weak-completeness", best[0], end_time, margin,
+                   witness=best[1])
+
+
+def check_eventual_strong_accuracy(
+    histories: Dict[ProcessId, List[FDRecord]],
+    correct: FrozenSet[ProcessId],
+    end_time: Time,
+    margin: float = 0.1,
+) -> PropertyCheck:
+    """Eventually *no* correct process is suspected by any correct process."""
+
+    def violated(pid, suspected, trusted):
+        return bool(suspected & correct)
+
+    worst = _stabilization(histories, correct, violated)
+    return _result("eventual-strong-accuracy", worst, end_time, margin)
+
+
+def check_eventual_weak_accuracy(
+    histories: Dict[ProcessId, List[FDRecord]],
+    correct: FrozenSet[ProcessId],
+    end_time: Time,
+    margin: float = 0.1,
+) -> PropertyCheck:
+    """Eventually *some* correct process is suspected by no correct process."""
+    best: Optional[Tuple[Time, ProcessId]] = None
+    for q in correct:
+        worst = _stabilization(
+            histories, correct,
+            lambda _p, suspected, _t, q=q: q in suspected,
+        )
+        if worst is not None and (best is None or worst < best[0]):
+            best = (worst, q)
+    if best is None:
+        return PropertyCheck("eventual-weak-accuracy", False, None, end_time)
+    return _result("eventual-weak-accuracy", best[0], end_time, margin,
+                   witness=best[1])
+
+
+def check_omega(
+    histories: Dict[ProcessId, List[FDRecord]],
+    correct: FrozenSet[ProcessId],
+    end_time: Time,
+    margin: float = 0.1,
+) -> PropertyCheck:
+    """Property 1: eventually every correct process permanently trusts the
+    same *correct* process."""
+    best: Optional[Tuple[Time, ProcessId]] = None
+    for q in correct:
+        worst = _stabilization(
+            histories, correct,
+            lambda _p, _s, trusted, q=q: trusted != q,
+        )
+        if worst is not None and (best is None or worst < best[0]):
+            best = (worst, q)
+    if best is None:
+        return PropertyCheck("omega", False, None, end_time)
+    return _result("omega", best[0], end_time, margin, witness=best[1])
+
+
+def check_trusted_not_suspected(
+    histories: Dict[ProcessId, List[FDRecord]],
+    correct: FrozenSet[ProcessId],
+    end_time: Time,
+    margin: float = 0.1,
+) -> PropertyCheck:
+    """Definition 1, third clause: eventually ``trusted ∉ suspected`` at
+    every correct process."""
+
+    def violated(pid, suspected, trusted):
+        return trusted is not None and trusted in suspected
+
+    worst = _stabilization(histories, correct, violated)
+    return _result("trusted-not-suspected", worst, end_time, margin)
+
+
+# --------------------------------------------------------------------------
+# Whole-class checks
+# --------------------------------------------------------------------------
+
+def check_fd_class(
+    trace: Trace,
+    fd_class: FDClass,
+    correct: FrozenSet[ProcessId],
+    channel: str = "fd",
+    margin: float = 0.1,
+    end_time: Optional[Time] = None,
+) -> Dict[str, PropertyCheck]:
+    """Check every property required by *fd_class* on one run's trace.
+
+    Returns a mapping ``property name -> PropertyCheck``; the run satisfies
+    the class iff every entry is ok.
+    """
+    histories = build_histories(trace, channel=channel)
+    crashed = crash_times(trace)
+    end = end_time if end_time is not None else trace.end_time
+    results: Dict[str, PropertyCheck] = {}
+
+    if fd_class.completeness == "strong":
+        results["completeness"] = check_strong_completeness(
+            histories, crashed, correct, end, margin
+        )
+    elif fd_class.completeness == "weak":
+        results["completeness"] = check_weak_completeness(
+            histories, crashed, correct, end, margin
+        )
+
+    if fd_class.accuracy in ("eventual-strong", "strong"):
+        results["accuracy"] = check_eventual_strong_accuracy(
+            histories, correct, end, margin
+        )
+    elif fd_class.accuracy == "eventual-weak":
+        results["accuracy"] = check_eventual_weak_accuracy(
+            histories, correct, end, margin
+        )
+
+    if fd_class.leader:
+        results["omega"] = check_omega(histories, correct, end, margin)
+
+    if fd_class.trusted_not_suspected:
+        results["trusted-not-suspected"] = check_trusted_not_suspected(
+            histories, correct, end, margin
+        )
+    return results
+
+
+def check_fd_class_on_world(
+    world,
+    fd_class: FDClass,
+    channel: str = "fd",
+    margin: float = 0.1,
+) -> Dict[str, PropertyCheck]:
+    """:func:`check_fd_class` against a :class:`~repro.sim.world.World`.
+
+    Uses the world's clock as the run end (a stabilized detector stops
+    emitting trace events, so the trace's last timestamp can badly
+    underestimate how long the stable suffix actually was) and the world's
+    current correct set.
+    """
+    return check_fd_class(
+        world.trace,
+        fd_class,
+        world.correct_pids,
+        channel=channel,
+        margin=margin,
+        end_time=world.now,
+    )
+
+
+def require_fd_class(
+    trace: Trace,
+    fd_class: FDClass,
+    correct: FrozenSet[ProcessId],
+    channel: str = "fd",
+    margin: float = 0.1,
+) -> Dict[str, PropertyCheck]:
+    """Like :func:`check_fd_class` but raises :class:`PropertyViolation` on
+    the first failed property."""
+    results = check_fd_class(trace, fd_class, correct, channel, margin)
+    for name, result in results.items():
+        if not result.ok:
+            raise PropertyViolation(
+                f"class {fd_class.symbol} violates {name}: {result}"
+            )
+    return results

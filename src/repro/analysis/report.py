@@ -1,0 +1,68 @@
+"""Aggregate experiment report.
+
+Collects the tables the benchmark suite wrote under ``benchmarks/results/``
+into one document — the quick way to see the whole reproduction after
+``pytest benchmarks/ --benchmark-only``.  Exposed on the CLI as
+``python -m repro report``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import List, Optional
+
+__all__ = ["collect_results", "render_report"]
+
+#: Canonical experiment ordering for the report.
+_ORDER = [
+    "e1_class_properties",
+    "e2_transformation",
+    "e3_fd_message_cost",
+    "e4_phases_per_round",
+    "e5_messages_per_round",
+    "e6_rounds_after_stability",
+    "e7_nack_tolerance",
+    "e8_detection_latency",
+    "e9_consensus_validation",
+    "e10_end_to_end",
+    "a1_merged_phase01",
+    "a2_accuracy_ablation",
+    "a3_adaptive_timeouts",
+    "a4_leader_stability",
+]
+
+
+def collect_results(results_dir: Optional[pathlib.Path] = None) -> List[str]:
+    """Return the stored experiment tables, in canonical order.
+
+    Unknown extra files sort after the known ones; missing experiments are
+    skipped (run the benchmarks first).
+    """
+    if results_dir is None:
+        results_dir = (
+            pathlib.Path(__file__).resolve().parents[3]
+            / "benchmarks" / "results"
+        )
+    if not results_dir.is_dir():
+        return []
+    files = {path.stem: path for path in results_dir.glob("*.txt")}
+    ordered = [files.pop(stem) for stem in _ORDER if stem in files]
+    ordered.extend(path for _, path in sorted(files.items()))
+    return [path.read_text().rstrip() for path in ordered]
+
+
+def render_report(results_dir: Optional[pathlib.Path] = None) -> str:
+    """One document with every stored experiment table."""
+    tables = collect_results(results_dir)
+    if not tables:
+        return (
+            "No stored results found.  Run:\n"
+            "    pytest benchmarks/ --benchmark-only\n"
+            "to regenerate every experiment table."
+        )
+    separator = "\n\n" + "~" * 78 + "\n\n"
+    header = (
+        "Eventually Consistent Failure Detectors — experiment report\n"
+        f"({len(tables)} experiments; see EXPERIMENTS.md for commentary)\n"
+    )
+    return header + separator + separator.join(tables)

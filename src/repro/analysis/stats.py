@@ -1,0 +1,47 @@
+"""Small statistics helpers shared by benchmarks and tests."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence
+
+__all__ = ["Summary", "summarize", "geometric_mean"]
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number-ish summary of a sample."""
+
+    n: int
+    mean: float
+    std: float
+    minimum: float
+    median: float
+    maximum: float
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"n={self.n} mean={self.mean:.3f} std={self.std:.3f} "
+            f"min={self.minimum:.3f} med={self.median:.3f} max={self.maximum:.3f}"
+        )
+
+
+def summarize(values: Iterable[float]) -> Summary:
+    """Summary statistics of *values* (population std; empty input allowed)."""
+    xs: List[float] = sorted(float(v) for v in values)
+    if not xs:
+        return Summary(0, math.nan, math.nan, math.nan, math.nan, math.nan)
+    n = len(xs)
+    mean = sum(xs) / n
+    var = sum((x - mean) ** 2 for x in xs) / n
+    mid = n // 2
+    median = xs[mid] if n % 2 else (xs[mid - 1] + xs[mid]) / 2
+    return Summary(n, mean, math.sqrt(var), xs[0], median, xs[-1])
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean (values must be positive)."""
+    if not values:
+        return math.nan
+    return math.exp(sum(math.log(v) for v in values) / len(values))

@@ -1,0 +1,144 @@
+"""ASCII timeline rendering of detector and consensus behaviour.
+
+Turning traces into terminal-friendly timelines makes the eventual
+properties *visible*: leadership converging to one column of identical
+digits, suspicion of a crashed process washing across all rows, rounds
+racing until a decision.  Used by the examples and handy in any REPL
+session; everything returns plain strings.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..sim.trace import Trace
+from ..types import ProcessId, Time
+from .fd_properties import build_histories
+
+__all__ = ["leader_timeline", "suspicion_timeline", "round_timeline"]
+
+
+def _buckets(end: Time, width: int) -> List[Time]:
+    step = end / width if end > 0 else 1.0
+    return [step * (i + 1) for i in range(width)]
+
+
+def _sample(history, t: Time):
+    """Last record at or before *t* (histories are step functions)."""
+    current = None
+    for record in history:
+        if record[0] > t:
+            break
+        current = record
+    return current
+
+
+def leader_timeline(
+    trace: Trace,
+    channel: str = "fd",
+    width: int = 72,
+    end: Optional[Time] = None,
+    crash_marker: str = "x",
+) -> str:
+    """One row per process; each column shows who that process trusted.
+
+    Digits are ``trusted % 10``; ``.`` means no trusted output; columns
+    after the process's crash show *crash_marker*.  Convergence reads as
+    all rows ending in the same digit.
+    """
+    histories = build_histories(trace, channel=channel)
+    if not histories:
+        return "(no detector output on channel %r)" % channel
+    crash_at: Dict[ProcessId, Time] = {
+        ev.pid: ev.time for ev in trace.events if ev.kind == "crash"
+    }
+    horizon = end if end is not None else trace.end_time
+    columns = _buckets(horizon, width)
+    lines = [f"leader timeline (channel {channel!r}, t in [0, {horizon:.0f}])"]
+    for pid in sorted(histories):
+        cells = []
+        for t in columns:
+            if pid in crash_at and t >= crash_at[pid]:
+                cells.append(crash_marker)
+                continue
+            record = _sample(histories[pid], t)
+            trusted = record[2] if record else None
+            cells.append("." if trusted is None else str(trusted % 10))
+        lines.append(f"p{pid:<2d} |" + "".join(cells) + "|")
+    return "\n".join(lines)
+
+
+def suspicion_timeline(
+    trace: Trace,
+    target: ProcessId,
+    channel: str = "fd",
+    width: int = 72,
+    end: Optional[Time] = None,
+) -> str:
+    """One row per process; ``#`` where that process suspected *target*.
+
+    After a crash of *target*, completeness reads as every row turning to
+    solid ``#``; accuracy reads as rows staying clear while it is alive.
+    """
+    histories = build_histories(trace, channel=channel)
+    crash_at: Dict[ProcessId, Time] = {
+        ev.pid: ev.time for ev in trace.events if ev.kind == "crash"
+    }
+    horizon = end if end is not None else trace.end_time
+    columns = _buckets(horizon, width)
+    lines = [
+        f"suspicion of p{target} (channel {channel!r}, t in [0, {horizon:.0f}])"
+    ]
+    if target in crash_at:
+        lines[0] += f"; p{target} crashes at t={crash_at[target]:.0f}"
+    for pid in sorted(histories):
+        if pid == target:
+            continue
+        cells = []
+        for t in columns:
+            if pid in crash_at and t >= crash_at[pid]:
+                cells.append("x")
+                continue
+            record = _sample(histories[pid], t)
+            suspected = record[1] if record else frozenset()
+            cells.append("#" if target in suspected else ".")
+        lines.append(f"p{pid:<2d} |" + "".join(cells) + "|")
+    return "\n".join(lines)
+
+
+def round_timeline(
+    trace: Trace,
+    algo: str,
+    width: int = 72,
+    end: Optional[Time] = None,
+) -> str:
+    """One row per process; columns show the consensus round (mod 10) the
+    process was in, with ``D`` from its decision onward."""
+    rounds: Dict[ProcessId, List] = {}
+    decisions: Dict[ProcessId, Time] = {}
+    for ev in trace.events:
+        if ev.get("algo") != algo:
+            continue
+        if ev.kind == "round":
+            rounds.setdefault(ev.pid, []).append((ev.time, ev.get("round")))
+        elif ev.kind == "decide":
+            decisions[ev.pid] = ev.time
+    if not rounds:
+        return f"(no rounds traced for algo {algo!r})"
+    horizon = end if end is not None else trace.end_time
+    columns = _buckets(horizon, width)
+    lines = [f"rounds of {algo!r} (t in [0, {horizon:.0f}]; D = decided)"]
+    for pid in sorted(rounds):
+        cells = []
+        for t in columns:
+            if pid in decisions and t >= decisions[pid]:
+                cells.append("D")
+                continue
+            current = None
+            for time, r in rounds[pid]:
+                if time > t:
+                    break
+                current = r
+            cells.append("." if current is None else str(current % 10))
+        lines.append(f"p{pid:<2d} |" + "".join(cells) + "|")
+    return "\n".join(lines)

@@ -1,0 +1,6 @@
+"""Broadcast primitives (Reliable Broadcast used by the consensus layer)."""
+
+from .reliable import MessageId, ReliableBroadcast
+from .uniform import UniformReliableBroadcast
+
+__all__ = ["ReliableBroadcast", "MessageId", "UniformReliableBroadcast"]

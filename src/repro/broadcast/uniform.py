@@ -1,0 +1,84 @@
+"""Uniform Reliable Broadcast (majority-ack algorithm).
+
+Plain Reliable Broadcast allows a *faulty* process to deliver a message
+that no correct process ever delivers (it may deliver and crash before
+relaying).  Uniform RB closes that gap:
+
+* **uniform agreement** — if *any* process (correct or faulty) U-delivers
+  *m*, then every correct process eventually U-delivers *m*.
+
+The classical majority-based algorithm (requires f < n/2, the same
+assumption as the consensus layer): relay every message on first receipt,
+but U-deliver only once copies have been seen from a strict majority of
+processes — at least one of which is correct and has relayed to everybody.
+
+The paper's Uniform Consensus discussion (Section 5.1) is what motivates
+carrying the uniform variant in the library: with ◇S-class detectors,
+consensus decisions are uniform anyway (Guerraoui's result, cited there),
+and this primitive lets tests state that end to end.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Set, Tuple
+
+from ..sim.component import Component
+from ..types import ProcessId
+from .reliable import MessageId
+
+__all__ = ["UniformReliableBroadcast"]
+
+
+class UniformReliableBroadcast(Component):
+    """Majority-ack URB component (see module docstring)."""
+
+    channel = "urb"
+
+    def __init__(self, channel: str = "urb") -> None:
+        super().__init__(channel)
+        self._seq = 0
+        self._relayed: Set[MessageId] = set()
+        self._delivered: Set[MessageId] = set()
+        self._seen_by: Dict[MessageId, Set[ProcessId]] = {}
+        self._payloads: Dict[MessageId, Any] = {}
+        self._callbacks: List[Callable[[ProcessId, Any], None]] = []
+        self.delivered_log: List[Tuple[float, ProcessId, Any]] = []
+
+    # ----------------------------------------------------------------- API
+    def on_deliver(self, callback: Callable[[ProcessId, Any], None]) -> None:
+        """Register *callback(origin, payload)* for every U-delivery."""
+        self._callbacks.append(callback)
+
+    def urbroadcast(self, payload: Any) -> MessageId:
+        """U-broadcast *payload* to the whole system (including self)."""
+        mid: MessageId = (self.pid, self._seq)
+        self._seq += 1
+        self._relay(mid, payload)
+        return mid
+
+    # ------------------------------------------------------------ internals
+    def _relay(self, mid: MessageId, payload: Any) -> None:
+        if mid in self._relayed:
+            return
+        self._relayed.add(mid)
+        self._payloads[mid] = payload
+        self._seen_by.setdefault(mid, set()).add(self.pid)
+        self.broadcast((mid, payload), tag="urb")
+        self._maybe_deliver(mid)
+
+    def on_message(self, src: ProcessId, wire: Any) -> None:
+        mid, payload = wire
+        self._seen_by.setdefault(mid, set()).add(src)
+        self._relay(mid, payload)
+        self._maybe_deliver(mid)
+
+    def _maybe_deliver(self, mid: MessageId) -> None:
+        if mid in self._delivered:
+            return
+        if len(self._seen_by[mid]) >= self.n // 2 + 1:
+            self._delivered.add(mid)
+            payload = self._payloads[mid]
+            self.delivered_log.append((self.now, mid[0], payload))
+            self.trace("urbdeliver", origin=mid[0])
+            for callback in self._callbacks:
+                callback(mid[0], payload)

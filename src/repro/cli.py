@@ -1,0 +1,266 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+``demo``
+    A narrated end-to-end run: ◇C stack, consensus, a leader crash, and
+    ASCII timelines of leadership and rounds.
+``consensus``
+    Run one consensus algorithm under configurable adversity and print the
+    outcome, properties, and round timeline.
+``compare-fd``
+    The E3/E8 side-by-side: message cost and detection latency of every
+    detector construction.
+``validate``
+    A randomized correctness battery (E9 style) over all algorithms.
+``experiments``
+    List the reproduced experiments and the benchmark regenerating each.
+``report``
+    Print every stored experiment table in one document.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .analysis import (
+    channel_message_count,
+    check_consensus,
+    detection_latency,
+    extract_outcome,
+    leader_timeline,
+    round_timeline,
+)
+from .broadcast import ReliableBroadcast
+from .consensus import ALGORITHMS, attach_consensus, propose_all
+from .fd import (
+    EVENTUALLY_CONSISTENT,
+    HeartbeatEventuallyPerfect,
+    LeaderBasedOmega,
+    OracleConfig,
+    OracleFailureDetector,
+    RingDetector,
+    attach_ec_stack,
+)
+from .sim import World, crash_at
+from .transform import CToPTransformation
+from .workloads import consensus_run, partially_synchronous_link, wan_link
+
+__all__ = ["main"]
+
+_EXPERIMENTS = [
+    ("E1", "detector class properties (Fig. 1 / Def. 1)",
+     "bench_e1_class_properties.py"),
+    ("E2", "<>C -> <>P transformation, Theorem 1", "bench_e2_transformation.py"),
+    ("E3", "periodic FD message cost (Sec. 4)", "bench_e3_fd_message_cost.py"),
+    ("E4", "phases per round (Sec. 5.4)", "bench_e4_phases_per_round.py"),
+    ("E5", "messages per round (Sec. 5.4)", "bench_e5_messages_per_round.py"),
+    ("E6", "rounds after stabilization (Thm. 3)",
+     "bench_e6_rounds_after_stability.py"),
+    ("E7", "deciding despite nacks (Sec. 5.4)", "bench_e7_nack_tolerance.py"),
+    ("E8", "crash-detection latency (Sec. 4)", "bench_e8_detection_latency.py"),
+    ("E9", "consensus correctness battery (Thm. 2)",
+     "bench_e9_consensus_validation.py"),
+    ("E10", "end-to-end full message-passing stack",
+     "bench_e10_end_to_end.py"),
+    ("A1", "merged Phase 0/1 ablation", "bench_a1_merged_phase01.py"),
+    ("A2", "accuracy ablation <>S vs Omega", "bench_a2_accuracy_ablation.py"),
+    ("A3", "adaptive timeout ablation", "bench_a3_adaptive_timeouts.py"),
+    ("A4", "leader stability ablation", "bench_a4_leader_stability.py"),
+]
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    world = World(n=args.n, seed=args.seed,
+                  default_link=partially_synchronous_link(gst=40.0))
+    detectors = attach_ec_stack(world, suspects="ring", initial_timeout=10.0)
+    protocols = []
+    for pid in world.pids:
+        rb = world.attach(pid, ReliableBroadcast(channel="consensus.rb"))
+        from .consensus import ECConsensus
+        protocols.append(world.attach(pid, ECConsensus(detectors[pid], rb)))
+    world.start()
+    propose_all(protocols)
+    world.schedule_crash(0, 120.0)
+    world.run(until=1500.0)
+    print(leader_timeline(world.trace, channel="fd", width=64, end=400.0))
+    print()
+    print(round_timeline(world.trace, "ec", width=64, end=400.0))
+    print()
+    for protocol in protocols:
+        state = (f"decided {protocol.decision!r} (round "
+                 f"{protocol.decision_round})" if protocol.decided
+                 else "crashed undecided")
+        print(f"  p{protocol.pid}: {state}")
+    outcome = extract_outcome(world.trace, "ec")
+    print("properties:", check_consensus(outcome, world.correct_pids))
+    return 0
+
+
+def _cmd_consensus(args: argparse.Namespace) -> int:
+    crashes = crash_at(*(
+        (int(spec.split(":")[0]), float(spec.split(":")[1]))
+        for spec in args.crash
+    )) if args.crash else None
+    run = consensus_run(
+        args.algo,
+        n=args.n,
+        seed=args.seed,
+        stabilize_time=args.stabilize,
+        pre_behavior="erratic" if args.stabilize else "ideal",
+        crashes=crashes,
+        link=wan_link() if args.wan else None,
+    ).run(until=args.until)
+    print(round_timeline(run.world.trace, args.algo, width=64))
+    print()
+    outcome = extract_outcome(run.world.trace, args.algo)
+    for pid in sorted(outcome.decisions):
+        print(f"  p{pid}: decided {outcome.decisions[pid]!r} in round "
+              f"{outcome.decision_rounds[pid]} "
+              f"at t={outcome.decision_times[pid]:.1f}")
+    results = check_consensus(outcome, run.world.correct_pids)
+    print("properties:", results)
+    return 0 if all(results.values()) and run.decided else 1
+
+
+def _cmd_compare_fd(args: argparse.Namespace) -> int:
+    n, period = args.n, 5.0
+    crash_time, end, window = 150.0, 2500.0, 1200.0
+
+    def measure(attach):
+        world = World(n=n, seed=args.seed,
+                      default_link=partially_synchronous_link(gst=50.0))
+        channel = attach(world)
+        victim = n // 2
+        world.schedule_crash(victim, crash_time)
+        world.run(until=end)
+        msgs = channel_message_count(world.trace, channel, after=window)
+        per_period = msgs / ((end - window) / period)
+        latency = detection_latency(world.trace, victim, crash_time,
+                                    world.correct_pids, channel=channel)
+        return per_period, latency
+
+    def fig2(world):
+        for pid in world.pids:
+            src = world.attach(pid, OracleFailureDetector(
+                EVENTUALLY_CONSISTENT, OracleConfig(pre_behavior="ideal"),
+                channel="fd.c"))
+            world.attach(pid, CToPTransformation(
+                src, send_period=period, alive_period=period, channel="fdp"))
+        return "fdp"
+
+    rows = [
+        ("all-to-all <>P", lambda w: (w.attach_all(
+            lambda pid: HeartbeatEventuallyPerfect(period=period)), "fd")[1]),
+        ("ring <>S/<>P", lambda w: (w.attach_all(
+            lambda pid: RingDetector(period=period)), "fd")[1]),
+        ("leader-based Omega", lambda w: (w.attach_all(
+            lambda pid: LeaderBasedOmega(period=period)), "fd")[1]),
+        ("<>C -> <>P (Fig. 2)", fig2),
+    ]
+    print(f"{'detector':24s} {'msgs/period':>12s} {'latency':>9s}")
+    for name, attach in rows:
+        per_period, latency = measure(attach)
+        lat = f"{latency:.1f}" if latency is not None else "n/a"
+        print(f"{name:24s} {per_period:12.1f} {lat:>9s}")
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    import random
+
+    from .sim.failures import CrashEvent, CrashSchedule
+
+    failures = 0
+    for algo in ALGORITHMS:
+        for seed in range(args.runs):
+            rng = random.Random(seed * 31 + 7)
+            n = rng.choice([3, 5, 7])
+            victims = rng.sample(range(n), rng.randint(0, (n - 1) // 2))
+            crashes = CrashSchedule(
+                CrashEvent(pid, rng.uniform(0, 150)) for pid in victims
+            )
+            run = consensus_run(
+                algo, n=n, seed=seed,
+                stabilize_time=rng.choice([0.0, 100.0]),
+                pre_behavior="erratic",
+                crashes=crashes, link=wan_link(),
+            ).run(until=8000.0)
+            outcome = extract_outcome(run.world.trace, algo)
+            results = check_consensus(outcome, run.world.correct_pids)
+            ok = all(results.values()) and run.decided
+            if not ok:
+                failures += 1
+                print(f"FAIL {algo} seed={seed}: {results}")
+        print(f"{algo}: {args.runs} runs checked")
+    print("all good" if failures == 0 else f"{failures} failures")
+    return 0 if failures == 0 else 1
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from .analysis import render_report
+
+    print(render_report())
+    return 0
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    print("Reproduced experiments (run: pytest benchmarks/ --benchmark-only)")
+    for exp_id, description, bench in _EXPERIMENTS:
+        print(f"  {exp_id:3s} {description:45s} benchmarks/{bench}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Eventually consistent failure detectors — reproduction CLI",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    demo = sub.add_parser("demo", help="narrated end-to-end run")
+    demo.add_argument("-n", type=int, default=5)
+    demo.add_argument("--seed", type=int, default=7)
+    demo.set_defaults(func=_cmd_demo)
+
+    cons = sub.add_parser("consensus", help="run one consensus algorithm")
+    cons.add_argument("algo", choices=sorted(ALGORITHMS))
+    cons.add_argument("-n", type=int, default=5)
+    cons.add_argument("--seed", type=int, default=0)
+    cons.add_argument("--stabilize", type=float, default=0.0,
+                      help="detector stabilization time (0 = ideal)")
+    cons.add_argument("--crash", action="append", default=[],
+                      metavar="PID:TIME", help="schedule a crash")
+    cons.add_argument("--wan", action="store_true", help="WAN delays")
+    cons.add_argument("--until", type=float, default=4000.0)
+    cons.set_defaults(func=_cmd_consensus)
+
+    cmp_fd = sub.add_parser("compare-fd", help="detector cost/latency table")
+    cmp_fd.add_argument("-n", type=int, default=8)
+    cmp_fd.add_argument("--seed", type=int, default=5)
+    cmp_fd.set_defaults(func=_cmd_compare_fd)
+
+    val = sub.add_parser("validate", help="randomized correctness battery")
+    val.add_argument("--runs", type=int, default=5)
+    val.set_defaults(func=_cmd_validate)
+
+    exps = sub.add_parser("experiments", help="list reproduced experiments")
+    exps.set_defaults(func=_cmd_experiments)
+
+    rep = sub.add_parser("report", help="print stored experiment tables")
+    rep.set_defaults(func=_cmd_report)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,28 @@
+"""Consensus algorithms: the paper's ◇C-based protocol (Figs. 3–4) plus the
+baselines it is evaluated against (Chandra–Toueg ◇S rotating coordinator,
+Mostefaoui–Raynal Ω leader-based, single-decree Paxos) and a replicated
+state machine built on repeated consensus."""
+
+from .base import ConsensusProtocol
+from .builders import ALGORITHMS, attach_consensus, propose_all
+from .chandra_toueg import ChandraTouegConsensus
+from .ec_consensus import ECConsensus, NULL
+from .mostefaoui_raynal import MostefaouiRaynalConsensus
+from .multi import NOOP, ReplicatedStateMachine
+from .paxos import PaxosConsensus
+from .total_order import TotalOrderBroadcast
+
+__all__ = [
+    "ConsensusProtocol",
+    "ALGORITHMS",
+    "attach_consensus",
+    "propose_all",
+    "ChandraTouegConsensus",
+    "ECConsensus",
+    "NULL",
+    "MostefaouiRaynalConsensus",
+    "ReplicatedStateMachine",
+    "NOOP",
+    "PaxosConsensus",
+    "TotalOrderBroadcast",
+]

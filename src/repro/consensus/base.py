@@ -1,0 +1,97 @@
+"""Base class shared by every consensus protocol in the library.
+
+A consensus component receives a proposal through :meth:`propose` and
+eventually decides by calling :meth:`_decide` exactly once (Uniform
+Integrity is enforced here: late duplicate decisions are ignored, and a
+*conflicting* duplicate — which would indicate a protocol bug — raises).
+
+All protocols emit structured trace events so the analysis layer can measure
+rounds, phases and message complexity without protocol-specific knowledge:
+
+* ``propose`` (value) — once per process;
+* ``round`` (algo, round) — on entering each round;
+* ``phase`` (algo, round, phase) — on entering each phase of a round;
+* ``decide`` (algo, value, round) — once per deciding process.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional
+
+from ..errors import ProtocolError
+from ..sim.component import Component
+from ..types import Time
+
+__all__ = ["ConsensusProtocol"]
+
+
+class ConsensusProtocol(Component):
+    """Abstract base for consensus algorithms (see module docstring)."""
+
+    #: Short algorithm label used in traces and benchmark tables.
+    name: str = "consensus"
+
+    def __init__(self, channel: str = "consensus") -> None:
+        super().__init__(channel)
+        self.proposal: Any = None
+        self.proposed = False
+        self.decision: Any = None
+        self.decided = False
+        self.decision_round: Optional[int] = None
+        self.decision_time: Optional[Time] = None
+        self._decide_callbacks: List[Callable[[Any], None]] = []
+        self._last_phase_mark: Optional[tuple] = None
+
+    # ----------------------------------------------------------------- API
+    def propose(self, value: Any) -> None:
+        """Submit this process's initial value.  May be called once."""
+        if self.proposed:
+            raise ProtocolError(f"process {self.pid} already proposed")
+        if self.crashed:
+            return
+        self.proposal = value
+        self.proposed = True
+        self.trace("propose", algo=self.name, value=value)
+        self._on_propose(value)
+
+    def on_decide(self, callback: Callable[[Any], None]) -> None:
+        """Register *callback(value)* to run when this process decides."""
+        self._decide_callbacks.append(callback)
+
+    # ------------------------------------------------------------ subclasses
+    def _on_propose(self, value: Any) -> None:
+        """Protocol hook: start executing with the given initial value."""
+        raise NotImplementedError
+
+    def _decide(self, value: Any, round: Optional[int] = None) -> None:
+        """Record the (single) decision of this process."""
+        if self.decided:
+            if value != self.decision:
+                raise ProtocolError(
+                    f"process {self.pid} decided twice with different values: "
+                    f"{self.decision!r} then {value!r}"
+                )
+            return
+        self.decided = True
+        self.decision = value
+        self.decision_round = round
+        self.decision_time = self.now
+        self.trace("decide", algo=self.name, value=value, round=round)
+        for callback in self._decide_callbacks:
+            callback(value)
+        # A decision may unblock waits like ``... or self.decided``.
+        self.tasks.poke()
+
+    # --------------------------------------------------------------- tracing
+    def mark_round(self, round: int) -> None:
+        """Trace entry into *round*."""
+        self.trace("round", algo=self.name, round=round)
+
+    def mark_phase(self, round: int, phase: int) -> None:
+        """Trace entry into *phase* of *round* (consecutive duplicates are
+        collapsed)."""
+        key = (round, phase)
+        if key == self._last_phase_mark:
+            return
+        self._last_phase_mark = key
+        self.trace("phase", algo=self.name, round=round, phase=phase)

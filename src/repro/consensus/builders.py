@@ -1,0 +1,71 @@
+"""Convenience builders wiring detector + broadcast + consensus stacks.
+
+Every consensus component needs a local failure detector and a local
+Reliable Broadcast instance; assembling those per process is boilerplate
+that examples, tests and benchmarks all share — it lives here.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional, Sequence
+
+from ..broadcast.reliable import ReliableBroadcast
+from ..errors import ConfigurationError
+from ..fd.base import FailureDetector
+from ..sim.world import World
+from ..types import ProcessId
+from .base import ConsensusProtocol
+from .chandra_toueg import ChandraTouegConsensus
+from .ec_consensus import ECConsensus
+from .mostefaoui_raynal import MostefaouiRaynalConsensus
+from .paxos import PaxosConsensus
+
+__all__ = ["ALGORITHMS", "attach_consensus", "propose_all"]
+
+#: Algorithm name -> constructor taking ``(fd, rb, channel=...)``.
+ALGORITHMS = {
+    "ec": ECConsensus,
+    "ct": ChandraTouegConsensus,
+    "mr": MostefaouiRaynalConsensus,
+    "paxos": PaxosConsensus,
+}
+
+
+def attach_consensus(
+    world: World,
+    algo: str,
+    fd_factory: Callable[[ProcessId], FailureDetector],
+    channel: str = "consensus",
+    **kwargs: Any,
+) -> List[ConsensusProtocol]:
+    """Attach a full consensus stack to every process of *world*.
+
+    For each process this attaches ``fd_factory(pid)`` (channel ``fd``
+    unless the factory sets its own), a :class:`ReliableBroadcast` on
+    ``"<channel>.rb"``, and the consensus protocol *algo* (one of
+    :data:`ALGORITHMS`) on *channel*.  Extra keyword arguments go to the
+    protocol constructor.
+
+    Returns the consensus components in pid order.
+    """
+    try:
+        cls = ALGORITHMS[algo]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown algorithm {algo!r}; choose from {sorted(ALGORITHMS)}"
+        ) from None
+    out: List[ConsensusProtocol] = []
+    for pid in world.pids:
+        fd = world.attach(pid, fd_factory(pid))
+        rb = world.attach(pid, ReliableBroadcast(channel=f"{channel}.rb"))
+        out.append(world.attach(pid, cls(fd, rb, channel=channel, **kwargs)))
+    return out
+
+
+def propose_all(
+    protocols: Sequence[ConsensusProtocol],
+    values: Optional[Sequence[Any]] = None,
+) -> None:
+    """Have every protocol instance propose (``values[pid]``, or its pid)."""
+    for pid, protocol in enumerate(protocols):
+        protocol.propose(values[pid] if values is not None else pid)

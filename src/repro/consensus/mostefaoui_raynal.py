@@ -1,0 +1,160 @@
+"""Mostefaoui–Raynal-style Ω-based consensus — baseline (reconstruction).
+
+The paper compares its ◇C algorithm against the leader-based consensus of
+Mostefaoui & Raynal (PPL 11(1), 2001).  The original text was not available
+offline, so this module implements a documented reconstruction that matches
+every property the paper states about the algorithm (DESIGN.md §2):
+
+* no rotating coordinator — the coordinator role is played by whatever
+  process each participant's **Ω** detector currently trusts;
+* **3 phases per round, each beginning with a broadcast** (Θ(n²) —
+  concretely ≈3n(n−1) ≈ 3n² messages per round, Section 5.4);
+* every quorum wait is for exactly **n − f** messages, where *f* is the a
+  priori bound on failures (with only a majority assumption, n − f is a bare
+  majority), so "a small number of negative replies can block the decision"
+  — the behaviour experiment E7 contrasts with ◇C;
+* decides one round after Ω stabilizes.
+
+Round structure:
+
+* **Phase 1 (EST)** — broadcast ``(estimate, ts)``; wait until the estimate
+  of the *currently trusted* process for this round is known (the Ω output
+  is re-read whenever it changes, so a crashed leader stalls nobody), then
+  take that estimate as the round's candidate value.
+* **Phase 2 (FILTER)** — broadcast the candidate (or null); wait for n − f
+  phase-2 messages; keep the value only if **all** n − f agree on it (any
+  two (n−f)-quorums intersect, so at most one non-null value system-wide
+  survives this phase — the safety core).
+* **Phase 3 (VOTE)** — broadcast the filtered value (or null); wait for
+  n − f votes; decide (by Reliable Broadcast) if all are the same non-null
+  value; adopt it as the new estimate if at least one is non-null.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from ..broadcast.reliable import ReliableBroadcast
+from ..errors import ConfigurationError
+from ..fd.base import FailureDetector
+from ..sim.tasks import WaitUntil
+from ..types import ProcessId
+from .base import ConsensusProtocol
+from .ec_consensus import NULL
+
+__all__ = ["MostefaouiRaynalConsensus"]
+
+_EST = "MR-EST"
+_FILTER = "MR-FILTER"
+_VOTE = "MR-VOTE"
+
+
+class MostefaouiRaynalConsensus(ConsensusProtocol):
+    """Leader-based Ω consensus, quorum size n − f (see module docstring).
+
+    Parameters:
+        fd: local Ω (or ◇C — only ``trusted`` is read) detector.
+        rb: local Reliable Broadcast for decisions.
+        f: upper bound on crashes; defaults to the bare-majority bound
+            ``ceil(n/2) - 1``, the "only f < n/2 is known" setting.
+    """
+
+    name = "mr"
+
+    def __init__(
+        self,
+        fd: FailureDetector,
+        rb: ReliableBroadcast,
+        f: Optional[int] = None,
+        channel: str = "consensus",
+    ) -> None:
+        super().__init__(channel)
+        self.fd = fd
+        self.rb = rb
+        self.f = f
+        self._ests: Dict[int, Dict[ProcessId, Any]] = {}
+        self._filters: Dict[int, Dict[ProcessId, Any]] = {}
+        self._votes: Dict[int, Dict[ProcessId, Any]] = {}
+        self.r = 0
+        self.estimate: Any = None
+
+    # ------------------------------------------------------------- start-up
+    def on_start(self) -> None:
+        if self.f is None:
+            self.f = (self.n - 1) // 2
+        if not 0 <= self.f < self.n / 2:
+            raise ConfigurationError("MR consensus requires 0 <= f < n/2")
+        self.rb.on_deliver(self._on_rdeliver)
+
+    def _on_propose(self, value: Any) -> None:
+        self.estimate = value
+        self.r = 1
+        self.spawn(self._main(), "main")
+
+    # --------------------------------------------------------- the main task
+    def _main(self):
+        quorum = self.n - self.f  # type: ignore[operator]
+        while not self.decided:
+            r = self.r
+            self.mark_round(r)
+
+            # Phase 1 (EST): broadcast, then wait for the leader's estimate.
+            self.mark_phase(r, 1)
+            ests = self._ests.setdefault(r, {})
+            self.broadcast((_EST, r, self.estimate), include_self=True,
+                           tag="est", round=r)
+            trusted = self.fd.trusted
+            yield WaitUntil(
+                lambda: self.decided
+                or (trusted() is not None and trusted() in ests)
+            )
+            if self.decided:
+                return
+            candidate = ests[trusted()]
+
+            # Phase 2 (FILTER): unanimous n-f quorum or null.
+            self.mark_phase(r, 2)
+            filters = self._filters.setdefault(r, {})
+            self.broadcast((_FILTER, r, candidate), include_self=True,
+                           tag="filter", round=r)
+            yield WaitUntil(lambda: self.decided or len(filters) >= quorum)
+            if self.decided:
+                return
+            values = list(filters.values())
+            if all(v is not NULL and v == values[0] for v in values):
+                aux = values[0]
+            else:
+                aux = NULL
+
+            # Phase 3 (VOTE): decide on unanimity, adopt on any support.
+            self.mark_phase(r, 3)
+            votes = self._votes.setdefault(r, {})
+            self.broadcast((_VOTE, r, aux), include_self=True,
+                           tag="vote", round=r)
+            yield WaitUntil(lambda: self.decided or len(votes) >= quorum)
+            if self.decided:
+                return
+            vote_values = list(votes.values())
+            non_null = [v for v in vote_values if v is not NULL]
+            if non_null and len(non_null) == len(vote_values):
+                self.rb.rbroadcast(("DECIDE", self.channel, r, non_null[0]))
+            if non_null:
+                self.estimate = non_null[0]
+
+            self.r = r + 1
+
+    # ------------------------------------------------------------- receiving
+    def on_message(self, src: ProcessId, payload: Any) -> None:
+        kind, r, value = payload
+        if kind == _EST:
+            self._ests.setdefault(r, {})[src] = value
+        elif kind == _FILTER:
+            self._filters.setdefault(r, {})[src] = value
+        elif kind == _VOTE:
+            self._votes.setdefault(r, {})[src] = value
+
+    # --------------------------------------------------------------- deciding
+    def _on_rdeliver(self, origin: ProcessId, payload: Any) -> None:
+        if payload[0] == "DECIDE" and payload[1] == self.channel:
+            _, _, r, value = payload
+            self._decide(value, round=r)

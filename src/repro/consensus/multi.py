@@ -1,0 +1,139 @@
+"""Replicated state machine on repeated ◇C consensus.
+
+The classical motivation for consensus — and the paper's implicit
+application — is state-machine replication: run one consensus instance per
+log slot and apply decided commands in slot order.  This component does
+exactly that on top of any of the library's consensus algorithms
+(:class:`~repro.consensus.ec_consensus.ECConsensus` by default):
+
+* clients call :meth:`submit` at any replica; the command is disseminated
+  to every replica, which enqueues it (deduplicated, ordered by id);
+* every replica proposes its queue head (or ``NOOP``) in the current slot,
+  so no instance ever stalls waiting for a silent proposer;
+* when slot *i* decides, the command is applied (exactly once — re-decided
+  duplicates are skipped), the queue is trimmed, and slot *i + 1* opens.
+
+This is the substrate for the replicated key-value-store example.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Tuple, Type
+
+from ..broadcast.reliable import ReliableBroadcast
+from ..fd.base import FailureDetector
+from ..sim.component import Component
+from ..types import ProcessId
+from .base import ConsensusProtocol
+from .ec_consensus import ECConsensus
+
+__all__ = ["ReplicatedStateMachine", "NOOP"]
+
+#: Decision filler for slots where a replica had nothing to propose.
+NOOP = ("__noop__",)
+
+#: A command: (submitting pid, per-submitter sequence, payload).
+Command = Tuple[ProcessId, int, Any]
+
+
+class ReplicatedStateMachine(Component):
+    """Slot-by-slot replicated log driven by repeated consensus."""
+
+    channel = "rsm"
+
+    def __init__(
+        self,
+        fd: FailureDetector,
+        consensus_cls: Type[ConsensusProtocol] = ECConsensus,
+        channel: str = "rsm",
+        rebroadcast_period: Optional[float] = None,
+        consensus_kwargs: Optional[dict] = None,
+    ) -> None:
+        super().__init__(channel)
+        self.fd = fd
+        self.consensus_cls = consensus_cls
+        self.consensus_kwargs = dict(consensus_kwargs or {})
+        # When set: periodically re-disseminate pending commands and use
+        # retransmitting Reliable Broadcast for decisions.  Both are needed
+        # only when the run violates the reliable-links model (partitions);
+        # they implement the usual "clients retry" recovery story.
+        self.rebroadcast_period = rebroadcast_period
+        self.log: List[Any] = []
+        self._pending: List[Command] = []
+        self._seen: set = set()
+        self._applied: set = set()
+        self._next_seq = 0
+        self._slot = -1
+        self._instances: Dict[int, ConsensusProtocol] = {}
+        self._apply_callbacks: List[Callable[[int, Any], None]] = []
+
+    # ----------------------------------------------------------------- API
+    def on_apply(self, callback: Callable[[int, Any], None]) -> None:
+        """Register *callback(slot, command_payload)* for applied commands."""
+        self._apply_callbacks.append(callback)
+
+    def submit(self, payload: Any) -> Command:
+        """Submit a command at this replica; it will eventually be applied
+        at every correct replica (in the same log position everywhere)."""
+        command: Command = (self.pid, self._next_seq, payload)
+        self._next_seq += 1
+        self.broadcast(("CMD", command), include_self=True, tag="cmd")
+        return command
+
+    @property
+    def current_slot(self) -> int:
+        """Index of the slot currently being agreed on."""
+        return self._slot
+
+    # ------------------------------------------------------------ life cycle
+    def on_start(self) -> None:
+        self._open_slot(0)
+        if self.rebroadcast_period is not None:
+            self.periodically(self.rebroadcast_period, self._rebroadcast)
+
+    def _rebroadcast(self) -> None:
+        for command in self._pending:
+            self.broadcast(("CMD", command), tag="cmd-retry")
+
+    @staticmethod
+    def _cid(command: Command) -> Tuple[ProcessId, int]:
+        """Stable command identity (the payload itself may be unhashable)."""
+        return (command[0], command[1])
+
+    def on_message(self, src: ProcessId, payload: Any) -> None:
+        kind, command = payload
+        if kind != "CMD" or self._cid(command) in self._seen:
+            return
+        self._seen.add(self._cid(command))
+        if self._cid(command) not in self._applied:
+            self._pending.append(command)
+            self._pending.sort(key=self._cid)
+
+    # ------------------------------------------------------------- internals
+    def _open_slot(self, slot: int) -> None:
+        self._slot = slot
+        rb = ReliableBroadcast(
+            channel=f"{self.channel}.c{slot}.rb",
+            retransmit_period=self.rebroadcast_period,
+        )
+        self.process.attach(rb)
+        instance = self.consensus_cls(
+            self.fd, rb, channel=f"{self.channel}.c{slot}",
+            **self.consensus_kwargs,
+        )
+        self.process.attach(instance)
+        self._instances[slot] = instance
+        instance.on_decide(lambda value, s=slot: self._on_slot_decided(s, value))
+        instance.propose(self._pending[0] if self._pending else NOOP)
+
+    def _on_slot_decided(self, slot: int, value: Any) -> None:
+        if value != NOOP:
+            cid = self._cid(value)
+            if cid not in self._applied:
+                self._applied.add(cid)
+                self.log.append(value[2])
+                self.trace("apply", slot=slot, command=value[2])
+                for callback in self._apply_callbacks:
+                    callback(slot, value[2])
+            self._pending = [c for c in self._pending if self._cid(c) != cid]
+        self._open_slot(slot + 1)

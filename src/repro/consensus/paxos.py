@@ -1,0 +1,164 @@
+"""Single-decree Paxos (synod) — extension baseline.
+
+The paper discusses Paxos as the first consensus algorithm that selects
+coordinators through a leader-election mechanism rather than rotation.  This
+module provides a classic single-decree synod so benchmarks can place the
+◇C algorithm next to it: proposers are driven by an Ω/◇C detector (a process
+attempts a ballot while it trusts itself), ballots are ``(attempt, pid)``
+pairs, and acceptors follow the standard promise/accept rules.  Decisions
+are disseminated by Reliable Broadcast, like the other protocols here, so
+the property checkers apply unchanged.
+
+The safety core is pure Paxos — at most one value can be chosen per ballot
+history; the Ω detector only affects liveness (who keeps trying).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Set, Tuple
+
+from ..broadcast.reliable import ReliableBroadcast
+from ..fd.base import FailureDetector
+from ..types import ProcessId, Time
+from .base import ConsensusProtocol
+
+__all__ = ["PaxosConsensus"]
+
+Ballot = Tuple[int, ProcessId]
+
+_PREPARE = "1A"
+_PROMISE = "1B"
+_ACCEPT = "2A"
+_ACCEPTED = "2B"
+_PREEMPTED = "NACK"
+
+
+class PaxosConsensus(ConsensusProtocol):
+    """Ω-driven single-decree Paxos (see module docstring).
+
+    Parameters:
+        fd: local Ω/◇C detector; a process runs ballots while it trusts
+            itself.
+        rb: Reliable Broadcast for decision dissemination.
+        retry_period: how long a proposer waits on a stalled ballot before
+            starting a higher one.
+    """
+
+    name = "paxos"
+
+    def __init__(
+        self,
+        fd: FailureDetector,
+        rb: ReliableBroadcast,
+        retry_period: Time = 20.0,
+        channel: str = "consensus",
+    ) -> None:
+        super().__init__(channel)
+        self.fd = fd
+        self.rb = rb
+        self.retry_period = retry_period
+        # Acceptor state.
+        self._promised: Optional[Ballot] = None
+        self._accepted: Optional[Tuple[Ballot, Any]] = None
+        # Proposer state.
+        self._attempt = 0
+        self._ballot: Optional[Ballot] = None
+        self._promises: Dict[ProcessId, Optional[Tuple[Ballot, Any]]] = {}
+        self._accepts: Set[ProcessId] = set()
+        self._phase2_sent = False
+
+    # ------------------------------------------------------------- start-up
+    def on_start(self) -> None:
+        self.rb.on_deliver(self._on_rdeliver)
+
+    def _on_propose(self, value: Any) -> None:
+        self._try_ballot()
+        self.periodically(self.retry_period, self._retry)
+
+    # --------------------------------------------------------------- proposer
+    def _retry(self) -> None:
+        if not self.decided:
+            self._try_ballot()
+
+    def _try_ballot(self) -> None:
+        """Start a new, higher ballot if we currently trust ourselves."""
+        if self.decided or self.fd.trusted() != self.pid:
+            return
+        self._attempt += 1
+        self._ballot = (self._attempt, self.pid)
+        self._promises = {}
+        self._accepts = set()
+        self._phase2_sent = False
+        self.trace("round", algo=self.name, round=self._attempt)
+        self.mark_phase(self._attempt, 1)
+        self.broadcast((_PREPARE, self._ballot), include_self=True, tag="prepare")
+
+    def _on_promise(
+        self,
+        src: ProcessId,
+        ballot: Ballot,
+        accepted: Optional[Tuple[Ballot, Any]],
+    ) -> None:
+        if ballot != self._ballot or self._phase2_sent:
+            return
+        self._promises[src] = accepted
+        if len(self._promises) >= self.n // 2 + 1:
+            self._phase2_sent = True
+            prior = [a for a in self._promises.values() if a is not None]
+            if prior:
+                value = max(prior, key=lambda item: item[0])[1]
+            else:
+                value = self.proposal
+            self.mark_phase(self._attempt, 2)
+            self.broadcast(
+                (_ACCEPT, ballot, value), include_self=True, tag="accept"
+            )
+
+    def _on_accepted(self, src: ProcessId, ballot: Ballot, value: Any) -> None:
+        if ballot != self._ballot or not self._phase2_sent:
+            return
+        self._accepts.add(src)
+        if len(self._accepts) >= self.n // 2 + 1:
+            self.rb.rbroadcast(("DECIDE", self.channel, ballot[0], value))
+
+    def _on_preempted(self, higher: Ballot) -> None:
+        # Fast-forward our attempt counter so the next ballot wins numbering.
+        self._attempt = max(self._attempt, higher[0])
+
+    # --------------------------------------------------------------- acceptor
+    def _acceptor(self, src: ProcessId, kind: str, payload: Any) -> None:
+        if kind == _PREPARE:
+            (ballot,) = payload
+            if self._promised is None or ballot > self._promised:
+                self._promised = ballot
+                self.send(src, (_PROMISE, ballot, self._accepted), tag="promise")
+            else:
+                self.send(src, (_PREEMPTED, self._promised), tag="preempted")
+        elif kind == _ACCEPT:
+            ballot, value = payload
+            if self._promised is None or ballot >= self._promised:
+                self._promised = ballot
+                self._accepted = (ballot, value)
+                self.send(src, (_ACCEPTED, ballot, value), tag="accepted")
+            else:
+                self.send(src, (_PREEMPTED, self._promised), tag="preempted")
+
+    # ------------------------------------------------------------- receiving
+    def on_message(self, src: ProcessId, payload: Any) -> None:
+        kind = payload[0]
+        if kind in (_PREPARE, _ACCEPT):
+            self._acceptor(src, kind, payload[1:])
+        elif kind == _PROMISE:
+            _, ballot, accepted = payload
+            self._on_promise(src, ballot, accepted)
+        elif kind == _ACCEPTED:
+            _, ballot, value = payload
+            self._on_accepted(src, ballot, value)
+        elif kind == _PREEMPTED:
+            self._on_preempted(payload[1])
+
+    # --------------------------------------------------------------- deciding
+    def _on_rdeliver(self, origin: ProcessId, payload: Any) -> None:
+        if payload[0] == "DECIDE" and payload[1] == self.channel:
+            _, _, r, value = payload
+            self._decide(value, round=r)

@@ -1,0 +1,40 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library-specific errors derive from :class:`ReproError` so callers can
+catch everything raised by this package with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of every exception raised by the :mod:`repro` package."""
+
+
+class ConfigurationError(ReproError):
+    """An object was built or wired with invalid parameters."""
+
+
+class SimulationError(ReproError):
+    """The simulation reached an inconsistent internal state."""
+
+
+class CrashedProcessError(SimulationError):
+    """An operation was attempted on behalf of a crashed process."""
+
+
+class TaskError(SimulationError):
+    """A cooperative task misbehaved (e.g. yielded an unknown directive)."""
+
+
+class ProtocolError(ReproError):
+    """A distributed algorithm received a message it cannot interpret."""
+
+
+class PropertyViolation(ReproError):
+    """A checked correctness property was violated on a trace.
+
+    Raised by the strict (``require_*``) variants of the property checkers in
+    :mod:`repro.analysis`; the non-strict variants return a result object
+    instead of raising.
+    """

@@ -1,0 +1,115 @@
+"""Failure-detector module base class.
+
+A failure detector is a :class:`~repro.sim.component.Component` that
+maintains two outputs, matching Section 2 of the paper:
+
+* ``suspected()`` — the set :math:`D.suspected_p` of processes this module
+  currently believes to have crashed;
+* ``trusted()`` — the process :math:`D.trusted_p` this module currently
+  trusts (``None`` when the detector class provides no leader output).
+
+Whenever either output changes the module
+
+1. records an ``fd`` trace event (the property checkers in
+   :mod:`repro.analysis.fd_properties` reconstruct full output histories
+   from these),
+2. notifies local subscribers (e.g. a stacked transformation), and
+3. pokes every other component on the same process, so consensus tasks
+   blocked on conditions like ``coordinator in D.suspected`` wake up.
+
+Algorithms only ever interact with their *local* module, as in the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, FrozenSet, List, Optional, Sequence
+
+from ..sim.component import Component
+from ..types import ProcessId
+
+__all__ = ["FailureDetector", "first_non_suspected"]
+
+
+class FailureDetector(Component):
+    """Base class of every failure-detector module."""
+
+    channel = "fd"
+
+    def __init__(self, channel: Optional[str] = None) -> None:
+        super().__init__(channel)
+        self._suspected: FrozenSet[ProcessId] = frozenset()
+        self._trusted: Optional[ProcessId] = None
+        self._listeners: List[Callable[["FailureDetector"], None]] = []
+
+    # --------------------------------------------------------------- queries
+    def suspected(self) -> FrozenSet[ProcessId]:
+        """The current set of suspected processes (``D.suspected_p``)."""
+        return self._suspected
+
+    def trusted(self) -> Optional[ProcessId]:
+        """The currently trusted process (``D.trusted_p``), or ``None``."""
+        return self._trusted
+
+    def suspects(self, q: ProcessId) -> bool:
+        """``True`` iff *q* is currently suspected."""
+        return q in self._suspected
+
+    # ----------------------------------------------------------- subscribers
+    def subscribe(self, callback: Callable[["FailureDetector"], None]) -> None:
+        """Register *callback(detector)* to run on every output change."""
+        self._listeners.append(callback)
+
+    # -------------------------------------------------------------- internal
+    def on_start(self) -> None:
+        """Record the initial output so histories start at time 0."""
+        self._record_output()
+
+    def _set_output(
+        self,
+        suspected: Optional[FrozenSet[ProcessId]] = None,
+        trusted: Optional[ProcessId] = "__keep__",  # type: ignore[assignment]
+    ) -> None:
+        """Update outputs; propagates notifications only on a real change.
+
+        ``trusted`` uses the sentinel ``"__keep__"`` so that ``None`` (no
+        trusted process) remains a settable value.
+        """
+        changed = False
+        if suspected is not None and suspected != self._suspected:
+            self._suspected = frozenset(suspected)
+            changed = True
+        if trusted != "__keep__" and trusted != self._trusted:
+            self._trusted = trusted  # type: ignore[assignment]
+            changed = True
+        if not changed:
+            return
+        self._record_output()
+        for listener in self._listeners:
+            listener(self)
+        self.process.notify_fd_change(self)
+
+    def _record_output(self) -> None:
+        self.trace(
+            "fd",
+            channel=self.channel,
+            suspected=self._suspected,
+            trusted=self._trusted,
+        )
+
+
+def first_non_suspected(
+    suspected: FrozenSet[ProcessId],
+    n: int,
+    order: Optional[Sequence[ProcessId]] = None,
+) -> Optional[ProcessId]:
+    """The first process (in *order*, default ``0..n-1``) not in *suspected*.
+
+    This is the leader-extraction rule the paper uses to build ◇C on top of
+    ◇P ("the first process not in that set, with respect to the order
+    assumed in the system model") and on top of the ring algorithm.
+    Returns ``None`` when every process is suspected.
+    """
+    for pid in (order if order is not None else range(n)):
+        if pid not in suspected:
+            return pid
+    return None

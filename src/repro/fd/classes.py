@@ -1,0 +1,102 @@
+"""The failure-detector class taxonomy (Fig. 1 of the paper, plus Ω and ◇C).
+
+A :class:`FDClass` is a declarative description of the properties a detector
+of that class must satisfy; the property checkers in
+:mod:`repro.analysis.fd_properties` consume these descriptors to decide what
+to verify on a trace.  The constants below cover every class the paper
+discusses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = [
+    "FDClass",
+    "PERFECT",
+    "EVENTUALLY_PERFECT",
+    "EVENTUALLY_QUASI_PERFECT",
+    "EVENTUALLY_STRONG",
+    "EVENTUALLY_WEAK",
+    "OMEGA",
+    "EVENTUALLY_CONSISTENT",
+    "ALL_CLASSES",
+]
+
+
+@dataclass(frozen=True)
+class FDClass:
+    """Property bundle defining one failure-detector class.
+
+    Attributes:
+        name: human-readable name.
+        symbol: the paper's notation (``DP`` renders ◇P, etc.).
+        completeness: ``"strong"``, ``"weak"`` or ``None`` (no suspect-set
+            contract, as for Ω).
+        accuracy: ``"eventual-strong"``, ``"eventual-weak"``, ``"strong"``
+            or ``None``.
+        leader: whether the class guarantees the Ω eventual-leader property
+            on its ``trusted`` output.
+        trusted_not_suspected: whether eventually ``trusted() not in
+            suspected()`` must hold (the extra clause of Definition 1).
+    """
+
+    name: str
+    symbol: str
+    completeness: Optional[str]
+    accuracy: Optional[str]
+    leader: bool = False
+    trusted_not_suspected: bool = False
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.symbol
+
+
+#: Perfect detector P: strong completeness + (perpetual) strong accuracy.
+PERFECT = FDClass("Perfect", "P", "strong", "strong")
+
+#: ◇P: strong completeness + eventual strong accuracy.
+EVENTUALLY_PERFECT = FDClass(
+    "Eventually Perfect", "<>P", "strong", "eventual-strong"
+)
+
+#: ◇Q: weak completeness + eventual strong accuracy.
+EVENTUALLY_QUASI_PERFECT = FDClass(
+    "Eventually Quasi-Perfect", "<>Q", "weak", "eventual-strong"
+)
+
+#: ◇S: strong completeness + eventual weak accuracy.
+EVENTUALLY_STRONG = FDClass(
+    "Eventually Strong", "<>S", "strong", "eventual-weak"
+)
+
+#: ◇W: weak completeness + eventual weak accuracy.
+EVENTUALLY_WEAK = FDClass(
+    "Eventually Weak", "<>W", "weak", "eventual-weak"
+)
+
+#: Ω: eventual leader election only (no suspect-set contract).
+OMEGA = FDClass("Omega", "Omega", None, None, leader=True)
+
+#: ◇C: the paper's new class — ◇S suspect sets + Ω trusted output + the
+#: requirement that eventually the trusted process is not suspected.
+EVENTUALLY_CONSISTENT = FDClass(
+    "Eventually Consistent",
+    "<>C",
+    "strong",
+    "eventual-weak",
+    leader=True,
+    trusted_not_suspected=True,
+)
+
+#: Every class descriptor defined by this module.
+ALL_CLASSES = (
+    PERFECT,
+    EVENTUALLY_PERFECT,
+    EVENTUALLY_QUASI_PERFECT,
+    EVENTUALLY_STRONG,
+    EVENTUALLY_WEAK,
+    OMEGA,
+    EVENTUALLY_CONSISTENT,
+)

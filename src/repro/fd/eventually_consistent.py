@@ -1,0 +1,165 @@
+"""◇C detectors: composing a suspect list with an eventual leader.
+
+Definition 1 of the paper asks for three things at once: a ◇S suspect set,
+an Ω trusted process, and — eventually — the trusted process not being in
+the suspect set.  :class:`CombinedDetector` builds exactly that out of any
+two local sources:
+
+* an *omega source* whose ``trusted()`` satisfies the Ω property (e.g.
+  :class:`~repro.fd.leader_based.LeaderBasedOmega`, an Ω oracle, or any ◇C
+  detector), and
+* a *suspects source* whose ``suspected()`` satisfies ◇S (e.g.
+  :class:`~repro.fd.ring.RingDetector`,
+  :class:`~repro.fd.heartbeat.HeartbeatEventuallyPerfect`, or a ◇S oracle).
+
+The combination removes the trusted process from the suspect set, which
+enforces the third clause without hurting completeness: eventually the
+trusted process is correct, and a correct process may always be unsuspected.
+
+The module also provides :func:`attach_ec_stack`, the convenience used by
+examples and benchmarks to deploy a complete message-passing ◇C stack
+(leader-based Ω + a suspect-list detector + the combiner) on every process
+of a world, mirroring the paper's "◇C at no additional cost on top of [15]
+or [16]".
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from ..errors import ConfigurationError
+from ..sim.world import World
+from ..types import ProcessId
+from .base import FailureDetector
+from .heartbeat import HeartbeatEventuallyPerfect
+from .leader_based import LeaderBasedOmega
+from .ring import RingDetector
+
+__all__ = ["CombinedDetector", "attach_ec_stack"]
+
+
+class CombinedDetector(FailureDetector):
+    """◇C from a local Ω source plus a local ◇S suspect-list source.
+
+    Exchanges no messages of its own; it merely re-exports and reconciles
+    the outputs of the two source modules attached to the same process.
+    """
+
+    def __init__(
+        self,
+        omega_source: FailureDetector,
+        suspects_source: FailureDetector,
+        channel: str = "fd",
+    ) -> None:
+        super().__init__(channel)
+        if omega_source is suspects_source:
+            # Allowed (a ◇C source is both), just normalize.
+            pass
+        self.omega_source = omega_source
+        self.suspects_source = suspects_source
+
+    def on_start(self) -> None:
+        if self.omega_source.process is not self.process:
+            raise ConfigurationError(
+                "omega source must live on the same process"
+            )
+        if self.suspects_source.process is not self.process:
+            raise ConfigurationError(
+                "suspects source must live on the same process"
+            )
+        self.omega_source.subscribe(self._recompute)
+        self.suspects_source.subscribe(self._recompute)
+        self._recompute()
+        super().on_start()
+
+    def _recompute(self, _source: Optional[FailureDetector] = None) -> None:
+        trusted = self.omega_source.trusted()
+        suspected = self.suspects_source.suspected()
+        if trusted is not None:
+            suspected = suspected - {trusted}
+        self._set_output(suspected=suspected, trusted=trusted)
+
+
+def attach_ec_stack(
+    world: World,
+    suspects: str = "ring",
+    period: float = 5.0,
+    initial_timeout: float = 12.0,
+    timeout_increment: float = 5.0,
+    channel: str = "fd",
+) -> List[CombinedDetector]:
+    """Attach a full message-passing ◇C stack to every process of *world*.
+
+    Parameters:
+        suspects: ``"ring"`` (2n msgs/period, the DISC'99 detector — its own
+            leader rule already matches the Ω output in stable runs),
+            ``"heartbeat"`` (n² msgs/period ◇P), or ``"complement"`` (no
+            extra detector: suspect everyone but the leader — the trivial,
+            accuracy-poor Ω→◇C reduction of Section 3).
+        channel: channel name of the resulting combined detector; the source
+            detectors use ``"<channel>.omega"`` and ``"<channel>.suspects"``.
+
+    Returns:
+        The per-process :class:`CombinedDetector` instances, in pid order.
+    """
+    combined: List[CombinedDetector] = []
+    for pid in world.pids:
+        omega = LeaderBasedOmega(
+            period=period,
+            initial_timeout=initial_timeout,
+            timeout_increment=timeout_increment,
+            channel=f"{channel}.omega",
+        )
+        world.attach(pid, omega)
+        source: FailureDetector
+        if suspects == "ring":
+            source = RingDetector(
+                period=period,
+                initial_timeout=initial_timeout,
+                timeout_increment=timeout_increment,
+                channel=f"{channel}.suspects",
+            )
+            world.attach(pid, source)
+        elif suspects == "heartbeat":
+            source = HeartbeatEventuallyPerfect(
+                period=period,
+                initial_timeout=initial_timeout,
+                timeout_increment=timeout_increment,
+                channel=f"{channel}.suspects",
+            )
+            world.attach(pid, source)
+        elif suspects == "complement":
+            source = _ComplementSuspects(omega, channel=f"{channel}.suspects")
+            world.attach(pid, source)
+        else:
+            raise ConfigurationError(f"unknown suspects source {suspects!r}")
+        combined.append(
+            CombinedDetector(omega, source, channel=channel)  # type: ignore[arg-type]
+        )
+        world.attach(pid, combined[-1])
+    return combined
+
+
+class _ComplementSuspects(FailureDetector):
+    """Suspect everybody except the Ω leader (trivial Ω→◇C suspect list).
+
+    This is the reduction the paper calls "very simple and efficient (no
+    extra messages are needed) [but] very poor accuracy"; the accuracy
+    ablation A2 contrasts it with a real ◇S source.
+    """
+
+    def __init__(self, omega_source: FailureDetector, channel: str) -> None:
+        super().__init__(channel)
+        self.omega_source = omega_source
+
+    def on_start(self) -> None:
+        self.omega_source.subscribe(self._recompute)
+        self._recompute()
+        super().on_start()
+
+    def _recompute(self, _source: Optional[FailureDetector] = None) -> None:
+        leader = self.omega_source.trusted()
+        suspected = frozenset(
+            q for q in range(self.n) if q != leader and q != self.pid
+        )
+        self._set_output(suspected=suspected, trusted=None)

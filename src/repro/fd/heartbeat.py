@@ -1,0 +1,96 @@
+"""Chandra–Toueg-style all-to-all heartbeat ◇P.
+
+Every process sends an ``ALIVE`` heartbeat to every other process each
+*period* (n·(n−1) messages per period system-wide — the Θ(n²) baseline the
+paper's Section 4 cost comparison is made against).  Each process keeps an
+adaptive timeout per peer: missing a heartbeat raises a suspicion; a
+heartbeat from a suspected peer retracts the suspicion and enlarges that
+peer's timeout, so on partially synchronous links each peer is falsely
+suspected at most a bounded number of times — the standard argument giving
+eventual strong accuracy, hence ◇P.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..errors import ConfigurationError
+from ..types import ProcessId, Time
+from .base import FailureDetector
+
+__all__ = ["HeartbeatEventuallyPerfect"]
+
+_ALIVE = "ALIVE"
+
+
+class HeartbeatEventuallyPerfect(FailureDetector):
+    """All-to-all heartbeat implementation of ◇P (see module docstring).
+
+    Parameters:
+        period: heartbeat send period (η).
+        initial_timeout: starting timeout applied to every peer.
+        timeout_increment: added to a peer's timeout on every false
+            suspicion (the adaptation step of the partial-synchrony proof).
+        check_period: how often timeouts are evaluated (defaults to
+            ``period / 2``).
+    """
+
+    def __init__(
+        self,
+        period: Time = 5.0,
+        initial_timeout: Time = 12.0,
+        timeout_increment: Time = 5.0,
+        check_period: Optional[Time] = None,
+        channel: str = "fd",
+    ) -> None:
+        super().__init__(channel)
+        if period <= 0 or initial_timeout <= 0 or timeout_increment < 0:
+            raise ConfigurationError("heartbeat parameters must be positive")
+        self.period = period
+        self.initial_timeout = initial_timeout
+        self.timeout_increment = timeout_increment
+        self.check_period = check_period if check_period is not None else period / 2
+        self._last_heard: Dict[ProcessId, Time] = {}
+        self._timeout: Dict[ProcessId, Time] = {}
+
+    # ------------------------------------------------------------ life cycle
+    def on_start(self) -> None:
+        now = self.now
+        for q in range(self.n):
+            if q != self.pid:
+                self._last_heard[q] = now
+                self._timeout[q] = self.initial_timeout
+        super().on_start()
+        self._beat()
+        self.periodically(self.period, self._beat)
+        self.periodically(self.check_period, self._check)
+
+    # --------------------------------------------------------------- sending
+    def _beat(self) -> None:
+        self.broadcast(_ALIVE, tag="hb")
+
+    # ------------------------------------------------------------- receiving
+    def on_message(self, src: ProcessId, payload: object) -> None:
+        if payload != _ALIVE:  # pragma: no cover - defensive
+            return
+        self._last_heard[src] = self.now
+        if src in self._suspected:
+            # False suspicion: retract and widen the timeout (Task 4 logic).
+            self._timeout[src] += self.timeout_increment
+            self._set_output(suspected=self._suspected - {src})
+
+    # ------------------------------------------------------------ monitoring
+    def _check(self) -> None:
+        now = self.now
+        overdue = {
+            q
+            for q, heard in self._last_heard.items()
+            if q not in self._suspected and now - heard > self._timeout[q]
+        }
+        if overdue:
+            self._set_output(suspected=self._suspected | overdue)
+
+    # ---------------------------------------------------------- introspection
+    def timeout_of(self, q: ProcessId) -> Time:
+        """Current adaptive timeout for peer *q* (for tests/benchmarks)."""
+        return self._timeout[q]

@@ -1,0 +1,78 @@
+"""Timeout-free heartbeat detector (Aguilera–Chen–Toueg style, paper ref [1]).
+
+The paper's survey of detector classes cites the *Heartbeat* detector — a
+failure detector that makes **no timing assumptions at all**: instead of a
+suspect set, it outputs a vector of unbounded counters, one per process,
+where the counter of a correct (and connected) process grows forever and
+the counter of a crashed process eventually stops.  It is *not* a ◇-class
+detector (no suspicion, hence no completeness/accuracy in the Fig. 1
+sense); its role in the literature is enabling *quiescent* reliable
+communication.  It is included here because:
+
+* it rounds out the paper's reference landscape with the one detector that
+  works in fully asynchronous systems, and
+* it is the natural source for "has q made progress since I last looked?"
+  logic, which the tests contrast with the timeout-based detectors.
+
+Interface: :meth:`heartbeat_of` returns the current counter of a process;
+:meth:`snapshot` the whole vector.  The inherited ``suspected`` output is
+kept empty (the detector never suspects anyone) and ``trusted`` is ``None``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..errors import ConfigurationError
+from ..types import ProcessId, Time
+from .base import FailureDetector
+
+__all__ = ["HeartbeatCounterDetector"]
+
+_BEAT = "HB"
+
+
+class HeartbeatCounterDetector(FailureDetector):
+    """Counter-vector heartbeat detector (see module docstring)."""
+
+    def __init__(self, period: Time = 5.0, channel: str = "fd") -> None:
+        super().__init__(channel)
+        if period <= 0:
+            raise ConfigurationError("period must be positive")
+        self.period = period
+        self._counters: Dict[ProcessId, int] = {}
+
+    # ------------------------------------------------------------ life cycle
+    def on_start(self) -> None:
+        for q in range(self.n):
+            self._counters[q] = 0
+        super().on_start()
+        self._beat()
+        self.periodically(self.period, self._beat)
+
+    def _beat(self) -> None:
+        # Our own counter advances with our own heartbeats, so a process
+        # observes itself as alive.
+        self._counters[self.pid] += 1
+        self.broadcast(_BEAT, tag="hb")
+
+    # ------------------------------------------------------------- receiving
+    def on_message(self, src: ProcessId, payload: object) -> None:
+        if payload == _BEAT:
+            self._counters[src] += 1
+            self.trace("hb-counter", peer=src, value=self._counters[src])
+
+    # --------------------------------------------------------------- queries
+    def heartbeat_of(self, q: ProcessId) -> int:
+        """Current heartbeat counter of process *q* (monotone; 0 before the
+        world starts)."""
+        return self._counters.get(q, 0)
+
+    def snapshot(self) -> List[int]:
+        """The full counter vector, indexed by pid."""
+        return [self._counters.get(q, 0) for q in range(self.n)]
+
+    def progressed_since(self, q: ProcessId, previous: int) -> bool:
+        """``True`` iff *q*'s counter moved past *previous* — the primitive
+        quiescent protocols poll instead of using timeouts."""
+        return self._counters.get(q, 0) > previous

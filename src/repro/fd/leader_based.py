@@ -1,0 +1,118 @@
+"""Leader-based Ω (in the style of Larrea, Fernández, Arévalo — SRDS 2000).
+
+Processes consider candidates in pid order.  Each process's *candidate* is
+the smallest pid it has not ruled out; a process whose candidate is itself
+considers itself leader and broadcasts ``LEADER-ALIVE`` heartbeats (n−1
+messages per period — the "optimal" cost the paper leans on when arguing ◇C
+comes for free).  Every other process monitors only its current candidate:
+
+* candidate heartbeat missing past an adaptive timeout → rule the candidate
+  out, advance to the next pid;
+* heartbeat received from a smaller or ruled-out pid → reinstate it, widen
+  its timeout, and fall back to it.
+
+On partially synchronous links the first correct process is ruled out at
+most a bounded number of times at each process (each mistake widens the
+timeout), after which every correct process permanently trusts it — the Ω
+property.  The ``suspected`` output is the local ruled-out set; note that it
+is **not** strongly complete (crashed processes *larger* than the eventual
+leader are never examined), which is exactly why the paper composes this
+algorithm with a ◇S suspect list — or the trivial complement — to obtain ◇C
+(see :mod:`repro.fd.eventually_consistent`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set
+
+from ..errors import ConfigurationError
+from ..types import ProcessId, Time
+from .base import FailureDetector
+
+__all__ = ["LeaderBasedOmega"]
+
+_LEADER_ALIVE = "LEADER-ALIVE"
+
+
+class LeaderBasedOmega(FailureDetector):
+    """Ω implementation with n−1 steady-state messages per period."""
+
+    def __init__(
+        self,
+        period: Time = 5.0,
+        initial_timeout: Time = 12.0,
+        timeout_increment: Time = 5.0,
+        check_period: Optional[Time] = None,
+        channel: str = "fd",
+    ) -> None:
+        super().__init__(channel)
+        if period <= 0 or initial_timeout <= 0 or timeout_increment < 0:
+            raise ConfigurationError("leader-based parameters must be positive")
+        self.period = period
+        self.initial_timeout = initial_timeout
+        self.timeout_increment = timeout_increment
+        self.check_period = check_period if check_period is not None else period / 2
+        self._ruled_out: Set[ProcessId] = set()
+        self._last_heard: Dict[ProcessId, Time] = {}
+        self._timeout: Dict[ProcessId, Time] = {}
+        self._watch_start: Time = 0.0
+
+    # ------------------------------------------------------------ life cycle
+    def on_start(self) -> None:
+        for q in range(self.n):
+            if q != self.pid:
+                self._timeout[q] = self.initial_timeout
+        self._publish()
+        super().on_start()
+        self._beat()
+        self.periodically(self.period, self._beat)
+        self.periodically(self.check_period, self._check)
+
+    # ---------------------------------------------------------------- output
+    def _candidate(self) -> ProcessId:
+        for q in range(self.n):
+            if q not in self._ruled_out:
+                return q
+        # Everyone (including self) ruled out cannot happen: we never rule
+        # out ourselves.
+        raise AssertionError("unreachable: self is never ruled out")
+
+    def _publish(self) -> None:
+        self._set_output(
+            suspected=frozenset(self._ruled_out), trusted=self._candidate()
+        )
+
+    # --------------------------------------------------------------- beating
+    def _beat(self) -> None:
+        if self._candidate() == self.pid:
+            self.broadcast(_LEADER_ALIVE, tag="leader-hb")
+
+    # ------------------------------------------------------------ monitoring
+    def _check(self) -> None:
+        cand = self._candidate()
+        if cand == self.pid:
+            return
+        reference = max(self._last_heard.get(cand, 0.0), self._watch_start)
+        if self.now - reference > self._timeout[cand]:
+            self._ruled_out.add(cand)
+            self._watch_start = self.now
+            self._publish()
+
+    # ------------------------------------------------------------- receiving
+    def on_message(self, src: ProcessId, payload: object) -> None:
+        if payload != _LEADER_ALIVE:  # pragma: no cover - defensive
+            return
+        self._last_heard[src] = self.now
+        old_cand = self._candidate()
+        if src in self._ruled_out:
+            # False suspicion: reinstate and widen the timeout.
+            self._ruled_out.discard(src)
+            self._timeout[src] += self.timeout_increment
+        if self._candidate() != old_cand:
+            self._watch_start = self.now
+        self._publish()
+
+    # ---------------------------------------------------------- introspection
+    def timeout_of(self, q: ProcessId) -> Time:
+        """Current adaptive timeout for *q*."""
+        return self._timeout[q]

@@ -1,0 +1,174 @@
+"""Ring-based ◇S / ◇P (Larrea, Arévalo, Fernández — DISC'99 style).
+
+Processes are arranged on a logical ring in pid order.  Each process polls
+its nearest *non-suspected* predecessor with a ``PING`` every period; the
+predecessor answers with a ``PONG``.  Both message kinds piggyback the
+sender's *suspicion knowledge* — a per-process ``(epoch, suspected)`` entry
+merged by highest epoch — so suspicion and refutation information travels
+around the ring one neighbour hop per period.  System-wide steady-state cost
+is 2n messages per period (n pings + n pongs), the figure the paper quotes
+for this algorithm; the hop-by-hop propagation is also why its
+crash-detection *latency* is Θ(n) periods, the drawback experiment E8
+measures against the Fig. 2 transformation.
+
+Timeouts are adaptive (grown on every false suspicion), giving the usual
+partial-synchrony convergence argument.  The detector additionally exposes
+the ring leader rule of the paper's Section 3: eventually every correct
+process agrees on "the first non-suspected process starting from the initial
+candidate ``p0`` in ring order", which is what makes this ◇S usable as a ◇C
+at no extra message cost.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from ..errors import ConfigurationError
+from ..types import ProcessId, Time
+from .base import FailureDetector, first_non_suspected
+
+__all__ = ["RingDetector"]
+
+_PING = "PING"
+_PONG = "PONG"
+
+# knowledge entry: (epoch, suspected)
+_Entry = Tuple[int, bool]
+
+
+class RingDetector(FailureDetector):
+    """Ring-polling failure detector with knowledge piggybacking."""
+
+    def __init__(
+        self,
+        period: Time = 5.0,
+        initial_timeout: Time = 12.0,
+        timeout_increment: Time = 5.0,
+        check_period: Optional[Time] = None,
+        channel: str = "fd",
+    ) -> None:
+        super().__init__(channel)
+        if period <= 0 or initial_timeout <= 0 or timeout_increment < 0:
+            raise ConfigurationError("ring parameters must be positive")
+        self.period = period
+        self.initial_timeout = initial_timeout
+        self.timeout_increment = timeout_increment
+        self.check_period = check_period if check_period is not None else period / 2
+        self._knowledge: Dict[ProcessId, _Entry] = {}
+        self._timeout: Dict[ProcessId, Time] = {}
+        self._last_pong: Dict[ProcessId, Time] = {}
+        self._target: Optional[ProcessId] = None
+        self._watch_start: Time = 0.0
+
+    # ------------------------------------------------------------ life cycle
+    def on_start(self) -> None:
+        for q in range(self.n):
+            self._knowledge[q] = (0, False)
+            if q != self.pid:
+                self._timeout[q] = self.initial_timeout
+        self._retarget()
+        self._publish()
+        super().on_start()
+        self._poll()
+        self.periodically(self.period, self._poll)
+        self.periodically(self.check_period, self._check)
+
+    # ---------------------------------------------------------------- output
+    def _suspects_now(self) -> frozenset[ProcessId]:
+        return frozenset(
+            q for q, (_, susp) in self._knowledge.items() if susp and q != self.pid
+        )
+
+    def _publish(self) -> None:
+        suspected = self._suspects_now()
+        self._set_output(
+            suspected=suspected,
+            trusted=first_non_suspected(suspected, self.n),
+        )
+
+    # --------------------------------------------------------------- polling
+    def _predecessor_chain(self):
+        """Predecessors of self in ring order: p-1, p-2, ... (mod n)."""
+        for k in range(1, self.n):
+            yield (self.pid - k) % self.n
+
+    def _retarget(self) -> None:
+        suspects = self._suspects_now()
+        new_target = None
+        for q in self._predecessor_chain():
+            if q not in suspects:
+                new_target = q
+                break
+        if new_target != self._target:
+            self._target = new_target
+            self._watch_start = self.now
+
+    def _poll(self) -> None:
+        if self._target is not None:
+            self.send(self._target, (_PING, dict(self._knowledge)), tag="ping")
+
+    def _check(self) -> None:
+        target = self._target
+        if target is None:
+            return
+        reference = max(self._last_pong.get(target, 0.0), self._watch_start)
+        if self.now - reference > self._timeout[target]:
+            self._suspect(target)
+
+    # ------------------------------------------------------------- knowledge
+    def _bump(self, q: ProcessId, suspected: bool) -> None:
+        epoch, _ = self._knowledge[q]
+        self._knowledge[q] = (epoch + 1, suspected)
+
+    def _suspect(self, q: ProcessId) -> None:
+        self._bump(q, True)
+        self._retarget()
+        self._publish()
+
+    def _refute(self, q: ProcessId) -> None:
+        """Direct evidence that *q* is alive."""
+        if self._knowledge[q][1]:
+            self._bump(q, False)
+            self._timeout[q] = self._timeout.get(q, self.initial_timeout) + (
+                self.timeout_increment
+            )
+            self._retarget()
+            self._publish()
+
+    def _merge(self, remote: Dict[ProcessId, _Entry]) -> None:
+        changed = False
+        know = self._knowledge
+        for q, entry in remote.items():
+            if q == self.pid:
+                continue  # never adopt suspicions of ourselves
+            mine = know[q]
+            # Higher epoch wins; on a tie, suspicion wins (conservative:
+            # completeness is safety-critical here, accuracy self-heals via
+            # direct refutation by q's monitor).
+            if entry[0] > mine[0] or (entry[0] == mine[0] and entry[1] and not mine[1]):
+                know[q] = entry
+                changed = True
+        if changed:
+            self._retarget()
+            self._publish()
+
+    # ------------------------------------------------------------- receiving
+    def on_message(self, src: ProcessId, payload: object) -> None:
+        kind, remote = payload  # type: ignore[misc]
+        # Any direct message proves the sender alive.
+        self._refute(src)
+        self._merge(remote)
+        if kind == _PING:
+            self.send(src, (_PONG, dict(self._knowledge)), tag="pong")
+        elif kind == _PONG:
+            self._last_pong[src] = self.now
+
+    # ---------------------------------------------------------- introspection
+    @property
+    def target(self) -> Optional[ProcessId]:
+        """The predecessor currently being monitored (tests/benchmarks)."""
+        return self._target
+
+    def timeout_of(self, q: ProcessId) -> Time:
+        """Current adaptive timeout for *q*."""
+        return self._timeout[q]

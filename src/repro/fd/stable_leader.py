@@ -1,0 +1,146 @@
+"""Stable Ω — leader election that does not churn (Aguilera et al. style).
+
+The paper's related work highlights "stable" Ω implementations: *once a
+leader is elected, it remains the leader for as long as it does not crash
+and its links behave well* (Aguilera, Delporte-Gallet, Fauconnier, Toueg,
+DISC 2001).  The simple leader-based Ω of :mod:`repro.fd.leader_based` is
+not stable in one specific way: a lower-id process with *flaky* links keeps
+being reinstated whenever one of its heartbeats slips through, displacing a
+perfectly good working leader — leadership churns forever.
+
+This module implements the accusation-counter approach:
+
+* every process keeps, for each process q, an *accusation counter*;
+* the current leader of p is the process minimizing ``(counter, pid)``;
+* a process that believes itself leader broadcasts heartbeats;
+* when p's current leader times out, p broadcasts an ``ACCUSE(leader, c)``
+  message carrying its current count ``c``; every process (including the
+  accused and the accuser) applies the idempotent merge
+  ``counter = max(counter, c + 1)``.  Merging by maximum makes the counters
+  conflict-free replicated state: every correct process receives every
+  accusation, so all counters converge regardless of delivery order;
+* timeouts are adaptive, as usual.
+
+Stability follows because demotion requires a *fresh accusation* — a flaky
+low-id process accumulates accusations and stays demoted, instead of
+flip-flopping with the working leader; and counters only grow, so all
+correct processes converge on the same minimum.  The Ω property follows
+from the standard partial-synchrony argument: a correct process with
+eventually-timely links is accused finitely often, so its counter freezes,
+while every crashed process is accused forever.
+
+Ablation A4 (``bench_a4_leader_stability.py``) measures the churn
+difference against :class:`~repro.fd.leader_based.LeaderBasedOmega`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..errors import ConfigurationError
+from ..types import ProcessId, Time
+from .base import FailureDetector
+
+__all__ = ["StableLeaderOmega"]
+
+_LEADER_ALIVE = "S-LEADER-ALIVE"
+_ACCUSE = "ACCUSE"
+
+
+class StableLeaderOmega(FailureDetector):
+    """Accusation-counter Ω with stable leadership (see module docstring)."""
+
+    def __init__(
+        self,
+        period: Time = 5.0,
+        initial_timeout: Time = 12.0,
+        timeout_increment: Time = 5.0,
+        check_period: Optional[Time] = None,
+        channel: str = "fd",
+    ) -> None:
+        super().__init__(channel)
+        if period <= 0 or initial_timeout <= 0 or timeout_increment < 0:
+            raise ConfigurationError("stable-leader parameters must be positive")
+        self.period = period
+        self.initial_timeout = initial_timeout
+        self.timeout_increment = timeout_increment
+        self.check_period = check_period if check_period is not None else period / 2
+        self._counter: Dict[ProcessId, int] = {}
+        self._last_heard: Dict[ProcessId, Time] = {}
+        self._timeout: Dict[ProcessId, Time] = {}
+        self._watch_start: Time = 0.0
+        self.leader_changes = 0  # introspection for the stability ablation
+
+    # ------------------------------------------------------------ life cycle
+    def on_start(self) -> None:
+        for q in range(self.n):
+            self._counter[q] = 0
+            if q != self.pid:
+                self._timeout[q] = self.initial_timeout
+        self._publish(initial=True)
+        super().on_start()
+        self._beat()
+        self.periodically(self.period, self._beat)
+        self.periodically(self.check_period, self._check)
+
+    # ---------------------------------------------------------------- output
+    def _current_leader(self) -> ProcessId:
+        return min(range(self.n), key=lambda q: (self._counter[q], q))
+
+    def _publish(self, initial: bool = False) -> None:
+        leader = self._current_leader()
+        if not initial and leader != self._trusted:
+            self.leader_changes += 1
+        # Ω semantics: implicitly suspect everyone but the leader.
+        self._set_output(
+            suspected=frozenset(
+                q for q in range(self.n) if q != leader and q != self.pid
+            ),
+            trusted=leader,
+        )
+
+    # --------------------------------------------------------------- beating
+    def _beat(self) -> None:
+        if self._current_leader() == self.pid:
+            self.broadcast((_LEADER_ALIVE,), tag="leader-hb")
+
+    # ------------------------------------------------------------ monitoring
+    def _check(self) -> None:
+        leader = self._current_leader()
+        if leader == self.pid:
+            return
+        reference = max(self._last_heard.get(leader, 0.0), self._watch_start)
+        if self.now - reference > self._timeout[leader]:
+            # Accuse the silent leader; the merge demotes it locally at once
+            # and at everyone else via gossip.
+            accused_count = self._counter[leader]
+            self._merge(leader, accused_count)
+            self.broadcast((_ACCUSE, leader, accused_count), tag="accuse")
+            self._timeout[leader] += self.timeout_increment
+            self._watch_start = self.now
+            self._publish()
+
+    def _merge(self, q: ProcessId, accused_count: int) -> None:
+        """Idempotent, order-independent counter merge (see module doc)."""
+        self._counter[q] = max(self._counter[q], accused_count + 1)
+
+    # ------------------------------------------------------------- receiving
+    def on_message(self, src: ProcessId, payload: object) -> None:
+        kind = payload[0]  # type: ignore[index]
+        if kind == _LEADER_ALIVE:
+            self._last_heard[src] = self.now
+            # A heartbeat does NOT reinstate src past the current leader —
+            # that is the stability difference from LeaderBasedOmega.
+            return
+        if kind == _ACCUSE:
+            _, accused, accused_count = payload  # type: ignore[misc]
+            old_leader = self._current_leader()
+            self._merge(accused, accused_count)
+            if self._current_leader() != old_leader:
+                self._watch_start = self.now
+            self._publish()
+
+    # ---------------------------------------------------------- introspection
+    def counter_of(self, q: ProcessId) -> int:
+        """Current accusation counter for *q*."""
+        return self._counter[q]

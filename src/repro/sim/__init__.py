@@ -1,0 +1,76 @@
+"""Discrete-event simulation substrate.
+
+This subpackage provides everything needed to run deterministic simulations
+of asynchronous and partially synchronous message-passing systems with crash
+failures: a virtual-time scheduler, directed link models (reliable,
+partially synchronous with GST/Δ, fair-lossy), processes hosting multiple
+protocol components, a cooperative-task runtime mirroring the paper's
+``wait until`` pseudocode, crash schedules, and structured traces.
+"""
+
+from .component import Component, Periodic
+from .delays import (
+    DelayModel,
+    ExponentialDelay,
+    FixedDelay,
+    SpikeDelay,
+    UniformDelay,
+)
+from .events import EventHandle
+from .failures import (
+    CrashEvent,
+    CrashSchedule,
+    crash_at,
+    no_crashes,
+    random_crashes,
+)
+from .links import (
+    DeadLink,
+    FairLossyLink,
+    Link,
+    PartiallySynchronousLink,
+    ReliableLink,
+)
+from .message import Message
+from .network import Network
+from .partition import NetworkController
+from .process import Process
+from .rng import RandomSource
+from .scheduler import Scheduler
+from .tasks import Sleep, Task, TaskRuntime, WaitUntil
+from .trace import Trace, TraceEvent
+from .world import World
+
+__all__ = [
+    "Component",
+    "Periodic",
+    "DelayModel",
+    "FixedDelay",
+    "UniformDelay",
+    "ExponentialDelay",
+    "SpikeDelay",
+    "EventHandle",
+    "CrashEvent",
+    "CrashSchedule",
+    "crash_at",
+    "no_crashes",
+    "random_crashes",
+    "Link",
+    "ReliableLink",
+    "PartiallySynchronousLink",
+    "FairLossyLink",
+    "DeadLink",
+    "Message",
+    "Network",
+    "NetworkController",
+    "Process",
+    "RandomSource",
+    "Scheduler",
+    "Sleep",
+    "Task",
+    "TaskRuntime",
+    "WaitUntil",
+    "Trace",
+    "TraceEvent",
+    "World",
+]

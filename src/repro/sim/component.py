@@ -1,0 +1,250 @@
+"""Protocol components.
+
+A :class:`Component` is one protocol module running on one process: a failure
+detector, a transformation, a broadcast primitive, a consensus instance, …
+Several components coexist on a process and are multiplexed over the network
+by their ``channel`` name — e.g. a ◇C detector, the Fig. 2 transformation
+querying it, and a consensus algorithm querying both all run side by side on
+every process, exactly like the paper's "failure detection module attached to
+a process".
+
+Subclasses override the ``on_*`` hooks and use the ``send`` / ``broadcast`` /
+``set_timer`` / ``periodically`` / ``spawn`` helpers.  All helpers become
+no-ops once the host process has crashed, so algorithm code never needs to
+check for its own death.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import TYPE_CHECKING, Any, Callable, Optional
+
+from ..errors import ConfigurationError
+from ..types import Channel, ProcessId, Time
+from .events import EventHandle
+from .tasks import TaskGen, TaskRuntime, Task
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .process import Process
+    from .world import World
+
+__all__ = ["Component", "Periodic"]
+
+
+class Component:
+    """Base class for every protocol module (see module docstring)."""
+
+    #: Default channel; subclasses usually set this as a class attribute.
+    channel: Channel = ""
+
+    def __init__(self, channel: Optional[Channel] = None) -> None:
+        if channel is not None:
+            self.channel = channel
+        if not self.channel:
+            raise ConfigurationError(
+                f"{type(self).__name__} has no channel name"
+            )
+        self.process: "Process" = None  # type: ignore[assignment]
+        self.world: "World" = None  # type: ignore[assignment]
+        self.tasks: TaskRuntime = None  # type: ignore[assignment]
+
+    # -------------------------------------------------------------- wiring
+    def _attach(self, process: "Process") -> None:
+        self.process = process
+        self.world = process.world
+        self.tasks = TaskRuntime(self.world.scheduler)
+
+    @property
+    def pid(self) -> ProcessId:
+        """Id of the host process."""
+        return self.process.pid
+
+    @property
+    def n(self) -> int:
+        """Number of processes in the system."""
+        return self.world.n
+
+    @property
+    def now(self) -> Time:
+        """Current simulated time."""
+        return self.world.scheduler.now
+
+    @property
+    def rng(self) -> random.Random:
+        """This component's deterministic random stream."""
+        return self.world.rng.stream(f"{self.channel}:{self.pid}")
+
+    @property
+    def crashed(self) -> bool:
+        """``True`` once the host process has crashed."""
+        return self.process.crashed
+
+    # ------------------------------------------------------------ overrides
+    def on_start(self) -> None:
+        """Called once when the world starts (time 0)."""
+
+    def on_message(self, src: ProcessId, payload: Any) -> None:
+        """Called for every message delivered on this component's channel."""
+
+    def on_crash(self) -> None:
+        """Called when the host process crashes (after tasks are stopped)."""
+
+    def on_fd_change(self) -> None:
+        """Called when a failure detector on the same process changes output.
+
+        The default re-evaluates this component's parked task predicates,
+        which is what consensus-style algorithms waiting on
+        ``coordinator in D.suspected`` need.
+        """
+        self.tasks.poke()
+
+    # ------------------------------------------------------------- messaging
+    def send(
+        self,
+        dst: ProcessId,
+        payload: Any,
+        tag: Optional[str] = None,
+        round: Optional[int] = None,
+    ) -> None:
+        """Send *payload* to process *dst* on this component's channel."""
+        if self.crashed:
+            return
+        if self._stubborn_last is not None and dst != self.pid:
+            self._stubborn_last[(dst, tag)] = (payload, round)
+        self.world.network.send(self.pid, dst, self.channel, payload, tag, round)
+
+    #: Per-destination last message, when stubborn resending is enabled.
+    _stubborn_last: Optional[dict] = None
+
+    def enable_stubborn_resend(self, period: Time) -> None:
+        """Turn this component's outgoing channels into *stubborn channels*:
+        the most recent message to each destination is retransmitted every
+        *period* until replaced by a newer one.
+
+        Stubborn channels are the classic construction that lets protocols
+        designed for reliable links survive message loss (fair-lossy links
+        plus retransmission simulate reliable ones), at the price of steady
+        background traffic.  Retransmission slots are keyed by
+        ``(destination, tag)``, i.e. one slot per protocol message stream,
+        so a later proposition does not cancel the retransmission of a lost
+        coordinator announcement.  Receivers must tolerate duplicates — all
+        protocol handlers in this library are idempotent.  Off by default
+        so nice-run message counts match the paper exactly.
+        """
+        if self._stubborn_last is None:
+            self._stubborn_last = {}
+            self.periodically(period, self._stubborn_tick)
+
+    def _stubborn_tick(self) -> None:
+        for (dst, tag), (payload, round) in self._stubborn_last.items():
+            self.world.network.send(
+                self.pid, dst, self.channel, payload, tag, round
+            )
+
+    def send_self(
+        self, payload: Any, tag: Optional[str] = None, round: Optional[int] = None
+    ) -> None:
+        """Loopback send to this very component (delivered as a message at
+        the same instant, after currently queued events)."""
+        self.send(self.pid, payload, tag=tag, round=round)
+
+    def broadcast(
+        self,
+        payload: Any,
+        include_self: bool = False,
+        tag: Optional[str] = None,
+        round: Optional[int] = None,
+    ) -> None:
+        """Send *payload* to every other process (and optionally to self)."""
+        if self.crashed:
+            return
+        for dst in range(self.n):
+            if dst != self.pid or include_self:
+                self.send(dst, payload, tag=tag, round=round)
+
+    # --------------------------------------------------------------- timing
+    def set_timer(
+        self, delay: Time, callback: Callable[..., None], *args: Any
+    ) -> EventHandle:
+        """Run *callback(*args)* after *delay*, unless the process crashes."""
+        return self.world.scheduler.schedule(delay, self._guarded, callback, args)
+
+    def _guarded(self, callback: Callable[..., None], args: tuple) -> None:
+        if not self.crashed:
+            callback(*args)
+
+    def periodically(
+        self, period: Time, callback: Callable[[], None], jitter: float = 0.0
+    ) -> "Periodic":
+        """Run *callback* every *period* (± uniform *jitter*) until stopped."""
+        timer = Periodic(self, period, callback, jitter)
+        timer.start()
+        return timer
+
+    def spawn(self, gen: TaskGen, name: str = "task") -> Task:
+        """Start a cooperative task (see :mod:`repro.sim.tasks`)."""
+        return self.tasks.spawn(gen, name=f"{self.channel}@{self.pid}:{name}")
+
+    # --------------------------------------------------------------- tracing
+    def trace(self, kind: str, **data: Any) -> None:
+        """Record a trace event attributed to this process."""
+        self.world.trace.record(self.now, kind, self.pid, **data)
+
+    # ------------------------------------------------------------- internals
+    def _handle_message(self, src: ProcessId, payload: Any) -> None:
+        self.on_message(src, payload)
+        # A delivered message may satisfy a parked ``wait until``.
+        self.tasks.poke()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        pid = self.process.pid if self.process is not None else "?"
+        return f"<{type(self).__name__} channel={self.channel!r} pid={pid}>"
+
+
+class Periodic:
+    """A repeating timer bound to a component (stops on crash)."""
+
+    def __init__(
+        self,
+        component: Component,
+        period: Time,
+        callback: Callable[[], None],
+        jitter: float = 0.0,
+    ) -> None:
+        if period <= 0:
+            raise ConfigurationError(f"period must be positive, got {period}")
+        if jitter < 0 or jitter >= period:
+            raise ConfigurationError("jitter must satisfy 0 <= jitter < period")
+        self._component = component
+        self.period = period
+        self.callback = callback
+        self.jitter = jitter
+        self._handle: Optional[EventHandle] = None
+        self._running = False
+
+    def start(self) -> None:
+        """Begin firing; the first tick happens after one period."""
+        if self._running:
+            return
+        self._running = True
+        self._arm()
+
+    def stop(self) -> None:
+        """Stop firing.  Safe to call multiple times."""
+        self._running = False
+        if self._handle is not None:
+            self._handle.cancel()
+            self._handle = None
+
+    def _arm(self) -> None:
+        delay = self.period
+        if self.jitter:
+            delay += self._component.rng.uniform(-self.jitter, self.jitter)
+        self._handle = self._component.world.scheduler.schedule(delay, self._tick)
+
+    def _tick(self) -> None:
+        if not self._running or self._component.crashed:
+            return
+        self.callback()
+        if self._running and not self._component.crashed:
+            self._arm()

@@ -1,0 +1,139 @@
+"""Message-delay models.
+
+A :class:`DelayModel` maps ``(rng, now)`` to a non-negative delay.  Link
+models (:mod:`repro.sim.links`) compose a delay model with a loss model.
+
+All models draw exclusively from the :class:`random.Random` instance they are
+handed, so delays are reproducible under the master seed.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+
+from ..errors import ConfigurationError
+from ..types import Time
+
+__all__ = [
+    "DelayModel",
+    "FixedDelay",
+    "UniformDelay",
+    "ExponentialDelay",
+    "SpikeDelay",
+]
+
+
+class DelayModel(ABC):
+    """Strategy object producing per-message transmission delays."""
+
+    @abstractmethod
+    def sample(self, rng: random.Random, now: Time) -> Time:
+        """Return a delay (``>= 0``) for a message sent at time *now*."""
+
+    @property
+    @abstractmethod
+    def max_delay(self) -> float:
+        """An upper bound on any delay this model can produce
+        (``math.inf`` if unbounded)."""
+
+
+class FixedDelay(DelayModel):
+    """Every message takes exactly *delay* time units."""
+
+    def __init__(self, delay: Time) -> None:
+        if delay < 0:
+            raise ConfigurationError(f"negative delay {delay}")
+        self.delay = delay
+
+    def sample(self, rng: random.Random, now: Time) -> Time:
+        return self.delay
+
+    @property
+    def max_delay(self) -> float:
+        return self.delay
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"FixedDelay({self.delay})"
+
+
+class UniformDelay(DelayModel):
+    """Delays drawn uniformly from ``[low, high]``."""
+
+    def __init__(self, low: Time, high: Time) -> None:
+        if not 0 <= low <= high:
+            raise ConfigurationError(f"invalid uniform range [{low}, {high}]")
+        self.low = low
+        self.high = high
+
+    def sample(self, rng: random.Random, now: Time) -> Time:
+        return rng.uniform(self.low, self.high)
+
+    @property
+    def max_delay(self) -> float:
+        return self.high
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"UniformDelay({self.low}, {self.high})"
+
+
+class ExponentialDelay(DelayModel):
+    """``base`` plus an exponential tail with the given *mean*; optionally
+    truncated at *cap* to keep a finite :attr:`max_delay`."""
+
+    def __init__(self, base: Time, mean: Time, cap: float = float("inf")) -> None:
+        if base < 0 or mean <= 0:
+            raise ConfigurationError("base must be >= 0 and mean > 0")
+        self.base = base
+        self.mean = mean
+        self.cap = cap
+
+    def sample(self, rng: random.Random, now: Time) -> Time:
+        return min(self.base + rng.expovariate(1.0 / self.mean), self.cap)
+
+    @property
+    def max_delay(self) -> float:
+        return self.cap
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ExponentialDelay(base={self.base}, mean={self.mean}, cap={self.cap})"
+
+
+class SpikeDelay(DelayModel):
+    """Mostly-fast delays with occasional large spikes.
+
+    With probability *spike_prob* a message takes a delay drawn uniformly
+    from ``[spike_low, spike_high]``; otherwise it uses the *base* model.
+    Used to model asynchrony bursts before GST in partial-synchrony scenarios.
+    """
+
+    def __init__(
+        self,
+        base: DelayModel,
+        spike_prob: float,
+        spike_low: Time,
+        spike_high: Time,
+    ) -> None:
+        if not 0 <= spike_prob <= 1:
+            raise ConfigurationError(f"spike_prob {spike_prob} outside [0, 1]")
+        if not 0 <= spike_low <= spike_high:
+            raise ConfigurationError("invalid spike range")
+        self.base = base
+        self.spike_prob = spike_prob
+        self.spike_low = spike_low
+        self.spike_high = spike_high
+
+    def sample(self, rng: random.Random, now: Time) -> Time:
+        if rng.random() < self.spike_prob:
+            return rng.uniform(self.spike_low, self.spike_high)
+        return self.base.sample(rng, now)
+
+    @property
+    def max_delay(self) -> float:
+        return max(self.base.max_delay, self.spike_high)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SpikeDelay({self.base!r}, p={self.spike_prob}, "
+            f"[{self.spike_low}, {self.spike_high}])"
+        )

@@ -1,0 +1,47 @@
+"""Scheduled-event records for the discrete-event scheduler.
+
+An :class:`EventHandle` is returned by every ``schedule`` call and supports
+O(1) cancellation (lazy deletion: the heap entry stays in place but is skipped
+when popped).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from ..types import Time
+
+__all__ = ["EventHandle"]
+
+
+@dataclass(order=True)
+class EventHandle:
+    """A pending callback in the simulation's event heap.
+
+    Ordering is by ``(time, seq)``; ``seq`` is a monotonically increasing
+    insertion counter, so simultaneous events fire in the order they were
+    scheduled.  This is what makes runs fully deterministic.
+    """
+
+    time: Time
+    seq: int
+    callback: Callable[..., None] = field(compare=False)
+    args: tuple[Any, ...] = field(compare=False, default=())
+    cancelled: bool = field(compare=False, default=False)
+
+    def cancel(self) -> None:
+        """Prevent the callback from firing.  Idempotent; O(1)."""
+        self.cancelled = True
+
+    @property
+    def pending(self) -> bool:
+        """``True`` while the event has neither fired nor been cancelled."""
+        return not self.cancelled and self.callback is not None
+
+    def _consume(self) -> tuple[Callable[..., None], tuple[Any, ...]]:
+        cb, args = self.callback, self.args
+        # Drop references so fired events do not pin their closures alive.
+        self.callback = None  # type: ignore[assignment]
+        self.args = ()
+        return cb, args

@@ -1,0 +1,105 @@
+"""Crash schedules and failure-pattern helpers.
+
+A :class:`CrashSchedule` is a declarative list of ``(pid, time)`` pairs that
+is applied to a world before running.  The module also provides generators
+for common adversarial patterns used by the experiments.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable, List, Sequence, Tuple
+
+from ..errors import ConfigurationError
+from ..types import ProcessId, Time
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .world import World
+
+__all__ = [
+    "CrashEvent",
+    "CrashSchedule",
+    "no_crashes",
+    "crash_at",
+    "random_crashes",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class CrashEvent:
+    """One scheduled crash."""
+
+    pid: ProcessId
+    time: Time
+
+
+class CrashSchedule:
+    """An immutable set of scheduled crashes, applied to a world."""
+
+    def __init__(self, events: Iterable[CrashEvent] = ()) -> None:
+        self.events: Tuple[CrashEvent, ...] = tuple(
+            sorted(events, key=lambda e: (e.time, e.pid))
+        )
+        seen = set()
+        for ev in self.events:
+            if ev.pid in seen:
+                raise ConfigurationError(f"process {ev.pid} crashes twice")
+            seen.add(ev.pid)
+            if ev.time < 0:
+                raise ConfigurationError(f"negative crash time {ev.time}")
+
+    @property
+    def crashed_pids(self) -> frozenset[ProcessId]:
+        """The set of processes that will eventually crash."""
+        return frozenset(ev.pid for ev in self.events)
+
+    def correct_pids(self, n: int) -> frozenset[ProcessId]:
+        """The set of processes that never crash, for a system of size *n*."""
+        return frozenset(range(n)) - self.crashed_pids
+
+    def apply(self, world: "World") -> None:
+        """Schedule every crash on *world*'s scheduler."""
+        for ev in self.events:
+            world.schedule_crash(ev.pid, ev.time)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"CrashSchedule({list(self.events)!r})"
+
+
+def no_crashes() -> CrashSchedule:
+    """The empty schedule — every process is correct."""
+    return CrashSchedule()
+
+
+def crash_at(*pairs: Tuple[ProcessId, Time]) -> CrashSchedule:
+    """Build a schedule from ``(pid, time)`` pairs: ``crash_at((2, 50.0))``."""
+    return CrashSchedule(CrashEvent(pid, t) for pid, t in pairs)
+
+
+def random_crashes(
+    rng: random.Random,
+    n: int,
+    max_crashes: int,
+    window: Tuple[Time, Time],
+    protect: Sequence[ProcessId] = (),
+) -> CrashSchedule:
+    """Crash up to *max_crashes* distinct processes at random times in
+    *window*, never crashing processes in *protect*.
+
+    The number of crashes is drawn uniformly from ``0..max_crashes``; the
+    caller is responsible for keeping ``max_crashes`` below any majority
+    requirement of the algorithm under test (``f < n/2`` for consensus).
+    """
+    if max_crashes >= n:
+        raise ConfigurationError("cannot crash every process")
+    candidates: List[ProcessId] = [p for p in range(n) if p not in set(protect)]
+    count = rng.randint(0, min(max_crashes, len(candidates)))
+    victims = rng.sample(candidates, count)
+    lo, hi = window
+    return CrashSchedule(
+        CrashEvent(pid, rng.uniform(lo, hi)) for pid in victims
+    )

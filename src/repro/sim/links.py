@@ -1,0 +1,173 @@
+"""Directed link models.
+
+The paper's results live in three link regimes:
+
+* **reliable asynchronous** links — no loss, arbitrary (finite) delay; this
+  is the base system model of Section 2 (:class:`ReliableLink`);
+* **partially synchronous** links — reliable, and after an unknown global
+  stabilization time *GST* every message is delivered within an unknown
+  bound Δ (Dwork/Lynch/Stockmeyer as used in Sections 4; see
+  :class:`PartiallySynchronousLink`);
+* **fair-lossy** links — may lose messages, but infinitely many sends imply
+  infinitely many deliveries (the output links of the leader in the
+  ◇C → ◇P transformation of Fig. 2; see :class:`FairLossyLink`).
+
+A link decides, per message, whether the message is delivered and with what
+delay.  Links are *directed*: the network keeps one link per ordered pair.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from typing import Optional
+
+from ..errors import ConfigurationError
+from ..types import Time
+from .delays import DelayModel, FixedDelay, UniformDelay
+from .message import Message
+
+__all__ = [
+    "Link",
+    "ReliableLink",
+    "PartiallySynchronousLink",
+    "FairLossyLink",
+    "DeadLink",
+]
+
+
+class Link(ABC):
+    """A directed communication link between one ordered pair of processes."""
+
+    @abstractmethod
+    def plan(self, msg: Message, now: Time, rng: random.Random) -> Optional[Time]:
+        """Return the delivery delay for *msg* sent at *now*, or ``None``
+        if the link drops the message."""
+
+
+class ReliableLink(Link):
+    """No loss; delay drawn from a :class:`DelayModel` (asynchronous system).
+
+    The default model is a modest uniform jitter, which is "asynchronous
+    enough" for algorithms that make no timing assumptions while keeping
+    simulations short.  Pass a heavy-tailed model to stress asynchrony.
+    """
+
+    def __init__(self, delay: Optional[DelayModel] = None) -> None:
+        self.delay = delay if delay is not None else UniformDelay(0.5, 1.5)
+
+    def plan(self, msg: Message, now: Time, rng: random.Random) -> Optional[Time]:
+        return self.delay.sample(rng, now)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ReliableLink({self.delay!r})"
+
+
+class PartiallySynchronousLink(Link):
+    """Reliable link with a Global Stabilization Time.
+
+    Before *gst*, delays follow *pre_gst* (arbitrary — the adversary's
+    window).  From *gst* on, delays follow *post_gst*, whose :attr:`max_delay`
+    plays the role of the unknown bound Δ.  Messages sent before *gst* whose
+    planned arrival would exceed ``gst + delta`` are clamped to arrive by
+    then, matching the standard formulation "after GST every message
+    (including those already in flight) is received within Δ".
+    """
+
+    def __init__(
+        self,
+        gst: Time,
+        pre_gst: Optional[DelayModel] = None,
+        post_gst: Optional[DelayModel] = None,
+    ) -> None:
+        if gst < 0:
+            raise ConfigurationError(f"negative GST {gst}")
+        self.gst = gst
+        self.pre_gst = pre_gst if pre_gst is not None else UniformDelay(0.5, 40.0)
+        self.post_gst = post_gst if post_gst is not None else UniformDelay(0.5, 2.0)
+        if self.post_gst.max_delay == float("inf"):
+            raise ConfigurationError("post-GST delay model must be bounded")
+
+    @property
+    def delta(self) -> Time:
+        """The (to algorithms, unknown) post-GST delay bound Δ."""
+        return self.post_gst.max_delay
+
+    def plan(self, msg: Message, now: Time, rng: random.Random) -> Optional[Time]:
+        if now >= self.gst:
+            return self.post_gst.sample(rng, now)
+        delay = self.pre_gst.sample(rng, now)
+        latest = self.gst + self.delta
+        if now + delay > latest:
+            delay = latest - now
+        return delay
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"PartiallySynchronousLink(gst={self.gst}, "
+            f"pre={self.pre_gst!r}, post={self.post_gst!r})"
+        )
+
+
+class FairLossyLink(Link):
+    """A lossy-but-fair link.
+
+    Two fairness disciplines are supported:
+
+    * *probabilistic* (``loss_prob`` < 1): each message is independently
+      dropped with the given probability — infinitely many sends then yield
+      infinitely many deliveries almost surely;
+    * *deterministic* (``deliver_every`` = k): exactly every k-th message on
+      this link is delivered and the rest are dropped — exact fairness, used
+      where tests need certainty rather than probability-1 statements.
+
+    Exactly one of the two must be configured.
+    """
+
+    def __init__(
+        self,
+        inner: Optional[Link] = None,
+        loss_prob: Optional[float] = None,
+        deliver_every: Optional[int] = None,
+    ) -> None:
+        if (loss_prob is None) == (deliver_every is None):
+            raise ConfigurationError(
+                "configure exactly one of loss_prob / deliver_every"
+            )
+        if loss_prob is not None and not 0 <= loss_prob < 1:
+            raise ConfigurationError(f"loss_prob {loss_prob} outside [0, 1)")
+        if deliver_every is not None and deliver_every < 1:
+            raise ConfigurationError(f"deliver_every must be >= 1")
+        self.inner = inner if inner is not None else ReliableLink()
+        self.loss_prob = loss_prob
+        self.deliver_every = deliver_every
+        self._count = 0
+
+    def plan(self, msg: Message, now: Time, rng: random.Random) -> Optional[Time]:
+        if self.loss_prob is not None:
+            if rng.random() < self.loss_prob:
+                return None
+        else:
+            self._count += 1
+            if self._count % self.deliver_every != 0:  # type: ignore[operator]
+                return None
+        return self.inner.plan(msg, now, rng)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        if self.loss_prob is not None:
+            return f"FairLossyLink(loss_prob={self.loss_prob}, {self.inner!r})"
+        return f"FairLossyLink(deliver_every={self.deliver_every}, {self.inner!r})"
+
+
+class DeadLink(Link):
+    """Drops everything.  Handy for partition scenarios in tests.
+
+    Note that a dead link violates every assumption of the paper's model; it
+    exists to let tests demonstrate *why* those assumptions are needed.
+    """
+
+    def plan(self, msg: Message, now: Time, rng: random.Random) -> Optional[Time]:
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "DeadLink()"

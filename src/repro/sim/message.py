@@ -1,0 +1,45 @@
+"""The in-flight message record used by the network layer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from ..types import Channel, ProcessId, Time
+
+__all__ = ["Message"]
+
+_next_id = 0
+
+
+def _fresh_id() -> int:
+    global _next_id
+    _next_id += 1
+    return _next_id
+
+
+@dataclass(frozen=True, slots=True)
+class Message:
+    """A single point-to-point message.
+
+    ``channel`` separates coexisting protocol components on the same process
+    (e.g. a failure detector and a consensus algorithm); ``payload`` is the
+    protocol-level content and is never inspected by the network.  ``tag``
+    and ``round`` are optional metadata mirrored into the trace so the
+    analysis layer can count messages per protocol step without decoding
+    payloads.
+    """
+
+    src: ProcessId
+    dst: ProcessId
+    channel: Channel
+    payload: Any
+    send_time: Time
+    tag: Optional[str] = None
+    round: Optional[int] = None
+    msg_id: int = field(default_factory=_fresh_id)
+
+    @property
+    def is_self_message(self) -> bool:
+        """``True`` for loopback messages a process sends to itself."""
+        return self.src == self.dst

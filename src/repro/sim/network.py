@@ -1,0 +1,143 @@
+"""The message-passing fabric connecting simulated processes.
+
+The network owns one directed :class:`~repro.sim.links.Link` per ordered pair
+of processes (with a configurable default), consults the link for every send,
+and schedules deliveries on the world scheduler.  It also keeps cheap
+counters (sent / delivered / dropped, per channel) so benchmark code can read
+totals without scanning the full trace.
+
+Self-sends (``src == dst``) are delivered through a zero-delay loopback and
+are counted separately: the paper's per-round message counts (e.g. "4n for
+the ◇C protocol") refer to actual network messages, so the metrics layer
+reads :attr:`Network.sent_network` by default.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from ..errors import ConfigurationError
+from ..types import Channel, ProcessId, Time
+from .links import Link, ReliableLink
+from .message import Message
+from .scheduler import Scheduler
+from .trace import Trace
+
+__all__ = ["Network"]
+
+
+class Network:
+    """Routes messages between processes through per-pair link models."""
+
+    def __init__(
+        self,
+        n: int,
+        scheduler: Scheduler,
+        trace: Trace,
+        rng: random.Random,
+        default_link: Optional[Link] = None,
+        deliver: Optional[Callable[[Message], None]] = None,
+    ) -> None:
+        if n < 1:
+            raise ConfigurationError(f"need at least one process, got n={n}")
+        self.n = n
+        self._scheduler = scheduler
+        self._trace = trace
+        self._rng = rng
+        self._default_link = default_link if default_link is not None else ReliableLink()
+        self._links: Dict[Tuple[ProcessId, ProcessId], Link] = {}
+        self._deliver = deliver
+        # Counters, cheap enough to keep always-on.
+        self.sent_total = 0
+        self.sent_network = 0  # excludes self-sends
+        self.delivered_total = 0
+        self.dropped_total = 0
+        self.sent_by_channel: Dict[Channel, int] = {}
+
+    # --------------------------------------------------------------- wiring
+    def set_deliver(self, deliver: Callable[[Message], None]) -> None:
+        """Install the delivery callback (normally ``World._deliver``)."""
+        self._deliver = deliver
+
+    def set_link(self, src: ProcessId, dst: ProcessId, link: Link) -> None:
+        """Override the link used for the directed pair ``src -> dst``."""
+        self._links[(src, dst)] = link
+
+    def set_links_from(self, src: ProcessId, link_factory: Callable[[], Link]) -> None:
+        """Set all output links of *src* from a factory (one fresh link each)."""
+        for dst in range(self.n):
+            if dst != src:
+                self.set_link(src, dst, link_factory())
+
+    def set_links_to(self, dst: ProcessId, link_factory: Callable[[], Link]) -> None:
+        """Set all input links of *dst* from a factory (one fresh link each)."""
+        for src in range(self.n):
+            if src != dst:
+                self.set_link(src, dst, link_factory())
+
+    def link(self, src: ProcessId, dst: ProcessId) -> Link:
+        """The link currently governing the directed pair ``src -> dst``."""
+        return self._links.get((src, dst), self._default_link)
+
+    # --------------------------------------------------------------- sending
+    def send(
+        self,
+        src: ProcessId,
+        dst: ProcessId,
+        channel: Channel,
+        payload: Any,
+        tag: Optional[str] = None,
+        round: Optional[int] = None,
+    ) -> Message:
+        """Inject a message; the link decides loss and delay.
+
+        Returns the :class:`Message` record (mostly useful to tests).
+        """
+        now = self._scheduler.now
+        msg = Message(
+            src=src,
+            dst=dst,
+            channel=channel,
+            payload=payload,
+            send_time=now,
+            tag=tag,
+            round=round,
+        )
+        self.sent_total += 1
+        self.sent_by_channel[channel] = self.sent_by_channel.get(channel, 0) + 1
+        if src == dst:
+            # Loopback: local, instantaneous (next event at the same time),
+            # never lost, never counted as a network message.
+            self._trace.record(
+                now, "send", src, channel=channel, src=src, dst=dst,
+                tag=tag, round=round, loopback=True,
+            )
+            self._scheduler.schedule(0.0, self._finish_delivery, msg)
+            return msg
+
+        self.sent_network += 1
+        self._trace.record(
+            now, "send", src, channel=channel, src=src, dst=dst,
+            tag=tag, round=round, loopback=False,
+        )
+        delay = self.link(src, dst).plan(msg, now, self._rng)
+        if delay is None:
+            self.dropped_total += 1
+            self._trace.record(
+                now, "drop", src, channel=channel, src=src, dst=dst, reason="link"
+            )
+            return msg
+        self._scheduler.schedule(delay, self._finish_delivery, msg)
+        return msg
+
+    def _finish_delivery(self, msg: Message) -> None:
+        self.delivered_total += 1
+        self._trace.record(
+            self._scheduler.now, "deliver", msg.dst,
+            channel=msg.channel, src=msg.src, dst=msg.dst,
+            tag=msg.tag, round=msg.round,
+        )
+        if self._deliver is None:  # pragma: no cover - defensive
+            raise ConfigurationError("network has no delivery callback installed")
+        self._deliver(msg)

@@ -1,0 +1,52 @@
+"""Deterministic named random streams.
+
+Every source of randomness in a simulation draws from a stream obtained via
+:meth:`RandomSource.stream`.  Streams are keyed by name and derived from the
+master seed with a stable hash, so
+
+* the same ``(seed, name)`` always yields the same sequence, and
+* adding a new consumer (a new stream name) does not perturb the draws seen
+  by existing consumers — runs stay comparable across library versions.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from typing import Dict
+
+__all__ = ["RandomSource"]
+
+
+class RandomSource:
+    """Factory of named, independently seeded :class:`random.Random` streams."""
+
+    def __init__(self, seed: int) -> None:
+        self._seed = int(seed)
+        self._streams: Dict[str, random.Random] = {}
+
+    @property
+    def seed(self) -> int:
+        """The master seed this source was created with."""
+        return self._seed
+
+    def stream(self, name: str) -> random.Random:
+        """Return the stream for *name*, creating it on first use.
+
+        The same object is returned on every call with the same name, so
+        consumers share draw positions if (and only if) they share a name.
+        """
+        rng = self._streams.get(name)
+        if rng is None:
+            digest = hashlib.sha256(f"{self._seed}:{name}".encode()).digest()
+            rng = random.Random(int.from_bytes(digest[:8], "big"))
+            self._streams[name] = rng
+        return rng
+
+    def spawn(self, name: str) -> "RandomSource":
+        """Derive a child :class:`RandomSource` with an independent seed space.
+
+        Useful when a sub-experiment needs its own full seed universe.
+        """
+        digest = hashlib.sha256(f"{self._seed}/{name}".encode()).digest()
+        return RandomSource(int.from_bytes(digest[:8], "big"))

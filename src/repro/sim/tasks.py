@@ -1,0 +1,179 @@
+"""Cooperative generator tasks.
+
+The paper's pseudocode is written as concurrent *tasks* containing blocking
+``wait until <condition>`` statements.  This module provides a tiny task
+runtime that lets the algorithm implementations mirror that pseudocode
+almost line for line::
+
+    def round_task(self):
+        ...
+        yield WaitUntil(lambda: len(self.acks) >= self.majority)
+        ...
+        yield Sleep(self.period)
+
+Tasks are plain Python generators driven by the deterministic event loop:
+
+* ``yield Sleep(d)`` suspends the task for *d* simulated time units;
+* ``yield WaitUntil(pred)`` suspends until *pred()* is true.  Predicates are
+  re-evaluated whenever the owning component is *poked* — which happens on
+  every message delivery and every local failure-detector output change, the
+  only events that can change a predicate's value in these algorithms.
+
+Because tasks only switch at ``yield`` points and the event loop is
+deterministic, there are no data races: this models the standard formal
+treatment where the adversary controls scheduling through message delays.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generator, List, Optional, Union
+
+from ..errors import TaskError
+from ..types import Time
+from .events import EventHandle
+from .scheduler import Scheduler
+
+__all__ = ["Sleep", "WaitUntil", "Task", "TaskRuntime"]
+
+
+class Sleep:
+    """Directive: suspend the yielding task for *duration* time units."""
+
+    __slots__ = ("duration",)
+
+    def __init__(self, duration: Time) -> None:
+        if duration < 0:
+            raise TaskError(f"negative sleep {duration}")
+        self.duration = duration
+
+
+class WaitUntil:
+    """Directive: suspend the yielding task until *predicate()* is true.
+
+    The predicate must be side-effect free: it may be called any number of
+    times, including several times at the same instant.
+    """
+
+    __slots__ = ("predicate",)
+
+    def __init__(self, predicate: Callable[[], bool]) -> None:
+        self.predicate = predicate
+
+
+Directive = Union[Sleep, WaitUntil, None]
+TaskGen = Generator[Directive, None, None]
+
+
+class Task:
+    """A running (or finished) cooperative task."""
+
+    __slots__ = ("gen", "name", "done", "_waiting", "_sleep_handle")
+
+    def __init__(self, gen: TaskGen, name: str) -> None:
+        self.gen = gen
+        self.name = name
+        self.done = False
+        self._waiting: Optional[WaitUntil] = None
+        self._sleep_handle: Optional[EventHandle] = None
+
+    @property
+    def parked(self) -> bool:
+        """``True`` while the task is blocked on a :class:`WaitUntil`."""
+        return self._waiting is not None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "done" if self.done else ("parked" if self.parked else "running")
+        return f"Task({self.name!r}, {state})"
+
+
+class TaskRuntime:
+    """Runs the cooperative tasks of one component."""
+
+    def __init__(self, scheduler: Scheduler) -> None:
+        self._scheduler = scheduler
+        self._tasks: List[Task] = []
+        self._stopped = False
+        self._poking = False
+
+    # ----------------------------------------------------------- life cycle
+    def spawn(self, gen: TaskGen, name: str = "task") -> Task:
+        """Start *gen* as a new task and run it until its first suspension."""
+        if self._stopped:
+            raise TaskError("runtime already stopped")
+        task = Task(gen, name)
+        self._tasks.append(task)
+        self._advance(task)
+        return task
+
+    def stop(self) -> None:
+        """Kill all tasks (used when the owning process crashes)."""
+        self._stopped = True
+        for task in self._tasks:
+            if task._sleep_handle is not None:
+                task._sleep_handle.cancel()
+            task.gen.close()
+            task.done = True
+        self._tasks.clear()
+
+    @property
+    def alive(self) -> int:
+        """Number of tasks that have not finished."""
+        return sum(1 for t in self._tasks if not t.done)
+
+    # ------------------------------------------------------------- stepping
+    def poke(self) -> None:
+        """Re-evaluate the wait predicates of every parked task.
+
+        A resumed task may change state that unblocks *another* parked task
+        at the same instant, so we loop until a fixed point.  Re-entrant
+        pokes (a resumed task delivering a loopback that pokes us again) are
+        flattened into the current pass.
+        """
+        if self._stopped or self._poking:
+            return
+        self._poking = True
+        try:
+            progressed = True
+            while progressed:
+                progressed = False
+                for task in list(self._tasks):
+                    if task.done or task._waiting is None:
+                        continue
+                    if task._waiting.predicate():
+                        task._waiting = None
+                        self._advance(task)
+                        progressed = True
+        finally:
+            self._poking = False
+
+    def _advance(self, task: Task) -> None:
+        """Drive *task* forward until it suspends or finishes."""
+        while not self._stopped and not task.done:
+            try:
+                directive = task.gen.send(None)
+            except StopIteration:
+                task.done = True
+                self._tasks.remove(task)
+                return
+            if directive is None:
+                # Bare ``yield``: let all other events at this instant fire
+                # first, then continue.
+                directive = Sleep(0.0)
+            if isinstance(directive, Sleep):
+                task._sleep_handle = self._scheduler.schedule(
+                    directive.duration, self._wake, task
+                )
+                return
+            if isinstance(directive, WaitUntil):
+                if directive.predicate():
+                    continue
+                task._waiting = directive
+                return
+            raise TaskError(f"task {task.name!r} yielded {directive!r}")
+
+    def _wake(self, task: Task) -> None:
+        task._sleep_handle = None
+        if not self._stopped and not task.done:
+            self._advance(task)
+            # Waking may have changed state other parked tasks wait on.
+            self.poke()

@@ -1,0 +1,21 @@
+"""Failure-detector class transformations.
+
+Section 3 reductions (Ω→◇C, ◇P→◇C, ◇W→◇S, ◇S→◇C) plus the paper's core
+Section 4 algorithm transforming ◇C into ◇P under partial synchrony
+(:class:`~repro.transform.c_to_p.CToPTransformation`).
+"""
+
+from .c_to_p import CToPTransformation
+from .omega_to_c import OmegaToC
+from .p_to_c import PToC
+from .s_to_c import SToC, attach_s_to_c_stack
+from .w_to_s import WToS
+
+__all__ = [
+    "CToPTransformation",
+    "OmegaToC",
+    "PToC",
+    "SToC",
+    "attach_s_to_c_stack",
+    "WToS",
+]

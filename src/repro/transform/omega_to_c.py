@@ -1,0 +1,36 @@
+"""The trivial Ω → ◇C reduction (Section 3).
+
+``D.trusted`` is taken directly from the Ω source; ``D.suspected`` is
+*everyone except the trusted process*.  The paper: "This transformation is
+very simple and efficient (no extra messages are needed).  However, it
+offers very poor accuracy."  Ablation A2 quantifies that poor accuracy
+against the ◇S-based compositions.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..fd.base import FailureDetector
+
+__all__ = ["OmegaToC"]
+
+
+class OmegaToC(FailureDetector):
+    """◇C view over a local Ω source, with complement suspect sets."""
+
+    def __init__(self, omega_source: FailureDetector, channel: str = "fd") -> None:
+        super().__init__(channel)
+        self.omega_source = omega_source
+
+    def on_start(self) -> None:
+        self.omega_source.subscribe(self._recompute)
+        self._recompute()
+        super().on_start()
+
+    def _recompute(self, _source: Optional[FailureDetector] = None) -> None:
+        leader = self.omega_source.trusted()
+        suspected = frozenset(
+            q for q in range(self.n) if q != leader and q != self.pid
+        )
+        self._set_output(suspected=suspected, trusted=leader)

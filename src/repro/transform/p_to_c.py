@@ -1,0 +1,36 @@
+"""The ◇P → ◇C reduction (Section 3).
+
+With ◇P, eventually every correct process's suspect set equals the set of
+actually-crashed processes, so "the first process not in the suspect set"
+(in the total order of the system model) is eventually the same correct
+process at every correct process — an Ω output for free.  No messages are
+exchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..fd.base import FailureDetector, first_non_suspected
+
+__all__ = ["PToC"]
+
+
+class PToC(FailureDetector):
+    """◇C view over a local ◇P (or P) source."""
+
+    def __init__(self, p_source: FailureDetector, channel: str = "fd") -> None:
+        super().__init__(channel)
+        self.p_source = p_source
+
+    def on_start(self) -> None:
+        self.p_source.subscribe(self._recompute)
+        self._recompute()
+        super().on_start()
+
+    def _recompute(self, _source: Optional[FailureDetector] = None) -> None:
+        suspected = self.p_source.suspected()
+        trusted = first_non_suspected(suspected, self.n)
+        if trusted is not None:
+            suspected = suspected - {trusted}
+        self._set_output(suspected=suspected, trusted=trusted)

@@ -1,0 +1,104 @@
+"""The ◇S → ◇C transformation (Section 3, via the ◇W/◇S → Ω reductions of
+Chandra–Hadzilacos–Toueg and Chu).
+
+Each process periodically **R-broadcasts** the suspect set of its local ◇S
+source.  Every process counts, for each process *q*, how many delivered
+reports contained *q*.  The trusted process is the one minimizing
+``(count, pid)``:
+
+* a crashed process is eventually in *every* report of every correct
+  process (strong completeness), so its count grows without bound;
+* the eventual leader ℓ of ◇S's weak accuracy appears in only finitely many
+  reports, so its count freezes;
+* because reports travel by *Reliable Broadcast*, every correct process
+  delivers exactly the same multiset of reports eventually, so frozen counts
+  are eventually identical everywhere and the argmin stabilizes on the same
+  correct process at every correct process — the Ω property.
+
+The suspect-set output is passed through from the ◇S source (minus the
+trusted process, per Definition 1's third clause).  As the paper notes,
+this route is correct but expensive — every process broadcasts periodically,
+and each report costs a full Reliable Broadcast (Θ(n²) messages).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..broadcast.reliable import ReliableBroadcast
+from ..errors import ConfigurationError
+from ..fd.base import FailureDetector
+from ..types import ProcessId, Time
+
+__all__ = ["SToC"]
+
+
+class SToC(FailureDetector):
+    """◇C built from a local ◇S source via report counting over R-broadcast.
+
+    The component owns a private :class:`ReliableBroadcast` instance on
+    channel ``"<channel>.rb"``, which must be attached to the same process
+    *before* this component (:func:`attach_s_to_c_stack` handles wiring).
+    """
+
+    def __init__(
+        self,
+        s_source: FailureDetector,
+        rb: ReliableBroadcast,
+        period: Time = 5.0,
+        channel: str = "fd",
+    ) -> None:
+        super().__init__(channel)
+        if period <= 0:
+            raise ConfigurationError("period must be positive")
+        self.s_source = s_source
+        self.rb = rb
+        self.period = period
+        self._counts: Dict[ProcessId, int] = {}
+
+    def on_start(self) -> None:
+        self._counts = {q: 0 for q in range(self.n)}
+        self.rb.on_deliver(self._on_report)
+        self.s_source.subscribe(self._recompute)
+        self._recompute()
+        super().on_start()
+        self._report()
+        self.periodically(self.period, self._report)
+
+    # ------------------------------------------------------------ reporting
+    def _report(self) -> None:
+        self.rb.rbroadcast(("SUSPECT-REPORT", self.s_source.suspected()))
+
+    def _on_report(self, origin: ProcessId, payload: object) -> None:
+        kind, suspected = payload  # type: ignore[misc]
+        if kind != "SUSPECT-REPORT":  # pragma: no cover - defensive
+            return
+        for q in suspected:
+            self._counts[q] += 1
+        self._recompute()
+
+    # ---------------------------------------------------------------- output
+    def _recompute(self, _source: object = None) -> None:
+        trusted = min(range(self.n), key=lambda q: (self._counts[q], q))
+        suspected = self.s_source.suspected() - {trusted}
+        self._set_output(suspected=suspected, trusted=trusted)
+
+    def count_of(self, q: ProcessId) -> int:
+        """Number of delivered reports that contained *q* (introspection)."""
+        return self._counts[q]
+
+
+def attach_s_to_c_stack(world, s_factory, period: float = 5.0, channel: str = "fd"):
+    """Attach ``s_factory(pid)`` (a ◇S detector) plus the :class:`SToC`
+    transformation (and its private Reliable Broadcast) to every process.
+
+    Returns the per-process :class:`SToC` instances in pid order.
+    """
+    out = []
+    for pid in world.pids:
+        source = world.attach(pid, s_factory(pid))
+        rb = world.attach(pid, ReliableBroadcast(channel=f"{channel}.rb"))
+        out.append(
+            world.attach(pid, SToC(source, rb, period=period, channel=channel))
+        )
+    return out

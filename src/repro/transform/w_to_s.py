@@ -1,0 +1,59 @@
+"""The ◇W → ◇S transformation (Chandra–Toueg, as cited in Section 3).
+
+Every process periodically broadcasts the suspect set of its local ◇W
+source.  On receiving a report ``S`` from ``q``, a process updates its
+output to ``(output ∪ S) − {q}``: gossip spreads suspicions (upgrading weak
+completeness to strong — a crashed process is eventually reported by its
+witness and, never sending reports itself, is never removed), while every
+report doubles as proof that its *sender* is alive (preserving eventual weak
+accuracy — once nobody's ◇W suspects the eventual leader, no report re-adds
+it and the leader's own reports keep removing it everywhere).
+
+Cost: n·(n−1) messages per period — the "expensive" price the paper notes
+for taking the ◇W/◇S route to ◇C.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet
+
+from ..errors import ConfigurationError
+from ..fd.base import FailureDetector
+from ..types import ProcessId, Time
+
+__all__ = ["WToS"]
+
+
+class WToS(FailureDetector):
+    """Gossip amplification of weak completeness into strong completeness."""
+
+    def __init__(
+        self,
+        w_source: FailureDetector,
+        period: Time = 5.0,
+        channel: str = "fd",
+    ) -> None:
+        super().__init__(channel)
+        if period <= 0:
+            raise ConfigurationError("period must be positive")
+        self.w_source = w_source
+        self.period = period
+
+    def on_start(self) -> None:
+        self._apply_report(self.pid, self.w_source.suspected())
+        super().on_start()
+        self._report()
+        self.periodically(self.period, self._report)
+
+    def _report(self) -> None:
+        report = self.w_source.suspected()
+        self.broadcast(report, tag="report")
+        # A process's own report also updates its own output.
+        self._apply_report(self.pid, report)
+
+    def on_message(self, src: ProcessId, payload: object) -> None:
+        self._apply_report(src, payload)  # type: ignore[arg-type]
+
+    def _apply_report(self, sender: ProcessId, report: FrozenSet[ProcessId]) -> None:
+        updated = (self._suspected | report) - {sender, self.pid}
+        self._set_output(suspected=updated)

@@ -1,0 +1,34 @@
+"""Shared primitive types used across the :mod:`repro` package.
+
+The simulator identifies processes by small non-negative integers
+(``0 .. n-1``).  The paper writes :math:`\\Pi = \\{p_1, \\dots, p_n\\}`; we map
+:math:`p_i` to the integer ``i - 1`` so that indexing is natural in Python.
+Simulated time is a float of abstract "time units"; nothing in the library
+depends on the unit chosen.
+"""
+
+from __future__ import annotations
+
+from typing import TypeAlias
+
+#: Identifier of a process in the system (``0 <= pid < n``).
+ProcessId: TypeAlias = int
+
+#: Simulated time, in abstract units.
+Time: TypeAlias = float
+
+#: Name of a logical communication channel multiplexed over the network.
+Channel: TypeAlias = str
+
+
+def validate_pid(pid: ProcessId, n: int) -> ProcessId:
+    """Return *pid* unchanged after checking it is a valid id for *n* processes.
+
+    Raises:
+        ValueError: if ``pid`` is outside ``range(n)``.
+    """
+    if not isinstance(pid, int) or isinstance(pid, bool):
+        raise ValueError(f"process id must be an int, got {pid!r}")
+    if not 0 <= pid < n:
+        raise ValueError(f"process id {pid} out of range for n={n}")
+    return pid

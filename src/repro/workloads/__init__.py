@@ -1,0 +1,35 @@
+"""Workload and scenario generators for tests and benchmarks."""
+
+from .crashes import cascade, minority_crashes, single_crash
+from .networks import (
+    asynchronous_link,
+    fair_lossy_link,
+    lan_link,
+    partially_synchronous_link,
+    wan_link,
+)
+from .scenarios import (
+    DEFAULT_FD_CLASS,
+    ConsensusRun,
+    consensus_run,
+    nice_run,
+    stabilizing_run,
+    theorem3_run,
+)
+
+__all__ = [
+    "cascade",
+    "minority_crashes",
+    "single_crash",
+    "asynchronous_link",
+    "fair_lossy_link",
+    "lan_link",
+    "partially_synchronous_link",
+    "wan_link",
+    "DEFAULT_FD_CLASS",
+    "ConsensusRun",
+    "consensus_run",
+    "nice_run",
+    "stabilizing_run",
+    "theorem3_run",
+]

@@ -1,0 +1,43 @@
+"""Crash-pattern generators for experiments.
+
+Thin, purposeful wrappers around :mod:`repro.sim.failures` providing the
+failure patterns the experiments need: minority crashes (consensus requires
+f < n/2), cascades, and targeted single crashes.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence, Tuple
+
+from ..sim.failures import CrashEvent, CrashSchedule, random_crashes
+from ..types import ProcessId, Time
+
+__all__ = ["minority_crashes", "cascade", "single_crash"]
+
+
+def minority_crashes(
+    rng: random.Random,
+    n: int,
+    window: Tuple[Time, Time],
+    protect: Sequence[ProcessId] = (),
+) -> CrashSchedule:
+    """Crash up to ``ceil(n/2) − 1`` random processes (so f < n/2 holds)."""
+    max_crashes = (n - 1) // 2
+    return random_crashes(rng, n, max_crashes, window, protect=protect)
+
+
+def cascade(
+    pids: Sequence[ProcessId],
+    start: Time,
+    gap: Time,
+) -> CrashSchedule:
+    """Crash *pids* one after another, *gap* time units apart."""
+    return CrashSchedule(
+        CrashEvent(pid, start + i * gap) for i, pid in enumerate(pids)
+    )
+
+
+def single_crash(pid: ProcessId, time: Time) -> CrashSchedule:
+    """Crash exactly one process."""
+    return CrashSchedule([CrashEvent(pid, time)])

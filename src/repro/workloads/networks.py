@@ -1,0 +1,62 @@
+"""Canonical network conditions used across tests and benchmarks."""
+
+from __future__ import annotations
+
+from ..sim.delays import ExponentialDelay, FixedDelay, SpikeDelay, UniformDelay
+from ..sim.links import (
+    FairLossyLink,
+    Link,
+    PartiallySynchronousLink,
+    ReliableLink,
+)
+from ..types import Time
+
+__all__ = [
+    "lan_link",
+    "wan_link",
+    "asynchronous_link",
+    "partially_synchronous_link",
+    "fair_lossy_link",
+]
+
+
+def lan_link() -> ReliableLink:
+    """Low, tight delays — the 'everything is nice' network."""
+    return ReliableLink(UniformDelay(0.2, 1.0))
+
+
+def wan_link() -> ReliableLink:
+    """Higher delays with an exponential tail."""
+    return ReliableLink(ExponentialDelay(base=2.0, mean=3.0, cap=40.0))
+
+
+def asynchronous_link(spike_prob: float = 0.05) -> ReliableLink:
+    """Mostly-fast delays with rare large spikes — stresses algorithms that
+    must make no timing assumptions."""
+    return ReliableLink(
+        SpikeDelay(UniformDelay(0.5, 2.0), spike_prob, 20.0, 120.0)
+    )
+
+
+def partially_synchronous_link(
+    gst: Time = 100.0,
+    delta: Time = 2.0,
+    pre_max: Time = 40.0,
+) -> PartiallySynchronousLink:
+    """GST/Δ link: chaotic (delays up to *pre_max*) before *gst*, then
+    bounded by *delta*."""
+    return PartiallySynchronousLink(
+        gst=gst,
+        pre_gst=UniformDelay(0.5, pre_max),
+        post_gst=UniformDelay(0.2, delta),
+    )
+
+
+def fair_lossy_link(
+    loss_prob: float = 0.3,
+    inner: Link | None = None,
+) -> FairLossyLink:
+    """Bernoulli fair-lossy link over a LAN-ish delay profile."""
+    return FairLossyLink(
+        inner=inner if inner is not None else lan_link(), loss_prob=loss_prob
+    )

@@ -1,0 +1,175 @@
+"""Canonical experiment scenarios.
+
+Each function assembles a complete world for one of the experiment families
+of DESIGN.md, so benchmarks and integration tests share exactly the same
+setups.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List, Optional, Sequence, Tuple
+
+from ..consensus.base import ConsensusProtocol
+from ..consensus.builders import attach_consensus, propose_all
+from ..fd.classes import (
+    EVENTUALLY_CONSISTENT,
+    EVENTUALLY_STRONG,
+    FDClass,
+    OMEGA,
+)
+from ..fd.oracle import OracleConfig, OracleFailureDetector
+from ..sim.failures import CrashSchedule, no_crashes
+from ..sim.links import Link
+from ..sim.world import World
+from ..types import ProcessId, Time
+from .networks import lan_link
+
+__all__ = [
+    "ConsensusRun",
+    "consensus_run",
+    "nice_run",
+    "stabilizing_run",
+    "theorem3_run",
+    "DEFAULT_FD_CLASS",
+]
+
+#: Default detector class for each algorithm (what each minimally needs).
+DEFAULT_FD_CLASS = {
+    "ec": EVENTUALLY_CONSISTENT,
+    "ct": EVENTUALLY_STRONG,
+    "mr": OMEGA,
+    "paxos": OMEGA,
+}
+
+
+@dataclass
+class ConsensusRun:
+    """A fully wired consensus experiment, ready to :meth:`run`."""
+
+    world: World
+    protocols: List[ConsensusProtocol]
+    algo: str
+    stabilize_time: Time
+
+    def run(self, until: Time = 3000.0, max_events: Optional[int] = None) -> "ConsensusRun":
+        """Run the world; returns self for chaining."""
+        self.world.run(until=until, max_events=max_events)
+        return self
+
+    @property
+    def decided(self) -> bool:
+        """True if every correct process decided."""
+        return all(
+            p.decided
+            for p in self.protocols
+            if not self.world.process(p.pid).crashed
+        )
+
+    @property
+    def decisions(self) -> List[Any]:
+        return [p.decision for p in self.protocols if p.decided]
+
+
+def consensus_run(
+    algo: str,
+    n: int = 5,
+    seed: int = 0,
+    fd_class: Optional[FDClass] = None,
+    stabilize_time: Time = 0.0,
+    pre_behavior: str = "erratic",
+    leader: Optional[ProcessId] = None,
+    slander: frozenset = frozenset(),
+    crashes: Optional[CrashSchedule] = None,
+    link: Optional[Link] = None,
+    values: Optional[Sequence[Any]] = None,
+    **proto_kwargs: Any,
+) -> ConsensusRun:
+    """Build one consensus experiment over an oracle detector.
+
+    The oracle is scripted with *stabilize_time* / *pre_behavior* /
+    *leader* / *slander*; crashes come from *crashes* (default none); the
+    network from *link* (default LAN).  All processes propose immediately
+    (``values[pid]``, or their pid).
+    """
+    if fd_class is None:
+        fd_class = DEFAULT_FD_CLASS[algo]
+    world = World(n=n, seed=seed, default_link=link if link is not None else lan_link())
+    config = OracleConfig(
+        stabilize_time=stabilize_time,
+        pre_behavior=pre_behavior,
+        leader=leader,
+        slander=slander,
+    )
+    protocols = attach_consensus(
+        world,
+        algo,
+        lambda pid: OracleFailureDetector(fd_class, config),
+        **proto_kwargs,
+    )
+    world.start()
+    propose_all(protocols, values)
+    if crashes is not None:
+        crashes.apply(world)
+    return ConsensusRun(world, protocols, algo, stabilize_time)
+
+
+def nice_run(algo: str, n: int = 5, seed: int = 0, **kwargs: Any) -> ConsensusRun:
+    """The paper's "normal case": no crashes, no detector mistakes — the
+    setting of the Section 5.4 message/phase counts (E4/E5)."""
+    return consensus_run(
+        algo,
+        n=n,
+        seed=seed,
+        stabilize_time=0.0,
+        pre_behavior="ideal",
+        crashes=no_crashes(),
+        **kwargs,
+    )
+
+
+def stabilizing_run(
+    algo: str,
+    n: int = 5,
+    seed: int = 0,
+    stabilize_time: Time = 150.0,
+    **kwargs: Any,
+) -> ConsensusRun:
+    """Erratic detector output until *stabilize_time*, then class-ideal."""
+    return consensus_run(
+        algo,
+        n=n,
+        seed=seed,
+        stabilize_time=stabilize_time,
+        pre_behavior="erratic",
+        **kwargs,
+    )
+
+
+def theorem3_run(
+    algo: str,
+    n: int,
+    leader: ProcessId,
+    seed: int = 0,
+    stabilize_time: Time = 200.0,
+) -> ConsensusRun:
+    """The Theorem 3 adversary.
+
+    Until *stabilize_time* every process suspects every other process (and
+    trusts itself), so no round can decide.  From then on the detector is
+    stable with the designated *leader* never suspected — but every *other*
+    correct process stays slandered forever, which ◇S permits.  A rotating-
+    coordinator algorithm then has to grind through rounds until *leader*'s
+    turn comes up; the ◇C algorithm elects it immediately.
+    """
+    slander = frozenset(q for q in range(n) if q != leader)
+    return consensus_run(
+        algo,
+        n=n,
+        seed=seed,
+        stabilize_time=stabilize_time,
+        pre_behavior="suspect-all",
+        leader=leader,
+        slander=slander,
+        crashes=no_crashes(),
+    )

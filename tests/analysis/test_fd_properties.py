@@ -1,0 +1,205 @@
+"""Unit tests for the FD property checkers on synthetic histories."""
+
+import pytest
+
+from repro.analysis import (
+    build_histories,
+    check_eventual_strong_accuracy,
+    check_eventual_weak_accuracy,
+    check_omega,
+    check_strong_completeness,
+    check_trusted_not_suspected,
+    check_weak_completeness,
+    crash_times,
+)
+from repro.errors import PropertyViolation
+from repro.fd import EVENTUALLY_PERFECT
+from repro.analysis import check_fd_class, require_fd_class
+from repro.sim import Trace
+
+S = frozenset
+
+
+def hist(*records):
+    """Build a single-process history from (time, suspected, trusted)."""
+    return [(t, S(susp), trusted) for t, susp, trusted in records]
+
+
+CORRECT = S({0, 1})
+END = 100.0
+
+
+class TestStrongCompleteness:
+    def test_satisfied(self):
+        histories = {
+            0: hist((0, [], None), (15, [2], None)),
+            1: hist((0, [], None), (12, [2], None)),
+        }
+        result = check_strong_completeness(histories, {2: 10.0}, CORRECT, END)
+        assert result.ok
+        assert result.stabilized_at == 15.0
+
+    def test_vacuous_without_crashes(self):
+        assert check_strong_completeness({}, {}, CORRECT, END).ok
+
+    def test_violated_when_one_process_never_suspects(self):
+        histories = {
+            0: hist((0, [], None), (15, [2], None)),
+            1: hist((0, [], None)),  # never suspects 2
+        }
+        result = check_strong_completeness(histories, {2: 10.0}, CORRECT, END)
+        assert not result.ok
+
+    def test_late_stabilization_fails_margin(self):
+        histories = {
+            0: hist((0, [], None), (95, [2], None)),
+            1: hist((0, [], None), (95, [2], None)),
+        }
+        result = check_strong_completeness(histories, {2: 10.0}, CORRECT, END)
+        assert not result.ok  # 95 > 100 * 0.9
+
+    def test_unsuspecting_blip_moves_stabilization(self):
+        histories = {
+            0: hist((0, [], None), (15, [2], None), (40, [], None),
+                    (50, [2], None)),
+            1: hist((0, [2], None)),
+        }
+        result = check_strong_completeness(histories, {2: 10.0}, CORRECT, END)
+        assert result.ok
+        assert result.stabilized_at == 50.0
+
+
+class TestWeakCompleteness:
+    def test_single_witness_suffices(self):
+        histories = {
+            0: hist((0, [], None), (15, [2], None)),
+            1: hist((0, [], None)),  # never suspects — fine for weak
+        }
+        result = check_weak_completeness(histories, {2: 10.0}, CORRECT, END)
+        assert result.ok
+        assert result.witness == 0
+
+    def test_violated_when_nobody_suspects(self):
+        histories = {0: hist((0, [], None)), 1: hist((0, [], None))}
+        result = check_weak_completeness(histories, {2: 10.0}, CORRECT, END)
+        assert not result.ok
+
+
+class TestAccuracy:
+    def test_strong_accuracy_ok(self):
+        histories = {
+            0: hist((0, [1], None), (20, [], None)),
+            1: hist((0, [], None)),
+        }
+        result = check_eventual_strong_accuracy(histories, CORRECT, END)
+        assert result.ok
+        assert result.stabilized_at == 20.0
+
+    def test_strong_accuracy_violated_by_permanent_false_suspicion(self):
+        histories = {
+            0: hist((0, [1], None), (90, [1], None)),
+            1: hist((0, [], None)),
+        }
+        result = check_eventual_strong_accuracy(histories, CORRECT, END)
+        assert not result.ok
+
+    def test_weak_accuracy_needs_only_one_clean_process(self):
+        histories = {
+            0: hist((0, [1], None), (90, [1], None)),  # 1 suspected forever
+            1: hist((0, [], None)),
+        }
+        # 0 is never suspected by anyone: weak accuracy holds with witness 0.
+        result = check_eventual_weak_accuracy(histories, CORRECT, END)
+        assert result.ok
+        assert result.witness == 0
+
+    def test_weak_accuracy_violated_when_everyone_suspected(self):
+        histories = {
+            0: hist((90, [1], None)),
+            1: hist((90, [0], None)),
+        }
+        result = check_eventual_weak_accuracy(histories, CORRECT, END)
+        assert not result.ok
+
+
+class TestOmegaAndConsistency:
+    def test_omega_ok(self):
+        histories = {
+            0: hist((0, [], 1), (10, [], 0)),
+            1: hist((0, [], 0)),
+        }
+        result = check_omega(histories, CORRECT, END)
+        assert result.ok
+        assert result.witness == 0
+        assert result.stabilized_at == 10.0
+
+    def test_omega_violated_by_disagreement(self):
+        histories = {
+            0: hist((95, [], 0)),
+            1: hist((95, [], 1)),
+        }
+        assert not check_omega(histories, CORRECT, END).ok
+
+    def test_omega_requires_correct_leader(self):
+        # Both trust 2 forever, but 2 is not in the correct set.
+        histories = {
+            0: hist((0, [], 2)),
+            1: hist((0, [], 2)),
+        }
+        assert not check_omega(histories, CORRECT, END).ok
+
+    def test_trusted_not_suspected(self):
+        histories = {
+            0: hist((0, [1], 1), (30, [], 1)),
+            1: hist((0, [], 1)),
+        }
+        result = check_trusted_not_suspected(histories, CORRECT, END)
+        assert result.ok
+        assert result.stabilized_at == 30.0
+
+    def test_trusted_suspected_forever_fails(self):
+        histories = {
+            0: hist((95, [1], 1)),
+            1: hist((0, [], 1)),
+        }
+        assert not check_trusted_not_suspected(histories, CORRECT, END).ok
+
+
+class TestTraceIntegration:
+    def make_trace(self):
+        trace = Trace()
+        trace.record(5.0, "crash", 2)
+        for pid in (0, 1):
+            trace.record(0.0, "fd", pid, channel="fd",
+                         suspected=S(()), trusted=None)
+            trace.record(10.0, "fd", pid, channel="fd",
+                         suspected=S({2}), trusted=None)
+        trace.record(99.0, "heartbeat", 0)  # push end_time out
+        return trace
+
+    def test_build_histories_filters_channel(self):
+        trace = self.make_trace()
+        trace.record(1.0, "fd", 0, channel="other",
+                     suspected=S({1}), trusted=None)
+        histories = build_histories(trace, channel="fd")
+        assert all(S({1}) != susp for _, susp, _ in histories[0])
+
+    def test_crash_times(self):
+        assert crash_times(self.make_trace()) == {2: 5.0}
+
+    def test_check_fd_class_dp(self):
+        results = check_fd_class(
+            self.make_trace(), EVENTUALLY_PERFECT, CORRECT
+        )
+        assert set(results) == {"completeness", "accuracy"}
+        assert all(results.values())
+
+    def test_require_fd_class_raises_on_violation(self):
+        trace = Trace()
+        trace.record(5.0, "crash", 2)
+        for pid in (0, 1):
+            trace.record(0.0, "fd", pid, channel="fd",
+                         suspected=S(()), trusted=None)
+        trace.record(99.0, "x", 0)
+        with pytest.raises(PropertyViolation):
+            require_fd_class(trace, EVENTUALLY_PERFECT, CORRECT)

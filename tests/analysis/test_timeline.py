@@ -1,0 +1,84 @@
+"""Tests for the ASCII timeline renderers."""
+
+from repro.analysis import leader_timeline, round_timeline, suspicion_timeline
+from repro.sim import Trace
+
+S = frozenset
+
+
+def make_trace():
+    trace = Trace()
+    for pid in (0, 1, 2):
+        trace.record(0.0, "fd", pid, channel="fd",
+                     suspected=S(()), trusted=pid)  # disagree initially
+    for pid in (0, 1, 2):
+        trace.record(50.0, "fd", pid, channel="fd",
+                     suspected=S({2}), trusted=0)  # converge on 0, suspect 2
+    trace.record(40.0, "crash", 2)
+    trace.record(100.0, "tick", 0)  # extend horizon
+    return trace
+
+
+class TestLeaderTimeline:
+    def test_shows_convergence(self):
+        out = leader_timeline(make_trace(), width=10)
+        lines = out.splitlines()
+        assert lines[1].startswith("p0 ")
+        # First half of p0's row shows self-trust (0), stays 0.
+        assert "0" in lines[1]
+        # p1 trusted itself (1) early, 0 late.
+        row1 = lines[2].split("|")[1]
+        assert row1[0] == "1" and row1[-1] == "0"
+
+    def test_crash_marker(self):
+        out = leader_timeline(make_trace(), width=10)
+        row2 = out.splitlines()[3].split("|")[1]
+        assert row2.endswith("xxxxxx")  # crashed at 40 of 100 → last 6 cols
+
+    def test_empty_trace(self):
+        assert "no detector output" in leader_timeline(Trace())
+
+
+class TestSuspicionTimeline:
+    def test_suspicion_appears_after_crash(self):
+        out = suspicion_timeline(make_trace(), target=2, width=10)
+        assert "p2 crashes at t=40" in out.splitlines()[0]
+        row0 = out.splitlines()[1].split("|")[1]
+        assert row0[0] == "." and row0[-1] == "#"
+
+    def test_target_row_excluded(self):
+        out = suspicion_timeline(make_trace(), target=2, width=10)
+        assert not any(line.startswith("p2 ") for line in out.splitlines())
+
+
+class TestRoundTimeline:
+    def make_consensus_trace(self):
+        trace = Trace()
+        for pid in (0, 1):
+            trace.record(1.0, "round", pid, algo="x", round=1)
+            trace.record(30.0, "round", pid, algo="x", round=2)
+        trace.record(60.0, "decide", 0, algo="x", value="v", round=2)
+        trace.record(100.0, "tick", 0)
+        return trace
+
+    def test_rounds_and_decision(self):
+        out = round_timeline(self.make_consensus_trace(), "x", width=10)
+        row0 = out.splitlines()[1].split("|")[1]
+        assert row0[0] == "1"
+        assert row0[-1] == "D"
+        row1 = out.splitlines()[2].split("|")[1]
+        assert row1[-1] == "2"  # p1 never decided
+
+    def test_unknown_algo(self):
+        assert "no rounds traced" in round_timeline(Trace(), "nope")
+
+
+class TestOnRealRun:
+    def test_renders_real_world_run(self):
+        from repro.workloads import nice_run
+
+        run = nice_run("ec", n=4, seed=0).run(until=300.0)
+        out = leader_timeline(run.world.trace, width=40)
+        assert out.count("\n") == 4  # header + 4 process rows
+        out2 = round_timeline(run.world.trace, "ec", width=40)
+        assert "D" in out2

@@ -1,0 +1,90 @@
+"""Tests for the Reliable Broadcast primitive."""
+
+import pytest
+
+from repro.broadcast import ReliableBroadcast
+from repro.sim import Component, DeadLink, FixedDelay, ReliableLink, World
+
+
+@pytest.fixture
+def world():
+    return World(n=4, seed=0, default_link=ReliableLink(FixedDelay(1.0)))
+
+
+def attach_rbs(world):
+    rbs = world.attach_all(lambda pid: ReliableBroadcast())
+    delivered = {pid: [] for pid in world.pids}
+    for pid, rb in enumerate(rbs):
+        rb.on_deliver(lambda origin, payload, pid=pid: delivered[pid].append(
+            (origin, payload)))
+    world.start()
+    return rbs, delivered
+
+
+class TestValidityAndAgreement:
+    def test_broadcaster_delivers_immediately(self, world):
+        rbs, delivered = attach_rbs(world)
+        rbs[0].rbroadcast("m")
+        assert delivered[0] == [(0, "m")]
+
+    def test_everyone_delivers(self, world):
+        rbs, delivered = attach_rbs(world)
+        rbs[1].rbroadcast("hello")
+        world.run()
+        for pid in world.pids:
+            assert delivered[pid] == [(1, "hello")]
+
+    def test_agreement_when_origin_crashes_mid_broadcast(self, world):
+        """Origin's message reaches one process which must relay to all."""
+        # Kill the direct links 0->2 and 0->3: only process 1 hears from 0.
+        world.network.set_link(0, 2, DeadLink())
+        world.network.set_link(0, 3, DeadLink())
+        rbs, delivered = attach_rbs(world)
+        rbs[0].rbroadcast("survivor")
+        world.crash(0)
+        world.run()
+        for pid in (1, 2, 3):
+            assert delivered[pid] == [(0, "survivor")], pid
+
+    def test_uniform_integrity_no_duplicates(self, world):
+        rbs, delivered = attach_rbs(world)
+        rbs[0].rbroadcast("a")
+        rbs[0].rbroadcast("a")  # same payload, different message id: 2 deliveries
+        world.run()
+        assert delivered[2] == [(0, "a"), (0, "a")]
+        # but each broadcast delivered exactly once despite n-1 relays
+        assert len(delivered[1]) == 2
+
+    def test_multiple_origins(self, world):
+        rbs, delivered = attach_rbs(world)
+        for pid in world.pids:
+            rbs[pid].rbroadcast(f"from-{pid}")
+        world.run()
+        for pid in world.pids:
+            assert sorted(delivered[pid]) == [
+                (0, "from-0"), (1, "from-1"), (2, "from-2"), (3, "from-3")
+            ]
+
+    def test_crashed_receiver_delivers_nothing(self, world):
+        rbs, delivered = attach_rbs(world)
+        world.crash(3)
+        rbs[0].rbroadcast("x")
+        world.run()
+        assert delivered[3] == []
+
+    def test_delivered_log_records_time(self, world):
+        rbs, delivered = attach_rbs(world)
+        rbs[0].rbroadcast("x")
+        world.run()
+        assert rbs[1].delivered_log[0][1:] == (0, "x")
+        assert rbs[1].delivered_log[0][0] == 1.0  # one hop
+
+    def test_message_complexity_quadratic(self, world):
+        rbs, _ = attach_rbs(world)
+        before = world.network.sent_network
+        rbs[0].rbroadcast("m")
+        world.run()
+        sent = world.network.sent_network - before
+        # origin: n-1, each receiver relays to n-1 others: total n^2 - n - ...
+        n = world.n
+        assert (n - 1) <= sent <= n * (n - 1)

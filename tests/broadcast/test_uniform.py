@@ -1,0 +1,101 @@
+"""Tests for Uniform Reliable Broadcast."""
+
+import pytest
+
+from repro.broadcast import ReliableBroadcast, UniformReliableBroadcast
+from repro.sim import Component, DeadLink, FixedDelay, ReliableLink, World
+
+
+@pytest.fixture
+def world():
+    return World(n=5, seed=0, default_link=ReliableLink(FixedDelay(1.0)))
+
+
+def attach_urbs(world):
+    urbs = world.attach_all(lambda pid: UniformReliableBroadcast())
+    delivered = {pid: [] for pid in world.pids}
+    for pid, urb in enumerate(urbs):
+        urb.on_deliver(
+            lambda origin, payload, pid=pid: delivered[pid].append(
+                (origin, payload)
+            )
+        )
+    world.start()
+    return urbs, delivered
+
+
+class TestUniformDelivery:
+    def test_everyone_delivers(self, world):
+        urbs, delivered = attach_urbs(world)
+        urbs[2].urbroadcast("m")
+        world.run()
+        for pid in world.pids:
+            assert delivered[pid] == [(2, "m")]
+
+    def test_origin_does_not_deliver_before_majority(self, world):
+        urbs, delivered = attach_urbs(world)
+        urbs[0].urbroadcast("m")
+        # At t=0 only the origin has seen it: no delivery yet.
+        assert delivered[0] == []
+        world.run(until=0.5)
+        assert delivered[0] == []
+        world.run()
+        assert delivered[0] == [(0, "m")]
+
+    def test_uniformity_under_origin_crash(self, world):
+        """The defining scenario: the origin must not be able to deliver
+        and crash while the message dies with it."""
+        urbs, delivered = attach_urbs(world)
+        urbs[0].urbroadcast("u")
+        world.crash(0)  # crashes before majority echoes return
+        world.run()
+        # Origin delivered nothing (crashed pre-majority)...
+        assert delivered[0] == []
+        # ...and since its broadcast went out, all correct deliver.
+        for pid in (1, 2, 3, 4):
+            assert delivered[pid] == [(0, "u")]
+
+    def test_contrast_with_plain_rb(self, world):
+        """Plain RB lets a faulty origin deliver a message that dies with
+        it if its sends are lost — URB exists to prevent exactly this."""
+        rbs = world.attach_all(lambda pid: ReliableBroadcast())
+        delivered = {pid: [] for pid in world.pids}
+        for pid, rb in enumerate(rbs):
+            rb.on_deliver(
+                lambda origin, payload, pid=pid: delivered[pid].append(payload)
+            )
+        # All of p0's output links are dead: nobody else hears anything.
+        for dst in range(1, 5):
+            world.network.set_link(0, dst, DeadLink())
+        world.start()
+        rbs[0].rbroadcast("doomed")
+        world.crash(0)
+        world.run()
+        assert delivered[0] == ["doomed"]  # the faulty origin delivered...
+        for pid in (1, 2, 3, 4):
+            assert delivered[pid] == []  # ...but no correct process ever does
+
+    def test_urb_withholds_without_majority(self, world):
+        urbs, delivered = attach_urbs(world)
+        # p0 can only reach p1: 2 < majority (3) processes ever see it.
+        for dst in (2, 3, 4):
+            world.network.set_link(0, dst, DeadLink())
+            world.network.set_link(1, dst, DeadLink())
+        urbs[0].urbroadcast("stuck")
+        world.run()
+        assert delivered[0] == []
+        assert delivered[1] == []
+
+    def test_multiple_messages_ordering_free(self, world):
+        urbs, delivered = attach_urbs(world)
+        urbs[0].urbroadcast("a")
+        urbs[3].urbroadcast("b")
+        world.run()
+        for pid in world.pids:
+            assert sorted(delivered[pid]) == [(0, "a"), (3, "b")]
+
+    def test_no_duplicate_delivery(self, world):
+        urbs, delivered = attach_urbs(world)
+        urbs[1].urbroadcast("once")
+        world.run()
+        assert all(len(delivered[pid]) == 1 for pid in world.pids)

@@ -1,0 +1,34 @@
+"""Shared test fixtures and helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim import FixedDelay, ReliableLink, UniformDelay, World
+
+
+@pytest.fixture
+def world():
+    """A small 5-process world with fixed 1.0 delays (fully predictable)."""
+    return World(n=5, seed=42, default_link=ReliableLink(FixedDelay(1.0)))
+
+
+@pytest.fixture
+def jittery_world():
+    """A 5-process world with mild random jitter."""
+    return World(n=5, seed=42, default_link=ReliableLink(UniformDelay(0.5, 2.0)))
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--thorough",
+        action="store_true",
+        default=False,
+        help="run the full randomized batteries (slower)",
+    )
+
+
+@pytest.fixture
+def thorough(request):
+    """True when the slow randomized batteries were requested."""
+    return request.config.getoption("--thorough")

@@ -1,0 +1,156 @@
+"""Tests for the baseline consensus algorithms (CT ◇S, MR Ω, Paxos)."""
+
+import pytest
+
+from repro.analysis import (
+    extract_outcome,
+    max_phases_per_round,
+    messages_per_round,
+    require_consensus,
+)
+from repro.errors import ConfigurationError
+from repro.fd import OMEGA, OracleConfig, OracleFailureDetector
+from repro.broadcast import ReliableBroadcast
+from repro.consensus import MostefaouiRaynalConsensus
+from repro.sim import World, crash_at
+from repro.workloads import consensus_run, nice_run, stabilizing_run
+
+
+def assert_correct(run):
+    outcome = extract_outcome(run.world.trace, run.algo)
+    require_consensus(outcome, run.world.correct_pids)
+    return outcome
+
+
+class TestChandraToueg:
+    def test_nice_run_decides_round_one(self):
+        run = nice_run("ct", n=5, seed=0).run(until=300.0)
+        assert run.decided
+        outcome = assert_correct(run)
+        assert all(r == 1 for r in outcome.decision_rounds.values())
+
+    def test_four_phases_per_round(self):
+        run = nice_run("ct", n=5, seed=0).run(until=300.0)
+        assert max_phases_per_round(run.world.trace, "ct") == 4
+
+    def test_message_complexity_3n(self):
+        for n in (4, 5, 8):
+            run = nice_run("ct", n=n, seed=1).run(until=300.0)
+            per_round = messages_per_round(run.world.trace)
+            assert per_round[1] == 3 * (n - 1)
+
+    def test_rotating_coordinator_order(self):
+        run = nice_run("ct", n=5, seed=0)
+        ct = run.protocols[0]
+        assert [ct.coordinator_of(r) for r in (1, 2, 5, 6)] == [0, 1, 4, 0]
+
+    def test_coordinator_crash_rotates_on(self):
+        run = consensus_run(
+            "ct", n=5, seed=2, pre_behavior="ideal",
+            crashes=crash_at((0, 0.5)),
+        ).run(until=800.0)
+        assert run.decided
+        outcome = assert_correct(run)
+        # Round 1's coordinator crashed; decision must come later.
+        assert all(r >= 2 for r in outcome.decision_rounds.values())
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_erratic_detector_then_stability(self, seed):
+        run = stabilizing_run("ct", n=5, seed=seed,
+                              stabilize_time=120.0).run(until=4000.0)
+        assert run.decided
+        assert_correct(run)
+
+    def test_minority_crashes(self):
+        run = consensus_run(
+            "ct", n=7, seed=3, pre_behavior="ideal",
+            crashes=crash_at((1, 5.0), (2, 9.0), (3, 13.0)),
+        ).run(until=2000.0)
+        assert run.decided
+        assert_correct(run)
+
+
+class TestMostefaouiRaynal:
+    def test_nice_run_decides_round_one(self):
+        run = nice_run("mr", n=5, seed=0).run(until=300.0)
+        assert run.decided
+        outcome = assert_correct(run)
+        assert all(r == 1 for r in outcome.decision_rounds.values())
+
+    def test_three_phases_per_round(self):
+        run = nice_run("mr", n=5, seed=0).run(until=300.0)
+        assert max_phases_per_round(run.world.trace, "mr") == 3
+
+    def test_message_complexity_3n_squared(self):
+        for n in (4, 5, 8):
+            run = nice_run("mr", n=n, seed=1).run(until=300.0)
+            per_round = messages_per_round(run.world.trace)
+            assert per_round[1] == 3 * n * (n - 1)
+
+    def test_rejects_bad_f(self):
+        world = World(n=4, seed=0)
+        fd = world.attach(0, OracleFailureDetector(OMEGA))
+        rb = world.attach(0, ReliableBroadcast())
+        world.attach(0, MostefaouiRaynalConsensus(fd, rb, f=2))
+        with pytest.raises(ConfigurationError):
+            world.start()
+
+    def test_explicit_small_f(self):
+        run = nice_run("mr", n=7, seed=4, f=1).run(until=300.0)
+        assert run.decided
+        assert_correct(run)
+
+    def test_leader_crash_mid_run(self):
+        run = consensus_run(
+            "mr", n=5, seed=5, pre_behavior="ideal",
+            crashes=crash_at((0, 2.0)),
+        ).run(until=1500.0)
+        assert run.decided
+        assert_correct(run)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_erratic_detector_then_stability(self, seed):
+        run = stabilizing_run("mr", n=5, seed=seed,
+                              stabilize_time=120.0).run(until=4000.0)
+        assert run.decided
+        assert_correct(run)
+
+
+class TestPaxos:
+    def test_nice_run(self):
+        run = nice_run("paxos", n=5, seed=0).run(until=500.0)
+        assert run.decided
+        assert_correct(run)
+
+    def test_leader_crash_then_new_proposer(self):
+        run = consensus_run(
+            "paxos", n=5, seed=1, pre_behavior="ideal",
+            crashes=crash_at((0, 2.0)),
+        ).run(until=2000.0)
+        assert run.decided
+        assert_correct(run)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_erratic_omega_contention(self, seed):
+        """Several self-believed proposers must not break safety."""
+        run = stabilizing_run("paxos", n=5, seed=seed,
+                              stabilize_time=150.0).run(until=4000.0)
+        assert run.decided
+        assert_correct(run)
+
+    def test_chosen_value_from_promises(self):
+        run = nice_run("paxos", n=5, seed=2,
+                       values=[f"v{i}" for i in range(5)]).run(until=500.0)
+        assert run.decisions[0] in [f"v{i}" for i in range(5)]
+
+
+class TestBuilders:
+    def test_unknown_algorithm_rejected(self):
+        from repro.consensus import attach_consensus
+        world = World(n=3, seed=0)
+        with pytest.raises(ConfigurationError):
+            attach_consensus(world, "raft", lambda pid: None)
+
+    def test_propose_all_defaults_to_pids(self):
+        run = nice_run("ec", n=3, seed=0).run(until=200.0)
+        assert run.decisions[0] in (0, 1, 2)

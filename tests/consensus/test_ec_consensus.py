@@ -1,0 +1,188 @@
+"""Tests for the ◇C-consensus algorithm (Figs. 3–4)."""
+
+import pytest
+
+from repro.analysis import (
+    extract_outcome,
+    max_phases_per_round,
+    messages_per_round,
+    require_consensus,
+    rounds_after_system,
+)
+from repro.errors import ProtocolError
+from repro.fd import EVENTUALLY_CONSISTENT
+from repro.sim import crash_at
+from repro.workloads import (
+    consensus_run,
+    nice_run,
+    stabilizing_run,
+    theorem3_run,
+)
+
+
+def assert_correct(run):
+    outcome = extract_outcome(run.world.trace, run.algo)
+    require_consensus(outcome, run.world.correct_pids)
+    return outcome
+
+
+class TestNiceRuns:
+    def test_decides_in_one_round(self):
+        run = nice_run("ec", n=5, seed=0).run(until=300.0)
+        assert run.decided
+        outcome = assert_correct(run)
+        assert all(r == 1 for r in outcome.decision_rounds.values())
+
+    def test_five_phases_per_round(self):
+        run = nice_run("ec", n=5, seed=0).run(until=300.0)
+        assert max_phases_per_round(run.world.trace, "ec") == 5
+
+    def test_message_complexity_4n(self):
+        for n in (4, 5, 8):
+            run = nice_run("ec", n=n, seed=1).run(until=300.0)
+            per_round = messages_per_round(run.world.trace)
+            assert per_round[1] == 4 * (n - 1)
+
+    def test_decision_value_is_a_proposal(self):
+        run = nice_run("ec", n=5, seed=2,
+                       values=["a", "b", "c", "d", "e"]).run(until=300.0)
+        assert run.decisions[0] in list("abcde")
+
+    @pytest.mark.parametrize("n", [3, 4, 5, 7, 10])
+    def test_various_system_sizes(self, n):
+        run = nice_run("ec", n=n, seed=3).run(until=500.0)
+        assert run.decided
+        assert_correct(run)
+
+
+class TestFaultTolerance:
+    def test_minority_crashes_before_start(self):
+        run = consensus_run(
+            "ec", n=5, seed=4, pre_behavior="ideal",
+            crashes=crash_at((1, 0.5), (3, 0.5)),
+        ).run(until=500.0)
+        assert run.decided
+        assert_correct(run)
+
+    def test_leader_crash_mid_run(self):
+        # Leader (pid 0) crashes; the oracle re-elects; consensus completes.
+        run = consensus_run(
+            "ec", n=5, seed=5, pre_behavior="ideal",
+            crashes=crash_at((0, 3.0)),
+        ).run(until=800.0)
+        assert run.decided
+        assert_correct(run)
+
+    def test_cascading_crashes(self):
+        run = consensus_run(
+            "ec", n=7, seed=6, pre_behavior="ideal",
+            crashes=crash_at((0, 2.0), (1, 6.0), (2, 10.0)),
+        ).run(until=1500.0)
+        assert run.decided
+        assert_correct(run)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_erratic_detector_then_stability(self, seed):
+        run = stabilizing_run("ec", n=5, seed=seed,
+                              stabilize_time=120.0).run(until=3000.0)
+        assert run.decided
+        assert_correct(run)
+
+    def test_erratic_detector_with_crashes(self):
+        run = consensus_run(
+            "ec", n=7, seed=7, stabilize_time=150.0, pre_behavior="erratic",
+            crashes=crash_at((2, 40.0), (5, 90.0)),
+        ).run(until=3000.0)
+        assert run.decided
+        assert_correct(run)
+
+
+class TestLeaderElectionAdvantage:
+    def test_decides_one_round_after_stabilization(self):
+        run = theorem3_run("ec", n=8, leader=5, stabilize_time=200.0)
+        run.run(until=3000.0)
+        assert run.decided
+        # The first round started entirely after stabilization decides: the
+        # in-flight rounds drain, the leader coordinates the next one.
+        extra = rounds_after_system(run.world.trace, 200.0, "ec")
+        assert extra == 1, extra
+
+    def test_slandered_majority_does_not_block(self):
+        """◇C's accuracy means only the leader needs to be clean; everyone
+        else may stay suspected forever."""
+        slander = frozenset({1, 2, 3})
+        run = consensus_run(
+            "ec", n=7, seed=8, pre_behavior="ideal", leader=0,
+            slander=slander,
+        ).run(until=800.0)
+        assert run.decided
+        assert_correct(run)
+
+
+class TestNackTolerance:
+    def test_decides_despite_nacks(self):
+        """E7: a majority of acks decides even when nacks are present.
+
+        Processes that (falsely, permanently) suspect the coordinator nack
+        in Phase 3; the coordinator must still decide because it waits for
+        every unsuspected process — collecting a majority of positives.
+        """
+        # 2 of 7 processes slander the leader... not possible under ◇C
+        # (trusted is never suspected *at the same process*).  Instead the
+        # leader's ◇C suspects nobody while 3 processes have everyone-else
+        # slandered, nacking every non-leader coordinator.  Simplest
+        # faithful construction: leader 0 clean; processes 5, 6 slandered by
+        # everyone, so their acks still count while others' suspicion of
+        # them lets the coordinator proceed without them.
+        run = consensus_run(
+            "ec", n=7, seed=9, pre_behavior="ideal", leader=0,
+            slander=frozenset({5, 6}),
+        ).run(until=800.0)
+        assert run.decided
+        assert_correct(run)
+
+
+class TestMergedPhase01Variant:
+    def test_decides_and_agrees(self):
+        run = nice_run("ec", n=5, seed=10,
+                       merged_phase01=True).run(until=500.0)
+        assert run.decided
+        assert_correct(run)
+
+    def test_four_phases_but_quadratic_messages(self):
+        n = 6
+        run = nice_run("ec", n=n, seed=11,
+                       merged_phase01=True).run(until=500.0)
+        assert max_phases_per_round(run.world.trace, "ec") == 4
+        per_round = messages_per_round(run.world.trace)
+        # Phase 0+1 alone costs n(n-1): quadratic.
+        assert per_round[1] >= n * (n - 1)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_merged_with_erratic_prefix(self, seed):
+        run = stabilizing_run(
+            "ec", n=5, seed=seed, stabilize_time=100.0, merged_phase01=True
+        ).run(until=3000.0)
+        assert run.decided
+        assert_correct(run)
+
+
+class TestAPI:
+    def test_double_propose_rejected(self):
+        run = nice_run("ec", n=3, seed=0)
+        with pytest.raises(ProtocolError):
+            run.protocols[0].propose("again")
+
+    def test_on_decide_callback(self):
+        run = nice_run("ec", n=3, seed=0)
+        got = []
+        run.protocols[2].on_decide(got.append)
+        run.run(until=300.0)
+        assert got == [run.protocols[2].decision]
+
+    def test_decision_metadata(self):
+        run = nice_run("ec", n=3, seed=0).run(until=300.0)
+        p = run.protocols[0]
+        assert p.decided
+        assert p.decision_round == 1
+        assert p.decision_time is not None

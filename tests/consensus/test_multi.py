@@ -1,0 +1,89 @@
+"""Tests for the replicated state machine (repeated consensus)."""
+
+import pytest
+
+from repro.consensus import NOOP, ReplicatedStateMachine
+from repro.fd import (
+    EVENTUALLY_CONSISTENT,
+    OracleConfig,
+    OracleFailureDetector,
+)
+from repro.sim import FixedDelay, ReliableLink, World
+
+
+def build(n=4, seed=0, stabilize=0.0):
+    world = World(n=n, seed=seed, default_link=ReliableLink(FixedDelay(1.0)))
+    rsms = []
+    for pid in world.pids:
+        fd = world.attach(
+            pid,
+            OracleFailureDetector(
+                EVENTUALLY_CONSISTENT,
+                OracleConfig(
+                    stabilize_time=stabilize,
+                    pre_behavior="erratic" if stabilize else "ideal",
+                ),
+                channel="fd",
+            ),
+        )
+        rsms.append(world.attach(pid, ReplicatedStateMachine(fd)))
+    world.start()
+    return world, rsms
+
+
+class TestReplicatedLog:
+    def test_single_command_applied_everywhere(self):
+        world, rsms = build()
+        rsms[0].submit({"op": "set", "k": "x", "v": 1})
+        world.run(until=400.0)
+        for rsm in rsms:
+            assert rsm.log == [{"op": "set", "k": "x", "v": 1}]
+
+    def test_logs_identical_across_replicas(self):
+        world, rsms = build(seed=1)
+        rsms[0].submit("a")
+        world.scheduler.schedule(15.0, lambda: rsms[1].submit("b"))
+        world.scheduler.schedule(30.0, lambda: rsms[2].submit("c"))
+        world.run(until=900.0)
+        logs = [tuple(rsm.log) for rsm in rsms]
+        assert len(set(logs)) == 1
+        assert sorted(logs[0]) == ["a", "b", "c"]
+
+    def test_no_duplicate_application(self):
+        world, rsms = build(seed=2)
+        rsms[0].submit("x")
+        rsms[0].submit("x")  # same payload, distinct command ids
+        world.run(until=600.0)
+        assert rsms[1].log.count("x") == 2  # two submissions, two applies
+
+    def test_commands_survive_replica_crash(self):
+        world, rsms = build(n=5, seed=3)
+        rsms[1].submit("persisted")
+        world.scheduler.schedule(5.0, lambda: world.crash(1))
+        world.run(until=900.0)
+        for rsm in rsms:
+            if rsm.pid != 1:
+                assert "persisted" in rsm.log
+
+    def test_apply_callbacks_in_slot_order(self):
+        world, rsms = build(seed=4)
+        applied = []
+        rsms[3].on_apply(lambda slot, cmd: applied.append((slot, cmd)))
+        rsms[0].submit("first")
+        world.scheduler.schedule(20.0, lambda: rsms[0].submit("second"))
+        world.run(until=900.0)
+        slots = [slot for slot, _ in applied]
+        assert slots == sorted(slots)
+        assert [cmd for _, cmd in applied] == ["first", "second"]
+
+    def test_progress_with_erratic_detector(self):
+        world, rsms = build(seed=5, stabilize=80.0)
+        rsms[0].submit("eventually")
+        world.run(until=3000.0)
+        assert all("eventually" in rsm.log for rsm in rsms)
+
+    def test_noop_slots_not_logged(self):
+        world, rsms = build(seed=6)
+        world.run(until=200.0)  # nobody submits: slots decide NOOP
+        assert all(rsm.log == [] for rsm in rsms)
+        assert all(rsm.current_slot >= 1 for rsm in rsms)

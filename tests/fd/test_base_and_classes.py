@@ -1,0 +1,130 @@
+"""Tests for the FailureDetector base class and the class taxonomy."""
+
+import pytest
+
+from repro.fd import (
+    ALL_CLASSES,
+    EVENTUALLY_CONSISTENT,
+    EVENTUALLY_PERFECT,
+    EVENTUALLY_STRONG,
+    EVENTUALLY_WEAK,
+    FailureDetector,
+    OMEGA,
+    PERFECT,
+    first_non_suspected,
+)
+from repro.sim import World
+
+
+class Scripted(FailureDetector):
+    """Detector whose output is set manually by the test."""
+
+    def set(self, suspected=None, trusted="__keep__"):
+        self._set_output(suspected=suspected, trusted=trusted)
+
+
+@pytest.fixture
+def fd():
+    world = World(n=4, seed=0)
+    det = world.attach(0, Scripted())
+    world.start()
+    return world, det
+
+
+class TestFailureDetectorBase:
+    def test_initial_output(self, fd):
+        _, det = fd
+        assert det.suspected() == frozenset()
+        assert det.trusted() is None
+
+    def test_set_and_query(self, fd):
+        _, det = fd
+        det.set(suspected=frozenset({1, 2}), trusted=3)
+        assert det.suspected() == {1, 2}
+        assert det.trusted() == 3
+        assert det.suspects(1)
+        assert not det.suspects(3)
+
+    def test_trusted_can_be_cleared_to_none(self, fd):
+        _, det = fd
+        det.set(trusted=2)
+        det.set(trusted=None)
+        assert det.trusted() is None
+
+    def test_listeners_fire_on_change_only(self, fd):
+        _, det = fd
+        calls = []
+        det.subscribe(calls.append)
+        det.set(suspected=frozenset({1}))
+        det.set(suspected=frozenset({1}))  # no change
+        assert len(calls) == 1
+        det.set(trusted=2)
+        assert len(calls) == 2
+
+    def test_changes_recorded_in_trace_with_channel(self, fd):
+        world, det = fd
+        det.set(suspected=frozenset({2}), trusted=1)
+        events = world.trace.select(kind="fd")
+        assert events  # initial + change
+        last = events[-1]
+        assert last.get("channel") == "fd"
+        assert last.get("suspected") == {2}
+        assert last.get("trusted") == 1
+
+    def test_other_components_poked_on_change(self, fd):
+        world, det = fd
+        pokes = []
+
+        class Waiter(FailureDetector):
+            channel = "other"
+
+            def on_fd_change(self):
+                pokes.append(1)
+
+        world.attach(0, Waiter())
+        det.set(suspected=frozenset({1}))
+        assert pokes == [1]
+
+
+class TestFirstNonSuspected:
+    def test_default_order(self):
+        assert first_non_suspected(frozenset({0, 1}), 4) == 2
+
+    def test_empty_suspicions(self):
+        assert first_non_suspected(frozenset(), 4) == 0
+
+    def test_all_suspected(self):
+        assert first_non_suspected(frozenset({0, 1, 2, 3}), 4) is None
+
+    def test_custom_order(self):
+        assert first_non_suspected(frozenset({3}), 4, order=[3, 2, 1, 0]) == 2
+
+
+class TestClassTaxonomy:
+    def test_fig1_grid(self):
+        # Fig. 1 of the paper: completeness x accuracy.
+        assert EVENTUALLY_PERFECT.completeness == "strong"
+        assert EVENTUALLY_PERFECT.accuracy == "eventual-strong"
+        assert EVENTUALLY_STRONG.completeness == "strong"
+        assert EVENTUALLY_STRONG.accuracy == "eventual-weak"
+        assert EVENTUALLY_WEAK.completeness == "weak"
+        assert EVENTUALLY_WEAK.accuracy == "eventual-weak"
+
+    def test_omega_has_leader_only(self):
+        assert OMEGA.leader
+        assert OMEGA.completeness is None
+        assert OMEGA.accuracy is None
+
+    def test_ec_is_s_plus_omega_plus_consistency(self):
+        # Definition 1.
+        assert EVENTUALLY_CONSISTENT.completeness == EVENTUALLY_STRONG.completeness
+        assert EVENTUALLY_CONSISTENT.accuracy == EVENTUALLY_STRONG.accuracy
+        assert EVENTUALLY_CONSISTENT.leader
+        assert EVENTUALLY_CONSISTENT.trusted_not_suspected
+
+    def test_perfect_is_perpetual(self):
+        assert PERFECT.accuracy == "strong"
+
+    def test_all_classes_unique_symbols(self):
+        symbols = [c.symbol for c in ALL_CLASSES]
+        assert len(symbols) == len(set(symbols))

@@ -1,0 +1,109 @@
+"""Tests for ◇C compositions (CombinedDetector, attach_ec_stack)."""
+
+import pytest
+
+from repro.analysis import check_fd_class_on_world
+from repro.errors import ConfigurationError
+from repro.fd import (
+    CombinedDetector,
+    EVENTUALLY_CONSISTENT,
+    EVENTUALLY_STRONG,
+    OMEGA,
+    OracleConfig,
+    OracleFailureDetector,
+    attach_ec_stack,
+)
+from repro.sim import World
+from repro.workloads import partially_synchronous_link
+
+
+def combined_world(n=5, seed=0, slander=frozenset()):
+    """Oracle Ω + oracle ◇S feeding a CombinedDetector on every process."""
+    world = World(n=n, seed=seed)
+    combos = []
+    for pid in world.pids:
+        omega = world.attach(
+            pid,
+            OracleFailureDetector(
+                OMEGA, OracleConfig(pre_behavior="ideal"), channel="fd.omega"
+            ),
+        )
+        suspects = world.attach(
+            pid,
+            OracleFailureDetector(
+                EVENTUALLY_STRONG,
+                OracleConfig(pre_behavior="ideal", slander=slander),
+                channel="fd.suspects",
+            ),
+        )
+        combos.append(world.attach(pid, CombinedDetector(omega, suspects)))
+    return world, combos
+
+
+class TestCombinedDetector:
+    def test_reexports_both_outputs(self):
+        world, combos = combined_world()
+        world.schedule_crash(3, 20.0)
+        world.run(until=100.0)
+        for det in combos:
+            if det.pid != 3:
+                assert det.trusted() == 0
+                assert 3 in det.suspected()
+
+    def test_trusted_removed_from_suspects(self):
+        # Slander the would-be leader in the ◇S source: the combination must
+        # keep Definition 1's third clause by excluding the trusted process.
+        world, combos = combined_world(slander=frozenset({1}))
+        world.schedule_crash(0, 20.0)
+        world.run(until=200.0)
+        for det in combos:
+            if det.pid != 0:
+                assert det.trusted() == 1
+                assert 1 not in det.suspected()
+
+    def test_sources_must_share_process(self):
+        world = World(n=3, seed=0)
+        omega = world.attach(
+            0, OracleFailureDetector(OMEGA, channel="fd.omega")
+        )
+        suspects = world.attach(
+            1, OracleFailureDetector(EVENTUALLY_STRONG, channel="fd.suspects")
+        )
+        world.attach(0, CombinedDetector(omega, suspects))
+        with pytest.raises(ConfigurationError):
+            world.start()
+
+    def test_satisfies_ec_class(self):
+        world, combos = combined_world(seed=2)
+        world.schedule_crash(4, 30.0)
+        world.run(until=400.0)
+        results = check_fd_class_on_world(world, EVENTUALLY_CONSISTENT)
+        assert all(results.values()), results
+
+
+class TestECStack:
+    @pytest.mark.parametrize("suspects", ["ring", "heartbeat", "complement"])
+    def test_stack_satisfies_ec_under_partial_synchrony(self, suspects):
+        world = World(
+            n=5, seed=3, default_link=partially_synchronous_link(gst=60.0)
+        )
+        attach_ec_stack(world, suspects=suspects, initial_timeout=10.0)
+        world.schedule_crash(0, 100.0)
+        world.run(until=3000.0)
+        results = check_fd_class_on_world(world, EVENTUALLY_CONSISTENT)
+        assert all(results.values()), (suspects, results)
+
+    def test_unknown_suspects_source_rejected(self):
+        world = World(n=3, seed=0)
+        with pytest.raises(ConfigurationError):
+            attach_ec_stack(world, suspects="bogus")
+
+    def test_complement_has_poor_accuracy(self):
+        """The Ω→◇C route suspects all non-leaders — the paper's accuracy
+        caveat, quantified in ablation A2."""
+        world = World(n=5, seed=1)
+        complement = attach_ec_stack(world, suspects="complement")
+        world.run(until=200.0)
+        det = complement[1]
+        assert det.trusted() == 0
+        assert det.suspected() == {2, 3, 4}  # everyone else but the leader

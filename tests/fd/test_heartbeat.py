@@ -1,0 +1,107 @@
+"""Tests for the all-to-all heartbeat ◇P implementation."""
+
+import pytest
+
+from repro.analysis import (
+    build_histories,
+    check_fd_class_on_world,
+    detection_latency,
+)
+from repro.errors import ConfigurationError
+from repro.fd import EVENTUALLY_PERFECT, HeartbeatEventuallyPerfect
+from repro.sim import FixedDelay, ReliableLink, World
+from repro.workloads import partially_synchronous_link
+
+
+def psync_world(n=5, seed=0, gst=40.0):
+    return World(
+        n=n, seed=seed, default_link=partially_synchronous_link(gst=gst)
+    )
+
+
+class TestHeartbeatBasics:
+    def test_parameter_validation(self):
+        with pytest.raises(ConfigurationError):
+            HeartbeatEventuallyPerfect(period=0)
+        with pytest.raises(ConfigurationError):
+            HeartbeatEventuallyPerfect(initial_timeout=-1)
+
+    def test_no_suspicion_on_stable_lan(self):
+        world = World(n=4, seed=1, default_link=ReliableLink(FixedDelay(1.0)))
+        dets = world.attach_all(lambda pid: HeartbeatEventuallyPerfect())
+        world.run(until=300.0)
+        assert all(det.suspected() == frozenset() for det in dets)
+
+    def test_crashed_process_suspected_by_all(self):
+        world = World(n=4, seed=1, default_link=ReliableLink(FixedDelay(1.0)))
+        dets = world.attach_all(lambda pid: HeartbeatEventuallyPerfect())
+        world.schedule_crash(2, 50.0)
+        world.run(until=300.0)
+        for det in dets:
+            if det.pid != 2:
+                assert det.suspected() == {2}
+
+    def test_detection_latency_close_to_timeout(self):
+        world = World(n=4, seed=1, default_link=ReliableLink(FixedDelay(1.0)))
+        world.attach_all(
+            lambda pid: HeartbeatEventuallyPerfect(period=5.0, initial_timeout=12.0)
+        )
+        world.schedule_crash(2, 50.0)
+        world.run(until=300.0)
+        latency = detection_latency(
+            world.trace, 2, 50.0, world.correct_pids, channel="fd"
+        )
+        # Should be around timeout + delivery, far below the ring's O(n).
+        assert latency is not None
+        assert latency < 25.0
+
+    def test_false_suspicion_widens_timeout(self):
+        # Chaotic pre-GST delays cause false suspicions; each one must bump
+        # the timeout (Task-4 analogue).
+        world = psync_world(seed=3, gst=120.0)
+        dets = world.attach_all(
+            lambda pid: HeartbeatEventuallyPerfect(initial_timeout=6.0,
+                                                   timeout_increment=4.0)
+        )
+        world.run(until=400.0)
+        bumped = any(
+            det.timeout_of(q) > 6.0
+            for det in dets
+            for q in range(5)
+            if q != det.pid
+        )
+        assert bumped
+
+    def test_message_cost_is_n_squared_per_period(self):
+        n = 6
+        world = World(n=n, seed=0, default_link=ReliableLink(FixedDelay(1.0)))
+        world.attach_all(lambda pid: HeartbeatEventuallyPerfect(period=5.0))
+        world.run(until=200.0)
+        sends = world.trace.select(
+            kind="send", after=100.0, before=200.0,
+            where=lambda e: e.get("channel") == "fd",
+        )
+        periods = (200.0 - 100.0) / 5.0
+        per_period = len(sends) / periods
+        assert per_period == pytest.approx(n * (n - 1), rel=0.1)
+
+
+class TestHeartbeatClassProperties:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_satisfies_dp_under_partial_synchrony(self, seed):
+        world = psync_world(seed=seed, gst=60.0)
+        world.attach_all(
+            lambda pid: HeartbeatEventuallyPerfect(initial_timeout=8.0)
+        )
+        world.schedule_crash(1, 100.0)
+        world.run(until=1000.0)
+        results = check_fd_class_on_world(world, EVENTUALLY_PERFECT)
+        assert all(results.values()), results
+
+    def test_histories_are_recorded(self):
+        world = psync_world(seed=0)
+        world.attach_all(lambda pid: HeartbeatEventuallyPerfect())
+        world.schedule_crash(0, 60.0)
+        world.run(until=300.0)
+        histories = build_histories(world.trace, channel="fd")
+        assert set(histories) == set(range(5))

@@ -1,0 +1,82 @@
+"""Tests for the timeout-free heartbeat-counter detector."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.fd.heartbeat_counter import HeartbeatCounterDetector
+from repro.sim import FixedDelay, ReliableLink, World
+from repro.workloads import asynchronous_link
+
+
+def build(n=4, seed=0, link=None):
+    world = World(
+        n=n, seed=seed,
+        default_link=link if link is not None else ReliableLink(FixedDelay(1.0)),
+    )
+    dets = world.attach_all(lambda pid: HeartbeatCounterDetector(period=5.0))
+    return world, dets
+
+
+class TestHeartbeatCounter:
+    def test_parameter_validation(self):
+        with pytest.raises(ConfigurationError):
+            HeartbeatCounterDetector(period=0)
+
+    def test_counters_of_correct_processes_grow(self):
+        world, dets = build()
+        world.run(until=100.0)
+        first = dets[0].snapshot()
+        world.run(until=200.0)
+        second = dets[0].snapshot()
+        assert all(b > a for a, b in zip(first, second))
+
+    def test_counter_of_crashed_process_freezes(self):
+        world, dets = build()
+        world.schedule_crash(2, 50.0)
+        world.run(until=100.0)
+        frozen = dets[0].heartbeat_of(2)
+        world.run(until=400.0)
+        assert dets[0].heartbeat_of(2) == frozen
+        # Correct processes kept beating meanwhile.
+        assert dets[0].heartbeat_of(1) > dets[0].heartbeat_of(2)
+
+    def test_never_suspects_never_trusts(self):
+        world, dets = build()
+        world.schedule_crash(2, 50.0)
+        world.run(until=300.0)
+        assert dets[0].suspected() == frozenset()
+        assert dets[0].trusted() is None
+
+    def test_progressed_since(self):
+        world, dets = build()
+        world.run(until=50.0)
+        mark = dets[0].heartbeat_of(1)
+        assert not dets[0].progressed_since(1, mark)
+        world.run(until=80.0)
+        assert dets[0].progressed_since(1, mark)
+
+    def test_own_counter_advances(self):
+        world, dets = build()
+        world.run(until=50.0)
+        assert dets[3].heartbeat_of(3) >= 10
+
+    def test_no_timing_assumptions_needed(self):
+        """Unlike the timeout detectors, wild delay spikes cause no
+        misbehaviour at all — counters just arrive late."""
+        world, dets = build(seed=2, link=asynchronous_link(spike_prob=0.3))
+        world.schedule_crash(1, 100.0)
+        world.run(until=1000.0)
+        # Crashed counter below every correct counter; nothing "suspected".
+        for det in dets:
+            if det.pid != 1:
+                assert det.heartbeat_of(1) < det.heartbeat_of(det.pid)
+                assert det.suspected() == frozenset()
+
+    def test_monotonicity(self):
+        world, dets = build(seed=3)
+        previous = dets[0].snapshot()
+        for t in range(50, 400, 50):
+            world.run(until=float(t))
+            current = dets[0].snapshot()
+            assert all(c >= p for p, c in zip(previous, current))
+            previous = current

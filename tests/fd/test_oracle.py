@@ -1,0 +1,151 @@
+"""Tests for the scriptable oracle failure detectors."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.fd import (
+    EVENTUALLY_CONSISTENT,
+    EVENTUALLY_PERFECT,
+    EVENTUALLY_QUASI_PERFECT,
+    EVENTUALLY_STRONG,
+    EVENTUALLY_WEAK,
+    OMEGA,
+    OracleConfig,
+    OracleFailureDetector,
+    oracle_factory,
+)
+from repro.sim import World
+
+
+def make_world(fd_class, config=None, n=5, seed=0):
+    world = World(n=n, seed=seed)
+    detectors = world.attach_all(oracle_factory(fd_class, config))
+    world.start()
+    return world, detectors
+
+
+class TestOracleConfig:
+    def test_rejects_unknown_behavior(self):
+        with pytest.raises(ConfigurationError):
+            OracleConfig(pre_behavior="chaotic")
+
+    def test_rejects_bad_period(self):
+        with pytest.raises(ConfigurationError):
+            OracleConfig(poll_period=0.0)
+
+
+class TestIdealOutputs:
+    def test_dp_suspects_exactly_crashed(self):
+        world, dets = make_world(
+            EVENTUALLY_PERFECT, OracleConfig(pre_behavior="ideal")
+        )
+        world.schedule_crash(3, 10.0)
+        world.run(until=50.0)
+        for det in dets:
+            if det.pid != 3:
+                assert det.suspected() == {3}
+                assert det.trusted() is None
+
+    def test_detection_lag_delays_suspicion(self):
+        config = OracleConfig(pre_behavior="ideal", detection_lag=20.0)
+        world, dets = make_world(EVENTUALLY_PERFECT, config)
+        world.schedule_crash(3, 10.0)
+        world.run(until=25.0)
+        assert dets[0].suspected() == frozenset()
+        world.run(until=60.0)
+        assert dets[0].suspected() == {3}
+
+    def test_omega_trusts_min_correct(self):
+        world, dets = make_world(OMEGA, OracleConfig(pre_behavior="ideal"))
+        world.schedule_crash(0, 10.0)
+        world.run(until=50.0)
+        for det in dets:
+            if det.pid != 0:
+                assert det.trusted() == 1
+                # Omega implicitly suspects everyone but the leader.
+                assert det.suspected() == frozenset({0, 2, 3, 4}) - {det.pid}
+
+    def test_designated_leader(self):
+        config = OracleConfig(pre_behavior="ideal", leader=2)
+        world, dets = make_world(OMEGA, config)
+        world.run(until=20.0)
+        assert all(det.trusted() == 2 for det in dets)
+
+    def test_ds_slander_persists(self):
+        config = OracleConfig(pre_behavior="ideal", slander=frozenset({1, 2}))
+        world, dets = make_world(EVENTUALLY_STRONG, config)
+        world.run(until=30.0)
+        assert dets[0].suspected() == {1, 2}
+        # Never suspects itself even if slandered.
+        assert 1 not in dets[1].suspected()
+
+    def test_slander_never_includes_leader(self):
+        config = OracleConfig(
+            pre_behavior="ideal", leader=1, slander=frozenset({1, 2})
+        )
+        world, dets = make_world(EVENTUALLY_CONSISTENT, config)
+        world.run(until=30.0)
+        assert 1 not in dets[0].suspected()
+        assert dets[0].trusted() == 1
+
+    def test_dq_weak_completeness_single_witness(self):
+        world, dets = make_world(
+            EVENTUALLY_QUASI_PERFECT, OracleConfig(pre_behavior="ideal")
+        )
+        world.schedule_crash(4, 10.0)
+        world.run(until=50.0)
+        assert dets[0].suspected() == {4}          # witness = min correct
+        assert dets[1].suspected() == frozenset()  # others: nothing
+
+    def test_dw_witness_and_slander(self):
+        config = OracleConfig(pre_behavior="ideal", slander=frozenset({3}))
+        world, dets = make_world(EVENTUALLY_WEAK, config)
+        world.schedule_crash(4, 10.0)
+        world.run(until=50.0)
+        assert dets[0].suspected() == {3, 4}
+        assert dets[1].suspected() == {3}
+
+    def test_ec_trusted_not_suspected(self):
+        world, dets = make_world(
+            EVENTUALLY_CONSISTENT, OracleConfig(pre_behavior="ideal")
+        )
+        world.schedule_crash(2, 5.0)
+        world.run(until=40.0)
+        for det in dets:
+            if det.pid != 2:
+                assert det.trusted() == 0
+                assert det.trusted() not in det.suspected()
+                assert 2 in det.suspected() or det.pid == 2
+
+
+class TestPreStabilization:
+    def test_suspect_all(self):
+        config = OracleConfig(stabilize_time=100.0, pre_behavior="suspect-all")
+        world, dets = make_world(EVENTUALLY_CONSISTENT, config)
+        world.run(until=50.0)
+        for det in dets:
+            assert det.suspected() == frozenset(range(5)) - {det.pid}
+            assert det.trusted() == det.pid
+
+    def test_erratic_changes_then_stabilizes(self):
+        config = OracleConfig(stabilize_time=100.0, pre_behavior="erratic")
+        world, dets = make_world(EVENTUALLY_CONSISTENT, config)
+        world.run(until=90.0)
+        outputs_before = [det.suspected() for det in dets]
+        world.run(until=300.0)
+        # After stabilization with no crashes: nobody suspected, all trust 0.
+        for det in dets:
+            assert det.suspected() == frozenset()
+            assert det.trusted() == 0
+        # Erratic phase produced at least one nonempty suspicion somewhere.
+        fd_events = world.trace.select(kind="fd", before=100.0)
+        assert any(ev.get("suspected") for ev in fd_events)
+
+    def test_erratic_is_deterministic_per_seed(self):
+        config = OracleConfig(stabilize_time=50.0, pre_behavior="erratic")
+        runs = []
+        for _ in range(2):
+            world, dets = make_world(EVENTUALLY_STRONG, config, seed=7)
+            world.run(until=40.0)
+            runs.append([det.suspected() for det in dets])
+        assert runs[0] == runs[1]

@@ -1,0 +1,71 @@
+"""Tests for the oracle's crash-epoch recomputation cache.
+
+The optimization (skip recomputing the class-ideal output while no crash
+has occurred) must be invisible: outputs react to every crash, and the
+cache is bypassed whenever a detection lag makes outputs time-dependent.
+"""
+
+from repro.fd import (
+    EVENTUALLY_PERFECT,
+    OMEGA,
+    OracleConfig,
+    OracleFailureDetector,
+    oracle_factory,
+)
+from repro.sim import World
+
+
+class TestOracleEpochCache:
+    def test_output_reacts_to_every_crash(self):
+        world = World(n=5, seed=0)
+        dets = world.attach_all(oracle_factory(
+            EVENTUALLY_PERFECT, OracleConfig(pre_behavior="ideal")))
+        world.schedule_crash(3, 20.0)
+        world.schedule_crash(4, 40.0)
+        world.run(until=30.0)
+        assert dets[0].suspected() == {3}
+        world.run(until=60.0)
+        assert dets[0].suspected() == {3, 4}
+
+    def test_crash_epoch_counter(self):
+        world = World(n=4, seed=0)
+        assert world.crash_epoch == 0
+        world.crash(1)
+        assert world.crash_epoch == 1
+        world.crash(1)  # idempotent crash: no second bump
+        assert world.crash_epoch == 1
+        world.crash(2)
+        assert world.crash_epoch == 2
+
+    def test_leader_tracks_crashes_through_cache(self):
+        world = World(n=4, seed=0)
+        dets = world.attach_all(oracle_factory(
+            OMEGA, OracleConfig(pre_behavior="ideal")))
+        world.run(until=10.0)
+        assert dets[1].trusted() == 0
+        world.crash(0)
+        world.run(until=30.0)
+        assert dets[1].trusted() == 1
+
+    def test_detection_lag_bypasses_cache(self):
+        """With a lag the output changes *without* a new crash; the cache
+        must not freeze the pre-detection view."""
+        world = World(n=4, seed=0)
+        dets = world.attach_all(oracle_factory(
+            EVENTUALLY_PERFECT,
+            OracleConfig(pre_behavior="ideal", detection_lag=30.0)))
+        world.schedule_crash(2, 10.0)
+        world.run(until=25.0)
+        assert dets[0].suspected() == frozenset()  # lag not yet elapsed
+        world.run(until=60.0)
+        assert dets[0].suspected() == {2}  # appeared with no further crash
+
+    def test_erratic_phase_never_cached(self):
+        config = OracleConfig(stabilize_time=100.0, pre_behavior="erratic",
+                              erratic_suspect_prob=0.5)
+        world = World(n=4, seed=1)
+        dets = world.attach_all(oracle_factory(EVENTUALLY_PERFECT, config))
+        world.run(until=90.0)
+        # Erratic outputs changed repeatedly despite zero crashes.
+        changes = world.trace.select(kind="fd", pid=0)
+        assert len(changes) > 5

@@ -1,0 +1,87 @@
+"""Property-based tests of the ring detector's knowledge-merge rules.
+
+The ring detector's correctness hinges on its per-process
+``(epoch, suspected)`` entries converging under arbitrary message
+interleavings.  These tests drive `_merge` / `_bump` directly with
+hypothesis-generated update sequences and check the CRDT-ish invariants the
+DISC'99-style algorithm needs.
+"""
+
+from hypothesis import given, strategies as st
+
+from repro.fd import RingDetector
+from repro.sim import World
+
+
+def fresh_detector():
+    world = World(n=4, seed=0)
+    det = world.attach(1, RingDetector())
+    world.start()
+    return world, det
+
+
+entry = st.tuples(st.integers(min_value=0, max_value=20), st.booleans())
+remote_knowledge = st.dictionaries(
+    st.integers(min_value=0, max_value=3), entry, max_size=4
+)
+
+
+class TestKnowledgeMerge:
+    @given(remote=remote_knowledge)
+    def test_merge_never_decreases_epochs(self, remote):
+        _, det = fresh_detector()
+        before = dict(det._knowledge)
+        det._merge(remote)
+        for q, (epoch, _) in det._knowledge.items():
+            assert epoch >= before[q][0]
+
+    @given(remote=remote_knowledge)
+    def test_never_adopts_suspicion_of_self(self, remote):
+        _, det = fresh_detector()
+        det._merge(remote)
+        assert not det._knowledge[det.pid][1]
+        assert det.pid not in det.suspected()
+
+    @given(remotes=st.lists(remote_knowledge, max_size=6))
+    def test_merge_order_independent_outcome_dominates(self, remotes):
+        """Merging the same set of remote views in any order yields entries
+        dominated by the pointwise maximum epoch."""
+        _, det_a = fresh_detector()
+        _, det_b = fresh_detector()
+        for r in remotes:
+            det_a._merge(r)
+        for r in reversed(remotes):
+            det_b._merge(r)
+        for q in range(4):
+            # Epochs agree (max of the same inputs)...
+            assert det_a._knowledge[q][0] == det_b._knowledge[q][0]
+
+    @given(remote=remote_knowledge)
+    def test_higher_epoch_always_wins(self, remote):
+        _, det = fresh_detector()
+        det._merge(remote)
+        for q, (epoch, suspected) in remote.items():
+            if q == det.pid:
+                continue
+            local_epoch, local_susp = det._knowledge[q]
+            if epoch > 0:  # strictly above the initial (0, False)
+                assert local_epoch >= epoch
+                if local_epoch == epoch:
+                    # ties keep suspicion if either side suspected
+                    assert local_susp or not suspected
+
+    def test_bump_increments_epoch(self):
+        _, det = fresh_detector()
+        det._bump(2, True)
+        assert det._knowledge[2] == (1, True)
+        det._bump(2, False)
+        assert det._knowledge[2] == (2, False)
+
+    def test_refute_requires_current_suspicion(self):
+        _, det = fresh_detector()
+        before = dict(det._knowledge)
+        det._refute(2)  # not suspected: no-op
+        assert det._knowledge == before
+        det._bump(2, True)
+        det._refute(2)
+        assert det._knowledge[2] == (2, False)

@@ -1,0 +1,73 @@
+"""Tests for ScriptedFailureDetector (the heterogeneous-view instrument)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.fd import ScriptedFailureDetector
+from repro.sim import World
+
+
+class TestScriptedDetector:
+    def test_rejects_bad_period(self):
+        with pytest.raises(ConfigurationError):
+            ScriptedFailureDetector(lambda p, t: (frozenset(), 0),
+                                    poll_period=0)
+
+    def test_per_pid_heterogeneous_views(self):
+        def script(pid, now):
+            if pid == 1:
+                return frozenset({0}), 1
+            return frozenset(), 0
+
+        world = World(n=3, seed=0)
+        dets = world.attach_all(
+            lambda pid: ScriptedFailureDetector(script)
+        )
+        world.run(until=10.0)
+        assert dets[0].trusted() == 0 and dets[0].suspected() == frozenset()
+        assert dets[1].trusted() == 1 and dets[1].suspected() == {0}
+
+    def test_time_dependent_script(self):
+        def script(pid, now):
+            return (frozenset(), 0) if now < 20.0 else (frozenset({0}), 1)
+
+        world = World(n=3, seed=0)
+        dets = world.attach_all(
+            lambda pid: ScriptedFailureDetector(script, poll_period=1.0)
+        )
+        world.run(until=10.0)
+        assert dets[2].trusted() == 0
+        world.run(until=30.0)
+        assert dets[2].trusted() == 1
+        assert dets[2].suspected() == {0}
+
+    def test_never_suspects_self(self):
+        world = World(n=3, seed=0)
+        dets = world.attach_all(
+            lambda pid: ScriptedFailureDetector(
+                lambda p, t: (frozenset({0, 1, 2}), 0)
+            )
+        )
+        world.run(until=5.0)
+        for det in dets:
+            assert det.pid not in det.suspected()
+
+    def test_changes_poke_other_components(self):
+        from repro.sim import Component
+
+        pokes = []
+
+        class Listener(Component):
+            channel = "listen"
+
+            def on_fd_change(self):
+                pokes.append(self.now)
+
+        def script(pid, now):
+            return (frozenset(), int(now // 10) % 3)  # leader cycles
+
+        world = World(n=3, seed=0)
+        world.attach(0, ScriptedFailureDetector(script, poll_period=1.0))
+        world.attach(0, Listener())
+        world.run(until=25.0)
+        assert len(pokes) >= 2  # leader changed at t=10 and t=20

@@ -1,0 +1,37 @@
+"""Whole-system determinism: same seed -> bit-identical runs."""
+
+from repro.analysis import extract_outcome
+from repro.workloads import stabilizing_run
+
+
+def trace_fingerprint(trace):
+    return [(ev.time, ev.kind, ev.pid, sorted(ev.data.items(),
+                                              key=lambda kv: kv[0]))
+            for ev in trace.events
+            if ev.kind in ("send", "crash", "decide", "round")]
+
+
+class TestDeterminism:
+    def test_identical_seeds_identical_traces(self):
+        fps = []
+        for _ in range(2):
+            run = stabilizing_run("ec", n=5, seed=123,
+                                  stabilize_time=80.0).run(until=1500.0)
+            fps.append(trace_fingerprint(run.world.trace))
+        assert fps[0] == fps[1]
+
+    def test_different_seeds_differ(self):
+        a = stabilizing_run("ec", n=5, seed=1,
+                            stabilize_time=80.0).run(until=1500.0)
+        b = stabilizing_run("ec", n=5, seed=2,
+                            stabilize_time=80.0).run(until=1500.0)
+        assert trace_fingerprint(a.world.trace) != trace_fingerprint(b.world.trace)
+
+    def test_decisions_reproducible(self):
+        decisions = set()
+        for _ in range(3):
+            run = stabilizing_run("mr", n=5, seed=77,
+                                  stabilize_time=60.0).run(until=1500.0)
+            outcome = extract_outcome(run.world.trace, "mr")
+            decisions.add(tuple(sorted(outcome.decisions.items())))
+        assert len(decisions) == 1

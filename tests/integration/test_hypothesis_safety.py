@@ -1,0 +1,109 @@
+"""Property-based adversarial safety testing.
+
+Hypothesis drives the adversary: system size, proposal values, crash
+pattern, detector stabilization, link delays and run length are all drawn
+by the framework, which will shrink any counterexample to a minimal one.
+
+Safety (uniform agreement, validity, integrity) must hold on **every**
+prefix of every run — even those too short to decide, with detectors that
+never stabilize, or with the maximum tolerable number of crashes.
+Termination is only asserted when the drawn run actually gives the
+algorithm what it needs (stability + enough time).
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.analysis import check_consensus, extract_outcome
+from repro.broadcast import ReliableBroadcast
+from repro.consensus import ALGORITHMS, propose_all
+from repro.fd import (
+    EVENTUALLY_CONSISTENT,
+    OracleConfig,
+    OracleFailureDetector,
+)
+from repro.sim import ReliableLink, UniformDelay, World
+from repro.sim.failures import CrashEvent, CrashSchedule
+from repro.workloads import DEFAULT_FD_CLASS
+
+adversary = st.fixed_dictionaries(
+    {
+        "n": st.integers(min_value=3, max_value=6),
+        "seed": st.integers(min_value=0, max_value=10_000),
+        "stabilize": st.sampled_from([0.0, 50.0, 10_000.0]),  # last: never
+        "max_delay": st.floats(min_value=0.5, max_value=20.0),
+        "horizon": st.floats(min_value=10.0, max_value=1500.0),
+        "crash_fraction": st.floats(min_value=0.0, max_value=1.0),
+        "crash_window": st.floats(min_value=1.0, max_value=300.0),
+    }
+)
+
+
+def build_run(algo, cfg):
+    n = cfg["n"]
+    world = World(
+        n=n,
+        seed=cfg["seed"],
+        default_link=ReliableLink(UniformDelay(0.1, cfg["max_delay"])),
+    )
+    fd_class = DEFAULT_FD_CLASS[algo]
+    oracle = OracleConfig(
+        stabilize_time=cfg["stabilize"],
+        pre_behavior="erratic",
+    )
+    protos = []
+    for pid in world.pids:
+        fd = world.attach(pid, OracleFailureDetector(fd_class, oracle))
+        rb = world.attach(pid, ReliableBroadcast(channel="consensus.rb"))
+        protos.append(world.attach(pid, ALGORITHMS[algo](fd, rb)))
+    world.start()
+    propose_all(protos, values=[f"v{pid}" for pid in world.pids])
+    # Up to floor((n-1)/2) crashes at drawn times.
+    max_crashes = (n - 1) // 2
+    count = int(round(cfg["crash_fraction"] * max_crashes))
+    victims = [(pid * 2 + 1) % n for pid in range(count)]
+    CrashSchedule(
+        CrashEvent(pid, cfg["crash_window"] * (i + 1) / (count + 1))
+        for i, pid in enumerate(dict.fromkeys(victims))
+    ).apply(world)
+    return world, protos
+
+
+@pytest.mark.parametrize("algo", sorted(ALGORITHMS))
+@settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(cfg=adversary)
+def test_safety_under_arbitrary_adversity(algo, cfg):
+    world, protos = build_run(algo, cfg)
+    world.run(until=cfg["horizon"], max_events=300_000)
+    outcome = extract_outcome(world.trace, algo)
+    results = check_consensus(outcome, world.correct_pids)
+    # Safety properties hold unconditionally, on every prefix.
+    assert results["uniform-agreement"], outcome.decisions
+    assert results["validity"], outcome.decisions
+    assert results["uniform-integrity"]
+
+
+@pytest.mark.parametrize("algo", sorted(ALGORITHMS))
+@settings(max_examples=8, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(
+    n=st.integers(min_value=3, max_value=5),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+def test_termination_when_conditions_met(algo, n, seed):
+    """With a fast-stabilizing detector, sane delays, and a long horizon,
+    every correct process decides."""
+    cfg = {
+        "n": n, "seed": seed, "stabilize": 30.0, "max_delay": 2.0,
+        "horizon": 5000.0, "crash_fraction": 0.0, "crash_window": 10.0,
+    }
+    world, protos = build_run(algo, cfg)
+    world.run(until=cfg["horizon"])
+    outcome = extract_outcome(world.trace, algo)
+    results = check_consensus(outcome, world.correct_pids)
+    assert all(results.values()), results
+    assert all(p.decided for p in protos)

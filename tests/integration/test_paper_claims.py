@@ -1,0 +1,156 @@
+"""Integration tests pinning the paper's headline analytical claims.
+
+Quick (single-seed) versions of the benchmark experiments — the benchmarks
+in ``benchmarks/`` sweep parameters and print the full tables; these tests
+lock the *shape* of each claim into the suite so regressions get caught.
+"""
+
+import pytest
+
+from repro.analysis import (
+    channel_message_count,
+    detection_latency,
+    max_phases_per_round,
+    messages_per_round,
+    rounds_after_system,
+)
+from repro.fd import HeartbeatEventuallyPerfect, RingDetector
+from repro.sim import FixedDelay, ReliableLink, World
+from repro.workloads import nice_run, theorem3_run
+
+
+class TestSection54PhaseCounts:
+    """Phases per round: ◇C 5, CT 4, MR 3."""
+
+    def test_phase_counts(self):
+        expected = {"ec": 5, "ct": 4, "mr": 3}
+        for algo, phases in expected.items():
+            run = nice_run(algo, n=5, seed=0).run(until=300.0)
+            assert max_phases_per_round(run.world.trace, algo) == phases, algo
+
+
+class TestSection54MessageCounts:
+    """Messages per round in nice runs: ◇C ≈ 4n, CT ≈ 3n, MR ≈ 3n²."""
+
+    @pytest.mark.parametrize("n", [4, 6, 8])
+    def test_linear_vs_quadratic(self, n):
+        counts = {}
+        for algo in ("ec", "ct", "mr"):
+            run = nice_run(algo, n=n, seed=1).run(until=400.0)
+            counts[algo] = messages_per_round(run.world.trace)[1]
+        assert counts["ec"] == 4 * (n - 1)
+        assert counts["ct"] == 3 * (n - 1)
+        assert counts["mr"] == 3 * n * (n - 1)
+
+
+class TestTheorem3RoundsAfterStability:
+    """◇C decides in the first fresh round; rotating CT needs Θ(n)."""
+
+    def test_ec_constant_ct_linear(self):
+        n = 8
+        ec = theorem3_run("ec", n=n, leader=n - 2, stabilize_time=200.0)
+        ec.run(until=4000.0)
+        assert ec.decided
+        ec_rounds = rounds_after_system(ec.world.trace, 200.0, "ec")
+
+        ct = theorem3_run("ct", n=n, leader=n - 2, stabilize_time=200.0)
+        ct.run(until=6000.0)
+        assert ct.decided
+        ct_rounds = rounds_after_system(ct.world.trace, 200.0, "ct")
+
+        assert ec_rounds == 1
+        # CT must wait for the slandered-free leader's coordinator turn:
+        # somewhere between 1 and n rounds, and strictly worse than EC in
+        # this adversarial run.
+        assert ct_rounds > ec_rounds
+        assert ct_rounds <= n + 1
+
+
+class TestSection4TransformationCost:
+    """Periodic ◇P cost: Fig. 2 ≈ 2(n−1) < ring 2n < all-to-all n(n−1)."""
+
+    def test_cost_ordering(self):
+        from repro.fd import (
+            EVENTUALLY_CONSISTENT,
+            OracleConfig,
+            OracleFailureDetector,
+        )
+        from repro.transform import CToPTransformation
+
+        n = 8
+        period = 5.0
+        window = (200.0, 600.0)
+
+        world = World(n=n, seed=0, default_link=ReliableLink(FixedDelay(1.0)))
+        for pid in world.pids:
+            src = world.attach(pid, OracleFailureDetector(
+                EVENTUALLY_CONSISTENT, OracleConfig(pre_behavior="ideal"),
+                channel="fd.c"))
+            world.attach(pid, CToPTransformation(
+                src, send_period=period, alive_period=period, channel="fdp"))
+        world.run(until=window[1])
+        fig2 = channel_message_count(world.trace, "fdp", after=window[0])
+
+        w_ring = World(n=n, seed=0, default_link=ReliableLink(FixedDelay(1.0)))
+        w_ring.attach_all(lambda pid: RingDetector(period=period))
+        w_ring.run(until=window[1])
+        ring = channel_message_count(w_ring.trace, "fd", after=window[0])
+
+        w_hb = World(n=n, seed=0, default_link=ReliableLink(FixedDelay(1.0)))
+        w_hb.attach_all(lambda pid: HeartbeatEventuallyPerfect(period=period))
+        w_hb.run(until=window[1])
+        hb = channel_message_count(w_hb.trace, "fd", after=window[0])
+
+        assert fig2 < ring < hb
+        periods = (window[1] - window[0]) / period
+        assert fig2 / periods == pytest.approx(2 * (n - 1), rel=0.1)
+        assert ring / periods == pytest.approx(2 * n, rel=0.15)
+        assert hb / periods == pytest.approx(n * (n - 1), rel=0.1)
+
+
+class TestE8DetectionLatency:
+    """Fig. 2 transformation detects crashes in O(1) periods; the ring's
+    suspicion list needs Θ(n) hops."""
+
+    def test_latency_gap_widens_with_n(self):
+        from repro.fd import (
+            EVENTUALLY_CONSISTENT,
+            OracleConfig,
+            OracleFailureDetector,
+        )
+        from repro.transform import CToPTransformation
+
+        period = 5.0
+        gaps = {}
+        for n in (6, 12):
+            world = World(n=n, seed=1,
+                          default_link=ReliableLink(FixedDelay(1.0)))
+            for pid in world.pids:
+                src = world.attach(pid, OracleFailureDetector(
+                    EVENTUALLY_CONSISTENT, OracleConfig(pre_behavior="ideal"),
+                    channel="fd.c"))
+                world.attach(pid, CToPTransformation(
+                    src, send_period=period, alive_period=period,
+                    initial_timeout=12.0, channel="fdp"))
+            crash_victim = n // 2
+            world.schedule_crash(crash_victim, 100.0)
+            world.run(until=3000.0)
+            lat_fig2 = detection_latency(world.trace, crash_victim, 100.0,
+                                         world.correct_pids, channel="fdp")
+
+            w_ring = World(n=n, seed=1,
+                           default_link=ReliableLink(FixedDelay(1.0)))
+            w_ring.attach_all(
+                lambda pid: RingDetector(period=period, initial_timeout=12.0))
+            w_ring.schedule_crash(crash_victim, 100.0)
+            w_ring.run(until=3000.0)
+            lat_ring = detection_latency(w_ring.trace, crash_victim, 100.0,
+                                         w_ring.correct_pids, channel="fd")
+            assert lat_fig2 is not None and lat_ring is not None
+            gaps[n] = (lat_fig2, lat_ring)
+
+        for n, (fig2, ring) in gaps.items():
+            assert fig2 < ring, gaps
+        # Ring latency grows with n; Fig. 2 latency does not.
+        assert gaps[12][1] > gaps[6][1]
+        assert gaps[12][0] < gaps[6][1]

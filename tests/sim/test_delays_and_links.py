@@ -1,0 +1,189 @@
+"""Tests for delay models and link models."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.sim import (
+    DeadLink,
+    ExponentialDelay,
+    FairLossyLink,
+    FixedDelay,
+    PartiallySynchronousLink,
+    ReliableLink,
+    SpikeDelay,
+    UniformDelay,
+)
+from repro.sim.message import Message
+
+
+def _msg(t=0.0):
+    return Message(src=0, dst=1, channel="c", payload=None, send_time=t)
+
+
+class TestDelayModels:
+    def test_fixed(self):
+        rng = random.Random(0)
+        model = FixedDelay(2.5)
+        assert model.sample(rng, 0.0) == 2.5
+        assert model.max_delay == 2.5
+
+    def test_fixed_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            FixedDelay(-1.0)
+
+    def test_uniform_bounds(self):
+        rng = random.Random(0)
+        model = UniformDelay(1.0, 3.0)
+        for _ in range(200):
+            assert 1.0 <= model.sample(rng, 0.0) <= 3.0
+        assert model.max_delay == 3.0
+
+    def test_uniform_rejects_bad_range(self):
+        with pytest.raises(ConfigurationError):
+            UniformDelay(3.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            UniformDelay(-1.0, 1.0)
+
+    def test_exponential_cap(self):
+        rng = random.Random(0)
+        model = ExponentialDelay(base=1.0, mean=2.0, cap=5.0)
+        for _ in range(200):
+            s = model.sample(rng, 0.0)
+            assert 1.0 <= s <= 5.0
+        assert model.max_delay == 5.0
+
+    def test_exponential_unbounded_max(self):
+        assert ExponentialDelay(0.0, 1.0).max_delay == math.inf
+
+    def test_exponential_validation(self):
+        with pytest.raises(ConfigurationError):
+            ExponentialDelay(-1.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            ExponentialDelay(0.0, 0.0)
+
+    def test_spike_within_union_of_ranges(self):
+        rng = random.Random(0)
+        model = SpikeDelay(UniformDelay(0.0, 1.0), 0.5, 10.0, 20.0)
+        samples = [model.sample(rng, 0.0) for _ in range(300)]
+        assert all(s <= 1.0 or 10.0 <= s <= 20.0 for s in samples)
+        assert any(s > 1.0 for s in samples)  # some spikes happened
+        assert model.max_delay == 20.0
+
+    def test_spike_validation(self):
+        with pytest.raises(ConfigurationError):
+            SpikeDelay(FixedDelay(1.0), 1.5, 0.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            SpikeDelay(FixedDelay(1.0), 0.5, 5.0, 1.0)
+
+    @given(
+        low=st.floats(min_value=0, max_value=10, allow_nan=False),
+        span=st.floats(min_value=0, max_value=10, allow_nan=False),
+        seed=st.integers(),
+    )
+    def test_uniform_property_sample_in_range(self, low, span, seed):
+        model = UniformDelay(low, low + span)
+        s = model.sample(random.Random(seed), 0.0)
+        assert low <= s <= low + span
+
+
+class TestReliableLink:
+    def test_never_drops(self):
+        rng = random.Random(0)
+        link = ReliableLink(FixedDelay(1.0))
+        for _ in range(100):
+            assert link.plan(_msg(), 0.0, rng) == 1.0
+
+
+class TestPartiallySynchronousLink:
+    def test_post_gst_bounded(self):
+        rng = random.Random(0)
+        link = PartiallySynchronousLink(
+            gst=10.0, pre_gst=UniformDelay(0, 100), post_gst=UniformDelay(0, 2)
+        )
+        for _ in range(200):
+            assert link.plan(_msg(), 15.0, rng) <= 2.0
+
+    def test_pre_gst_clamped_to_gst_plus_delta(self):
+        rng = random.Random(0)
+        link = PartiallySynchronousLink(
+            gst=10.0, pre_gst=UniformDelay(50, 100), post_gst=UniformDelay(0, 2)
+        )
+        for now in (0.0, 5.0, 9.9):
+            delay = link.plan(_msg(now), now, rng)
+            assert now + delay <= 10.0 + link.delta + 1e-9
+
+    def test_delta_property(self):
+        link = PartiallySynchronousLink(gst=0.0, post_gst=UniformDelay(0, 3))
+        assert link.delta == 3.0
+
+    def test_requires_bounded_post_gst(self):
+        with pytest.raises(ConfigurationError):
+            PartiallySynchronousLink(gst=0.0, post_gst=ExponentialDelay(0, 1))
+
+    def test_rejects_negative_gst(self):
+        with pytest.raises(ConfigurationError):
+            PartiallySynchronousLink(gst=-1.0)
+
+    @given(
+        now=st.floats(min_value=0, max_value=50, allow_nan=False),
+        seed=st.integers(),
+    )
+    def test_every_message_arrives_by_gst_plus_delta_property(self, now, seed):
+        link = PartiallySynchronousLink(
+            gst=20.0, pre_gst=UniformDelay(0, 500), post_gst=UniformDelay(0, 2)
+        )
+        delay = link.plan(_msg(now), now, random.Random(seed))
+        assert delay is not None
+        assert now + delay <= max(now, 20.0) + link.delta + 1e-9
+
+
+class TestFairLossyLink:
+    def test_requires_exactly_one_discipline(self):
+        with pytest.raises(ConfigurationError):
+            FairLossyLink()
+        with pytest.raises(ConfigurationError):
+            FairLossyLink(loss_prob=0.5, deliver_every=2)
+
+    def test_probabilistic_loss_rate(self):
+        rng = random.Random(0)
+        link = FairLossyLink(inner=ReliableLink(FixedDelay(1.0)), loss_prob=0.5)
+        outcomes = [link.plan(_msg(), 0.0, rng) for _ in range(1000)]
+        delivered = sum(1 for o in outcomes if o is not None)
+        assert 400 < delivered < 600  # ~50%
+
+    def test_loss_prob_one_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FairLossyLink(loss_prob=1.0)
+
+    def test_deterministic_every_k(self):
+        rng = random.Random(0)
+        link = FairLossyLink(
+            inner=ReliableLink(FixedDelay(1.0)), deliver_every=3
+        )
+        outcomes = [link.plan(_msg(), 0.0, rng) for _ in range(9)]
+        assert [o is not None for o in outcomes] == [
+            False, False, True, False, False, True, False, False, True
+        ]
+
+    def test_deliver_every_validation(self):
+        with pytest.raises(ConfigurationError):
+            FairLossyLink(deliver_every=0)
+
+    def test_fairness_infinite_sends_deliver_infinitely(self):
+        # deterministic discipline: exactly 1 in k always gets through
+        rng = random.Random(0)
+        link = FairLossyLink(inner=ReliableLink(FixedDelay(1.0)), deliver_every=5)
+        delivered = sum(
+            1 for _ in range(500) if link.plan(_msg(), 0.0, rng) is not None
+        )
+        assert delivered == 100
+
+
+class TestDeadLink:
+    def test_drops_everything(self):
+        rng = random.Random(0)
+        assert DeadLink().plan(_msg(), 0.0, rng) is None

@@ -1,0 +1,40 @@
+"""Tests for the Message record."""
+
+from repro.sim import Message
+
+
+class TestMessage:
+    def make(self, **kw):
+        defaults = dict(src=0, dst=1, channel="c", payload="p", send_time=1.0)
+        defaults.update(kw)
+        return Message(**defaults)
+
+    def test_fields(self):
+        msg = self.make(tag="est", round=3)
+        assert msg.src == 0 and msg.dst == 1
+        assert msg.channel == "c"
+        assert msg.tag == "est"
+        assert msg.round == 3
+
+    def test_self_message_detection(self):
+        assert self.make(dst=0).is_self_message
+        assert not self.make().is_self_message
+
+    def test_ids_are_unique_and_increasing(self):
+        a, b = self.make(), self.make()
+        assert a.msg_id != b.msg_id
+        assert b.msg_id > a.msg_id
+
+    def test_frozen(self):
+        import dataclasses
+
+        import pytest
+
+        msg = self.make()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            msg.src = 5  # type: ignore[misc]
+
+    def test_optional_metadata_defaults(self):
+        msg = self.make()
+        assert msg.tag is None
+        assert msg.round is None

@@ -1,0 +1,146 @@
+"""Tests for the dynamic network controller (partitions, degradation)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim import (
+    Component,
+    FixedDelay,
+    NetworkController,
+    ReliableLink,
+    World,
+)
+
+
+class Sink(Component):
+    channel = "sink"
+
+    def __init__(self):
+        super().__init__()
+        self.messages = []
+
+    def on_message(self, src, payload):
+        self.messages.append((src, payload, self.now))
+
+
+@pytest.fixture
+def setup():
+    world = World(n=4, seed=0, default_link=ReliableLink(FixedDelay(1.0)))
+    comps = world.attach_all(lambda pid: Sink())
+    controller = NetworkController(world)
+    world.start()
+    return world, comps, controller
+
+
+class TestPartition:
+    def test_cross_group_messages_dropped(self, setup):
+        world, comps, ctl = setup
+        ctl.partition([0, 1], [2, 3])
+        comps[0].send(1, "same-side")
+        comps[0].send(2, "other-side")
+        world.run()
+        assert comps[1].messages[0][:2] == (0, "same-side")
+        assert comps[2].messages == []
+
+    def test_heal_restores_traffic(self, setup):
+        world, comps, ctl = setup
+        ctl.partition([0], [1, 2, 3])
+        assert ctl.partitioned
+        ctl.heal()
+        assert not ctl.partitioned
+        comps[0].send(2, "after-heal")
+        world.run()
+        assert comps[2].messages[0][:2] == (0, "after-heal")
+
+    def test_implicit_rest_group(self, setup):
+        world, comps, ctl = setup
+        ctl.partition([0, 1])  # 2, 3 form the implicit rest group
+        comps[2].send(3, "rest-to-rest")
+        comps[2].send(0, "rest-to-named")
+        world.run()
+        assert comps[3].messages[0][1] == "rest-to-rest"
+        assert comps[0].messages == []
+
+    def test_isolate(self, setup):
+        world, comps, ctl = setup
+        ctl.isolate(3)
+        comps[3].send(0, "trapped")
+        comps[0].send(3, "unreachable")
+        comps[0].send(1, "fine")
+        world.run()
+        assert comps[0].messages == []
+        assert comps[3].messages == []
+        assert len(comps[1].messages) == 1
+
+    def test_partition_window_scheduling(self, setup):
+        world, comps, ctl = setup
+        ctl.partition_between(5.0, 10.0, [0, 1])
+        world.scheduler.schedule_at(6.0, lambda: comps[0].send(2, "during"))
+        world.scheduler.schedule_at(11.0, lambda: comps[0].send(2, "after"))
+        world.run()
+        assert [m[1] for m in comps[2].messages] == ["after"]
+
+    def test_validation(self, setup):
+        world, comps, ctl = setup
+        with pytest.raises(ConfigurationError):
+            ctl.partition([0, 1], [1, 2])  # overlapping
+        with pytest.raises(ConfigurationError):
+            ctl.partition([99])
+
+    def test_partition_recorded_in_trace(self, setup):
+        world, comps, ctl = setup
+        ctl.partition([0], [1, 2, 3])
+        ctl.heal()
+        assert world.trace.count("partition") == 1
+        assert world.trace.count("heal") == 1
+
+
+class TestDegrade:
+    def test_degrade_changes_delay(self, setup):
+        world, comps, ctl = setup
+        ctl.degrade(0, 1, ReliableLink(FixedDelay(20.0)))
+        comps[0].send(1, "slow")
+        world.run()
+        assert comps[1].messages[0][2] == 20.0
+
+    def test_restore(self, setup):
+        world, comps, ctl = setup
+        ctl.degrade(0, 1, ReliableLink(FixedDelay(20.0)))
+        ctl.restore(0, 1)
+        comps[0].send(1, "fast-again")
+        world.run()
+        assert comps[1].messages[0][2] == 1.0
+
+    def test_degrade_window(self, setup):
+        world, comps, ctl = setup
+        ctl.degrade_between(5.0, 10.0, 0, 1, ReliableLink(FixedDelay(50.0)))
+        world.scheduler.schedule_at(6.0, lambda: comps[0].send(1, "slow"))
+        world.scheduler.schedule_at(12.0, lambda: comps[0].send(1, "fast"))
+        world.run()
+        arrival = {m[1]: m[2] for m in comps[1].messages}
+        assert arrival["slow"] == 56.0
+        assert arrival["fast"] == 13.0
+
+
+class TestPartitionWithDetectors:
+    def test_fd_false_suspicions_during_partition_then_recovery(self):
+        """A partition makes the heartbeat detector falsely suspect the
+        other side; healing restores accuracy — the ◇-style guarantee."""
+        from repro.fd import HeartbeatEventuallyPerfect
+
+        world = World(n=4, seed=1, default_link=ReliableLink(FixedDelay(1.0)))
+        dets = world.attach_all(
+            lambda pid: HeartbeatEventuallyPerfect(initial_timeout=8.0)
+        )
+        ctl = NetworkController(world)
+        ctl.partition_between(40.0, 120.0, [0, 1], [2, 3])
+        world.run(until=600.0)
+        # During the partition, suspicion across the split appeared...
+        during = world.trace.select(
+            kind="fd", after=40.0, before=120.0,
+            where=lambda e: e.pid in (0, 1) and (
+                2 in e.get("suspected") or 3 in e.get("suspected")),
+        )
+        assert during
+        # ...and after healing (plus adaptation) everyone is clear again.
+        assert all(det.suspected() == frozenset() for det in dets)

@@ -1,0 +1,102 @@
+"""Tests for the deterministic RNG streams and the trace store."""
+
+from hypothesis import given, strategies as st
+
+from repro.sim import RandomSource, Trace
+
+
+class TestRandomSource:
+    def test_same_seed_same_stream(self):
+        a = RandomSource(1).stream("x")
+        b = RandomSource(1).stream("x")
+        assert [a.random() for _ in range(10)] == [b.random() for _ in range(10)]
+
+    def test_different_names_are_independent(self):
+        src = RandomSource(1)
+        xs = [src.stream("x").random() for _ in range(5)]
+        ys = [src.stream("y").random() for _ in range(5)]
+        assert xs != ys
+
+    def test_stream_is_cached(self):
+        src = RandomSource(1)
+        assert src.stream("x") is src.stream("x")
+
+    def test_adding_stream_does_not_perturb_existing(self):
+        a = RandomSource(1)
+        first = a.stream("x").random()
+        b = RandomSource(1)
+        b.stream("newcomer")  # extra stream created first
+        assert b.stream("x").random() == first
+
+    def test_spawn_gives_different_universe(self):
+        src = RandomSource(1)
+        child = src.spawn("sub")
+        assert child.seed != src.seed
+        assert child.stream("x").random() != src.stream("x").random()
+
+    @given(st.integers(), st.text(min_size=1, max_size=20))
+    def test_streams_reproducible_for_any_seed_and_name(self, seed, name):
+        a = RandomSource(seed).stream(name).random()
+        b = RandomSource(seed).stream(name).random()
+        assert a == b
+
+
+class TestTrace:
+    def test_records_and_counts(self):
+        trace = Trace()
+        trace.record(1.0, "send", 0, channel="c")
+        trace.record(2.0, "send", 1, channel="c")
+        trace.record(3.0, "crash", 1)
+        assert len(trace) == 3
+        assert trace.count("send") == 2
+        assert trace.count("crash") == 1
+        assert trace.count("nothing") == 0
+
+    def test_kind_filter_discards(self):
+        trace = Trace(kinds=["crash"])
+        trace.record(1.0, "send", 0)
+        trace.record(2.0, "crash", 0)
+        assert len(trace) == 1
+        assert trace.events[0].kind == "crash"
+
+    def test_disabled_trace_records_nothing(self):
+        trace = Trace(enabled=False)
+        trace.record(1.0, "send", 0)
+        assert len(trace) == 0
+
+    def test_wants(self):
+        assert Trace().wants("anything")
+        assert not Trace(enabled=False).wants("anything")
+        assert Trace(kinds=["a"]).wants("a")
+        assert not Trace(kinds=["a"]).wants("b")
+
+    def test_select_filters(self):
+        trace = Trace()
+        for t in range(10):
+            trace.record(float(t), "tick", t % 2, value=t)
+        assert len(trace.select(kind="tick")) == 10
+        assert len(trace.select(pid=0)) == 5
+        assert len(trace.select(after=5.0)) == 5
+        assert len(trace.select(before=4.0)) == 5
+        assert len(trace.select(where=lambda e: e.get("value") > 7)) == 2
+
+    def test_last(self):
+        trace = Trace()
+        trace.record(1.0, "x", 0, v=1)
+        trace.record(2.0, "x", 1, v=2)
+        assert trace.last("x").get("v") == 2
+        assert trace.last("x", pid=0).get("v") == 1
+        assert trace.last("missing") is None
+
+    def test_end_time(self):
+        trace = Trace()
+        assert trace.end_time == 0.0
+        trace.record(7.5, "x", 0)
+        assert trace.end_time == 7.5
+
+    def test_event_get_default(self):
+        trace = Trace()
+        trace.record(1.0, "x", 0, a=1)
+        ev = trace.events[0]
+        assert ev.get("a") == 1
+        assert ev.get("b", "dflt") == "dflt"

@@ -1,0 +1,179 @@
+"""Tests for the discrete-event scheduler."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import SimulationError
+from repro.sim import Scheduler
+
+
+class TestScheduling:
+    def test_starts_at_time_zero(self):
+        assert Scheduler().now == 0.0
+
+    def test_fires_in_time_order(self):
+        sched = Scheduler()
+        fired = []
+        sched.schedule(3.0, fired.append, "c")
+        sched.schedule(1.0, fired.append, "a")
+        sched.schedule(2.0, fired.append, "b")
+        sched.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_ties_fire_in_scheduling_order(self):
+        sched = Scheduler()
+        fired = []
+        for label in "abcde":
+            sched.schedule(1.0, fired.append, label)
+        sched.run()
+        assert fired == list("abcde")
+
+    def test_time_advances_to_event_time(self):
+        sched = Scheduler()
+        seen = []
+        sched.schedule(5.0, lambda: seen.append(sched.now))
+        sched.run()
+        assert seen == [5.0]
+
+    def test_schedule_at_absolute_time(self):
+        sched = Scheduler()
+        seen = []
+        sched.schedule_at(7.0, lambda: seen.append(sched.now))
+        sched.run()
+        assert seen == [7.0]
+
+    def test_rejects_past_scheduling(self):
+        sched = Scheduler()
+        sched.schedule(5.0, lambda: None)
+        sched.run()
+        with pytest.raises(SimulationError):
+            sched.schedule_at(1.0, lambda: None)
+
+    def test_rejects_negative_delay(self):
+        with pytest.raises(SimulationError):
+            Scheduler().schedule(-1.0, lambda: None)
+
+    def test_nested_scheduling_from_callback(self):
+        sched = Scheduler()
+        fired = []
+
+        def outer():
+            fired.append(("outer", sched.now))
+            sched.schedule(2.0, inner)
+
+        def inner():
+            fired.append(("inner", sched.now))
+
+        sched.schedule(1.0, outer)
+        sched.run()
+        assert fired == [("outer", 1.0), ("inner", 3.0)]
+
+    def test_zero_delay_fires_after_current_event(self):
+        sched = Scheduler()
+        fired = []
+        sched.schedule(1.0, lambda: (fired.append("first"),
+                                     sched.schedule(0.0, fired.append, "zero")))
+        sched.schedule(1.0, fired.append, "second")
+        sched.run()
+        assert fired == ["first", "second", "zero"]
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        sched = Scheduler()
+        fired = []
+        handle = sched.schedule(1.0, fired.append, "x")
+        handle.cancel()
+        sched.run()
+        assert fired == []
+
+    def test_cancel_is_idempotent(self):
+        sched = Scheduler()
+        handle = sched.schedule(1.0, lambda: None)
+        handle.cancel()
+        handle.cancel()
+        assert sched.run() == 0
+
+    def test_pending_count_excludes_cancelled(self):
+        sched = Scheduler()
+        handles = [sched.schedule(1.0, lambda: None) for _ in range(4)]
+        handles[0].cancel()
+        handles[2].cancel()
+        assert sched.pending_count == 2
+
+    def test_compact_removes_cancelled(self):
+        sched = Scheduler()
+        keep = sched.schedule(2.0, lambda: None)
+        for _ in range(10):
+            sched.schedule(1.0, lambda: None).cancel()
+        sched.compact()
+        assert len(sched._heap) == 1
+        assert sched._heap[0] is keep
+
+
+class TestRunLimits:
+    def test_run_until_stops_and_advances_clock(self):
+        sched = Scheduler()
+        fired = []
+        sched.schedule(1.0, fired.append, "a")
+        sched.schedule(10.0, fired.append, "b")
+        sched.run(until=5.0)
+        assert fired == ["a"]
+        assert sched.now == 5.0
+        sched.run()
+        assert fired == ["a", "b"]
+
+    def test_max_events(self):
+        sched = Scheduler()
+        fired = []
+        for i in range(10):
+            sched.schedule(float(i + 1), fired.append, i)
+        assert sched.run(max_events=3) == 3
+        assert fired == [0, 1, 2]
+
+    def test_step_returns_false_when_empty(self):
+        assert Scheduler().step() is False
+
+    def test_events_fired_counter(self):
+        sched = Scheduler()
+        for i in range(5):
+            sched.schedule(1.0, lambda: None)
+        sched.run()
+        assert sched.events_fired == 5
+
+    def test_run_empty_returns_zero(self):
+        assert Scheduler().run() == 0
+
+
+class TestDeterminismProperty:
+    @given(
+        delays=st.lists(
+            st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+            min_size=1,
+            max_size=50,
+        )
+    )
+    def test_any_delay_set_fires_in_sorted_stable_order(self, delays):
+        sched = Scheduler()
+        fired = []
+        for i, d in enumerate(delays):
+            sched.schedule(d, fired.append, (d, i))
+        sched.run()
+        # Stable sort by time: equal times keep insertion order.
+        assert fired == sorted(
+            [(d, i) for i, d in enumerate(delays)], key=lambda x: (x[0], x[1])
+        )
+
+    @given(st.integers(min_value=1, max_value=30))
+    def test_chained_scheduling_advances_monotonically(self, n):
+        sched = Scheduler()
+        times = []
+
+        def tick(remaining):
+            times.append(sched.now)
+            if remaining:
+                sched.schedule(1.0, tick, remaining - 1)
+
+        sched.schedule(0.0, tick, n)
+        sched.run()
+        assert times == [float(i) for i in range(n + 1)]

@@ -1,0 +1,198 @@
+"""Tests for the cooperative task runtime."""
+
+import pytest
+
+from repro.errors import TaskError
+from repro.sim import Scheduler, Sleep, TaskRuntime, WaitUntil
+
+
+@pytest.fixture
+def runtime():
+    sched = Scheduler()
+    return sched, TaskRuntime(sched)
+
+
+class TestSleep:
+    def test_sleep_suspends_for_duration(self, runtime):
+        sched, rt = runtime
+        log = []
+
+        def task():
+            log.append(("start", sched.now))
+            yield Sleep(5.0)
+            log.append(("end", sched.now))
+
+        rt.spawn(task())
+        sched.run()
+        assert log == [("start", 0.0), ("end", 5.0)]
+
+    def test_negative_sleep_rejected(self):
+        with pytest.raises(TaskError):
+            Sleep(-1.0)
+
+    def test_consecutive_sleeps(self, runtime):
+        sched, rt = runtime
+        times = []
+
+        def task():
+            for _ in range(3):
+                yield Sleep(2.0)
+                times.append(sched.now)
+
+        rt.spawn(task())
+        sched.run()
+        assert times == [2.0, 4.0, 6.0]
+
+
+class TestWaitUntil:
+    def test_true_predicate_continues_immediately(self, runtime):
+        sched, rt = runtime
+        log = []
+
+        def task():
+            yield WaitUntil(lambda: True)
+            log.append(sched.now)
+
+        rt.spawn(task())
+        assert log == [0.0]  # ran synchronously, no scheduler needed
+
+    def test_parked_until_poke(self, runtime):
+        sched, rt = runtime
+        flag = {"ready": False}
+        log = []
+
+        def task():
+            yield WaitUntil(lambda: flag["ready"])
+            log.append("resumed")
+
+        task_obj = rt.spawn(task())
+        assert task_obj.parked
+        rt.poke()
+        assert log == []  # still false
+        flag["ready"] = True
+        rt.poke()
+        assert log == ["resumed"]
+        assert task_obj.done
+
+    def test_poke_fixpoint_chains_tasks(self, runtime):
+        """Resuming one task can unblock another at the same instant."""
+        sched, rt = runtime
+        state = {"a": False, "b": False}
+        log = []
+
+        def task_b():
+            yield WaitUntil(lambda: state["b"])
+            log.append("b")
+
+        def task_a():
+            yield WaitUntil(lambda: state["a"])
+            state["b"] = True
+            log.append("a")
+
+        rt.spawn(task_b())
+        rt.spawn(task_a())
+        state["a"] = True
+        rt.poke()
+        assert log == ["a", "b"]
+
+    def test_sleep_wake_also_pokes_other_tasks(self, runtime):
+        sched, rt = runtime
+        state = {"done": False}
+        log = []
+
+        def sleeper():
+            yield Sleep(1.0)
+            state["done"] = True
+
+        def waiter():
+            yield WaitUntil(lambda: state["done"])
+            log.append(sched.now)
+
+        rt.spawn(waiter())
+        rt.spawn(sleeper())
+        sched.run()
+        assert log == [1.0]
+
+
+class TestLifecycle:
+    def test_bare_yield_defers_to_same_time_events(self, runtime):
+        sched, rt = runtime
+        log = []
+
+        def task():
+            log.append("before")
+            yield
+            log.append("after")
+
+        sched.schedule(0.0, log.append, "queued")
+        rt.spawn(task())
+        sched.run()
+        assert log == ["before", "queued", "after"]
+
+    def test_stop_kills_tasks(self, runtime):
+        sched, rt = runtime
+        log = []
+
+        def task():
+            yield Sleep(1.0)
+            log.append("should not happen")
+
+        rt.spawn(task())
+        rt.stop()
+        sched.run()
+        assert log == []
+        assert rt.alive == 0
+
+    def test_spawn_after_stop_raises(self, runtime):
+        sched, rt = runtime
+        rt.stop()
+        with pytest.raises(TaskError):
+            rt.spawn(iter(()))
+
+    def test_unknown_directive_raises(self, runtime):
+        sched, rt = runtime
+
+        def task():
+            yield "bogus"
+
+        with pytest.raises(TaskError):
+            rt.spawn(task())
+
+    def test_task_finishing_immediately(self, runtime):
+        sched, rt = runtime
+
+        def task():
+            return
+            yield  # pragma: no cover
+
+        t = rt.spawn(task())
+        assert t.done
+        assert rt.alive == 0
+
+    def test_alive_count(self, runtime):
+        sched, rt = runtime
+
+        def task():
+            yield Sleep(1.0)
+
+        rt.spawn(task())
+        rt.spawn(task())
+        assert rt.alive == 2
+        sched.run()
+        assert rt.alive == 0
+
+    def test_yield_from_subgenerators(self, runtime):
+        sched, rt = runtime
+        log = []
+
+        def sub():
+            yield Sleep(1.0)
+            log.append("sub")
+
+        def main():
+            yield from sub()
+            log.append("main")
+
+        rt.spawn(main())
+        sched.run()
+        assert log == ["sub", "main"]

@@ -1,0 +1,47 @@
+"""World-level trace configuration (kind filtering / disabling)."""
+
+from repro.fd import HeartbeatEventuallyPerfect
+from repro.sim import FixedDelay, ReliableLink, World
+
+
+def run_world(**kwargs):
+    world = World(
+        n=3, seed=0, default_link=ReliableLink(FixedDelay(1.0)), **kwargs
+    )
+    world.attach_all(lambda pid: HeartbeatEventuallyPerfect(period=5.0))
+    world.schedule_crash(2, 20.0)
+    world.run(until=60.0)
+    return world
+
+
+class TestTraceOptions:
+    def test_default_records_everything(self):
+        world = run_world()
+        assert world.trace.count("send") > 0
+        assert world.trace.count("fd") > 0
+        assert world.trace.count("crash") == 1
+
+    def test_kind_filtering(self):
+        world = run_world(trace_kinds=["crash", "fd"])
+        assert world.trace.count("send") == 0
+        assert world.trace.count("fd") > 0
+        assert world.trace.count("crash") == 1
+
+    def test_disabled_trace_records_nothing_but_sim_still_works(self):
+        world = run_world(trace_enabled=False)
+        assert len(world.trace) == 0
+        # The detector still functions: p2 crashed and is suspected.
+        det = world.component(0, "fd")
+        assert det.suspected() == {2}
+
+    def test_filtering_reduces_memory(self):
+        full = run_world()
+        slim = run_world(trace_kinds=["crash"])
+        assert len(slim.trace) < len(full.trace)
+
+    def test_counters_independent_of_trace(self):
+        """Network counters work even with tracing off (benchmarks rely on
+        this when they disable traces for speed)."""
+        world = run_world(trace_enabled=False)
+        assert world.network.sent_network > 0
+        assert world.network.delivered_total > 0

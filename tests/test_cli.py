@@ -1,0 +1,67 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_consensus_args(self):
+        args = build_parser().parse_args(
+            ["consensus", "ec", "-n", "7", "--crash", "0:50",
+             "--stabilize", "80", "--wan"]
+        )
+        assert args.algo == "ec"
+        assert args.n == 7
+        assert args.crash == ["0:50"]
+        assert args.wan
+
+    def test_rejects_unknown_algo(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["consensus", "raft"])
+
+
+class TestCommands:
+    def test_experiments_lists_all(self, capsys):
+        assert main(["experiments"]) == 0
+        out = capsys.readouterr().out
+        for exp in ("E1", "E5", "E9", "A4"):
+            assert exp in out
+
+    def test_demo_runs_and_decides(self, capsys):
+        assert main(["demo", "-n", "4", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "leader timeline" in out
+        assert "'termination': True" in out
+
+    def test_consensus_success_exit_code(self, capsys):
+        assert main(["consensus", "ec", "-n", "3", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "decided" in out
+
+    def test_consensus_with_crash_and_stabilization(self, capsys):
+        code = main([
+            "consensus", "ct", "-n", "5", "--seed", "2",
+            "--crash", "0:30", "--stabilize", "60",
+        ])
+        assert code == 0
+
+    def test_validate_small(self, capsys):
+        assert main(["validate", "--runs", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "all good" in out
+
+    def test_compare_fd(self, capsys):
+        assert main(["compare-fd", "-n", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 2" in out
+
+    def test_report(self, capsys):
+        assert main(["report"]) == 0
+        out = capsys.readouterr().out
+        # Either stored tables or the how-to-generate hint.
+        assert "experiment" in out.lower()

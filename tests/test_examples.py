@@ -1,0 +1,35 @@
+"""Smoke tests: every shipped example runs clean end to end.
+
+Each example asserts its own correctness internally (they end with checks
+like "all replicas hold identical stores"), so a zero exit code is a real
+signal, not just "didn't crash".
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).parent.parent / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize("example", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(example):
+    result = subprocess.run(
+        [sys.executable, str(example)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout.strip(), "example produced no output"
+
+
+def test_example_inventory():
+    """The deliverable requires a quickstart plus >= 2 domain scenarios."""
+    names = {p.stem for p in EXAMPLES}
+    assert "quickstart" in names
+    assert len(names) >= 3

@@ -1,0 +1,55 @@
+"""Tests for repro.types and repro.errors."""
+
+import pytest
+
+from repro.errors import (
+    ConfigurationError,
+    CrashedProcessError,
+    PropertyViolation,
+    ProtocolError,
+    ReproError,
+    SimulationError,
+    TaskError,
+)
+from repro.types import validate_pid
+
+
+class TestValidatePid:
+    def test_accepts_valid_ids(self):
+        for pid in range(5):
+            assert validate_pid(pid, 5) == pid
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            validate_pid(-1, 5)
+
+    def test_rejects_too_large(self):
+        with pytest.raises(ValueError):
+            validate_pid(5, 5)
+
+    def test_rejects_bool(self):
+        with pytest.raises(ValueError):
+            validate_pid(True, 5)
+
+    def test_rejects_non_int(self):
+        with pytest.raises(ValueError):
+            validate_pid("0", 5)
+
+
+class TestErrorHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for exc in (
+            ConfigurationError,
+            SimulationError,
+            CrashedProcessError,
+            TaskError,
+            ProtocolError,
+            PropertyViolation,
+        ):
+            assert issubclass(exc, ReproError)
+
+    def test_crashed_is_simulation_error(self):
+        assert issubclass(CrashedProcessError, SimulationError)
+
+    def test_task_error_is_simulation_error(self):
+        assert issubclass(TaskError, SimulationError)

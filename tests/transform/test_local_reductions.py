@@ -1,0 +1,109 @@
+"""Tests for the message-free Section 3 reductions (Ω→◇C and ◇P→◇C)."""
+
+import pytest
+
+from repro.analysis import check_fd_class_on_world
+from repro.fd import (
+    EVENTUALLY_CONSISTENT,
+    EVENTUALLY_PERFECT,
+    OMEGA,
+    OracleConfig,
+    OracleFailureDetector,
+)
+from repro.sim import World
+from repro.transform import OmegaToC, PToC
+
+
+def omega_to_c_world(n=5, seed=0, stabilize=0.0):
+    world = World(n=n, seed=seed)
+    dets = []
+    for pid in world.pids:
+        omega = world.attach(
+            pid,
+            OracleFailureDetector(
+                OMEGA,
+                OracleConfig(
+                    pre_behavior="ideal" if stabilize == 0 else "erratic",
+                    stabilize_time=stabilize,
+                ),
+                channel="fd.omega",
+            ),
+        )
+        dets.append(world.attach(pid, OmegaToC(omega)))
+    return world, dets
+
+
+def p_to_c_world(n=5, seed=0):
+    world = World(n=n, seed=seed)
+    dets = []
+    for pid in world.pids:
+        p_det = world.attach(
+            pid,
+            OracleFailureDetector(
+                EVENTUALLY_PERFECT,
+                OracleConfig(pre_behavior="ideal"),
+                channel="fd.p",
+            ),
+        )
+        dets.append(world.attach(pid, PToC(p_det)))
+    return world, dets
+
+
+class TestOmegaToC:
+    def test_complement_suspicion(self):
+        world, dets = omega_to_c_world()
+        world.run(until=50.0)
+        det = dets[2]
+        assert det.trusted() == 0
+        assert det.suspected() == {1, 3, 4}
+
+    def test_no_messages_exchanged(self):
+        world, dets = omega_to_c_world()
+        world.run(until=100.0)
+        assert world.network.sent_by_channel.get("fd", 0) == 0
+
+    def test_satisfies_ec_class(self):
+        world, dets = omega_to_c_world(seed=1, stabilize=60.0)
+        world.schedule_crash(0, 100.0)
+        world.run(until=600.0)
+        results = check_fd_class_on_world(world, EVENTUALLY_CONSISTENT)
+        assert all(results.values()), results
+
+    def test_tracks_leader_changes(self):
+        world, dets = omega_to_c_world()
+        world.schedule_crash(0, 20.0)
+        world.run(until=100.0)
+        assert dets[1].trusted() == 1
+        assert dets[1].suspected() == {0, 2, 3, 4} - {1}
+
+
+class TestPToC:
+    def test_trusted_is_first_non_suspected(self):
+        world, dets = p_to_c_world()
+        world.schedule_crash(0, 20.0)
+        world.schedule_crash(1, 30.0)
+        world.run(until=100.0)
+        for det in dets:
+            if det.pid > 1:
+                assert det.trusted() == 2
+                assert det.suspected() == {0, 1}
+
+    def test_no_messages_exchanged(self):
+        world, dets = p_to_c_world()
+        world.run(until=100.0)
+        assert world.network.sent_by_channel.get("fd", 0) == 0
+
+    def test_satisfies_ec_class(self):
+        world, dets = p_to_c_world(seed=2)
+        world.schedule_crash(4, 50.0)
+        world.run(until=500.0)
+        results = check_fd_class_on_world(world, EVENTUALLY_CONSISTENT)
+        assert all(results.values()), results
+
+    def test_keeps_higher_accuracy_than_omega_route(self):
+        """◇P → ◇C suspects only actual crashes — the paper's accuracy
+        argument for preferring this construction."""
+        world, dets = p_to_c_world()
+        world.schedule_crash(3, 20.0)
+        world.run(until=100.0)
+        assert dets[0].suspected() == {3}  # not "everyone but the leader"

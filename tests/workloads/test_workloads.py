@@ -1,0 +1,89 @@
+"""Tests for workload generators and canonical scenarios."""
+
+import random
+
+import pytest
+
+from repro.sim.links import FairLossyLink, PartiallySynchronousLink, ReliableLink
+from repro.workloads import (
+    asynchronous_link,
+    cascade,
+    consensus_run,
+    fair_lossy_link,
+    lan_link,
+    minority_crashes,
+    nice_run,
+    partially_synchronous_link,
+    single_crash,
+    theorem3_run,
+    wan_link,
+)
+
+
+class TestNetworkFactories:
+    def test_types(self):
+        assert isinstance(lan_link(), ReliableLink)
+        assert isinstance(wan_link(), ReliableLink)
+        assert isinstance(asynchronous_link(), ReliableLink)
+        assert isinstance(partially_synchronous_link(), PartiallySynchronousLink)
+        assert isinstance(fair_lossy_link(), FairLossyLink)
+
+    def test_psync_parameters(self):
+        link = partially_synchronous_link(gst=50.0, delta=3.0)
+        assert link.gst == 50.0
+        assert link.delta == 3.0
+
+
+class TestCrashGenerators:
+    def test_minority_never_reaches_half(self):
+        for n in (3, 4, 5, 8, 9):
+            for seed in range(10):
+                sched = minority_crashes(random.Random(seed), n, (0, 100))
+                assert len(sched) < n / 2
+
+    def test_cascade_ordering(self):
+        sched = cascade([3, 1, 4], start=10.0, gap=5.0)
+        assert [(e.pid, e.time) for e in sched.events] == [
+            (3, 10.0), (1, 15.0), (4, 20.0)
+        ]
+
+    def test_single(self):
+        sched = single_crash(2, 7.0)
+        assert sched.crashed_pids == {2}
+
+
+class TestScenarios:
+    def test_nice_run_has_no_crashes(self):
+        run = nice_run("ec", n=4, seed=0)
+        run.run(until=200.0)
+        assert run.world.crashed_pids == frozenset()
+        assert run.decided
+
+    def test_consensus_run_custom_values(self):
+        run = consensus_run("ec", n=3, seed=0, pre_behavior="ideal",
+                            values=["x", "y", "z"]).run(until=200.0)
+        assert run.decisions[0] in ("x", "y", "z")
+
+    def test_unknown_algo_raises(self):
+        with pytest.raises(KeyError):
+            consensus_run("bogus", n=3)
+
+    def test_run_chaining_and_decided_property(self):
+        run = nice_run("ct", n=3, seed=1)
+        assert not run.decided
+        assert run.run(until=200.0) is run
+        assert run.decided
+
+    def test_theorem3_world_shape(self):
+        run = theorem3_run("ec", n=5, leader=3, stabilize_time=50.0)
+        # Pre-stabilization: everyone suspects everyone and trusts itself.
+        run.run(until=30.0)
+        fd = run.world.component(1, "fd")
+        assert fd.trusted() == 1
+        assert fd.suspected() == {0, 2, 3, 4}
+        # Post-stabilization: all trust the designated leader; everyone else
+        # stays slandered.
+        run.run(until=400.0)
+        fd = run.world.component(1, "fd")
+        assert fd.trusted() == 3
+        assert fd.suspected() == {0, 2, 4}
