@@ -2,12 +2,15 @@
 
 Every benchmark regenerates one of the paper's analytical comparisons
 (DESIGN.md §3 maps experiment ids to paper sections).  Results are printed
-and also written to ``benchmarks/results/<experiment>.txt`` so they survive
-pytest's output capture; EXPERIMENTS.md summarizes paper-vs-measured.
+and persisted twice under ``benchmarks/results/``: a human-readable
+``<experiment>.txt`` table and a machine-readable ``BENCH_<experiment>.json``
+(title, headers, row data, note) for dashboards and regression tooling;
+EXPERIMENTS.md summarizes paper-vs-measured.
 """
 
 from __future__ import annotations
 
+import json
 import pathlib
 from typing import Iterable, List, Sequence
 
@@ -42,3 +45,38 @@ def publish(experiment: str, table: str) -> None:
     print("\n" + table + "\n")
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{experiment}.txt").write_text(table + "\n")
+
+
+def _json_cell(cell: object) -> object:
+    """Keep JSON-native values as data; stringify everything else."""
+    if cell is None or isinstance(cell, (bool, int, float, str)):
+        return cell
+    return str(cell)
+
+
+def publish_table(
+    experiment: str,
+    title: str,
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    note: str = "",
+) -> str:
+    """Publish one experiment's result in both formats.
+
+    Renders and persists the aligned text table (as :func:`publish` did)
+    and additionally writes ``BENCH_<experiment>.json`` carrying the same
+    data structurally.  Returns the rendered table.
+    """
+    rows = [list(row) for row in rows]
+    table = format_table(title, headers, rows, note=note)
+    publish(experiment, table)
+    record = {
+        "experiment": experiment,
+        "title": title,
+        "headers": list(headers),
+        "rows": [[_json_cell(c) for c in row] for row in rows],
+        "note": note,
+    }
+    path = RESULTS_DIR / f"BENCH_{experiment}.json"
+    path.write_text(json.dumps(record, indent=2) + "\n")
+    return table

@@ -12,7 +12,7 @@ import pytest
 from repro.analysis import max_phases_per_round, messages_per_round
 from repro.workloads import nice_run
 
-from _harness import format_table, publish
+from _harness import publish_table
 
 NS = (4, 6, 8, 12)
 
@@ -45,7 +45,8 @@ def test_a1_merged_phase01(benchmark):
         # One fewer communication step: merged decides no later on average
         # (allow jitter slack — links draw uniform per-message delays).
         assert l1 <= l0 + 0.6
-    table = format_table(
+    publish_table(
+        "a1_merged_phase01",
         "A1 — merged Phase 0/1 variant vs the standard protocol (nice runs)",
         ["n", "std phases", "std msgs", "std latency",
          "merged phases", "merged msgs", "merged latency"],
@@ -53,7 +54,6 @@ def test_a1_merged_phase01(benchmark):
         note="Paper (Sec. 5.4): merging Phases 0 and 1 saves one "
         "communication step but raises messages/round from Θ(n) to Ω(n²).",
     )
-    publish("a1_merged_phase01", table)
 
     benchmark.pedantic(lambda: measure(8, True, seeds=(1,)),
                        rounds=3, iterations=1)

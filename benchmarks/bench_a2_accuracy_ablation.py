@@ -24,7 +24,7 @@ from repro.consensus import ECConsensus, propose_all
 from repro.fd import ScriptedFailureDetector
 from repro.sim import FixedDelay, ReliableLink, World
 
-from _harness import format_table, publish
+from _harness import publish_table
 
 N = 7
 SLOW = frozenset({5, 6})       # slow repliers (late acks)
@@ -80,7 +80,8 @@ def test_a2_accuracy_ablation(benchmark):
                  "yes" if acc[1] else "no", acc[2], acc[3]))
     rows.append(("Omega-complement suspects", f"round {comp[0]}",
                  "yes" if comp[1] else "no", comp[2], comp[3]))
-    table = format_table(
+    publish_table(
+        "a2_accuracy_ablation",
         f"A2 — accuracy ablation: <>C-consensus with 3 fast nackers and 2 "
         f"slow ackers (n={N}, majority={N//2+1})",
         ["suspect-set source", "decision", "pre-stabilization?",
@@ -92,7 +93,6 @@ def test_a2_accuracy_ablation(benchmark):
         "complement detector never waits past the first majority — the "
         "nacks land first and the round fails until stabilization.",
     )
-    publish("a2_accuracy_ablation", table)
 
     # Accurate detector: decides round 1, before stabilization, with nacks
     # present — the paper's headline behaviour.

@@ -20,7 +20,7 @@ from repro.fd import (
 from repro.sim import ReliableLink, UniformDelay, World
 from repro.transform import CToPTransformation
 
-from _harness import format_table, publish
+from _harness import publish_table
 
 N = 5
 LEADER = 0
@@ -75,7 +75,8 @@ def test_a3_adaptive_timeouts(benchmark):
     ):
         rows.append((name, early, late, f"{delta:.0f}",
                      "yes" if ok else "NO"))
-    table = format_table(
+    publish_table(
+        "a3_adaptive_timeouts",
         "A3 — adaptive vs fixed timeouts in the Fig. 2 transformation "
         f"(delay jitter up to 14 vs initial timeout {INITIAL_TIMEOUT})",
         ["timeout rule", "false suspicions (t < 4000)",
@@ -86,7 +87,6 @@ def test_a3_adaptive_timeouts(benchmark):
         "2Φ+Δ the process is never falsely suspected again.  Without "
         "adaptation the oscillation never stops and ◇P accuracy is lost.",
     )
-    publish("a3_adaptive_timeouts", table)
 
     # Adaptive: mistakes happen early, stop late, accuracy holds.
     assert adaptive[0] >= 1

@@ -23,7 +23,7 @@ from repro.sim import (
     World,
 )
 
-from _harness import format_table, publish
+from _harness import publish_table
 
 N = 5
 END = 3000.0
@@ -65,7 +65,8 @@ def test_a4_leader_stability(benchmark):
         ("leader-based [16]", plain_churn, plain_final),
         ("stable (accusation counters) [2]", stable_churn, stable_final),
     ]
-    table = format_table(
+    publish_table(
+        "a4_leader_stability",
         f"A4 — leadership churn with an intermittently flaky low-id process "
         f"(n={N}, recurring 100-unit degradation windows on p0's links)",
         ["Omega implementation", "leader changes observed", "final leaders"],
@@ -74,7 +75,6 @@ def test_a4_leader_stability(benchmark):
         "elected leader as long as it does not crash and its links behave; "
         "the simple reinstating rule flip-flops on every flaky window.",
     )
-    publish("a4_leader_stability", table)
 
     assert len(stable_final) == 1
     assert plain_churn > 3 * max(1, stable_churn)

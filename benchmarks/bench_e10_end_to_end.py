@@ -17,7 +17,7 @@ from repro.fd import attach_ec_stack
 from repro.workloads import partially_synchronous_link
 from repro.sim import World
 
-from _harness import format_table, publish
+from _harness import publish_table
 
 N = 5
 
@@ -63,7 +63,8 @@ def test_e10_end_to_end(benchmark):
         ))
         assert ok, (gst, results)
         previous_latency = latency
-    table = format_table(
+    publish_table(
+        "e10_end_to_end",
         "E10 — full message-passing stack (Omega[16] + ring[15] -> <>C -> "
         f"Figs. 3-4 consensus), GST sweep, leader crash (n={N})",
         ["GST", "all properties hold", "decision time", "decision − GST"],
@@ -74,7 +75,6 @@ def test_e10_end_to_end(benchmark):
         "jitter the adaptive timeouts can stabilize the stack well before "
         "GST (the GST=400 row).",
     )
-    publish("e10_end_to_end", table)
 
     benchmark.pedantic(lambda: run_stack(50.0, seed=3), rounds=2,
                        iterations=1)

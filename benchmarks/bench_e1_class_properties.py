@@ -25,7 +25,7 @@ from repro.fd import (
 from repro.sim import World
 from repro.workloads import partially_synchronous_link
 
-from _harness import format_table, publish
+from _harness import publish_table
 
 SEEDS = range(4)
 N = 5
@@ -118,7 +118,8 @@ def run_all():
 
 def test_e1_class_properties(benchmark):
     rows = run_all()
-    table = format_table(
+    publish_table(
+        "e1_class_properties",
         "E1 — detector class properties on random crash runs "
         f"(n={N}, GST={GST})",
         ["implementation", "class", "runs satisfying class", "mean stab. time"],
@@ -126,7 +127,6 @@ def test_e1_class_properties(benchmark):
         note="Paper (Fig. 1 / Def. 1): every implementation must satisfy "
         "all properties of its class — expect every row at 100%.",
     )
-    publish("e1_class_properties", table)
     for row in rows:
         passed, total = row[2].split("/")
         assert passed == total, row

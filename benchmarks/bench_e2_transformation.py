@@ -18,7 +18,7 @@ from repro.sim import FairLossyLink, FixedDelay, ReliableLink, World
 from repro.transform import CToPTransformation
 from repro.workloads import partially_synchronous_link
 
-from _harness import format_table, publish
+from _harness import publish_table
 
 N = 6
 LEADER = 0
@@ -74,7 +74,8 @@ def test_e2_transformation_theorem1(benchmark):
                 f"{stab:.0f}",
                 f"{latency:.1f}" if latency is not None else "n/a",
             ))
-    table = format_table(
+    publish_table(
+        "e2_transformation",
         f"E2 — <>C → <>P transformation under partial synchrony (n={N})",
         ["GST", "output loss", "<>P holds", "stabilized at", "det. latency"],
         rows,
@@ -82,7 +83,6 @@ def test_e2_transformation_theorem1(benchmark):
         "fair-lossy leader outputs, the transformation implements <>P for "
         "every GST and loss level.",
     )
-    publish("e2_transformation", table)
     assert all_ok
 
     benchmark.pedantic(

@@ -24,7 +24,7 @@ from repro.fd import (
 from repro.sim import FixedDelay, ReliableLink, World
 from repro.transform import CToPTransformation, OmegaToC
 
-from _harness import format_table, publish
+from _harness import publish_table
 
 PERIOD = 5.0
 WINDOW = (300.0, 800.0)
@@ -91,7 +91,8 @@ def test_e3_fd_message_cost(benchmark):
             f"{fig2:.1f} ({2*(n-1)})",
             f"{stack:.1f} ({3*(n-1)})",
         ))
-    table = format_table(
+    publish_table(
+        "e3_fd_message_cost",
         "E3 — periodic message cost of <>P constructions "
         "(measured msgs/period, paper formula in parens)",
         ["n", "all-to-all [6]", "ring [15]", "Fig.2 (oracle <>C)",
@@ -102,7 +103,6 @@ def test_e3_fd_message_cost(benchmark):
         "leader's n-1 heartbeats.  (The paper's headline 2(n-1) total "
         "assumes piggybacking the suspect list on those heartbeats.)",
     )
-    publish("e3_fd_message_cost", table)
     for n, (hb, ring, fig2, stack) in measured.items():
         assert hb == pytest.approx(n * (n - 1), rel=0.05)
         assert ring == pytest.approx(2 * n, rel=0.1)

@@ -11,7 +11,7 @@ import pytest
 from repro.analysis import max_phases_per_round
 from repro.workloads import nice_run
 
-from _harness import format_table, publish
+from _harness import publish_table
 
 EXPECTED = {"ec": 5, "ct": 4, "mr": 3}
 
@@ -31,7 +31,8 @@ def test_e4_phases_per_round(benchmark):
     merged = measure("ec", merged_phase01=True)
     rows.append(("ec (merged 0+1)", merged, 4, "ok" if merged == 4 else "NO"))
     assert merged == 4
-    table = format_table(
+    publish_table(
+        "e4_phases_per_round",
         "E4 — phases (communication steps) per round, measured from traces",
         ["protocol", "measured", "paper", "match"],
         rows,
@@ -39,6 +40,5 @@ def test_e4_phases_per_round(benchmark):
         "Chandra–Toueg four, Mostefaoui–Raynal three; merging Phases 0 "
         "and 1 trades one phase for Θ(n²) messages.",
     )
-    publish("e4_phases_per_round", table)
 
     benchmark.pedantic(lambda: measure("ec"), rounds=3, iterations=1)

@@ -13,7 +13,7 @@ import pytest
 from repro.analysis import messages_per_round
 from repro.workloads import nice_run
 
-from _harness import format_table, publish
+from _harness import publish_table
 
 NS = (4, 6, 8, 12, 16)
 
@@ -49,7 +49,8 @@ def test_e5_messages_per_round(benchmark):
         rows.append(
             (algo, *[p[1] for p in points], f"{exponents[algo]:.2f}")
         )
-    table = format_table(
+    publish_table(
+        "e5_messages_per_round",
         "E5 — messages per round in nice runs (columns: n = "
         + ", ".join(map(str, NS)) + ")",
         ["protocol", *[f"n={n}" for n in NS], "log-log slope"],
@@ -58,7 +59,6 @@ def test_e5_messages_per_round(benchmark):
         "MR ≈ 3n² is Θ(n²) (slope → 2).  Counts exclude Reliable "
         "Broadcast, as in the paper.",
     )
-    publish("e5_messages_per_round", table)
     assert exponents["ec"] < 1.3
     assert exponents["ct"] < 1.3
     assert exponents["mr"] > 1.7

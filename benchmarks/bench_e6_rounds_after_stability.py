@@ -17,7 +17,7 @@ import pytest
 from repro.analysis import round_at, rounds_after_system
 from repro.workloads import theorem3_run
 
-from _harness import format_table, publish
+from _harness import publish_table
 
 STAB = 200.0
 NS = (4, 6, 8, 12)
@@ -62,7 +62,8 @@ def test_e6_rounds_after_stability(benchmark):
         # coordinator turn); allow slack for round drift after calibration.
         assert ct_rounds >= max(2, n - 3), (n, ct_rounds)
         assert ct_rounds <= n + 1, (n, ct_rounds)
-    table = format_table(
+    publish_table(
+        "e6_rounds_after_stability",
         "E6 — fresh rounds to decide after detector stabilization "
         "(Theorem 3 adversary, worst-case leader for CT)",
         ["n", "leader", "<>C rounds", "CT rounds", "paper CT worst case"],
@@ -71,7 +72,6 @@ def test_e6_rounds_after_stability(benchmark):
         "decide in one round after stabilization; the rotating coordinator "
         "needs Θ(n) rounds in the worst case.",
     )
-    publish("e6_rounds_after_stability", table)
 
     benchmark.pedantic(
         lambda: measure("ec", 6, worst_leader_for_ct(6)[0]),

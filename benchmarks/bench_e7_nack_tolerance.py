@@ -28,7 +28,7 @@ from repro.fd import ScriptedFailureDetector
 from repro.sim import World
 from repro.workloads import lan_link
 
-from _harness import format_table, publish
+from _harness import publish_table
 
 N = 7
 STAB = 500.0  # detectors heal long after the decisions we measure
@@ -81,7 +81,8 @@ def test_e7_nack_tolerance(benchmark):
             results[(algo, k)] = (decision_round, early)
             row.append(f"round {decision_round}" + ("" if early else " (post-stab)"))
         rows.append(tuple(row))
-    table = format_table(
+    publish_table(
+        "e7_nack_tolerance",
         f"E7 — decision round with k permanent nackers of the coordinator "
         f"(n={N}, majority={N//2+1})",
         ["k", "<>C-consensus", "Chandra–Toueg", "Mostefaoui–Raynal"],
@@ -92,7 +93,6 @@ def test_e7_nack_tolerance(benchmark):
         "in MR a divergent view among the first n−f blocks the round "
         "(only detector stabilization escapes).",
     )
-    publish("e7_nack_tolerance", table)
 
     # <>C: always round 1, always before stabilization.
     for k in (0, 1, 2, 3):

@@ -22,7 +22,7 @@ from repro.fd import (
 from repro.sim import FixedDelay, ReliableLink, World
 from repro.transform import CToPTransformation
 
-from _harness import format_table, publish
+from _harness import publish_table
 
 PERIOD = 5.0
 TIMEOUT = 12.0
@@ -79,7 +79,8 @@ def test_e8_detection_latency(benchmark):
         assert f is not None and r is not None and h is not None
         fig2_lat[n], ring_lat[n] = f, r
         rows.append((n, f"{f:.1f}", f"{r:.1f}", f"{h:.1f}"))
-    table = format_table(
+    publish_table(
+        "e8_detection_latency",
         "E8 — time until every correct process suspects a crashed process "
         f"(period={PERIOD}, timeout={TIMEOUT})",
         ["n", "Fig.2 <>C→<>P", "ring [15]", "all-to-all [6]"],
@@ -88,7 +89,6 @@ def test_e8_detection_latency(benchmark):
         "— Θ(n) periods; Fig. 2 broadcasts the leader's list directly, so "
         "its latency is flat in n (like the n²-message all-to-all).",
     )
-    publish("e8_detection_latency", table)
     # The ring's latency grows with n; Fig. 2's stays flat and below it.
     assert ring_lat[NS[-1]] > 2 * ring_lat[NS[0]] - PERIOD
     assert fig2_lat[NS[-1]] < 1.5 * fig2_lat[NS[0]]

@@ -15,7 +15,7 @@ from repro.analysis import extract_outcome, check_consensus
 from repro.sim.failures import CrashEvent, CrashSchedule
 from repro.workloads import consensus_run, wan_link
 
-from _harness import format_table, publish
+from _harness import publish_table
 
 SEEDS = range(10)
 ALGOS = ("ec", "ct", "mr", "paxos")
@@ -61,7 +61,8 @@ def test_e9_consensus_validation(benchmark):
         ))
         for prop, count in ok.items():
             assert count == runs, (algo, prop, count, runs)
-    table = format_table(
+    publish_table(
+        "e9_consensus_validation",
         "E9 — Uniform Consensus properties over random adverse runs "
         f"({len(list(SEEDS))} runs/protocol; random n, crashes f<n/2, "
         "stabilization, WAN delays)",
@@ -71,7 +72,6 @@ def test_e9_consensus_validation(benchmark):
         note="Paper (Thm. 2 for <>C; [6], [20], [13] for the baselines): "
         "all four properties must hold on every run — expect 100%.",
     )
-    publish("e9_consensus_validation", table)
 
     def one():
         run, _, _ = random_case("ec", 3)

@@ -23,6 +23,12 @@ def _buckets(end: Time, width: int) -> List[Time]:
     return [step * (i + 1) for i in range(width)]
 
 
+def _fmt_horizon(t: Time) -> str:
+    """Simulated horizons are tens-to-thousands of time units; live runs
+    last fractions of a wall second.  Keep sub-second precision visible."""
+    return f"{t:.0f}" if t >= 10 else f"{t:.2f}"
+
+
 def _sample(history, t: Time):
     """Last record at or before *t* (histories are step functions)."""
     current = None
@@ -54,7 +60,7 @@ def leader_timeline(
     }
     horizon = end if end is not None else trace.end_time
     columns = _buckets(horizon, width)
-    lines = [f"leader timeline (channel {channel!r}, t in [0, {horizon:.0f}])"]
+    lines = [f"leader timeline (channel {channel!r}, t in [0, {_fmt_horizon(horizon)}])"]
     for pid in sorted(histories):
         cells = []
         for t in columns:
@@ -87,7 +93,7 @@ def suspicion_timeline(
     horizon = end if end is not None else trace.end_time
     columns = _buckets(horizon, width)
     lines = [
-        f"suspicion of p{target} (channel {channel!r}, t in [0, {horizon:.0f}])"
+        f"suspicion of p{target} (channel {channel!r}, t in [0, {_fmt_horizon(horizon)}])"
     ]
     if target in crash_at:
         lines[0] += f"; p{target} crashes at t={crash_at[target]:.0f}"
@@ -127,7 +133,7 @@ def round_timeline(
         return f"(no rounds traced for algo {algo!r})"
     horizon = end if end is not None else trace.end_time
     columns = _buckets(horizon, width)
-    lines = [f"rounds of {algo!r} (t in [0, {horizon:.0f}]; D = decided)"]
+    lines = [f"rounds of {algo!r} (t in [0, {_fmt_horizon(horizon)}]; D = decided)"]
     for pid in sorted(rounds):
         cells = []
         for t in columns:

@@ -17,6 +17,12 @@ Commands:
     List the reproduced experiments and the benchmark regenerating each.
 ``report``
     Print every stored experiment table in one document.
+``cluster``
+    The live-runtime demo: host the unchanged ◇C + ◇C→◇P + consensus stack
+    on real asyncio transports (loopback/UDP/TCP on localhost), kill the
+    elected leader mid-run, reach a decision anyway, and print the same
+    trace-derived timelines, property checks, and QoS tables the simulator
+    commands print.
 """
 
 from __future__ import annotations
@@ -69,6 +75,8 @@ _EXPERIMENTS = [
     ("A2", "accuracy ablation <>S vs Omega", "bench_a2_accuracy_ablation.py"),
     ("A3", "adaptive timeout ablation", "bench_a3_adaptive_timeouts.py"),
     ("A4", "leader stability ablation", "bench_a4_leader_stability.py"),
+    ("N1", "live runtime across transports (repro.net)",
+     "bench_n1_live_transports.py"),
 ]
 
 
@@ -199,6 +207,150 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     return 0 if failures == 0 else 1
 
 
+def _cmd_cluster(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .errors import ConfigurationError
+    from .net import FaultPlan, LocalCluster, attach_standard_stack, default_codec
+
+    try:
+        codec = default_codec(
+            prefer=None if args.codec == "auto" else args.codec)
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    plan = (FaultPlan(args.nodes, seed=args.seed, loss_prob=args.loss)
+            if args.loss > 0.0 else None)
+
+    if args.virtual:
+        return _cluster_virtual(args, codec, plan)
+
+    period = args.period
+    cluster = LocalCluster(
+        n=args.nodes, transport=args.transport, seed=args.seed,
+        codec=codec, fault_plan=plan,
+    )
+    stacks = attach_standard_stack(
+        cluster, period=period,
+        initial_timeout=2.4 * period, timeout_increment=period,
+    )
+    detectors, protocols = stacks["fd"], stacks["consensus"]
+
+    def agreed_leader():
+        alive = [d for d in detectors if not d.crashed]
+        trusted = {d.trusted() for d in alive}
+        if len(trusted) != 1:
+            return None
+        leader = next(iter(trusted))
+        if leader is None or cluster.hosts[leader].crashed:
+            return None
+        return leader
+
+    async def drive():
+        await cluster.start()
+        converged = await cluster.run_until(
+            lambda: agreed_leader() is not None, timeout=args.timeout)
+        if not converged:
+            await cluster.stop()
+            return None
+        await cluster.run(4 * period)  # let announcements settle
+        leader = agreed_leader()
+        if leader is None:  # rare: flapped during settling; take any trusted
+            leader = next(d.trusted() for d in detectors if not d.crashed)
+        crash_time = cluster.now
+        cluster.kill(leader)
+        for p in protocols:
+            if not p.crashed:
+                p.propose(f"value-from-p{p.pid}")
+        decided = await cluster.run_until(
+            lambda: all(p.decided for p in protocols if not p.crashed),
+            timeout=args.timeout,
+        )
+        await cluster.run(2 * period)  # flush trailing frames into the trace
+        await cluster.stop()
+        return leader, crash_time, decided
+
+    result = asyncio.run(drive())
+    if result is None:
+        print("error: detectors never converged on a live leader",
+              file=sys.stderr)
+        return 1
+    leader, crash_time, decided = result
+    return _cluster_report(args, cluster, protocols, leader, crash_time,
+                           decided)
+
+
+def _cluster_virtual(args: argparse.Namespace, codec, plan) -> int:
+    """Deterministic variant: virtual clock over loopback, sim-scale times."""
+    from .errors import ConfigurationError
+    from .net import LocalCluster, attach_standard_stack
+
+    if args.transport != "loopback":
+        print("error: --virtual requires --transport loopback",
+              file=sys.stderr)
+        return 2
+    cluster = LocalCluster(
+        n=args.nodes, transport="loopback", clock="virtual",
+        seed=args.seed, codec=codec, fault_plan=plan,
+    )
+    stacks = attach_standard_stack(
+        cluster, period=5.0, initial_timeout=12.0, timeout_increment=5.0,
+    )
+    protocols = stacks["consensus"]
+    leader, crash_time = 0, 60.0  # leaders start at p0 deterministically
+    cluster.schedule_kill(leader, crash_time)
+
+    def propose_survivors():
+        for p in protocols:
+            if not p.crashed:
+                p.propose(f"value-from-p{p.pid}")
+
+    cluster.clock.schedule_at(crash_time + 1.0, propose_survivors)
+    cluster.run_virtual(until=4000.0)
+    decided = all(p.decided for p in protocols if not p.crashed)
+    return _cluster_report(args, cluster, protocols, leader, crash_time,
+                           decided)
+
+
+def _cluster_report(args, cluster, protocols, leader, crash_time,
+                    decided) -> int:
+    trace = cluster.trace
+    end = cluster.now
+    mode = "virtual" if cluster.virtual else "wall"
+    print(f"live cluster: n={cluster.n} transport={cluster.transport_kind} "
+          f"codec={cluster.codec.name} clock={mode}")
+    print(f"killed leader p{leader} at t={crash_time:.2f}\n")
+    print(leader_timeline(trace, channel="fd", width=64, end=end))
+    print()
+    print(round_timeline(trace, "ec", width=64, end=end))
+    print()
+    for p in protocols:
+        state = (f"decided {p.decision!r} (round {p.decision_round})"
+                 if p.decided else
+                 ("killed" if p.crashed else "undecided"))
+        print(f"  p{p.pid}: {state}")
+    outcome = extract_outcome(trace, "ec")
+    results = check_consensus(outcome, cluster.correct_pids)
+    print("properties:", results)
+
+    latency = detection_latency(trace, leader, crash_time,
+                                cluster.correct_pids, channel="fd")
+    lat = f"{latency:.3f}" if latency is not None else "n/a"
+    print(f"\nQoS (trace-derived, same analysis code as the simulator):")
+    print(f"  {'crash detection latency':32s} {lat:>10s}")
+    for channel in ("fd.omega", "fd.suspects", "fdp", "consensus.rb",
+                    "consensus"):
+        count = channel_message_count(trace, channel)
+        print(f"  {'messages on ' + channel:32s} {count:>10d}")
+    frames = sum(h.transport.frames_sent for h in cluster.hosts)
+    drops = sum(h.undecodable_frames for h in cluster.hosts)
+    print(f"  {'transport frames sent':32s} {frames:>10d}")
+    print(f"  {'undecodable frames':32s} {drops:>10d}")
+    ok = decided and all(results.values())
+    print("\nresult:", "OK" if ok else "FAILED")
+    return 0 if ok else 1
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from .analysis import render_report
 
@@ -252,14 +404,40 @@ def build_parser() -> argparse.ArgumentParser:
 
     rep = sub.add_parser("report", help="print stored experiment tables")
     rep.set_defaults(func=_cmd_report)
+
+    clu = sub.add_parser(
+        "cluster",
+        help="live asyncio runtime: the same stack over real transports",
+    )
+    clu.add_argument("--nodes", "-n", type=int, default=5)
+    clu.add_argument("--transport", choices=["loopback", "udp", "tcp"],
+                     default="udp")
+    clu.add_argument("--seed", type=int, default=7)
+    clu.add_argument("--period", type=float, default=0.05,
+                     help="heartbeat period in wall seconds")
+    clu.add_argument("--codec", choices=["auto", "json", "msgpack"],
+                     default="auto")
+    clu.add_argument("--loss", type=float, default=0.0,
+                     help="inject uniform message loss probability")
+    clu.add_argument("--timeout", type=float, default=30.0,
+                     help="wall-clock budget for convergence and decision")
+    clu.add_argument("--virtual", action="store_true",
+                     help="deterministic virtual-clock run (loopback only)")
+    clu.set_defaults(func=_cmd_cluster)
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
+    from .errors import ConfigurationError
+
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

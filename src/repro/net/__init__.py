@@ -1,0 +1,59 @@
+"""Live asyncio runtime: the sim's protocol stacks over real transports.
+
+Where :mod:`repro.sim` executes the paper's algorithms in deterministic
+virtual time, this subpackage executes the *same, unchanged*
+:class:`~repro.sim.component.Component` subclasses on real asyncio event
+loops and real sockets:
+
+* :mod:`~repro.net.codec` — msgpack/JSON wire codecs that round-trip every
+  payload shape the protocols produce;
+* :mod:`~repro.net.clock` — wall-clock and deterministic virtual clocks
+  implementing the shared :mod:`repro.sim.api` scheduler protocol;
+* :mod:`~repro.net.transport` / :mod:`~repro.net.udp` /
+  :mod:`~repro.net.tcp` — in-process loopback, UDP datagrams, and TCP with
+  length-prefixed framing plus reconnect backoff;
+* :mod:`~repro.net.faults` — a fault-injection proxy transport
+  (loss/delay/partition) mirroring the simulator's link models and
+  :class:`~repro.sim.partition.NetworkController`;
+* :mod:`~repro.net.host` — the :class:`NodeHost` adapter that makes one
+  live node look like one slot of a simulated
+  :class:`~repro.sim.world.World`;
+* :mod:`~repro.net.cluster` — :class:`LocalCluster`, n nodes in one
+  process sharing a clock and a trace, so :mod:`repro.analysis` works on
+  live runs unchanged.
+
+See ``docs/runtime.md`` for the architecture and the sim-vs-live guarantee
+matrix, and ``python -m repro cluster`` for the end-to-end demo.
+"""
+
+from .clock import AsyncioClock, VirtualClock
+from .cluster import LocalCluster, TRANSPORTS, attach_standard_stack
+from .codec import Codec, CodecError, JsonCodec, MsgpackCodec, default_codec
+from .faults import FaultPlan, FaultyTransport
+from .host import NodeHost, RuntimeNetwork, RuntimeWorld
+from .tcp import TCPTransport
+from .transport import LoopbackHub, LoopbackTransport, Transport
+from .udp import UDPTransport
+
+__all__ = [
+    "AsyncioClock",
+    "VirtualClock",
+    "LocalCluster",
+    "TRANSPORTS",
+    "attach_standard_stack",
+    "Codec",
+    "CodecError",
+    "JsonCodec",
+    "MsgpackCodec",
+    "default_codec",
+    "FaultPlan",
+    "FaultyTransport",
+    "NodeHost",
+    "RuntimeNetwork",
+    "RuntimeWorld",
+    "TCPTransport",
+    "LoopbackHub",
+    "LoopbackTransport",
+    "Transport",
+    "UDPTransport",
+]

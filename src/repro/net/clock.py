@@ -1,0 +1,114 @@
+"""Clocks for the live runtime — the :class:`~repro.sim.api.SchedulerAPI`
+implementations that replace the simulator's virtual-time heap.
+
+Two clocks cover the two ways the runtime is used:
+
+* :class:`AsyncioClock` — wall time.  ``now`` is seconds since the clock
+  started (so traces from a live run have the same "starts at 0" shape as
+  simulated ones) and ``schedule`` maps to ``loop.call_later``.  Components'
+  timers, periodic tasks, and ``Sleep`` directives all become real asyncio
+  timers with no component-code changes.
+* :class:`VirtualClock` — a thin veneer over the simulator's deterministic
+  :class:`~repro.sim.scheduler.Scheduler`.  Used with the loopback transport
+  it makes an entire multi-node *runtime* cluster (host adapters, codec,
+  transport framing, fault proxy and all) bit-for-bit reproducible, which is
+  what the sim↔net parity tests run on.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Callable, Optional
+
+from ..errors import SimulationError
+from ..sim.scheduler import Scheduler
+from ..types import Time
+
+__all__ = ["AsyncioTimerHandle", "AsyncioClock", "VirtualClock"]
+
+
+class AsyncioTimerHandle:
+    """Cancellable wrapper over an asyncio timer (TimerHandleAPI)."""
+
+    __slots__ = ("_handle", "cancelled")
+
+    def __init__(self, handle: asyncio.TimerHandle) -> None:
+        self._handle = handle
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the callback from firing.  Idempotent."""
+        self.cancelled = True
+        self._handle.cancel()
+
+
+class AsyncioClock:
+    """Wall-clock scheduler over an asyncio event loop.
+
+    The zero point is fixed at construction (or explicitly via
+    :meth:`rebase`): ``now`` counts seconds from there, keeping live traces
+    comparable with simulated ones and keeping ``schedule_at`` meaningful.
+    """
+
+    def __init__(self, loop: Optional[asyncio.AbstractEventLoop] = None) -> None:
+        self._loop = loop
+        self._t0: Optional[float] = None
+        if loop is not None:
+            self._t0 = loop.time()
+
+    # ------------------------------------------------------------- lifecycle
+    @property
+    def loop(self) -> asyncio.AbstractEventLoop:
+        """The event loop, bound lazily to the running loop on first use."""
+        if self._loop is None:
+            self._loop = asyncio.get_running_loop()
+            if self._t0 is None:
+                self._t0 = self._loop.time()
+        return self._loop
+
+    def rebase(self) -> None:
+        """Reset the zero point to the current instant (run start)."""
+        self._t0 = self.loop.time()
+
+    # ------------------------------------------------------------------ time
+    @property
+    def now(self) -> Time:
+        """Seconds elapsed since the zero point."""
+        if self._t0 is None:
+            return 0.0
+        return self.loop.time() - self._t0
+
+    # ------------------------------------------------------------ scheduling
+    def schedule(
+        self, delay: Time, callback: Callable[..., None], *args: Any
+    ) -> AsyncioTimerHandle:
+        """Run ``callback(*args)`` after *delay* seconds of wall time."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        return AsyncioTimerHandle(self.loop.call_later(delay, callback, *args))
+
+    def schedule_at(
+        self, time: Time, callback: Callable[..., None], *args: Any
+    ) -> AsyncioTimerHandle:
+        """Run ``callback(*args)`` at absolute clock time *time*."""
+        delay = time - self.now
+        if delay < -1e-9:
+            raise SimulationError(
+                f"cannot schedule at {time} before current time {self.now}"
+            )
+        return self.schedule(max(delay, 0.0), callback, *args)
+
+
+class VirtualClock(Scheduler):
+    """The simulator's deterministic scheduler, reused as a runtime clock.
+
+    Inherits everything — this subclass exists so runtime code can express
+    "a clock suitable for NodeHost" without importing the sim layer, and so
+    isinstance checks can distinguish deterministic from wall-clock hosts
+    (async transports refuse to run on a virtual clock; see
+    :mod:`repro.net.cluster`).
+    """
+
+    @property
+    def is_virtual(self) -> bool:
+        return True

@@ -1,0 +1,206 @@
+"""Wire codecs for :class:`~repro.sim.message.Message`.
+
+The protocol layer exchanges rich Python values — nested tuples, dicts with
+integer keys (ring knowledge maps), frozensets (suspect lists), and the
+:data:`~repro.consensus.ec_consensus.NULL` estimate sentinel.  The simulator
+passes them by reference; a real network needs bytes.  The codec round-trips
+every payload shape the library's protocols produce **exactly** (tuples stay
+tuples, int keys stay ints, ``NULL`` stays the singleton), so component code
+runs unchanged on both substrates.
+
+Encoding is a tagged recursive transform into JSON-safe structure: scalars
+pass through, lists map elementwise, and every other shape becomes a
+single-key dict ``{"!<tag>": ...}``.  User dicts are encoded as pair lists
+under ``"!d"``, so payloads that *happen* to look like a tag dict can never
+be misread.  The default byte serializer is :mod:`json` (always available);
+:class:`MsgpackCodec` uses :mod:`msgpack` when the host has it and raises a
+clear error otherwise — the container image is the source of truth for
+dependencies, so the import is gated, never installed.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Optional, Tuple
+
+from ..errors import ConfigurationError
+from ..sim.message import Message
+from ..types import Channel, ProcessId
+
+__all__ = ["CodecError", "Codec", "JsonCodec", "MsgpackCodec", "default_codec"]
+
+_TUPLE = "!t"
+_DICT = "!d"
+_FROZENSET = "!f"
+_SET = "!s"
+_NULL = "!0"
+_TAGS = (_TUPLE, _DICT, _FROZENSET, _SET, _NULL)
+
+
+class CodecError(Exception):
+    """A payload could not be encoded, or bytes could not be decoded."""
+
+
+def _to_wire(obj: Any) -> Any:
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    # Late import: consensus imports sim, not the reverse.
+    from ..consensus.ec_consensus import NULL
+
+    if obj is NULL:
+        return {_NULL: 1}
+    if isinstance(obj, list):
+        return [_to_wire(x) for x in obj]
+    if isinstance(obj, tuple):
+        return {_TUPLE: [_to_wire(x) for x in obj]}
+    if isinstance(obj, dict):
+        return {_DICT: [[_to_wire(k), _to_wire(v)] for k, v in obj.items()]}
+    if isinstance(obj, frozenset):
+        return {_FROZENSET: sorted((_to_wire(x) for x in obj), key=repr)}
+    if isinstance(obj, set):
+        return {_SET: sorted((_to_wire(x) for x in obj), key=repr)}
+    raise CodecError(f"payload of type {type(obj).__name__} is not wire-safe: {obj!r}")
+
+
+def _from_wire(obj: Any) -> Any:
+    if isinstance(obj, list):
+        return [_from_wire(x) for x in obj]
+    if isinstance(obj, dict):
+        if len(obj) == 1:
+            (tag, value), = obj.items()
+            if tag == _TUPLE:
+                return tuple(_from_wire(x) for x in value)
+            if tag == _DICT:
+                return {_from_wire(k): _from_wire(v) for k, v in value}
+            if tag == _FROZENSET:
+                return frozenset(_from_wire(x) for x in value)
+            if tag == _SET:
+                return {_from_wire(x) for x in value}
+            if tag == _NULL:
+                from ..consensus.ec_consensus import NULL
+
+                return NULL
+        raise CodecError(f"malformed wire structure: {obj!r}")
+    return obj
+
+
+class Codec:
+    """Base codec: structural transform + a pluggable byte serializer.
+
+    Subclasses provide :meth:`_dumps` / :meth:`_loads`; everything else —
+    the tagged transform and the message envelope — is shared.
+    """
+
+    name = "abstract"
+
+    # ------------------------------------------------------------- subclass
+    def _dumps(self, obj: Any) -> bytes:
+        raise NotImplementedError
+
+    def _loads(self, data: bytes) -> Any:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------- payloads
+    def encode_payload(self, payload: Any) -> bytes:
+        """Serialize one protocol payload."""
+        return self._dumps(_to_wire(payload))
+
+    def decode_payload(self, data: bytes) -> Any:
+        """Inverse of :meth:`encode_payload`."""
+        return _from_wire(self._loads(data))
+
+    # ------------------------------------------------------------- messages
+    def encode_message(self, msg: Message) -> bytes:
+        """Serialize a full message envelope (src/dst/channel/payload/...)."""
+        envelope = {
+            "s": msg.src,
+            "d": msg.dst,
+            "c": msg.channel,
+            "p": _to_wire(msg.payload),
+            "t": msg.send_time,
+            "g": msg.tag,
+            "r": msg.round,
+        }
+        return self._dumps(envelope)
+
+    def decode_message(self, data: bytes) -> Message:
+        """Inverse of :meth:`encode_message`."""
+        try:
+            env = self._loads(data)
+            return Message(
+                src=int(env["s"]),
+                dst=int(env["d"]),
+                channel=str(env["c"]),
+                payload=_from_wire(env["p"]),
+                send_time=float(env["t"]),
+                tag=env.get("g"),
+                round=env.get("r"),
+            )
+        except CodecError:
+            raise
+        except Exception as exc:
+            raise CodecError(f"undecodable message frame: {exc}") from exc
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__}>"
+
+
+class JsonCodec(Codec):
+    """JSON bytes; dependency-free and human-greppable on the wire."""
+
+    name = "json"
+
+    def _dumps(self, obj: Any) -> bytes:
+        try:
+            return json.dumps(obj, separators=(",", ":"), allow_nan=False).encode()
+        except (TypeError, ValueError) as exc:
+            raise CodecError(f"not JSON-serializable: {exc}") from exc
+
+    def _loads(self, data: bytes) -> Any:
+        try:
+            return json.loads(data.decode())
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise CodecError(f"not valid JSON: {exc}") from exc
+
+
+class MsgpackCodec(Codec):
+    """msgpack bytes — smaller and faster, used when the host provides it."""
+
+    name = "msgpack"
+
+    def __init__(self) -> None:
+        try:
+            import msgpack  # type: ignore[import-not-found]
+        except ImportError as exc:  # pragma: no cover - depends on host image
+            raise ConfigurationError(
+                "msgpack is not installed in this environment; "
+                "use JsonCodec (the default) instead"
+            ) from exc
+        self._msgpack = msgpack
+
+    def _dumps(self, obj: Any) -> bytes:  # pragma: no cover - optional dep
+        return self._msgpack.packb(obj, use_bin_type=True)
+
+    def _loads(self, data: bytes) -> Any:  # pragma: no cover - optional dep
+        try:
+            return self._msgpack.unpackb(data, raw=False, strict_map_key=False)
+        except Exception as exc:
+            raise CodecError(f"not valid msgpack: {exc}") from exc
+
+
+def default_codec(prefer: Optional[str] = None) -> Codec:
+    """The best codec this host supports.
+
+    ``prefer="json"``/``"msgpack"`` forces a family; by default msgpack is
+    used when importable, JSON otherwise.
+    """
+    if prefer == "json":
+        return JsonCodec()
+    if prefer == "msgpack":
+        return MsgpackCodec()
+    if prefer is not None:
+        raise ConfigurationError(f"unknown codec {prefer!r}")
+    try:
+        return MsgpackCodec()
+    except ConfigurationError:
+        return JsonCodec()

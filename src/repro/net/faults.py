@@ -1,0 +1,195 @@
+"""Fault injection for live transports — the runtime twin of
+:mod:`repro.sim.links` and :class:`repro.sim.partition.NetworkController`.
+
+A :class:`FaultPlan` is the cluster-wide control surface: per-directed-pair
+loss probability, delay models, and partitions, with the same verbs the
+simulator's controller exposes (``partition`` / ``heal`` / ``isolate`` /
+``degrade`` / ``restore``).  A :class:`FaultyTransport` wraps any real
+transport and consults the shared plan on every send: drop, delay (through
+the host clock, so virtual-clock runs stay deterministic), or pass through.
+
+Injecting at the *sender* mirrors the simulator, where the outgoing link
+decides a message's fate at send time; it also means a partition is
+symmetric only if the plan says so — directed pairs are first-class, as in
+:mod:`repro.sim.links`.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from ..errors import ConfigurationError
+from ..sim.delays import DelayModel
+from ..types import ProcessId, Time
+from .transport import Transport
+
+__all__ = ["FaultPlan", "FaultyTransport"]
+
+Pair = Tuple[ProcessId, ProcessId]
+
+
+class FaultPlan:
+    """Shared, mutable description of what the network does to traffic."""
+
+    def __init__(
+        self,
+        n: int,
+        seed: int = 0,
+        loss_prob: float = 0.0,
+        delay: Optional[DelayModel] = None,
+    ) -> None:
+        if not 0.0 <= loss_prob < 1.0:
+            raise ConfigurationError(f"loss_prob {loss_prob} outside [0, 1)")
+        self.n = n
+        self.rng = random.Random(seed)
+        self.default_loss = loss_prob
+        self.default_delay = delay
+        self._pair_loss: Dict[Pair, float] = {}
+        self._pair_delay: Dict[Pair, Optional[DelayModel]] = {}
+        self._cut: Dict[Pair, bool] = {}
+        self._partition_groups: Optional[List[frozenset]] = None
+        self.dropped = 0
+        self.delayed = 0
+
+    # ------------------------------------------------------------ partitions
+    def partition(self, *groups: Iterable[ProcessId]) -> None:
+        """Cut every directed pair crossing group boundaries (now).
+
+        Processes not named in any group form an implicit final group —
+        the exact contract of
+        :meth:`repro.sim.partition.NetworkController.partition`.
+        """
+        named = [frozenset(g) for g in groups]
+        seen = frozenset().union(*named) if named else frozenset()
+        for pid in seen:
+            if pid not in range(self.n):
+                raise ConfigurationError(f"unknown pid {pid}")
+        rest = frozenset(range(self.n)) - seen
+        all_groups = named + ([rest] if rest else [])
+        membership: Dict[ProcessId, int] = {}
+        for idx, group in enumerate(all_groups):
+            for pid in group:
+                if pid in membership:
+                    raise ConfigurationError(f"pid {pid} in two groups")
+                membership[pid] = idx
+        for src in range(self.n):
+            for dst in range(self.n):
+                if src != dst:
+                    self._cut[(src, dst)] = membership[src] != membership[dst]
+        self._partition_groups = all_groups
+
+    def isolate(self, pid: ProcessId) -> None:
+        """Partition *pid* away from everyone else."""
+        self.partition([pid])
+
+    def heal(self) -> None:
+        """Remove any active partition."""
+        self._cut.clear()
+        self._partition_groups = None
+
+    @property
+    def partitioned(self) -> bool:
+        """True while a partition is in force."""
+        return self._partition_groups is not None
+
+    # ----------------------------------------------------------- degradation
+    def degrade(
+        self,
+        src: ProcessId,
+        dst: ProcessId,
+        loss_prob: Optional[float] = None,
+        delay: Optional[DelayModel] = None,
+    ) -> None:
+        """Override loss and/or delay for the directed pair ``src -> dst``."""
+        if loss_prob is not None:
+            if not 0.0 <= loss_prob < 1.0:
+                raise ConfigurationError(f"loss_prob {loss_prob} outside [0, 1)")
+            self._pair_loss[(src, dst)] = loss_prob
+        if delay is not None:
+            self._pair_delay[(src, dst)] = delay
+
+    def restore(self, src: ProcessId, dst: ProcessId) -> None:
+        """Undo :meth:`degrade` for ``src -> dst``."""
+        self._pair_loss.pop((src, dst), None)
+        self._pair_delay.pop((src, dst), None)
+
+    # --------------------------------------------------------------- verdicts
+    def plan(self, src: ProcessId, dst: ProcessId) -> Optional[Time]:
+        """Decide one send's fate: ``None`` = drop, else extra delay (>= 0).
+
+        Same shape as :meth:`repro.sim.links.Link.plan`, minus the message
+        (injection here is content-blind).
+        """
+        if self._cut.get((src, dst), False):
+            self.dropped += 1
+            return None
+        loss = self._pair_loss.get((src, dst), self.default_loss)
+        if loss and self.rng.random() < loss:
+            self.dropped += 1
+            return None
+        model = self._pair_delay.get((src, dst), self.default_delay)
+        if model is None:
+            return 0.0
+        delay = model.sample(self.rng, 0.0)
+        if delay > 0:
+            self.delayed += 1
+        return delay
+
+
+class FaultyTransport(Transport):
+    """A proxy transport applying a :class:`FaultPlan` to every send.
+
+    Wraps the real transport of one node; the clock is used to realize
+    injected delays, so wrapping loopback-on-virtual-clock keeps runs
+    deterministic while still exercising the full fault machinery.
+    """
+
+    def __init__(self, inner: Transport, plan: FaultPlan, clock: Any) -> None:
+        # Deliberately not calling ``super().__init__``: the traffic
+        # counters must live on ``inner`` — it is the transport actually
+        # putting frames on the wire — and are re-exposed as read-only
+        # properties below so stats read off the proxy stay truthful.
+        self.pid = inner.pid
+        self.closed = False
+        self.inner = inner
+        self.plan = plan
+        self.clock = clock
+        self.injected_drops = 0
+
+    frames_sent = property(lambda self: self.inner.frames_sent)
+    frames_received = property(lambda self: self.inner.frames_received)
+    bytes_sent = property(lambda self: self.inner.bytes_sent)
+    bytes_received = property(lambda self: self.inner.bytes_received)
+    send_errors = property(lambda self: self.inner.send_errors)
+
+    # Receiver and peers pass straight through to the wrapped transport.
+    def set_receiver(self, receiver) -> None:
+        self.inner.set_receiver(receiver)
+
+    def set_peers(self, addresses: Dict[ProcessId, Any]) -> None:
+        self.inner.set_peers(addresses)
+
+    @property
+    def local_address(self) -> Any:
+        return self.inner.local_address
+
+    def bind(self):
+        return self.inner.bind()
+
+    def close(self):
+        self.closed = True
+        return self.inner.close()
+
+    def send(self, dst: ProcessId, data: bytes) -> None:
+        verdict = self.plan.plan(self.pid, dst)
+        if verdict is None:
+            self.injected_drops += 1
+            return
+        if verdict <= 0.0:
+            self.inner.send(dst, data)
+        else:
+            self.clock.schedule(verdict, self.inner.send, dst, data)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<FaultyTransport over {self.inner!r}>"

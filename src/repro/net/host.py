@@ -1,0 +1,240 @@
+"""The :class:`NodeHost`: one live node running unchanged protocol stacks.
+
+This is the runtime's counterpart of one slot of the simulator's
+:class:`~repro.sim.world.World`.  It assembles the component-facing surface
+(:mod:`repro.sim.api`) out of live parts —
+
+* a clock (:mod:`repro.net.clock`) in place of the virtual-time heap,
+* a :class:`RuntimeNetwork` that encodes through the codec and hands frames
+  to a transport in place of the simulated link fabric,
+* the *same* :class:`~repro.sim.trace.Trace`,
+  :class:`~repro.sim.rng.RandomSource`, and — crucially —
+  :class:`~repro.sim.process.Process` classes, reused verbatim —
+
+and attaches ordinary :class:`~repro.sim.component.Component` subclasses to
+it.  A ◇C detector, the Fig. 2 transformation, reliable broadcast, and the
+consensus algorithms run here without a line of change: their timers become
+asyncio timers, their ``send``/``broadcast`` become datagrams or TCP
+frames, and their trace events land in a recorder the analysis layer reads
+exactly as it reads simulated traces.
+
+One host serves one process id.  Multi-node single-machine runs are
+orchestrated by :class:`~repro.net.cluster.LocalCluster`; a multi-machine
+deployment would create one host per box and share the address book
+out of band.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from ..errors import ConfigurationError
+from ..sim.message import Message
+from ..sim.process import Process
+from ..sim.rng import RandomSource
+from ..sim.trace import Trace
+from ..types import Channel, ProcessId
+from .clock import AsyncioClock
+from .codec import Codec, CodecError, JsonCodec
+from .transport import Transport
+
+__all__ = ["RuntimeNetwork", "RuntimeWorld", "NodeHost"]
+
+
+class RuntimeNetwork:
+    """The live :class:`~repro.sim.api.NetworkAPI`: codec + transport.
+
+    Keeps the same always-on counters as :class:`repro.sim.network.Network`
+    so benchmark and QoS code reads totals identically on both substrates.
+    """
+
+    def __init__(self, host: "NodeHost") -> None:
+        self._host = host
+        self.sent_total = 0
+        self.sent_network = 0  # excludes self-sends
+        self.delivered_total = 0
+        self.dropped_total = 0
+        self.sent_by_channel: Dict[Channel, int] = {}
+
+    def send(
+        self,
+        src: ProcessId,
+        dst: ProcessId,
+        channel: Channel,
+        payload: Any,
+        tag: Optional[str] = None,
+        round: Optional[int] = None,
+    ) -> Message:
+        host = self._host
+        now = host.clock.now
+        msg = Message(
+            src=src, dst=dst, channel=channel, payload=payload,
+            send_time=now, tag=tag, round=round,
+        )
+        self.sent_total += 1
+        self.sent_by_channel[channel] = self.sent_by_channel.get(channel, 0) + 1
+        if src == dst:
+            # Loopback self-send: stays in-process and uncounted as network
+            # traffic, exactly like the simulator's zero-delay loopback.
+            host.trace.record(
+                now, "send", src, channel=channel, src=src, dst=dst,
+                tag=tag, round=round, loopback=True,
+            )
+            host.clock.schedule(0.0, host._deliver, msg)
+            return msg
+        self.sent_network += 1
+        host.trace.record(
+            now, "send", src, channel=channel, src=src, dst=dst,
+            tag=tag, round=round, loopback=False,
+        )
+        host.transport.send(dst, host.codec.encode_message(msg))
+        return msg
+
+
+class RuntimeWorld:
+    """The live :class:`~repro.sim.api.WorldAPI` backing one node.
+
+    Satisfies exactly the surface components touch (``n``, ``scheduler``,
+    ``network``, ``trace``, ``rng``, ``crash_epoch``) — oracle components,
+    which read the simulator's global failure pattern, are out of scope by
+    design and fail fast with a clear error if attached.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        scheduler: Any,
+        network: RuntimeNetwork,
+        trace: Trace,
+        rng: RandomSource,
+    ) -> None:
+        self.n = n
+        self.scheduler = scheduler
+        self.network = network
+        self.trace = trace
+        self.rng = rng
+        self.crash_epoch = 0
+
+    @property
+    def now(self) -> float:
+        """Current clock time (seconds since the host's zero point)."""
+        return self.scheduler.now
+
+    @property
+    def processes(self) -> None:
+        raise ConfigurationError(
+            "world.processes is simulator-only (a live node cannot see the "
+            "global failure pattern); oracle components cannot run on a "
+            "NodeHost — use a message-passing detector instead"
+        )
+
+
+class NodeHost:
+    """Hosts the protocol components of one process over a live transport.
+
+    Parameters:
+        pid / n: this node's id and the cluster size.
+        transport: a bound-later :class:`~repro.net.transport.Transport`
+            (wrap it in a :class:`~repro.net.faults.FaultyTransport` for
+            fault injection).
+        clock: any :class:`~repro.sim.api.SchedulerAPI`; defaults to a
+            fresh wall-clock :class:`~repro.net.clock.AsyncioClock`.
+        codec: wire codec; defaults to JSON (always available).
+        trace: a shared recorder for in-process clusters, or ``None`` for a
+            private one.
+        seed: master seed for this node's deterministic RNG streams.
+    """
+
+    def __init__(
+        self,
+        pid: ProcessId,
+        n: int,
+        transport: Transport,
+        clock: Optional[Any] = None,
+        codec: Optional[Codec] = None,
+        trace: Optional[Trace] = None,
+        seed: int = 0,
+    ) -> None:
+        if not 0 <= pid < n:
+            raise ConfigurationError(f"pid {pid} out of range for n={n}")
+        if transport.pid != pid:
+            raise ConfigurationError(
+                f"transport is addressed as pid {transport.pid}, host is {pid}"
+            )
+        self.pid = pid
+        self.n = n
+        self.transport = transport
+        self.clock = clock if clock is not None else AsyncioClock()
+        self.codec = codec if codec is not None else JsonCodec()
+        self.trace = trace if trace is not None else Trace()
+        # Per-node seed spaces: the same master seed never makes two nodes'
+        # jitter streams collide, yet runs stay reproducible.
+        self.world = RuntimeWorld(
+            n=n,
+            scheduler=self.clock,
+            network=RuntimeNetwork(self),
+            trace=self.trace,
+            rng=RandomSource(seed).spawn(f"node:{pid}"),
+        )
+        self.process = Process(pid, self.world)  # reused verbatim from sim
+        self.undecodable_frames = 0
+        self.misrouted_frames = 0
+        transport.set_receiver(self._on_frame)
+
+    # ----------------------------------------------------------------- wiring
+    def attach(self, component) -> Any:
+        """Attach *component* (any sim Component subclass); returns it."""
+        return self.process.attach(component)
+
+    def component(self, channel: Channel):
+        """Look up the attached component on *channel*."""
+        return self.process.component(channel)
+
+    # -------------------------------------------------------------- lifecycle
+    def start(self) -> None:
+        """Start every attached component (their ``on_start`` hooks run)."""
+        self.process.start()
+
+    def crash(self) -> None:
+        """Crash the hosted process (component tasks stop, sends turn into
+        no-ops).  The transport keeps receiving; frames for a crashed
+        process are counted as drops, as in the simulator."""
+        self.process.crash()
+
+    @property
+    def crashed(self) -> bool:
+        return self.process.crashed
+
+    # -------------------------------------------------------------- receiving
+    def _on_frame(self, data: bytes) -> None:
+        try:
+            msg = self.codec.decode_message(data)
+        except CodecError:
+            # A malformed datagram (bit rot, port scanner, version skew) must
+            # never take the node down — count it and move on.
+            self.undecodable_frames += 1
+            self.trace.record(
+                self.clock.now, "drop", self.pid, reason="undecodable"
+            )
+            return
+        if msg.dst != self.pid:
+            self.misrouted_frames += 1
+            return
+        self._deliver(msg)
+
+    def _deliver(self, msg: Message) -> None:
+        net = self.world.network
+        net.delivered_total += 1
+        self.trace.record(
+            self.clock.now, "deliver", msg.dst,
+            channel=msg.channel, src=msg.src, dst=msg.dst,
+            tag=msg.tag, round=msg.round,
+        )
+        self.process.deliver(msg)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "crashed" if self.crashed else "up"
+        return (
+            f"<NodeHost pid={self.pid}/{self.n} ({state}) "
+            f"components={list(self.process.components)}>"
+        )

@@ -1,0 +1,171 @@
+"""TCP transport: length-prefixed frames over per-peer connections.
+
+Each node runs one listening server; for each destination it lazily opens
+one outgoing connection driven by a writer task.  ``send`` enqueues to the
+peer's bounded queue and returns immediately (components must never block);
+the writer task drains the queue, framing each message as a 4-byte
+big-endian length prefix plus body.
+
+Connection churn — a peer not up yet, a peer restarting, a transient RST —
+is absorbed by exponential backoff with jitter between (re)connect
+attempts.  While a peer is unreachable its queue keeps the most recent
+frames and sheds the oldest on overflow: for this library's traffic that is
+the right loss discipline, because heartbeats are superseded by newer ones
+and protocol messages are re-sendable via stubborn channels.  A TCP
+transport therefore behaves like a *fair-lossy* link under churn and a
+reliable FIFO link in steady state — both regimes the algorithms are
+proven for.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import deque
+from typing import Deque, Dict, Optional, Set, Tuple
+
+from ..types import ProcessId
+from .transport import Transport
+
+__all__ = ["TCPTransport"]
+
+Address = Tuple[str, int]
+
+_LEN_BYTES = 4
+#: Frames above this are protocol bugs, not traffic (mirrors UDP's budget).
+MAX_FRAME = 16 * 1024 * 1024
+
+
+class TCPTransport(Transport):
+    """Stream transport with framing, per-peer queues, and reconnect."""
+
+    def __init__(
+        self,
+        pid: ProcessId,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        queue_limit: int = 1024,
+        backoff_initial: float = 0.05,
+        backoff_max: float = 2.0,
+    ) -> None:
+        super().__init__(pid)
+        self.host = host
+        self.port = port
+        self.queue_limit = queue_limit
+        self.backoff_initial = backoff_initial
+        self.backoff_max = backoff_max
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._queues: Dict[ProcessId, Deque[bytes]] = {}
+        self._kick: Dict[ProcessId, asyncio.Event] = {}
+        self._writers: Dict[ProcessId, asyncio.Task] = {}
+        self._readers: Set[asyncio.Task] = set()
+        self.reconnects = 0
+        self.shed_frames = 0
+
+    # -------------------------------------------------------------- lifecycle
+    async def bind(self) -> None:
+        self._server = await asyncio.start_server(
+            self._on_accept, host=self.host, port=self.port
+        )
+        addr = self._server.sockets[0].getsockname()[:2]
+        self._peers[self.pid] = addr
+        self.port = addr[1]
+
+    async def close(self) -> None:
+        if self.closed:
+            return
+        self.closed = True
+        if self._server is not None:
+            self._server.close()
+        for task in list(self._writers.values()) + list(self._readers):
+            task.cancel()
+        for task in list(self._writers.values()) + list(self._readers):
+            try:
+                await task
+            except (asyncio.CancelledError, Exception):
+                pass
+        self._writers.clear()
+        self._readers.clear()
+
+    # ---------------------------------------------------------------- sending
+    def send(self, dst: ProcessId, data: bytes) -> None:
+        if self.closed or len(data) > MAX_FRAME:
+            return
+        queue = self._queues.get(dst)
+        if queue is None:
+            queue = self._queues[dst] = deque()
+            self._kick[dst] = asyncio.Event()
+            self._writers[dst] = asyncio.get_running_loop().create_task(
+                self._writer_loop(dst)
+            )
+        if len(queue) >= self.queue_limit:
+            queue.popleft()  # shed oldest; see module docstring
+            self.shed_frames += 1
+        queue.append(data)
+        self._kick[dst].set()
+
+    async def _writer_loop(self, dst: ProcessId) -> None:
+        """Own the single outgoing connection to *dst*; reconnect forever."""
+        backoff = self.backoff_initial
+        writer: Optional[asyncio.StreamWriter] = None
+        queue = self._queues[dst]
+        kick = self._kick[dst]
+        try:
+            while not self.closed:
+                if not queue:
+                    kick.clear()
+                    await kick.wait()
+                    continue
+                if writer is None:
+                    addr = self._peers.get(dst)
+                    if addr is None:
+                        await asyncio.sleep(backoff)
+                        continue
+                    try:
+                        _, writer = await asyncio.open_connection(*tuple(addr))
+                        backoff = self.backoff_initial
+                    except OSError:
+                        self.send_errors += 1
+                        self.reconnects += 1
+                        await asyncio.sleep(backoff)
+                        backoff = min(backoff * 2, self.backoff_max)
+                        continue
+                frame = queue[0]
+                try:
+                    writer.write(len(frame).to_bytes(_LEN_BYTES, "big") + frame)
+                    await writer.drain()
+                except (OSError, ConnectionError):
+                    self.send_errors += 1
+                    writer = None  # drop the connection, keep the frame
+                    continue
+                queue.popleft()
+                self.frames_sent += 1
+                self.bytes_sent += len(frame)
+        finally:
+            if writer is not None:
+                writer.close()
+
+    # -------------------------------------------------------------- receiving
+    async def _on_accept(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._readers.add(task)
+            task.add_done_callback(self._readers.discard)
+        try:
+            while not self.closed:
+                header = await reader.readexactly(_LEN_BYTES)
+                length = int.from_bytes(header, "big")
+                if length > MAX_FRAME:
+                    break  # corrupt stream; drop the connection
+                frame = await reader.readexactly(length)
+                self._dispatch(frame)
+        except (asyncio.IncompleteReadError, ConnectionError, OSError):
+            pass  # peer went away; it reconnects if it has more to say
+        except asyncio.CancelledError:
+            # Cancelled by close().  Finish normally: asyncio's stream-server
+            # wrapper calls task.exception() on this task from a plain
+            # callback and would log a spurious traceback for a cancelled one.
+            pass
+        finally:
+            writer.close()

@@ -1,0 +1,86 @@
+"""UDP transport: one datagram socket per node, one frame per datagram.
+
+UDP matches the paper's link models better than TCP does: datagrams can be
+lost or reordered, which is exactly the fair-lossy regime the protocols are
+designed to tolerate (heartbeats are periodic, consensus messages are
+idempotent, and :meth:`~repro.sim.component.Component.enable_stubborn_resend`
+exists for runs that need reliable-link behaviour on top).  On localhost
+loss is rare but the code never assumes delivery.
+
+Frames above the configured datagram budget are dropped at the sender with
+a counter bump rather than fragmented — every payload this library's
+protocols produce is far below 64 KiB, so hitting the cap indicates a bug
+worth surfacing, not a case worth engineering for.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Optional, Tuple
+
+from ..types import ProcessId
+from .transport import Transport
+
+__all__ = ["UDPTransport"]
+
+Address = Tuple[str, int]
+
+
+class _Protocol(asyncio.DatagramProtocol):
+    def __init__(self, owner: "UDPTransport") -> None:
+        self.owner = owner
+
+    def datagram_received(self, data: bytes, addr: Address) -> None:
+        self.owner._dispatch(data)
+
+    def error_received(self, exc: Exception) -> None:
+        # ICMP unreachable for a peer that died mid-run: UDP is lossy by
+        # contract, so this is ordinary weather, not an error path.
+        self.owner.send_errors += 1
+
+
+class UDPTransport(Transport):
+    """Datagram transport bound to ``host:port`` (port 0 = ephemeral)."""
+
+    #: Refuse frames above this size instead of fragmenting (see module doc).
+    MAX_DATAGRAM = 60_000
+
+    def __init__(
+        self, pid: ProcessId, host: str = "127.0.0.1", port: int = 0
+    ) -> None:
+        super().__init__(pid)
+        self.host = host
+        self.port = port
+        self._transport: Optional[asyncio.DatagramTransport] = None
+        self.oversize_drops = 0
+
+    async def bind(self) -> None:
+        loop = asyncio.get_running_loop()
+        self._transport, _ = await loop.create_datagram_endpoint(
+            lambda: _Protocol(self), local_addr=(self.host, self.port)
+        )
+        addr = self._transport.get_extra_info("sockname")[:2]
+        self._peers[self.pid] = addr
+        self.port = addr[1]
+
+    def send(self, dst: ProcessId, data: bytes) -> None:
+        if self.closed or self._transport is None:
+            return
+        addr = self._peers.get(dst)
+        if addr is None:
+            self.send_errors += 1
+            return
+        if len(data) > self.MAX_DATAGRAM:
+            self.oversize_drops += 1
+            return
+        self.frames_sent += 1
+        self.bytes_sent += len(data)
+        self._transport.sendto(data, tuple(addr))
+
+    async def close(self) -> None:
+        if self.closed:
+            return
+        self.closed = True
+        if self._transport is not None:
+            self._transport.close()
+            self._transport = None

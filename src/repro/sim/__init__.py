@@ -6,8 +6,14 @@ failures: a virtual-time scheduler, directed link models (reliable,
 partially synchronous with GST/Δ, fair-lossy), processes hosting multiple
 protocol components, a cooperative-task runtime mirroring the paper's
 ``wait until`` pseudocode, crash schedules, and structured traces.
+
+The surface components actually consume is the small set of structural
+protocols in :mod:`repro.sim.api`; anything implementing them can host a
+:class:`Component` — the live asyncio runtime in :mod:`repro.net` is the
+second implementation.
 """
 
+from .api import NetworkAPI, ProcessAPI, SchedulerAPI, WorldAPI, stream_for
 from .component import Component, Periodic
 from .delays import (
     DelayModel,
@@ -42,6 +48,11 @@ from .trace import Trace, TraceEvent
 from .world import World
 
 __all__ = [
+    "NetworkAPI",
+    "ProcessAPI",
+    "SchedulerAPI",
+    "WorldAPI",
+    "stream_for",
     "Component",
     "Periodic",
     "DelayModel",

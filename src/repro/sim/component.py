@@ -12,6 +12,13 @@ Subclasses override the ``on_*`` hooks and use the ``send`` / ``broadcast`` /
 ``set_timer`` / ``periodically`` / ``spawn`` helpers.  All helpers become
 no-ops once the host process has crashed, so algorithm code never needs to
 check for its own death.
+
+Components never reach past these helpers into the host: everything they
+touch is the narrow structural surface defined in :mod:`repro.sim.api`
+(scheduler ``now``/``schedule``, network ``send``, trace, rng, ``n``).
+That is what lets the *same* component classes run both on the simulated
+:class:`~repro.sim.world.World` and on the live asyncio runtime's
+:class:`~repro.net.host.NodeHost` without modification.
 """
 
 from __future__ import annotations

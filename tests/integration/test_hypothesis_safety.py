@@ -26,6 +26,8 @@ from repro.sim import ReliableLink, UniformDelay, World
 from repro.sim.failures import CrashEvent, CrashSchedule
 from repro.workloads import DEFAULT_FD_CLASS
 
+pytestmark = pytest.mark.slow  # randomized battery; skipped by -m "not slow"
+
 adversary = st.fixed_dictionaries(
     {
         "n": st.integers(min_value=3, max_value=6),

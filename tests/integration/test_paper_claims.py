@@ -18,6 +18,8 @@ from repro.fd import HeartbeatEventuallyPerfect, RingDetector
 from repro.sim import FixedDelay, ReliableLink, World
 from repro.workloads import nice_run, theorem3_run
 
+pytestmark = pytest.mark.slow  # randomized battery; skipped by -m "not slow"
+
 
 class TestSection54PhaseCounts:
     """Phases per round: ◇C 5, CT 4, MR 3."""

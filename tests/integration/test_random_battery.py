@@ -15,6 +15,8 @@ from repro.analysis import extract_outcome, require_consensus
 from repro.sim.failures import CrashSchedule, CrashEvent
 from repro.workloads import consensus_run, wan_link
 
+pytestmark = pytest.mark.slow  # randomized battery; skipped by -m "not slow"
+
 
 def random_case(algo, seed):
     rng = random.Random(seed * 1000 + hash(algo) % 1000)

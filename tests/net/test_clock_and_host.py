@@ -1,0 +1,166 @@
+"""Clocks and the NodeHost adapter: the component API over live parts."""
+
+import asyncio
+
+import pytest
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.net import (
+    AsyncioClock,
+    JsonCodec,
+    LoopbackHub,
+    LoopbackTransport,
+    NodeHost,
+    VirtualClock,
+)
+from repro.sim.component import Component
+from repro.sim.message import Message
+
+
+class Echo(Component):
+    """Replies "pong" to every "ping"; records everything it hears."""
+
+    channel = "echo"
+
+    def __init__(self):
+        super().__init__()
+        self.heard = []
+
+    def on_message(self, src, payload):
+        self.heard.append((src, payload))
+        if payload == "ping":
+            self.send(src, "pong")
+
+
+def _pair(clock):
+    """Two loopback-connected hosts sharing *clock*."""
+    hub = LoopbackHub(clock)
+    hosts = []
+    for pid in range(2):
+        transport = LoopbackTransport(pid, hub)
+        host = NodeHost(pid, 2, transport, clock=clock)
+        transport.bind()
+        hosts.append(host)
+    addresses = {h.pid: h.transport.local_address for h in hosts}
+    for h in hosts:
+        h.transport.set_peers(addresses)
+    return hosts
+
+
+# ---------------------------------------------------------------- VirtualClock
+def test_virtual_clock_hosts_echo_deterministically():
+    clock = VirtualClock()
+    hosts = _pair(clock)
+    echoes = [h.attach(Echo()) for h in hosts]
+    for h in hosts:
+        h.start()
+    echoes[0].send(1, "ping")
+    clock.run(until=10.0)
+    assert echoes[1].heard == [(0, "ping")]
+    assert echoes[0].heard == [(1, "pong")]
+
+
+def test_virtual_clock_self_send_loops_back():
+    clock = VirtualClock()
+    hosts = _pair(clock)
+    echoes = [h.attach(Echo()) for h in hosts]
+    for h in hosts:
+        h.start()
+    echoes[0].send(0, "hello-me")
+    clock.run(until=1.0)
+    assert echoes[0].heard == [(0, "hello-me")]
+    # Self-sends never hit the transport, exactly like the simulator.
+    assert hosts[0].transport.frames_sent == 0
+    assert hosts[0].world.network.sent_network == 0
+    assert hosts[0].world.network.sent_total == 1
+
+
+def test_crashed_host_counts_sends_as_noops():
+    clock = VirtualClock()
+    hosts = _pair(clock)
+    echoes = [h.attach(Echo()) for h in hosts]
+    for h in hosts:
+        h.start()
+    hosts[0].crash()
+    assert hosts[0].crashed
+    echoes[0].send(1, "ping")  # component helper is a no-op after crash
+    clock.run(until=10.0)
+    assert echoes[1].heard == []
+
+
+def test_undecodable_frame_is_counted_not_fatal():
+    clock = VirtualClock()
+    hosts = _pair(clock)
+    echoes = [h.attach(Echo()) for h in hosts]
+    for h in hosts:
+        h.start()
+    hosts[0].transport.send(1, b"\xffnot-a-frame")
+    clock.run(until=1.0)
+    assert hosts[1].undecodable_frames == 1
+    assert echoes[1].heard == []
+    drops = [ev for ev in hosts[1].trace.events if ev.kind == "drop"]
+    assert drops and drops[0].get("reason") == "undecodable"
+
+
+def test_misrouted_frame_is_counted_and_ignored():
+    clock = VirtualClock()
+    hosts = _pair(clock)
+    for h in hosts:
+        h.attach(Echo())
+        h.start()
+    stray = Message(src=0, dst=5, channel="echo", payload="x", send_time=0.0)
+    hosts[0].transport.send(1, JsonCodec().encode_message(stray))
+    clock.run(until=1.0)
+    assert hosts[1].misrouted_frames == 1
+
+
+def test_runtime_world_rejects_oracle_surface():
+    clock = VirtualClock()
+    (host, _) = _pair(clock)
+    with pytest.raises(ConfigurationError):
+        host.world.processes
+
+
+def test_host_validates_pid_and_transport_pid():
+    hub = LoopbackHub(VirtualClock())
+    with pytest.raises(ConfigurationError):
+        NodeHost(5, 3, LoopbackTransport(5, hub))
+    with pytest.raises(ConfigurationError):
+        NodeHost(0, 3, LoopbackTransport(1, hub))
+
+
+# ---------------------------------------------------------------- AsyncioClock
+def test_asyncio_clock_timers_and_rebase():
+    async def scenario():
+        clock = AsyncioClock()
+        clock.rebase()
+        fired = []
+        clock.schedule(0.01, fired.append, "a")
+        cancelled = clock.schedule(0.01, fired.append, "never")
+        cancelled.cancel()
+        clock.schedule_at(clock.now + 0.02, fired.append, "b")
+        with pytest.raises(SimulationError):
+            clock.schedule(-1.0, fired.append, "x")
+        with pytest.raises(SimulationError):
+            clock.schedule_at(clock.now - 1.0, fired.append, "x")
+        await asyncio.sleep(0.05)
+        assert fired == ["a", "b"]
+        assert clock.now >= 0.05
+
+    asyncio.run(scenario())
+
+
+def test_asyncio_clock_hosts_echo():
+    async def scenario():
+        clock = AsyncioClock()
+        hosts = _pair(clock)
+        echoes = [h.attach(Echo()) for h in hosts]
+        clock.rebase()
+        for h in hosts:
+            h.start()
+        echoes[0].send(1, "ping")
+        await asyncio.sleep(0.05)
+        assert echoes[1].heard == [(0, "ping")]
+        assert echoes[0].heard == [(1, "pong")]
+
+    asyncio.run(scenario())

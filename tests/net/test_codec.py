@@ -1,0 +1,117 @@
+"""Wire codec round-trips: every payload shape the protocols produce."""
+
+import pytest
+
+from repro.consensus.ec_consensus import NULL
+from repro.errors import ConfigurationError
+from repro.net.codec import (
+    Codec,
+    CodecError,
+    JsonCodec,
+    MsgpackCodec,
+    default_codec,
+)
+from repro.sim.message import Message
+
+
+def _codecs():
+    codecs = [JsonCodec()]
+    try:
+        codecs.append(MsgpackCodec())
+    except ConfigurationError:
+        pass  # host image has no msgpack; JSON is the contract either way
+    return codecs
+
+
+# Shapes drawn from the actual protocols: heartbeats, ring knowledge maps
+# (int keys, tuple values), suspect frozensets, consensus phase tuples with
+# the NULL estimate sentinel, RB metadata.
+PAYLOADS = [
+    None,
+    True,
+    0,
+    -17,
+    3.25,
+    "HB",
+    ("HB", 42),
+    ("EST", 3, "value", 7),
+    ("PING", {0: (5, 10.0), 1: (6, 12.5), 2: (1, 0.0)}),
+    frozenset({1, 2, 4}),
+    {"nested": [(1, 2), {3: frozenset({"a", "b"})}]},
+    ("PROP", 2, NULL, -1),
+    {(0, 1): "pair-keyed"},
+    [],
+    {},
+    frozenset(),
+    ((), (((),),)),
+]
+
+
+@pytest.mark.parametrize("codec", _codecs(), ids=lambda c: c.name)
+@pytest.mark.parametrize("payload", PAYLOADS, ids=repr)
+def test_payload_round_trip_exact(codec, payload):
+    decoded = codec.decode_payload(codec.encode_payload(payload))
+    assert decoded == payload
+    assert type(decoded) is type(payload)
+
+
+@pytest.mark.parametrize("codec", _codecs(), ids=lambda c: c.name)
+def test_null_round_trips_as_the_singleton(codec):
+    decoded = codec.decode_payload(codec.encode_payload(("EST", 1, NULL, -1)))
+    assert decoded[2] is NULL
+
+
+@pytest.mark.parametrize("codec", _codecs(), ids=lambda c: c.name)
+def test_tag_shaped_user_dicts_are_not_misread(codec):
+    # A user payload that *looks* like our tag encoding must survive.
+    tricky = {"!t": [1, 2, 3]}
+    assert codec.decode_payload(codec.encode_payload(tricky)) == tricky
+
+
+@pytest.mark.parametrize("codec", _codecs(), ids=lambda c: c.name)
+def test_message_envelope_round_trip(codec):
+    msg = Message(
+        src=2, dst=0, channel="fd.suspects",
+        payload=("PING", {0: (1, 2.0)}),
+        send_time=12.5, tag="stubborn", round=4,
+    )
+    out = codec.decode_message(codec.encode_message(msg))
+    assert (out.src, out.dst, out.channel) == (2, 0, "fd.suspects")
+    assert out.payload == ("PING", {0: (1, 2.0)})
+    assert out.send_time == 12.5
+    assert out.tag == "stubborn" and out.round == 4
+
+
+@pytest.mark.parametrize("codec", _codecs(), ids=lambda c: c.name)
+def test_garbage_bytes_raise_codec_error(codec):
+    for garbage in (b"", b"\xff\x00garbage", b"[1,"):
+        with pytest.raises(CodecError):
+            codec.decode_message(garbage)
+
+
+def test_valid_json_bad_envelope_raises_codec_error():
+    with pytest.raises(CodecError):
+        JsonCodec().decode_message(b'{"unexpected": "shape"}')
+
+
+def test_unencodable_payload_raises_codec_error():
+    with pytest.raises(CodecError):
+        JsonCodec().encode_payload(object())
+
+
+def test_default_codec_always_available():
+    assert isinstance(default_codec(), Codec)
+    assert default_codec(prefer="json").name == "json"
+    with pytest.raises(ConfigurationError):
+        default_codec(prefer="protobuf")
+
+
+def test_msgpack_is_gated_not_installed():
+    # Whichever world we run in, the constructor either works or explains
+    # itself; it must never trigger an install or an ImportError escape.
+    try:
+        codec = MsgpackCodec()
+    except ConfigurationError as exc:
+        assert "msgpack" in str(exc)
+    else:
+        assert codec.name == "msgpack"

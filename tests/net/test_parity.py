@@ -1,0 +1,143 @@
+"""Sim ↔ net parity: the same scripted scenario on both substrates.
+
+The scenario (n = 3, every link a fixed 1.0-time-unit delay, leader p0
+killed at t = 2.0, all three proposals in flight) runs once on the
+discrete-event simulator and once on the runtime stack — codec, loopback
+transport, fault proxy, NodeHost — driven by a virtual clock.  Both must
+converge ◇C to the same trusted leader and suspect set and decide the same
+consensus value; the runtime run must also be bit-for-bit reproducible.
+"""
+
+import pytest
+
+from repro.analysis import check_consensus, extract_outcome
+from repro.broadcast.reliable import ReliableBroadcast
+from repro.consensus.ec_consensus import ECConsensus
+from repro.fd.eventually_consistent import CombinedDetector
+from repro.fd.leader_based import LeaderBasedOmega
+from repro.fd.ring import RingDetector
+from repro.net import FaultPlan, LocalCluster, attach_standard_stack
+from repro.sim import FixedDelay, ReliableLink, World
+from repro.transform.c_to_p import CToPTransformation
+
+PERIOD, TIMEOUT0, INCREMENT = 5.0, 12.0, 5.0
+KILL_AT, HORIZON = 2.0, 400.0
+
+
+def run_sim(seed=0):
+    world = World(n=3, seed=seed, default_link=ReliableLink(FixedDelay(1.0)))
+    detectors, protocols = [], []
+    for pid in world.pids:
+        omega = world.attach(pid, LeaderBasedOmega(
+            period=PERIOD, initial_timeout=TIMEOUT0,
+            timeout_increment=INCREMENT, channel="fd.omega"))
+        ring = world.attach(pid, RingDetector(
+            period=PERIOD, initial_timeout=TIMEOUT0,
+            timeout_increment=INCREMENT, channel="fd.suspects"))
+        combined = world.attach(
+            pid, CombinedDetector(omega, ring, channel="fd"))
+        world.attach(pid, CToPTransformation(
+            combined, send_period=PERIOD, alive_period=PERIOD,
+            initial_timeout=TIMEOUT0, timeout_increment=INCREMENT,
+            channel="fdp"))
+        rb = world.attach(pid, ReliableBroadcast(channel="consensus.rb"))
+        protocols.append(world.attach(
+            pid, ECConsensus(combined, rb, round_step=PERIOD / 5.0)))
+        detectors.append(combined)
+    world.start()
+    for p in protocols:
+        p.propose(f"v{p.pid}")
+    world.schedule_crash(0, KILL_AT)
+    world.run(until=HORIZON)
+    return world.trace, detectors, protocols, world.correct_pids
+
+
+def run_net(seed=0):
+    cluster = LocalCluster(
+        n=3, transport="loopback", clock="virtual", seed=seed,
+        fault_plan=FaultPlan(3, delay=FixedDelay(1.0)),
+    )
+    stacks = attach_standard_stack(
+        cluster, period=PERIOD,
+        initial_timeout=TIMEOUT0, timeout_increment=INCREMENT,
+    )
+    cluster.start_virtual()
+    for p in stacks["consensus"]:
+        p.propose(f"v{p.pid}")
+    cluster.schedule_kill(0, KILL_AT)
+    cluster.run_virtual(until=HORIZON)
+    return cluster, stacks
+
+
+@pytest.fixture(scope="module")
+def sim_run():
+    return run_sim()
+
+
+@pytest.fixture(scope="module")
+def net_run():
+    return run_net()
+
+
+def test_both_substrates_decide_the_same_value(sim_run, net_run):
+    sim_trace, _, _, sim_correct = sim_run
+    cluster, _ = net_run
+    sim_out = extract_outcome(sim_trace, "ec")
+    net_out = extract_outcome(cluster.trace, "ec")
+    assert sim_out.decisions == net_out.decisions == {1: "v1", 2: "v1"}
+    assert all(check_consensus(sim_out, sim_correct).values())
+    assert all(check_consensus(net_out, cluster.correct_pids).values())
+
+
+def test_both_substrates_converge_identically(sim_run, net_run):
+    _, sim_detectors, _, _ = sim_run
+    _, stacks = net_run
+    net_detectors = stacks["fd"]
+    for survivor in (1, 2):
+        assert sim_detectors[survivor].trusted() == 1
+        assert net_detectors[survivor].trusted() == 1
+        assert sim_detectors[survivor].suspected() == frozenset({0})
+        assert net_detectors[survivor].suspected() == frozenset({0})
+
+
+def test_runtime_path_is_bit_for_bit_reproducible(net_run):
+    first, _ = net_run
+    second, _ = run_net()
+    key = lambda ev: (ev.time, ev.kind, ev.pid, sorted(ev.data.items()))
+    assert [key(ev) for ev in second.trace.events] == \
+           [key(ev) for ev in first.trace.events]
+
+
+def run_net_jittered(seed):
+    """Same scenario but with randomized link delays from a seeded plan."""
+    from repro.sim.delays import UniformDelay
+
+    cluster = LocalCluster(
+        n=3, transport="loopback", clock="virtual", seed=seed,
+        fault_plan=FaultPlan(3, seed=seed, delay=UniformDelay(0.5, 1.5)),
+    )
+    stacks = attach_standard_stack(
+        cluster, period=PERIOD,
+        initial_timeout=TIMEOUT0, timeout_increment=INCREMENT,
+    )
+    cluster.start_virtual()
+    for p in stacks["consensus"]:
+        p.propose(f"v{p.pid}")
+    cluster.schedule_kill(0, KILL_AT)
+    cluster.run_virtual(until=HORIZON)
+    return cluster
+
+
+def test_randomized_delays_are_seed_deterministic():
+    key = lambda ev: (ev.time, ev.kind, ev.pid, sorted(ev.data.items()))
+    base = run_net_jittered(seed=0)
+    again = run_net_jittered(seed=0)
+    other = run_net_jittered(seed=99)
+    assert [key(e) for e in base.trace.events] == \
+           [key(e) for e in again.trace.events]
+    assert [key(e) for e in base.trace.events] != \
+           [key(e) for e in other.trace.events]
+    for cluster in (base, other):
+        out = extract_outcome(cluster.trace, "ec")
+        assert all(check_consensus(out, cluster.correct_pids).values())
+        assert out.decisions  # survivors reached a decision

@@ -15,8 +15,21 @@ EXAMPLES = sorted(
     (pathlib.Path(__file__).parent.parent / "examples").glob("*.py")
 )
 
+# Minutes-scale narrated runs; the fast tier (-m "not slow") skips them.
+SLOW_EXAMPLES = {"partition_and_recovery"}
 
-@pytest.mark.parametrize("example", EXAMPLES, ids=lambda p: p.stem)
+
+@pytest.mark.parametrize(
+    "example",
+    [
+        pytest.param(
+            p,
+            marks=[pytest.mark.slow] if p.stem in SLOW_EXAMPLES else [],
+        )
+        for p in EXAMPLES
+    ],
+    ids=lambda p: p.stem,
+)
 def test_example_runs(example):
     result = subprocess.run(
         [sys.executable, str(example)],
