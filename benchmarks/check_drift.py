@@ -1,0 +1,219 @@
+"""Diff freshly generated ``BENCH_*.json`` tables against committed baselines.
+
+The benchmark suite (``python -m pytest benchmarks -q``) rewrites
+``benchmarks/results/BENCH_<experiment>.json`` on every run.  This script
+answers the question CI actually cares about: *did the reproduced numbers
+drift from the ones we committed?*
+
+Comparison rules, per table cell:
+
+* **wall-latency columns are skipped** — headers matching
+  :data:`SKIP_HEADER_PATTERN` (``"s to decide after kill"``, anything with
+  "seconds"/"latency"/"wall") measure the CI runner, not the algorithms;
+* **numeric cells** must agree within a relative tolerance
+  (``--tolerance``, default 0.35 — wide enough for scheduling jitter in
+  frame counts, tight enough to catch a broken protocol doubling its
+  message complexity);
+* **string cells** (property verdicts like ``"ok"``/``"yes"``, protocol
+  names) must match exactly;
+* rows are keyed by their first column, so reordering is not drift but a
+  vanished or new row is.
+
+Exit codes follow the repo convention: 0 = no drift, 1 = drift found,
+2 = configuration error (missing baseline/fresh files, malformed JSON).
+
+Usage::
+
+    python -m pytest benchmarks -q          # regenerate results/
+    python benchmarks/check_drift.py        # vs git HEAD baselines
+    python benchmarks/check_drift.py --baseline /tmp/bench-baseline
+
+With no ``--baseline``, baselines are read from ``git show HEAD:<path>``,
+so a local run after a benchmark pass shows exactly what a reviewer will
+see drifting in the PR.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import subprocess
+import sys
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Tuple
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Headers whose cells measure wall time on the host, not the algorithms.
+SKIP_HEADER_PATTERN = re.compile(r"(?i)\bs to\b|seconds|latency|wall")
+
+DEFAULT_TOLERANCE = 0.35
+
+
+class DriftConfigError(Exception):
+    """Raised for unusable inputs (missing files, bad JSON): exit code 2."""
+
+
+def load_fresh(results_dir: Path) -> Dict[str, dict]:
+    if not results_dir.is_dir():
+        raise DriftConfigError(f"no results directory at {results_dir}")
+    tables = {}
+    for path in sorted(results_dir.glob("BENCH_*.json")):
+        try:
+            tables[path.name] = json.loads(path.read_text())
+        except json.JSONDecodeError as exc:
+            raise DriftConfigError(f"{path}: malformed JSON: {exc}") from exc
+    if not tables:
+        raise DriftConfigError(
+            f"no BENCH_*.json in {results_dir}; "
+            "run `python -m pytest benchmarks -q` first"
+        )
+    return tables
+
+
+def load_baseline(name: str, baseline_dir: Optional[Path]) -> Optional[dict]:
+    """Baseline table for *name*: from a directory, or from git HEAD."""
+    if baseline_dir is not None:
+        path = baseline_dir / name
+        if not path.is_file():
+            return None
+        try:
+            return json.loads(path.read_text())
+        except json.JSONDecodeError as exc:
+            raise DriftConfigError(f"{path}: malformed JSON: {exc}") from exc
+    rel = RESULTS_DIR.relative_to(REPO_ROOT) / name
+    proc = subprocess.run(
+        ["git", "show", f"HEAD:{rel.as_posix()}"],
+        cwd=REPO_ROOT, capture_output=True, text=True,
+    )
+    if proc.returncode != 0:
+        return None  # new benchmark, no committed baseline yet
+    try:
+        return json.loads(proc.stdout)
+    except json.JSONDecodeError as exc:
+        raise DriftConfigError(f"HEAD:{rel}: malformed JSON: {exc}") from exc
+
+
+def _as_number(cell) -> Optional[float]:
+    if isinstance(cell, bool):  # bool is an int subclass; treat as label
+        return None
+    if isinstance(cell, (int, float)):
+        return float(cell)
+    if isinstance(cell, str):
+        try:
+            return float(cell)
+        except ValueError:
+            return None
+    return None
+
+
+def _row_map(table: dict) -> Dict[str, List]:
+    return {str(row[0]): list(row) for row in table.get("rows", []) if row}
+
+
+def compare_tables(
+    name: str, fresh: dict, baseline: dict, tolerance: float
+) -> Iterator[str]:
+    """Yield one human-readable message per drifted cell/row."""
+    fresh_headers = list(fresh.get("headers", []))
+    base_headers = list(baseline.get("headers", []))
+    if fresh_headers != base_headers:
+        yield (
+            f"{name}: headers changed {base_headers!r} -> {fresh_headers!r} "
+            "(refresh the committed baseline if intentional)"
+        )
+        return
+    skip = {
+        i for i, header in enumerate(fresh_headers)
+        if SKIP_HEADER_PATTERN.search(str(header))
+    }
+    fresh_rows, base_rows = _row_map(fresh), _row_map(baseline)
+    for key in base_rows:
+        if key not in fresh_rows:
+            yield f"{name}: row {key!r} vanished from the fresh results"
+    for key in fresh_rows:
+        if key not in base_rows:
+            yield f"{name}: new row {key!r} has no committed baseline"
+    for key, fresh_row in fresh_rows.items():
+        base_row = base_rows.get(key)
+        if base_row is None or len(fresh_row) != len(base_row):
+            if base_row is not None:
+                yield f"{name}: row {key!r} changed width"
+            continue
+        for col, (new, old) in enumerate(zip(fresh_row, base_row)):
+            if col in skip:
+                continue
+            header = fresh_headers[col] if col < len(fresh_headers) else col
+            new_num, old_num = _as_number(new), _as_number(old)
+            if new_num is not None and old_num is not None:
+                scale = max(abs(old_num), abs(new_num), 1e-12)
+                if abs(new_num - old_num) / scale > tolerance:
+                    yield (
+                        f"{name}: {key!r} / {header!r}: {old!r} -> {new!r} "
+                        f"(relative drift {abs(new_num - old_num) / scale:.0%}"
+                        f" > {tolerance:.0%})"
+                    )
+            elif new != old:
+                yield f"{name}: {key!r} / {header!r}: {old!r} -> {new!r}"
+
+
+def run(
+    results_dir: Path,
+    baseline_dir: Optional[Path],
+    tolerance: float,
+) -> Tuple[int, List[str]]:
+    """Compare every fresh table; returns (exit_code, messages)."""
+    fresh_tables = load_fresh(results_dir)
+    if baseline_dir is not None and not baseline_dir.is_dir():
+        raise DriftConfigError(f"baseline directory {baseline_dir} not found")
+    messages: List[str] = []
+    compared = 0
+    for name, fresh in fresh_tables.items():
+        baseline = load_baseline(name, baseline_dir)
+        if baseline is None:
+            messages.append(f"{name}: no baseline (new benchmark?) — skipped")
+            continue
+        compared += 1
+        messages.extend(compare_tables(name, fresh, baseline, tolerance))
+    if compared == 0:
+        raise DriftConfigError("no table had a baseline to compare against")
+    drift = [m for m in messages if not m.endswith("— skipped")]
+    return (1 if drift else 0), messages
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Diff fresh BENCH_*.json tables against baselines."
+    )
+    parser.add_argument(
+        "--results", type=Path, default=RESULTS_DIR,
+        help="directory of freshly generated tables (default: results/)",
+    )
+    parser.add_argument(
+        "--baseline", type=Path, default=None,
+        help="baseline directory (default: the committed files at git HEAD)",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=DEFAULT_TOLERANCE,
+        help=f"relative tolerance for numeric cells (default "
+             f"{DEFAULT_TOLERANCE})",
+    )
+    args = parser.parse_args(argv)
+    try:
+        code, messages = run(args.results, args.baseline, args.tolerance)
+    except DriftConfigError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    for message in messages:
+        print(message)
+    if code == 0:
+        print("no drift: all benchmark tables within tolerance of baselines")
+    else:
+        print("drift detected (see above); refresh baselines if intentional")
+    return code
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -23,6 +23,10 @@ Commands:
     elected leader mid-run, reach a decision anyway, and print the same
     trace-derived timelines, property checks, and QoS tables the simulator
     commands print.
+``lint``
+    The static analyzer (:mod:`repro.lint`): determinism rules for the
+    simulator-path packages, asyncio-hazard rules for the live runtime,
+    and payload-encodability checks against the wire codec.
 """
 
 from __future__ import annotations
@@ -365,6 +369,12 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from .lint.cli import run_from_args
+
+    return run_from_args(args)
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the CLI argument parser."""
     parser = argparse.ArgumentParser(
@@ -424,6 +434,15 @@ def build_parser() -> argparse.ArgumentParser:
     clu.add_argument("--virtual", action="store_true",
                      help="deterministic virtual-clock run (loopback only)")
     clu.set_defaults(func=_cmd_cluster)
+
+    lint = sub.add_parser(
+        "lint",
+        help="AST determinism & protocol-safety analyzer (repro.lint)",
+    )
+    from .lint.cli import add_lint_arguments
+
+    add_lint_arguments(lint)
+    lint.set_defaults(func=_cmd_lint)
     return parser
 
 

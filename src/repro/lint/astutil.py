@@ -1,0 +1,44 @@
+"""Small AST helpers shared by the rule visitors."""
+
+from __future__ import annotations
+
+import ast
+from typing import Optional
+
+__all__ = ["dotted_name", "call_func_name", "is_call_to"]
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """Render an attribute/name chain as ``a.b.c``, or ``None``.
+
+    ``time.time`` -> "time.time"; ``self.world.network.send`` ->
+    "self.world.network.send"; anything with a non-name base (a call, a
+    subscript) keeps the resolvable tail: ``foo().bar`` -> None-based, so
+    returns ``None`` — rules that care about tails use
+    :func:`call_func_name` instead.
+    """
+    parts = []
+    current = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if isinstance(current, ast.Name):
+        parts.append(current.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def call_func_name(call: ast.Call) -> Optional[str]:
+    """The final name of a call target: ``x.y.send(...)`` -> "send",
+    ``sorted(...)`` -> "sorted", ``foo()()`` -> ``None``."""
+    func = call.func
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return None
+
+
+def is_call_to(node: ast.AST, *names: str) -> bool:
+    """Whether *node* is a call whose target's final name is in *names*."""
+    return isinstance(node, ast.Call) and call_func_name(node) in names

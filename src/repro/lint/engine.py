@@ -1,0 +1,186 @@
+"""The lint engine: walk files, parse, run rules, apply suppressions.
+
+The engine owns everything rule-independent: discovering Python files under
+the given paths, parsing them, computing each file's dotted module name
+(which drives rule scoping), building the parent map rules use for
+context-sensitive checks, and filtering findings through the suppression
+comments.  Rules stay tiny visitors over a prepared
+:class:`FileContext`.
+
+Determinism note — the linter holds itself to the contract it enforces:
+file discovery is sorted, rules run in registration order, and findings are
+reported in (path, line, col, rule) order, so two runs over the same tree
+produce byte-identical output.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Sequence
+
+from ..errors import ConfigurationError
+from .findings import Finding
+from .registry import Rule, resolve_rules
+from .suppress import Suppressions, parse_suppressions
+
+__all__ = ["FileContext", "LintResult", "lint_paths", "default_target"]
+
+
+@dataclass
+class FileContext:
+    """Everything a rule may need about one parsed file."""
+
+    path: Path
+    display_path: str
+    module: str
+    source: str
+    tree: ast.Module
+    suppressions: Suppressions
+    _parents: Optional[Dict[int, ast.AST]] = field(default=None, repr=False)
+
+    def parent(self, node: ast.AST) -> Optional[ast.AST]:
+        """The syntactic parent of *node* (``None`` for the module)."""
+        if self._parents is None:
+            parents: Dict[int, ast.AST] = {}
+            for outer in ast.walk(self.tree):
+                for child in ast.iter_child_nodes(outer):
+                    parents[id(child)] = outer
+            self._parents = parents
+        return self._parents.get(id(node))
+
+    def ancestors(self, node: ast.AST) -> Iterator[ast.AST]:
+        """Parents of *node*, innermost first, up to the module."""
+        current = self.parent(node)
+        while current is not None:
+            yield current
+            current = self.parent(current)
+
+
+@dataclass
+class LintResult:
+    """Outcome of one lint run."""
+
+    findings: List[Finding]
+    files_checked: int
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+    @property
+    def exit_code(self) -> int:
+        """0 = clean, 1 = findings (2, config errors, is raised not returned)."""
+        return 0 if self.clean else 1
+
+
+def module_name(path: Path) -> str:
+    """Dotted module name for *path*, or "" when it is not inside a package
+    rooted at a directory named ``repro``.
+
+    ``.../src/repro/net/tcp.py`` -> ``repro.net.tcp``; a fixture file in a
+    test corpus has no ``repro`` ancestor and maps to "" (every rule
+    applies there; see :mod:`repro.lint.registry`).
+    """
+    parts = list(path.resolve().parts)
+    if "repro" not in parts:
+        return ""
+    root = len(parts) - 1 - parts[::-1].index("repro")
+    dotted = parts[root:-1] + [path.stem]
+    if path.stem == "__init__":
+        dotted = dotted[:-1]
+    return ".".join(dotted)
+
+
+def default_target() -> Path:
+    """The installed :mod:`repro` package directory — what ``repro lint``
+    checks when no paths are given, so self-linting works from any cwd."""
+    return Path(__file__).resolve().parent.parent
+
+
+def iter_python_files(paths: Sequence[Path]) -> List[Path]:
+    """Every ``.py`` file under *paths*, sorted for deterministic output."""
+    out: List[Path] = []
+    for path in paths:
+        if path.is_dir():
+            out.extend(sorted(p for p in path.rglob("*.py") if p.is_file()))
+        elif path.is_file():
+            out.append(path)
+        else:
+            raise ConfigurationError(f"no such file or directory: {path}")
+    seen = set()
+    unique: List[Path] = []
+    for path in out:
+        resolved = path.resolve()
+        if resolved not in seen:
+            seen.add(resolved)
+            unique.append(path)
+    return unique
+
+
+def _display_path(path: Path) -> str:
+    """Path as reported: relative to cwd when possible, else absolute."""
+    try:
+        return str(path.resolve().relative_to(Path.cwd()))
+    except ValueError:
+        return str(path)
+
+
+def _lint_file(path: Path, rules: Sequence[Rule]) -> List[Finding]:
+    display = _display_path(path)
+    try:
+        source = path.read_text(encoding="utf-8")
+    except (OSError, UnicodeDecodeError) as exc:
+        raise ConfigurationError(f"cannot read {display}: {exc}") from exc
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        return [
+            Finding(
+                path=display,
+                line=exc.lineno or 1,
+                col=(exc.offset or 1),
+                rule="syntax-error",
+                message=f"file does not parse: {exc.msg}",
+            )
+        ]
+    suppressions = parse_suppressions(source)
+    if suppressions.skip_file:
+        return []
+    ctx = FileContext(
+        path=path,
+        display_path=display,
+        module=module_name(path),
+        source=source,
+        tree=tree,
+        suppressions=suppressions,
+    )
+    findings: List[Finding] = []
+    for rule in rules:
+        if not rule.applies_to(ctx.module):
+            continue
+        for finding in rule.check(ctx):
+            if not suppressions.is_suppressed(finding.rule, finding.line):
+                findings.append(finding)
+    return findings
+
+
+def lint_paths(
+    paths: Optional[Sequence[Path]] = None,
+    select: Optional[Sequence[str]] = None,
+    ignore: Optional[Sequence[str]] = None,
+) -> LintResult:
+    """Lint every Python file under *paths* (default: the repro package).
+
+    Raises :class:`~repro.errors.ConfigurationError` for unknown rules or
+    unreadable paths — the CLI maps that to exit code 2, findings to 1.
+    """
+    rules = resolve_rules(select=select, ignore=ignore)
+    targets = [Path(p) for p in paths] if paths else [default_target()]
+    files = iter_python_files(targets)
+    findings: List[Finding] = []
+    for path in files:
+        findings.extend(_lint_file(path, rules))
+    findings.sort()
+    return LintResult(findings=findings, files_checked=len(files))

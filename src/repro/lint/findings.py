@@ -1,0 +1,44 @@
+"""The :class:`Finding` record every rule emits.
+
+A finding pins one defect to one source location.  Findings are plain data:
+the engine collects them, the suppression layer filters them, and the
+reporters (:mod:`repro.lint.reporting`) render them as text or JSON.  Rules
+never print — they only yield findings — so the same rule code serves the
+CLI, the CI job, and the test suite identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict
+
+__all__ = ["Finding"]
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location.
+
+    Ordering is (path, line, col, rule) so reports read top-to-bottom per
+    file regardless of which rule found what first.
+    """
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        """The canonical one-line textual form (compiler-style)."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule}: {self.message}"
+
+    def to_json(self) -> Dict[str, Any]:
+        """A JSON-safe dict (used by the ``--format json`` reporter)."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "message": self.message,
+        }

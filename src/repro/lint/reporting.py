@@ -1,0 +1,53 @@
+"""Finding reporters: compiler-style text and machine-readable JSON.
+
+Both formats render the same :class:`~repro.lint.engine.LintResult`; the
+text form is for humans and editors (``path:line:col: rule: message``, so
+terminals hyperlink it), the JSON form for CI annotations and tooling.
+Output is deterministic: findings arrive pre-sorted from the engine.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO
+
+from .engine import LintResult
+
+__all__ = ["render_text", "render_json", "write_report", "FORMATS"]
+
+FORMATS = ("text", "json")
+
+#: Schema version of the JSON report (bump on incompatible change).
+JSON_VERSION = 1
+
+
+def render_text(result: LintResult) -> str:
+    """Human-readable report: one line per finding plus a summary."""
+    lines = [f.render() for f in result.findings]
+    noun = "file" if result.files_checked == 1 else "files"
+    if result.clean:
+        lines.append(f"clean: {result.files_checked} {noun} checked, no findings")
+    else:
+        count = len(result.findings)
+        fnoun = "finding" if count == 1 else "findings"
+        lines.append(
+            f"{count} {fnoun} in {result.files_checked} {noun} checked"
+        )
+    return "\n".join(lines)
+
+
+def render_json(result: LintResult) -> str:
+    """Machine-readable report (stable key order, trailing newline-free)."""
+    record = {
+        "version": JSON_VERSION,
+        "files_checked": result.files_checked,
+        "clean": result.clean,
+        "findings": [f.to_json() for f in result.findings],
+    }
+    return json.dumps(record, indent=2, sort_keys=True)
+
+
+def write_report(result: LintResult, fmt: str, stream: IO[str]) -> None:
+    """Render *result* as *fmt* ("text" or "json") onto *stream*."""
+    renderer = render_json if fmt == "json" else render_text
+    stream.write(renderer(result) + "\n")

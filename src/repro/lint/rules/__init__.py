@@ -1,0 +1,16 @@
+"""Rule modules — importing this package registers every rule.
+
+Rule groups, by the package contract they enforce:
+
+* :mod:`~repro.lint.rules.determinism` — the simulator-path packages must
+  stay bit-for-bit replayable (no ambient clocks, no global randomness, no
+  hash-order iteration into sends, no id()-based ordering);
+* :mod:`~repro.lint.rules.asyncio_hazards` — :mod:`repro.net` must not
+  stall, drop, or silence the event loop;
+* :mod:`~repro.lint.rules.payload` — protocol payloads must survive the
+  wire codec.
+"""
+
+from . import asyncio_hazards, determinism, payload  # noqa: F401
+
+__all__ = ["asyncio_hazards", "determinism", "payload"]

@@ -1,0 +1,155 @@
+"""Payload-encodability rule.
+
+Protocol payloads must survive the wire codec
+(:mod:`repro.net.codec`): the tagged-JSON transform round-trips ``None``,
+``bool``, ``int``, ``float``, ``str``, ``list``, ``tuple``, ``dict``,
+``set``, ``frozenset``, and the ``NULL`` estimate sentinel — and nothing
+else.  In the simulator, payloads travel by reference, so an unencodable
+payload (a ``bytes`` blob, a lambda, an arbitrary object) works fine until
+the same component runs on :mod:`repro.net`, where it raises a
+``CodecError`` at send time.  This rule moves that failure from the first
+live run to the lint step.
+
+The check is best-effort and one-sided: it walks each ``send(...)`` /
+``broadcast(...)`` payload *expression* and reports only values that are
+**provably** unencodable (literals and constructors of unsupported types,
+possibly nested inside supported containers).  Names, attribute loads, and
+unknown call results pass — the codec's own tests guard the dynamic cases.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Tuple
+
+from ..astutil import call_func_name
+from ..findings import Finding
+from ..registry import Rule, rule
+
+__all__ = ["PayloadEncodabilityRule"]
+
+#: Component-level messaging calls: name -> index of the payload argument.
+_PAYLOAD_ARG = {
+    "send": 1,        # Component.send(dst, payload, ...)
+    "send_self": 0,
+    "broadcast": 0,
+    "rbroadcast": 0,
+    "urbroadcast": 0,
+}
+
+#: Constructor calls that produce codec-supported values.
+_SAFE_CONSTRUCTORS = {
+    "set", "frozenset", "dict", "tuple", "list", "str", "int", "float",
+    "bool", "sorted", "repr", "format", "len", "sum", "min", "max", "abs",
+    "round",
+}
+#: Constructor calls that provably produce unencodable values.
+_BAD_CONSTRUCTORS = {
+    "bytes": "bytes",
+    "bytearray": "bytearray",
+    "memoryview": "memoryview",
+    "object": "object",
+    "complex": "complex",
+    "open": "file object",
+    "iter": "iterator",
+    "range": "range",
+    "lambda": "function",
+}
+
+
+@rule
+class PayloadEncodabilityRule(Rule):
+    """Best-effort type check of every messaging payload expression."""
+
+    id = "payload-encodability"
+    summary = (
+        "send/broadcast payloads must be codec-encodable (JSON scalars, "
+        "list/tuple/dict/set/frozenset, NULL); bytes, lambdas, and "
+        "arbitrary objects fail on the wire"
+    )
+    # Component code lives in these packages; repro.net and repro.sim are
+    # excluded because their `send` methods move already-encoded frames and
+    # envelope internals, not protocol payloads.
+    scope = ("repro.fd", "repro.consensus", "repro.transform", "repro.broadcast")
+
+    def check(self, ctx) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = call_func_name(node)
+            if name not in _PAYLOAD_ARG:
+                continue
+            payload = self._payload_expr(node, name)
+            if payload is None:
+                continue
+            verdict = self._verdict(payload)
+            if verdict is not None:
+                reason, offender = verdict
+                yield self.finding(
+                    ctx, offender,
+                    f"payload contains {reason}, which the wire codec "
+                    "cannot encode (supported: JSON scalars, list/tuple/"
+                    "dict/set/frozenset, NULL); encode it explicitly "
+                    "before sending",
+                )
+
+    @staticmethod
+    def _payload_expr(call: ast.Call, name: str) -> Optional[ast.AST]:
+        for kw in call.keywords:
+            if kw.arg == "payload":
+                return kw.value
+        index = _PAYLOAD_ARG[name]
+        if len(call.args) > index:
+            arg = call.args[index]
+            if isinstance(arg, ast.Starred):
+                return None
+            return arg
+        return None
+
+    def _verdict(self, node: ast.AST) -> Optional[Tuple[str, ast.AST]]:
+        """``(reason, offending node)`` when *node* is provably
+        unencodable, else ``None`` (encodable or unknown)."""
+        if isinstance(node, ast.Constant):
+            value = node.value
+            if isinstance(value, bytes):
+                return "a bytes literal", node
+            if isinstance(value, complex):
+                return "a complex literal", node
+            if value is Ellipsis:
+                return "Ellipsis", node
+            return None  # str/int/float/bool/None
+        if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+            for elt in node.elts:
+                bad = self._verdict(elt)
+                if bad is not None:
+                    return bad
+            return None
+        if isinstance(node, ast.Dict):
+            for part in list(node.keys) + list(node.values):
+                if part is None:
+                    continue  # **splat key
+                bad = self._verdict(part)
+                if bad is not None:
+                    return bad
+            return None
+        if isinstance(node, ast.Lambda):
+            return "a lambda", node
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return "a function", node
+        if isinstance(node, ast.Call):
+            name = call_func_name(node)
+            if name in _BAD_CONSTRUCTORS:
+                return f"a {_BAD_CONSTRUCTORS[name]}", node
+            if name in _SAFE_CONSTRUCTORS:
+                for arg in node.args:
+                    if isinstance(arg, ast.Starred):
+                        continue
+                    bad = self._verdict(arg)
+                    if bad is not None:
+                        return bad
+            return None  # unknown call result: give it the benefit of doubt
+        if isinstance(node, (ast.JoinedStr, ast.FormattedValue)):
+            return None  # f-strings are str
+        if isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp)):
+            return None  # element types unknown
+        return None  # names, attributes, operators: unknown -> pass

@@ -1,0 +1,96 @@
+"""Suppression comments: ``# lint: ignore[rule-id]``.
+
+Every suppression is explicit and scoped:
+
+* ``# lint: ignore[rule-id]`` — silence *rule-id* on this line (or, when
+  the comment stands alone on its own line, on the next code line);
+* ``# lint: ignore[rule-a,rule-b]`` — silence several rules at once;
+* ``# lint: ignore`` — silence every rule on that line (discouraged; name
+  the rule so the waiver dies with the code it excuses);
+* ``# lint: skip-file`` — anywhere in the file: skip the whole file.
+
+Suppressions are parsed from the token stream, not the AST, so they work on
+any line — including lines inside expressions that the AST attributes to a
+different ``lineno``.  A finding is suppressed when a matching comment sits
+on the finding's own line or on a standalone comment line directly above it.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from typing import Dict, Set
+
+__all__ = ["Suppressions", "parse_suppressions"]
+
+#: Matches one suppression comment; group 1 = "ignore"/"skip-file",
+#: group 3 = the optional bracketed rule list.
+_PATTERN = re.compile(
+    r"#\s*lint:\s*(ignore|skip-file)(\[([A-Za-z0-9_\-, ]+)\])?"
+)
+
+#: Sentinel rule id meaning "every rule".
+ALL_RULES = "*"
+
+
+@dataclass
+class Suppressions:
+    """Parsed suppression state of one file."""
+
+    skip_file: bool = False
+    #: line number -> rule ids silenced on that line (ALL_RULES = all).
+    by_line: Dict[int, Set[str]] = field(default_factory=dict)
+    #: lines that hold *only* a comment (their suppressions also cover the
+    #: next line, so a waiver can sit above a long statement).
+    standalone: Set[int] = field(default_factory=set)
+
+    def is_suppressed(self, rule_id: str, line: int) -> bool:
+        """Whether *rule_id* is silenced at *line*."""
+        if self.skip_file:
+            return True
+        for candidate in (line, line - 1):
+            rules = self.by_line.get(candidate)
+            if rules is None:
+                continue
+            if candidate != line and candidate not in self.standalone:
+                continue
+            if ALL_RULES in rules or rule_id in rules:
+                return True
+        return False
+
+
+def parse_suppressions(source: str) -> Suppressions:
+    """Extract the suppression map from *source* (tolerant of bad syntax:
+    tokenization errors simply end the scan — the engine reports the parse
+    failure separately)."""
+    result = Suppressions()
+    code_lines: Set[int] = set()
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, SyntaxError, IndentationError):
+        return result
+    for tok in tokens:
+        if tok.type == tokenize.COMMENT:
+            match = _PATTERN.search(tok.string)
+            if match is None:
+                continue
+            if match.group(1) == "skip-file":
+                result.skip_file = True
+                continue
+            if match.group(3):
+                rules = {r.strip() for r in match.group(3).split(",") if r.strip()}
+            else:
+                rules = {ALL_RULES}
+            result.by_line.setdefault(tok.start[0], set()).update(rules)
+        elif tok.type not in (
+            tokenize.NL,
+            tokenize.NEWLINE,
+            tokenize.INDENT,
+            tokenize.DEDENT,
+            tokenize.ENDMARKER,
+        ):
+            code_lines.add(tok.start[0])
+    result.standalone = set(result.by_line) - code_lines
+    return result

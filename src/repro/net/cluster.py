@@ -97,6 +97,9 @@ class LocalCluster:
         self.plan = fault_plan
         self._hub = LoopbackHub(self.clock) if transport == "loopback" else None
         self._started = False
+        # In-flight async transport closes from kill(); referenced here so
+        # the tasks cannot be garbage-collected mid-close, reaped in stop().
+        self._closing: set = set()
         self.hosts: List[NodeHost] = []
         for pid in range(n):
             real: Transport
@@ -184,6 +187,9 @@ class LocalCluster:
         """Close every transport (idempotent)."""
         for h in self.hosts:
             await _maybe(h.transport.close())
+        if self._closing:
+            await asyncio.gather(*self._closing, return_exceptions=True)
+            self._closing.clear()
 
     # --------------------------------------------------------- virtual mode
     def start_virtual(self) -> None:
@@ -228,7 +234,9 @@ class LocalCluster:
         host.crash()
         result = host.transport.close()
         if inspect.isawaitable(result):
-            asyncio.ensure_future(result)
+            task = asyncio.ensure_future(result)
+            self._closing.add(task)
+            task.add_done_callback(self._closing.discard)
 
     # -------------------------------------------------------------- internals
     def _check_started(self) -> None:

@@ -76,13 +76,13 @@ class TCPTransport(Transport):
         self.closed = True
         if self._server is not None:
             self._server.close()
-        for task in list(self._writers.values()) + list(self._readers):
+        tasks = list(self._writers.values()) + list(self._readers)
+        for task in tasks:
             task.cancel()
-        for task in list(self._writers.values()) + list(self._readers):
-            try:
-                await task
-            except (asyncio.CancelledError, Exception):
-                pass
+        # Reap every task; CancelledError is the expected outcome and is
+        # BaseException, so anything landing in Exception is a real fault.
+        results = await asyncio.gather(*tasks, return_exceptions=True)
+        self.send_errors += sum(1 for r in results if isinstance(r, Exception))
         self._writers.clear()
         self._readers.clear()
 

@@ -1,0 +1,7 @@
+"""Bad: a synchronous sleep inside a coroutine stalls the event loop."""
+
+import time
+
+
+async def poll():
+    time.sleep(0.1)

@@ -1,0 +1,12 @@
+"""Bad: fire-and-forget tasks with no reference kept."""
+
+import asyncio
+
+
+async def work():
+    return 1
+
+
+async def main():
+    asyncio.create_task(work())
+    asyncio.ensure_future(work())

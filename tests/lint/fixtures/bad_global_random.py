@@ -1,0 +1,21 @@
+"""Bad: unseeded global / OS-entropy randomness."""
+
+import os
+import random
+import uuid
+
+
+def jitter():
+    return random.random()
+
+
+def token():
+    return uuid.uuid4()
+
+
+def noise():
+    return os.urandom(8)
+
+
+def fresh_rng():
+    return random.Random()

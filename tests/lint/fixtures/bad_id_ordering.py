@@ -1,0 +1,9 @@
+"""Bad: ordering by memory address."""
+
+
+def order(components):
+    return sorted(components, key=id)
+
+
+def first(components):
+    return min(components, key=lambda c: id(c))

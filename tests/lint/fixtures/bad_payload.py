@@ -1,0 +1,14 @@
+"""Bad: payloads the wire codec provably cannot encode."""
+
+
+class Proto:
+    def on_tick(self):
+        self.send(0, b"\x00\x01")
+        self.broadcast(lambda: None)
+        self.send(1, {"blob": bytearray(4)})
+
+    def send(self, dst, payload):
+        pass
+
+    def broadcast(self, payload):
+        pass

@@ -1,0 +1,15 @@
+"""Bad: broad handlers that silently discard errors."""
+
+
+def drain(queue):
+    try:
+        queue.pop()
+    except Exception:
+        pass
+
+
+def close(sock):
+    try:
+        sock.close()
+    except:
+        pass

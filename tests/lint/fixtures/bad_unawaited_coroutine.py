@@ -1,0 +1,11 @@
+"""Bad: coroutine calls built and dropped — nothing runs."""
+
+import asyncio
+
+
+async def heartbeat():
+    asyncio.sleep(0.1)
+
+
+async def run():
+    heartbeat()

@@ -1,0 +1,13 @@
+"""Bad: hash-order iteration feeding sends."""
+
+
+class Proto:
+    def __init__(self):
+        self.peers = set()
+
+    def on_tick(self):
+        for dst in self.peers:
+            self.send(dst, "hb")
+
+    def send(self, dst, payload):
+        pass

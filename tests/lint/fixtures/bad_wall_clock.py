@@ -1,0 +1,12 @@
+"""Bad: protocol logic reading the ambient wall clock."""
+
+import datetime
+import time
+
+
+def timestamp():
+    return time.time()
+
+
+def deadline():
+    return datetime.datetime.now()

@@ -1,0 +1,7 @@
+"""Good: the asyncio equivalent yields to the loop."""
+
+import asyncio
+
+
+async def poll():
+    await asyncio.sleep(0.1)

@@ -1,0 +1,12 @@
+"""Good: the task reference is kept and reaped."""
+
+import asyncio
+
+
+async def work():
+    return 1
+
+
+async def main():
+    task = asyncio.create_task(work())
+    await task

@@ -1,0 +1,11 @@
+"""Good: randomness drawn from an injected, seeded stream."""
+
+import random
+
+
+class Proto:
+    def __init__(self, seed):
+        self.rng = random.Random(seed)
+
+    def jitter(self):
+        return self.rng.random()

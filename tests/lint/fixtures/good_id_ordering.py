@@ -1,0 +1,5 @@
+"""Good: ordering by a stable protocol field."""
+
+
+def order(components):
+    return sorted(components, key=lambda c: c.pid)

@@ -1,0 +1,14 @@
+"""Good: payloads built from codec-supported types only."""
+
+
+class Proto:
+    def on_tick(self):
+        self.send(0, {"seq": 1, "peers": frozenset({1, 2})})
+        self.send(1, ("hb", 0.5, None))
+        self.broadcast(["estimate", True])
+
+    def send(self, dst, payload):
+        pass
+
+    def broadcast(self, payload):
+        pass

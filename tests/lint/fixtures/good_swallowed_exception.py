@@ -1,0 +1,15 @@
+"""Good: specific exceptions, or broad ones recorded before continuing."""
+
+
+def drain(queue):
+    try:
+        queue.pop()
+    except IndexError:
+        pass
+
+
+def close(sock, stats):
+    try:
+        sock.close()
+    except Exception:
+        stats["close_errors"] = stats.get("close_errors", 0) + 1

@@ -1,0 +1,11 @@
+"""Good: every coroutine call is awaited."""
+
+import asyncio
+
+
+async def heartbeat():
+    await asyncio.sleep(0.1)
+
+
+async def run():
+    await heartbeat()

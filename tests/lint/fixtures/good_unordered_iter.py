@@ -1,0 +1,16 @@
+"""Good: iteration order pinned with sorted() before sending."""
+
+
+class Proto:
+    def __init__(self):
+        self.peers = set()
+
+    def on_tick(self):
+        for dst in sorted(self.peers):
+            self.send(dst, "hb")
+
+    def quorum(self):
+        return len(self.peers)
+
+    def send(self, dst, payload):
+        pass

@@ -1,0 +1,9 @@
+"""Good: time comes from the injected scheduler clock."""
+
+
+class Proto:
+    def __init__(self):
+        self.now = 0.0
+
+    def timestamp(self):
+        return self.now

@@ -1,0 +1,75 @@
+"""Engine behavior: module-name scoping, syntax errors, discovery."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.lint import lint_paths
+from repro.lint.engine import default_target, iter_python_files, module_name
+
+
+def test_module_name_maps_package_paths(tmp_path):
+    net = tmp_path / "repro" / "net"
+    net.mkdir(parents=True)
+    assert module_name(net / "tcp.py") == "repro.net.tcp"
+    assert module_name(tmp_path / "repro" / "sim" / "world.py") == (
+        "repro.sim.world"
+    )
+    assert module_name(tmp_path / "repro" / "__init__.py") == "repro"
+    assert module_name(tmp_path / "fixture.py") == ""
+
+
+def _write(root: Path, rel: str, source: str) -> Path:
+    path = root / rel
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(source)
+    return path
+
+
+def test_scope_limits_rules_to_their_packages(tmp_path):
+    wall = "import time\n\ndef f():\n    return time.time()\n"
+    # Under repro.net, the determinism rules don't apply: reading the wall
+    # clock is the runtime's job.
+    net_file = _write(tmp_path, "repro/net/mod.py", wall)
+    assert lint_paths([net_file]).findings == []
+    # The same source under repro.sim is a violation.
+    sim_file = _write(tmp_path, "repro/sim/mod.py", wall)
+    assert [f.rule for f in lint_paths([sim_file]).findings] == ["wall-clock"]
+    # And asyncio hazards are net-only: a dropped task in sim code (which
+    # never runs an event loop) is not this analyzer's business.
+    hazard = (
+        "import asyncio\n\nasync def go(c):\n    asyncio.ensure_future(c)\n"
+    )
+    assert lint_paths([_write(tmp_path, "repro/sim/h.py", hazard)]).findings == []
+    assert [
+        f.rule for f in lint_paths([_write(tmp_path, "repro/net/h.py", hazard)]).findings
+    ] == ["dropped-task"]
+
+
+def test_syntax_error_becomes_a_finding(tmp_path):
+    bad = tmp_path / "broken.py"
+    bad.write_text("def f(:\n")
+    result = lint_paths([bad])
+    assert [f.rule for f in result.findings] == ["syntax-error"]
+    assert result.exit_code == 1
+
+
+def test_missing_path_raises_configuration_error(tmp_path):
+    with pytest.raises(ConfigurationError):
+        lint_paths([tmp_path / "nope"])
+
+
+def test_iter_python_files_sorted_and_deduped(tmp_path):
+    b = _write(tmp_path, "b.py", "x = 1\n")
+    a = _write(tmp_path, "a.py", "x = 1\n")
+    files = iter_python_files([tmp_path, a, b])
+    assert files == [a, b]
+
+
+def test_default_target_is_the_repro_package():
+    target = default_target()
+    assert target.name == "repro"
+    assert (target / "lint").is_dir()

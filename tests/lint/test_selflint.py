@@ -1,0 +1,20 @@
+"""The linter's reason to exist: ``src/repro`` must stay clean.
+
+This is the tier-1 gate: every determinism and asyncio-hazard contract the
+analyzer encodes holds over the entire package, on every commit.  A failure
+here prints the offending findings verbatim.
+"""
+
+from __future__ import annotations
+
+from repro.lint import lint_paths
+
+
+def test_src_repro_is_clean():
+    result = lint_paths()  # default target: the installed repro package
+    assert result.findings == [], "\n".join(
+        f.render() for f in result.findings
+    )
+    assert result.exit_code == 0
+    # Sanity: the walk really covered the package, not an empty directory.
+    assert result.files_checked > 50

@@ -1,0 +1,53 @@
+"""Suppression comments: per-line, standalone-line, blanket, skip-file."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.lint import lint_paths
+from repro.lint.suppress import parse_suppressions
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def test_suppressed_fixture_is_clean():
+    result = lint_paths([FIXTURES / "suppressed.py"])
+    assert result.findings == []
+    assert result.files_checked == 1
+
+
+def test_skip_file_fixture_is_clean():
+    result = lint_paths([FIXTURES / "skip_file.py"])
+    assert result.findings == []
+    assert result.files_checked == 1
+
+
+def test_scoped_ignore_only_covers_named_rule():
+    supp = parse_suppressions("x = 1  # lint: ignore[wall-clock]\n")
+    assert supp.is_suppressed("wall-clock", 1)
+    assert not supp.is_suppressed("global-random", 1)
+    assert not supp.is_suppressed("wall-clock", 2)
+
+
+def test_blanket_ignore_covers_every_rule():
+    supp = parse_suppressions("x = 1  # lint: ignore\n")
+    assert supp.is_suppressed("wall-clock", 1)
+    assert supp.is_suppressed("dropped-task", 1)
+
+
+def test_standalone_comment_covers_next_line():
+    supp = parse_suppressions("# lint: ignore[wall-clock]\nx = 1\n")
+    assert supp.is_suppressed("wall-clock", 2)
+
+
+def test_comma_separated_rule_list():
+    supp = parse_suppressions("x = 1  # lint: ignore[wall-clock, id-ordering]\n")
+    assert supp.is_suppressed("wall-clock", 1)
+    assert supp.is_suppressed("id-ordering", 1)
+    assert not supp.is_suppressed("global-random", 1)
+
+
+def test_skip_file_flag_parsed():
+    supp = parse_suppressions("# lint: skip-file\nx = 1\n")
+    assert supp.skip_file
+    assert not parse_suppressions("x = 1\n").skip_file

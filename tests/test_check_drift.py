@@ -1,0 +1,136 @@
+"""Benchmark drift checker (``benchmarks/check_drift.py``).
+
+The checker is a script, not a package module; load it by path.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_SCRIPT = Path(__file__).parent.parent / "benchmarks" / "check_drift.py"
+_spec = importlib.util.spec_from_file_location("check_drift", _SCRIPT)
+check_drift = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(check_drift)
+
+
+def _table(rows, headers=("protocol", "messages", "s to decide after kill")):
+    return {
+        "experiment": "x",
+        "title": "X",
+        "headers": list(headers),
+        "rows": [list(r) for r in rows],
+        "note": "",
+    }
+
+
+def _write_dirs(tmp_path, fresh_rows, base_rows, **kw):
+    fresh = tmp_path / "fresh"
+    base = tmp_path / "base"
+    fresh.mkdir()
+    base.mkdir()
+    (fresh / "BENCH_x.json").write_text(json.dumps(_table(fresh_rows, **kw)))
+    (base / "BENCH_x.json").write_text(json.dumps(_table(base_rows, **kw)))
+    return fresh, base
+
+
+def test_identical_tables_pass(tmp_path):
+    fresh, base = _write_dirs(
+        tmp_path, [["ec", 100, "0.10"]], [["ec", 100, "0.10"]]
+    )
+    code, messages = check_drift.run(fresh, base, tolerance=0.35)
+    assert code == 0 and messages == []
+
+
+def test_within_tolerance_passes(tmp_path):
+    fresh, base = _write_dirs(
+        tmp_path, [["ec", 120, "0.10"]], [["ec", 100, "0.10"]]
+    )
+    code, _ = check_drift.run(fresh, base, tolerance=0.35)
+    assert code == 0
+
+
+def test_numeric_drift_beyond_tolerance_fails(tmp_path):
+    fresh, base = _write_dirs(
+        tmp_path, [["ec", 250, "0.10"]], [["ec", 100, "0.10"]]
+    )
+    code, messages = check_drift.run(fresh, base, tolerance=0.35)
+    assert code == 1
+    assert any("messages" in m for m in messages)
+
+
+def test_wall_latency_column_is_skipped(tmp_path):
+    # 50x drift in the "s to ..." column must not fail the check.
+    fresh, base = _write_dirs(
+        tmp_path, [["ec", 100, "5.0"]], [["ec", 100, "0.10"]]
+    )
+    code, _ = check_drift.run(fresh, base, tolerance=0.35)
+    assert code == 0
+
+
+def test_string_cell_change_fails(tmp_path):
+    fresh, base = _write_dirs(
+        tmp_path,
+        [["ec", 100, "0.1", "no"]],
+        [["ec", 100, "0.1", "yes"]],
+        headers=("protocol", "messages", "s to decide after kill", "decided"),
+    )
+    code, messages = check_drift.run(fresh, base, tolerance=0.35)
+    assert code == 1
+    assert any("decided" in m for m in messages)
+
+
+def test_vanished_row_fails(tmp_path):
+    fresh, base = _write_dirs(
+        tmp_path, [["ec", 100, "0.1"]], [["ec", 100, "0.1"], ["ct", 80, "0.1"]]
+    )
+    code, messages = check_drift.run(fresh, base, tolerance=0.35)
+    assert code == 1
+    assert any("vanished" in m for m in messages)
+
+
+def test_header_change_is_reported(tmp_path):
+    fresh, base = _write_dirs(tmp_path, [["ec", 100, "0.1"]], [["ec", 100, "0.1"]])
+    table = _table([["ec", 100]], headers=("protocol", "messages"))
+    (tmp_path / "fresh" / "BENCH_x.json").write_text(json.dumps(table))
+    code, messages = check_drift.run(fresh, base, tolerance=0.35)
+    assert code == 1
+    assert any("headers changed" in m for m in messages)
+
+
+def test_missing_everything_is_config_error(tmp_path):
+    empty = tmp_path / "empty"
+    empty.mkdir()
+    with pytest.raises(check_drift.DriftConfigError):
+        check_drift.run(empty, None, tolerance=0.35)
+
+
+def test_malformed_json_is_config_error(tmp_path):
+    fresh = tmp_path / "fresh"
+    fresh.mkdir()
+    (fresh / "BENCH_x.json").write_text("{not json")
+    with pytest.raises(check_drift.DriftConfigError):
+        check_drift.run(fresh, None, tolerance=0.35)
+
+
+def test_main_exit_codes(tmp_path, capsys):
+    fresh, base = _write_dirs(
+        tmp_path, [["ec", 100, "0.1"]], [["ec", 100, "0.1"]]
+    )
+    argv = ["--results", str(fresh), "--baseline", str(base)]
+    assert check_drift.main(argv) == 0
+    assert "no drift" in capsys.readouterr().out
+    assert check_drift.main(["--baseline", str(tmp_path / "nope")]) == 2
+    assert "error:" in capsys.readouterr().err
+
+
+def test_committed_baselines_match_head():
+    # The real thing: the checked-in results must match git HEAD exactly
+    # (the working tree is the committed tree in CI).
+    code, messages = check_drift.run(
+        check_drift.RESULTS_DIR, None, tolerance=0.35
+    )
+    assert code == 0, messages
