@@ -112,3 +112,60 @@ def test_e3_fd_message_cost(benchmark):
     benchmark.pedantic(
         lambda: steady_cost(*fig2_oracle_world(8)), rounds=3, iterations=1
     )
+
+
+def test_e3_trace_record_rate(benchmark):
+    """Tracing overhead: the kind-filter fast path must actually be fast.
+
+    Every message a detector sends is also a ``trace.record`` call, so at
+    n=32 the all-to-all construction records ~1k events per period and the
+    sink is on the hot path.  Rates are wall-clock (machine-dependent —
+    the drift checker skips them); the regression being pinned is relative:
+    discarding a filtered-out kind must beat keeping the event, and a
+    ``wants()`` guard must beat even building the call's payload.
+    """
+    import time
+
+    from repro.obs import MemorySink
+
+    N = 200_000
+
+    def timed(fn):
+        t0 = time.perf_counter()
+        fn()
+        return N / (time.perf_counter() - t0)
+
+    def record_into(sink):
+        for i in range(N):
+            sink.record(float(i), "send", 0, channel="fd", src=0, dst=i)
+
+    def guarded_record_into(sink):
+        for i in range(N):
+            if sink.wants("send"):
+                sink.record(float(i), "send", 0, channel="fd", src=0, dst=i)
+
+    kept = timed(lambda: record_into(MemorySink()))
+    filtered = timed(lambda: record_into(MemorySink(kinds={"decide"})))
+    guarded = timed(lambda: guarded_record_into(MemorySink(kinds={"decide"})))
+
+    rows = [
+        ("record, kept", f"{kept:,.0f}", "1.0x"),
+        ("record, kind filtered out", f"{filtered:,.0f}",
+         f"{filtered / kept:.1f}x"),
+        ("wants() guard, filtered out", f"{guarded:,.0f}",
+         f"{guarded / kept:.1f}x"),
+    ]
+    publish_table(
+        "e3_trace_record_rate",
+        "E3b — trace sink record rate (200k events, MemorySink)",
+        ["mode", "events/s (wall)", "vs kept (wall)"],
+        rows,
+        note="Filtered kinds are rejected by the first check in record(), "
+        "before any allocation; callers with expensive payloads guard with "
+        "wants() and skip even the call.",
+    )
+    assert filtered > kept
+    benchmark.pedantic(
+        lambda: record_into(MemorySink(kinds={"decide"})),
+        rounds=3, iterations=1,
+    )

@@ -15,7 +15,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, FrozenSet, List, Optional
 
 from ..errors import PropertyViolation
-from ..sim.trace import Trace
+from ..obs.reader import TraceSource, as_trace
 from ..types import ProcessId, Time
 
 __all__ = ["ConsensusOutcome", "extract_outcome", "check_consensus",
@@ -39,15 +39,18 @@ class ConsensusOutcome:
         return list(self.decisions.values())
 
 
-def extract_outcome(trace: Trace, algo: Optional[str] = None) -> ConsensusOutcome:
+def extract_outcome(
+    trace: TraceSource, algo: Optional[str] = None
+) -> ConsensusOutcome:
     """Collect proposals and decisions for one algorithm from *trace*.
 
-    With several consensus instances in one world, pass *algo* to select one
-    (matches the protocol's ``name``); by default the first algorithm seen
-    is used.
+    *trace* can be a live in-memory trace, a ``.jsonl`` file path, or a
+    merged postmortem stream.  With several consensus instances in one
+    world, pass *algo* to select one (matches the protocol's ``name``); by
+    default the first algorithm seen is used.
     """
     outcome = ConsensusOutcome(algo=algo or "")
-    for ev in trace.events:
+    for ev in as_trace(trace).events:
         if ev.kind not in ("propose", "decide"):
             continue
         ev_algo = ev.get("algo")

@@ -10,6 +10,11 @@ adaptive timeouts) happens well before the margin.
 
 All checkers quantify over *correct* processes only, exactly like the
 definitions in Section 1.1 of the paper.
+
+Every checker takes any :data:`~repro.obs.reader.TraceSource` — a live
+in-memory trace, a ``.jsonl`` file path, or a merged postmortem stream —
+and coerces it with :func:`repro.obs.as_trace` (free for the in-memory
+case), so live and shipped traces are checked by the same code.
 """
 
 from __future__ import annotations
@@ -19,7 +24,7 @@ from typing import Dict, FrozenSet, List, Optional, Tuple
 
 from ..errors import PropertyViolation
 from ..fd.classes import FDClass
-from ..sim.trace import Trace
+from ..obs.reader import TraceSource, as_trace
 from ..types import ProcessId, Time
 
 __all__ = [
@@ -61,11 +66,11 @@ class PropertyCheck:
 # --------------------------------------------------------------------------
 
 def build_histories(
-    trace: Trace, channel: str = "fd"
+    trace: TraceSource, channel: str = "fd"
 ) -> Dict[ProcessId, List[FDRecord]]:
     """Per-process detector output histories for one detector *channel*."""
     histories: Dict[ProcessId, List[FDRecord]] = {}
-    for ev in trace.events:
+    for ev in as_trace(trace).events:
         if ev.kind == "fd" and ev.get("channel") == channel:
             histories.setdefault(ev.pid, []).append(
                 (ev.time, ev.get("suspected"), ev.get("trusted"))
@@ -73,9 +78,11 @@ def build_histories(
     return histories
 
 
-def crash_times(trace: Trace) -> Dict[ProcessId, Time]:
+def crash_times(trace: TraceSource) -> Dict[ProcessId, Time]:
     """``pid -> crash time`` for every crash recorded in *trace*."""
-    return {ev.pid: ev.time for ev in trace.events if ev.kind == "crash"}
+    return {
+        ev.pid: ev.time for ev in as_trace(trace).events if ev.kind == "crash"
+    }
 
 
 # --------------------------------------------------------------------------
@@ -261,7 +268,7 @@ def check_trusted_not_suspected(
 # --------------------------------------------------------------------------
 
 def check_fd_class(
-    trace: Trace,
+    trace: TraceSource,
     fd_class: FDClass,
     correct: FrozenSet[ProcessId],
     channel: str = "fd",
@@ -273,6 +280,7 @@ def check_fd_class(
     Returns a mapping ``property name -> PropertyCheck``; the run satisfies
     the class iff every entry is ok.
     """
+    trace = as_trace(trace)
     histories = build_histories(trace, channel=channel)
     crashed = crash_times(trace)
     end = end_time if end_time is not None else trace.end_time
@@ -330,7 +338,7 @@ def check_fd_class_on_world(
 
 
 def require_fd_class(
-    trace: Trace,
+    trace: TraceSource,
     fd_class: FDClass,
     correct: FrozenSet[ProcessId],
     channel: str = "fd",

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
-from ..sim.trace import Trace
+from ..obs.reader import TraceSource, as_trace
 from ..types import ProcessId, Time
 from .fd_properties import build_histories
 
@@ -33,7 +33,7 @@ __all__ = [
 # --------------------------------------------------------------------------
 
 def channel_message_count(
-    trace: Trace,
+    trace: TraceSource,
     channel: str,
     include_loopback: bool = False,
     after: Optional[Time] = None,
@@ -42,7 +42,7 @@ def channel_message_count(
     """Number of ``send`` events on *channel* (network messages only, unless
     *include_loopback*)."""
     count = 0
-    for ev in trace.events:
+    for ev in as_trace(trace).events:
         if ev.kind != "send" or ev.get("channel") != channel:
             continue
         if not include_loopback and ev.get("loopback"):
@@ -56,7 +56,7 @@ def channel_message_count(
 
 
 def messages_per_round(
-    trace: Trace, channel: str = "consensus"
+    trace: TraceSource, channel: str = "consensus"
 ) -> Dict[int, int]:
     """Network messages sent on *channel*, grouped by protocol round.
 
@@ -65,7 +65,7 @@ def messages_per_round(
     in the paper's Section 5.4 accounting.
     """
     per_round: Dict[int, int] = {}
-    for ev in trace.events:
+    for ev in as_trace(trace).events:
         if (
             ev.kind == "send"
             and ev.get("channel") == channel
@@ -77,7 +77,7 @@ def messages_per_round(
     return per_round
 
 
-def mean_messages_per_round(trace: Trace, channel: str = "consensus") -> float:
+def mean_messages_per_round(trace: TraceSource, channel: str = "consensus") -> float:
     """Average of :func:`messages_per_round` over completed rounds."""
     per_round = messages_per_round(trace, channel)
     if not per_round:
@@ -89,27 +89,27 @@ def mean_messages_per_round(trace: Trace, channel: str = "consensus") -> float:
 # Phases and rounds
 # --------------------------------------------------------------------------
 
-def phases_per_round(trace: Trace, algo: str) -> Dict[int, Set[int]]:
+def phases_per_round(trace: TraceSource, algo: str) -> Dict[int, Set[int]]:
     """Distinct phase labels entered in each round of *algo* (union over
     all processes — coordinator-only phases count once)."""
     per_round: Dict[int, Set[int]] = {}
-    for ev in trace.events:
+    for ev in as_trace(trace).events:
         if ev.kind == "phase" and ev.get("algo") == algo:
             per_round.setdefault(ev.get("round"), set()).add(ev.get("phase"))
     return per_round
 
 
-def max_phases_per_round(trace: Trace, algo: str) -> int:
+def max_phases_per_round(trace: TraceSource, algo: str) -> int:
     """The protocol's phase count: the maximum number of distinct phases any
     round went through."""
     per_round = phases_per_round(trace, algo)
     return max((len(v) for v in per_round.values()), default=0)
 
 
-def round_at(trace: Trace, pid: ProcessId, time: Time, algo: str) -> int:
+def round_at(trace: TraceSource, pid: ProcessId, time: Time, algo: str) -> int:
     """The round process *pid* was in at *time* (0 if it had not started)."""
     current = 0
-    for ev in trace.events:
+    for ev in as_trace(trace).events:
         if ev.time > time:
             break
         if ev.kind == "round" and ev.pid == pid and ev.get("algo") == algo:
@@ -118,7 +118,7 @@ def round_at(trace: Trace, pid: ProcessId, time: Time, algo: str) -> int:
 
 
 def rounds_after(
-    trace: Trace, time: Time, algo: str
+    trace: TraceSource, time: Time, algo: str
 ) -> Dict[ProcessId, Optional[int]]:
     """For every deciding process: how many rounds it needed *after* *time*.
 
@@ -128,6 +128,7 @@ def rounds_after(
     ``None`` for processes that never decided.
     """
     out: Dict[ProcessId, Optional[int]] = {}
+    trace = as_trace(trace)
     for ev in trace.events:
         if ev.kind == "decide" and ev.get("algo") == algo:
             decision_round = ev.get("round")
@@ -139,7 +140,7 @@ def rounds_after(
     return out
 
 
-def rounds_after_system(trace: Trace, time: Time, algo: str) -> Optional[int]:
+def rounds_after_system(trace: TraceSource, time: Time, algo: str) -> Optional[int]:
     """Rounds needed after *time*, measured from the *system frontier*.
 
     ``decision_round − max_p round_at(p, time) `` — i.e. how many fresh
@@ -151,6 +152,7 @@ def rounds_after_system(trace: Trace, time: Time, algo: str) -> Optional[int]:
     """
     decision_round: Optional[int] = None
     pids = set()
+    trace = as_trace(trace)
     for ev in trace.events:
         if ev.kind == "round" and ev.get("algo") == algo:
             pids.add(ev.pid)
@@ -171,7 +173,7 @@ def rounds_after_system(trace: Trace, time: Time, algo: str) -> Optional[int]:
 # --------------------------------------------------------------------------
 
 def steady_state_message_rate(
-    trace: Trace,
+    trace: TraceSource,
     channels: Tuple[str, ...],
     window: Tuple[Time, Time],
     period: Time,
@@ -187,7 +189,7 @@ def steady_state_message_rate(
 
 
 def detection_latency(
-    trace: Trace,
+    trace: TraceSource,
     crashed_pid: ProcessId,
     crash_time: Time,
     correct: FrozenSet[ProcessId],

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
-from ..sim.trace import Trace
+from ..obs.reader import TraceSource, as_trace
 from ..types import ProcessId, Time
 from .fd_properties import build_histories
 
@@ -40,7 +40,7 @@ def _sample(history, t: Time):
 
 
 def leader_timeline(
-    trace: Trace,
+    trace: TraceSource,
     channel: str = "fd",
     width: int = 72,
     end: Optional[Time] = None,
@@ -52,6 +52,7 @@ def leader_timeline(
     after the process's crash show *crash_marker*.  Convergence reads as
     all rows ending in the same digit.
     """
+    trace = as_trace(trace)
     histories = build_histories(trace, channel=channel)
     if not histories:
         return "(no detector output on channel %r)" % channel
@@ -75,7 +76,7 @@ def leader_timeline(
 
 
 def suspicion_timeline(
-    trace: Trace,
+    trace: TraceSource,
     target: ProcessId,
     channel: str = "fd",
     width: int = 72,
@@ -86,6 +87,7 @@ def suspicion_timeline(
     After a crash of *target*, completeness reads as every row turning to
     solid ``#``; accuracy reads as rows staying clear while it is alive.
     """
+    trace = as_trace(trace)
     histories = build_histories(trace, channel=channel)
     crash_at: Dict[ProcessId, Time] = {
         ev.pid: ev.time for ev in trace.events if ev.kind == "crash"
@@ -113,13 +115,14 @@ def suspicion_timeline(
 
 
 def round_timeline(
-    trace: Trace,
+    trace: TraceSource,
     algo: str,
     width: int = 72,
     end: Optional[Time] = None,
 ) -> str:
     """One row per process; columns show the consensus round (mod 10) the
     process was in, with ``D`` from its decision onward."""
+    trace = as_trace(trace)
     rounds: Dict[ProcessId, List] = {}
     decisions: Dict[ProcessId, Time] = {}
     for ev in trace.events:

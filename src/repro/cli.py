@@ -23,6 +23,10 @@ Commands:
     elected leader mid-run, reach a decision anyway, and print the same
     trace-derived timelines, property checks, and QoS tables the simulator
     commands print.
+``trace``
+    Operate on shipped JSONL trace files (:mod:`repro.obs`): merge
+    per-node files onto one time base, print stats, validate events
+    against the schema registry, print the schema table.
 ``lint``
     The static analyzer (:mod:`repro.lint`): determinism rules for the
     simulator-path packages, asyncio-hazard rules for the live runtime,
@@ -232,7 +236,7 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
     period = args.period
     cluster = LocalCluster(
         n=args.nodes, transport=args.transport, seed=args.seed,
-        codec=codec, fault_plan=plan,
+        codec=codec, fault_plan=plan, trace_out=args.trace_out,
     )
     stacks = attach_standard_stack(
         cluster, period=period,
@@ -296,6 +300,7 @@ def _cluster_virtual(args: argparse.Namespace, codec, plan) -> int:
     cluster = LocalCluster(
         n=args.nodes, transport="loopback", clock="virtual",
         seed=args.seed, codec=codec, fault_plan=plan,
+        trace_out=args.trace_out,
     )
     stacks = attach_standard_stack(
         cluster, period=5.0, initial_timeout=12.0, timeout_increment=5.0,
@@ -311,6 +316,7 @@ def _cluster_virtual(args: argparse.Namespace, codec, plan) -> int:
 
     cluster.clock.schedule_at(crash_time + 1.0, propose_survivors)
     cluster.run_virtual(until=4000.0)
+    cluster.close_traces()  # virtual mode has no stop(); flush JSONL now
     decided = all(p.decided for p in protocols if not p.crashed)
     return _cluster_report(args, cluster, protocols, leader, crash_time,
                            decided)
@@ -323,6 +329,8 @@ def _cluster_report(args, cluster, protocols, leader, crash_time,
     mode = "virtual" if cluster.virtual else "wall"
     print(f"live cluster: n={cluster.n} transport={cluster.transport_kind} "
           f"codec={cluster.codec.name} clock={mode}")
+    if getattr(args, "trace_out", None):
+        print(f"trace shipped to {args.trace_out}")
     print(f"killed leader p{leader} at t={crash_time:.2f}\n")
     print(leader_timeline(trace, channel="fd", width=64, end=end))
     print()
@@ -371,6 +379,12 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
 
 def _cmd_lint(args: argparse.Namespace) -> int:
     from .lint.cli import run_from_args
+
+    return run_from_args(args)
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from .obs.cli import run_from_args
 
     return run_from_args(args)
 
@@ -433,7 +447,20 @@ def build_parser() -> argparse.ArgumentParser:
                      help="wall-clock budget for convergence and decision")
     clu.add_argument("--virtual", action="store_true",
                      help="deterministic virtual-clock run (loopback only)")
+    clu.add_argument("--trace-out", metavar="PATH", default=None,
+                     help="ship the trace as it happens: a *.jsonl path "
+                          "writes one combined file, a directory writes "
+                          "one node-<pid>.jsonl per node")
     clu.set_defaults(func=_cmd_cluster)
+
+    trc = sub.add_parser(
+        "trace",
+        help="merge / inspect / validate shipped JSONL trace files",
+    )
+    from .obs.cli import add_trace_arguments
+
+    add_trace_arguments(trc)
+    trc.set_defaults(func=_cmd_trace)
 
     lint = sub.add_parser(
         "lint",

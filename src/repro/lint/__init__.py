@@ -11,7 +11,10 @@ keep them so, statically, on every PR:
   coroutines, no unawaited coroutines, no dropped task references, no
   swallowed exceptions) — :mod:`repro.lint.rules.asyncio_hazards`;
 * a **payload-encodability rule** type-checking ``send(...)`` payloads
-  against the wire codec — :mod:`repro.lint.rules.payload`.
+  against the wire codec — :mod:`repro.lint.rules.payload`;
+* a **trace-schema rule** checking every ``trace.record(...)`` /
+  ``self.trace(...)`` call site against the :mod:`repro.obs` event-schema
+  registry — :mod:`repro.lint.rules.trace_schema`.
 
 Run it as ``python -m repro lint`` or ``repro-lint``; suppress a single
 finding with ``# lint: ignore[rule-id]``.  See ``docs/lint.md``.

@@ -8,9 +8,11 @@ Rule groups, by the package contract they enforce:
 * :mod:`~repro.lint.rules.asyncio_hazards` — :mod:`repro.net` must not
   stall, drop, or silence the event loop;
 * :mod:`~repro.lint.rules.payload` — protocol payloads must survive the
-  wire codec.
+  wire codec;
+* :mod:`~repro.lint.rules.trace_schema` — trace emissions must match the
+  :mod:`repro.obs` event-schema registry.
 """
 
-from . import asyncio_hazards, determinism, payload  # noqa: F401
+from . import asyncio_hazards, determinism, payload, trace_schema  # noqa: F401
 
-__all__ = ["asyncio_hazards", "determinism", "payload"]
+__all__ = ["asyncio_hazards", "determinism", "payload", "trace_schema"]

@@ -1,0 +1,108 @@
+"""Trace-schema rule: event emissions must match the obs registry.
+
+The event-schema registry (:data:`repro.obs.events.EVENT_SCHEMAS`) is the
+single source of truth for what each trace event kind carries.  The
+analysis layer navigates payloads by key (``ev.get("suspected")``), so an
+emitter recording a typo'd kind or forgetting a required key produces a
+trace that *looks* fine but silently falls out of every property check.
+This rule moves that failure to the lint step: every statically resolvable
+``trace.record(...)`` / ``self.trace(...)`` call site is checked against
+the registry, the same contract ``repro trace check`` enforces on recorded
+JSONL streams at run time.
+
+The check is one-sided and best-effort, like the payload rule: only
+**literal string** kinds are judged (the ``Component.trace`` helper and
+the sinks themselves forward a kind variable — unknowable statically, and
+covered at run time); a ``**splat`` in the payload suppresses the
+missing-key check but not the unknown-kind check.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional
+
+from ...obs.events import EVENT_SCHEMAS
+from ..astutil import dotted_name
+from ..findings import Finding
+from ..registry import Rule, rule
+
+__all__ = ["TraceSchemaRule"]
+
+
+def _kind_argument(call: ast.Call) -> Optional[ast.expr]:
+    """The kind argument of a recognized trace emission, or ``None``.
+
+    Recognized shapes:
+
+    * ``<...>trace.record(time, kind, pid, **data)`` / ``_trace.record``
+      — any attribute chain whose receiver's final name mentions "trace"
+      (``self.trace``, ``world.trace``, ``self._trace``); kind is the
+      second positional argument;
+    * ``self.trace(kind, **data)`` — the Component helper; kind is the
+      first positional argument.
+    """
+    func = call.func
+    if not isinstance(func, ast.Attribute):
+        return None
+    if func.attr == "record":
+        receiver = dotted_name(func.value)
+        if receiver is None or "trace" not in receiver.rsplit(".", 1)[-1]:
+            return None
+        if len(call.args) > 1 and not any(
+            isinstance(a, ast.Starred) for a in call.args[:2]
+        ):
+            return call.args[1]
+        return None
+    if func.attr == "trace" and isinstance(func.value, ast.Name):
+        if func.value.id == "self" and call.args:
+            first = call.args[0]
+            return None if isinstance(first, ast.Starred) else first
+    return None
+
+
+@rule
+class TraceSchemaRule(Rule):
+    """Statically check trace emissions against the event-schema registry."""
+
+    id = "trace-schema"
+    summary = (
+        "trace.record(...)/self.trace(...) calls must use registered event "
+        "kinds and supply each kind's required payload keys"
+    )
+    scope = ()  # the schema contract holds everywhere events are emitted
+
+    def check(self, ctx) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            kind_node = _kind_argument(node)
+            if kind_node is None:
+                continue
+            if not (
+                isinstance(kind_node, ast.Constant)
+                and isinstance(kind_node.value, str)
+            ):
+                continue  # dynamic kind: checked at run time, not here
+            kind = kind_node.value
+            schema = EVENT_SCHEMAS.get(kind)
+            if schema is None:
+                yield self.finding(
+                    ctx, kind_node,
+                    f"unknown trace event kind {kind!r}; register it with "
+                    "repro.obs.register_event_kind or fix the typo (known "
+                    "kinds: " + ", ".join(sorted(EVENT_SCHEMAS)) + ")",
+                )
+                continue
+            if any(kw.arg is None for kw in node.keywords):
+                continue  # **splat payload: keys unknowable statically
+            supplied = {kw.arg for kw in node.keywords}
+            missing: List[str] = [
+                key for key in schema.required if key not in supplied
+            ]
+            if missing:
+                yield self.finding(
+                    ctx, node,
+                    f"trace event {kind!r} is missing required payload "
+                    "key(s): " + ", ".join(missing),
+                )

@@ -15,7 +15,10 @@ wrapped in a fault-injection proxy), and drives the run:
 
 Because all hosts share one trace with one time base, everything in
 :mod:`repro.analysis` — property checkers, QoS metrics, ASCII timelines —
-works on a live run's trace without modification.
+works on a live run's trace without modification.  Pass ``trace_out`` to
+*also* ship the stream to disk as it happens: a ``*.jsonl`` path writes
+one combined file, a directory writes one ``node-<pid>.jsonl`` per node
+(each with its own provenance header, ready for ``repro trace merge``).
 
 :func:`attach_standard_stack` deploys the paper's full pipeline on every
 node: leader-based Ω + a ◇S source + the ◇C combiner, the Fig. 2 ◇C→◇P
@@ -27,7 +30,8 @@ from __future__ import annotations
 
 import asyncio
 import inspect
-from typing import Any, Callable, Dict, Iterable, List, Optional
+from pathlib import Path
+from typing import Any, Callable, Dict, Iterable, List, Optional, Union
 
 from ..broadcast.reliable import ReliableBroadcast
 from ..consensus.ec_consensus import ECConsensus
@@ -36,8 +40,8 @@ from ..fd.eventually_consistent import CombinedDetector
 from ..fd.heartbeat import HeartbeatEventuallyPerfect
 from ..fd.leader_based import LeaderBasedOmega
 from ..fd.ring import RingDetector
+from ..obs.sinks import JsonlSink, MemorySink, TeeSink, TraceSink
 from ..sim.component import Component
-from ..sim.trace import Trace
 from ..transform.c_to_p import CToPTransformation
 from ..types import ProcessId, Time
 from .clock import AsyncioClock, VirtualClock
@@ -74,6 +78,7 @@ class LocalCluster:
         fault_plan: Optional[FaultPlan] = None,
         bind_host: str = "127.0.0.1",
         trace_kinds: Optional[Iterable[str]] = None,
+        trace_out: Optional[Union[str, Path]] = None,
     ) -> None:
         if n < 1:
             raise ConfigurationError(f"n must be >= 1, got {n}")
@@ -92,7 +97,37 @@ class LocalCluster:
         self.transport_kind = transport
         self.clock = VirtualClock() if clock == "virtual" else AsyncioClock()
         self.virtual = clock == "virtual"
-        self.trace = Trace(kinds=trace_kinds)
+        #: Analysis-facing in-memory log, always shared by every host.
+        self.trace = MemorySink(kinds=trace_kinds)
+        # Trace shipping: a `*.jsonl` path streams one combined file; a
+        # directory streams one per-node file (own provenance header each,
+        # the input shape `repro trace merge` reassembles).
+        self._jsonl_sinks: List[JsonlSink] = []
+        host_traces: List[TraceSink] = [self.trace] * n
+        if trace_out is not None:
+            # Virtual runs have no meaningful wall epoch; zero it so the
+            # files stay byte-for-byte deterministic (and trivially merge).
+            epochs = (
+                {"epoch_wall": 0.0, "epoch_mono": 0.0} if self.virtual else {}
+            )
+            out = Path(trace_out)
+            if out.suffix == ".jsonl":
+                out.parent.mkdir(parents=True, exist_ok=True)
+                combined = JsonlSink(
+                    out, node=None, kinds=trace_kinds, **epochs
+                )
+                self._jsonl_sinks.append(combined)
+                host_traces = [TeeSink(self.trace, combined)] * n
+            else:
+                out.mkdir(parents=True, exist_ok=True)
+                host_traces = []
+                for pid in range(n):
+                    sink = JsonlSink(
+                        out / f"node-{pid}.jsonl", node=pid,
+                        kinds=trace_kinds, **epochs
+                    )
+                    self._jsonl_sinks.append(sink)
+                    host_traces.append(TeeSink(self.trace, sink))
         self.codec = codec if codec is not None else default_codec()
         self.plan = fault_plan
         self._hub = LoopbackHub(self.clock) if transport == "loopback" else None
@@ -118,7 +153,7 @@ class LocalCluster:
                 NodeHost(
                     pid, n, wire,
                     clock=self.clock, codec=self.codec,
-                    trace=self.trace, seed=seed,
+                    trace=host_traces[pid], seed=seed,
                 )
             )
 
@@ -161,6 +196,8 @@ class LocalCluster:
             h.transport.set_peers(addresses)
         if isinstance(self.clock, AsyncioClock):
             self.clock.rebase()  # trace time 0 = the instant components start
+            for sink in self._jsonl_sinks:
+                sink.rebase_epoch()  # headers must reference the same zero
         for h in self.hosts:
             h.start()
 
@@ -184,12 +221,22 @@ class LocalCluster:
         return predicate()
 
     async def stop(self) -> None:
-        """Close every transport (idempotent)."""
+        """Close every transport and flush trace files (idempotent)."""
         for h in self.hosts:
             await _maybe(h.transport.close())
         if self._closing:
             await asyncio.gather(*self._closing, return_exceptions=True)
             self._closing.clear()
+        self.close_traces()
+
+    def close_traces(self) -> None:
+        """Flush and close any ``trace_out`` JSONL files (idempotent).
+
+        ``stop()`` calls this; virtual-clock runs (which have no ``stop()``)
+        call it directly once the run is over.
+        """
+        for sink in self._jsonl_sinks:
+            sink.close()
 
     # --------------------------------------------------------- virtual mode
     def start_virtual(self) -> None:

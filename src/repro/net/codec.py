@@ -8,33 +8,26 @@ every payload shape the library's protocols produce **exactly** (tuples stay
 tuples, int keys stay ints, ``NULL`` stays the singleton), so component code
 runs unchanged on both substrates.
 
-Encoding is a tagged recursive transform into JSON-safe structure: scalars
-pass through, lists map elementwise, and every other shape becomes a
-single-key dict ``{"!<tag>": ...}``.  User dicts are encoded as pair lists
-under ``"!d"``, so payloads that *happen* to look like a tag dict can never
-be misread.  The default byte serializer is :mod:`json` (always available);
-:class:`MsgpackCodec` uses :mod:`msgpack` when the host has it and raises a
-clear error otherwise — the container image is the source of truth for
-dependencies, so the import is gated, never installed.
+The structural transform — the tagged recursion into JSON-safe shape — is
+:mod:`repro.obs.encode`, shared with the JSONL trace files (one transform,
+one set of tags, on the wire and on disk).  This module adds the message
+envelope and the pluggable byte serializers.  The default serializer is
+:mod:`json` (always available); :class:`MsgpackCodec` uses :mod:`msgpack`
+when the host has it and raises a clear error otherwise — the container
+image is the source of truth for dependencies, so the import is gated,
+never installed.
 """
 
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Optional
 
 from ..errors import ConfigurationError
+from ..obs.encode import EncodeError, from_jsonable, to_jsonable
 from ..sim.message import Message
-from ..types import Channel, ProcessId
 
 __all__ = ["CodecError", "Codec", "JsonCodec", "MsgpackCodec", "default_codec"]
-
-_TUPLE = "!t"
-_DICT = "!d"
-_FROZENSET = "!f"
-_SET = "!s"
-_NULL = "!0"
-_TAGS = (_TUPLE, _DICT, _FROZENSET, _SET, _NULL)
 
 
 class CodecError(Exception):
@@ -42,46 +35,17 @@ class CodecError(Exception):
 
 
 def _to_wire(obj: Any) -> Any:
-    if obj is None or isinstance(obj, (bool, int, float, str)):
-        return obj
-    # Late import: consensus imports sim, not the reverse.
-    from ..consensus.ec_consensus import NULL
-
-    if obj is NULL:
-        return {_NULL: 1}
-    if isinstance(obj, list):
-        return [_to_wire(x) for x in obj]
-    if isinstance(obj, tuple):
-        return {_TUPLE: [_to_wire(x) for x in obj]}
-    if isinstance(obj, dict):
-        return {_DICT: [[_to_wire(k), _to_wire(v)] for k, v in obj.items()]}
-    if isinstance(obj, frozenset):
-        return {_FROZENSET: sorted((_to_wire(x) for x in obj), key=repr)}
-    if isinstance(obj, set):
-        return {_SET: sorted((_to_wire(x) for x in obj), key=repr)}
-    raise CodecError(f"payload of type {type(obj).__name__} is not wire-safe: {obj!r}")
+    try:
+        return to_jsonable(obj)
+    except EncodeError as exc:
+        raise CodecError(str(exc)) from exc
 
 
 def _from_wire(obj: Any) -> Any:
-    if isinstance(obj, list):
-        return [_from_wire(x) for x in obj]
-    if isinstance(obj, dict):
-        if len(obj) == 1:
-            (tag, value), = obj.items()
-            if tag == _TUPLE:
-                return tuple(_from_wire(x) for x in value)
-            if tag == _DICT:
-                return {_from_wire(k): _from_wire(v) for k, v in value}
-            if tag == _FROZENSET:
-                return frozenset(_from_wire(x) for x in value)
-            if tag == _SET:
-                return {_from_wire(x) for x in value}
-            if tag == _NULL:
-                from ..consensus.ec_consensus import NULL
-
-                return NULL
-        raise CodecError(f"malformed wire structure: {obj!r}")
-    return obj
+    try:
+        return from_jsonable(obj)
+    except EncodeError as exc:
+        raise CodecError(str(exc)) from exc
 
 
 class Codec:

@@ -7,8 +7,10 @@ This is the runtime's counterpart of one slot of the simulator's
 * a clock (:mod:`repro.net.clock`) in place of the virtual-time heap,
 * a :class:`RuntimeNetwork` that encodes through the codec and hands frames
   to a transport in place of the simulated link fabric,
-* the *same* :class:`~repro.sim.trace.Trace`,
-  :class:`~repro.sim.rng.RandomSource`, and — crucially —
+* any :class:`~repro.obs.TraceSink` (an analysis-facing
+  :class:`~repro.obs.MemorySink` by default; a streaming
+  :class:`~repro.obs.JsonlSink`, or a tee of both, for trace shipping),
+  plus the *same* :class:`~repro.sim.rng.RandomSource` and — crucially —
   :class:`~repro.sim.process.Process` classes, reused verbatim —
 
 and attaches ordinary :class:`~repro.sim.component.Component` subclasses to
@@ -29,10 +31,10 @@ from __future__ import annotations
 from typing import Any, Dict, Optional
 
 from ..errors import ConfigurationError
+from ..obs.sinks import MemorySink, TraceSink
 from ..sim.message import Message
 from ..sim.process import Process
 from ..sim.rng import RandomSource
-from ..sim.trace import Trace
 from ..types import Channel, ProcessId
 from .clock import AsyncioClock
 from .codec import Codec, CodecError, JsonCodec
@@ -76,17 +78,19 @@ class RuntimeNetwork:
         if src == dst:
             # Loopback self-send: stays in-process and uncounted as network
             # traffic, exactly like the simulator's zero-delay loopback.
-            host.trace.record(
-                now, "send", src, channel=channel, src=src, dst=dst,
-                tag=tag, round=round, loopback=True,
-            )
+            if host.trace.wants("send"):
+                host.trace.record(
+                    now, "send", src, channel=channel, src=src, dst=dst,
+                    tag=tag, round=round, loopback=True,
+                )
             host.clock.schedule(0.0, host._deliver, msg)
             return msg
         self.sent_network += 1
-        host.trace.record(
-            now, "send", src, channel=channel, src=src, dst=dst,
-            tag=tag, round=round, loopback=False,
-        )
+        if host.trace.wants("send"):
+            host.trace.record(
+                now, "send", src, channel=channel, src=src, dst=dst,
+                tag=tag, round=round, loopback=False,
+            )
         host.transport.send(dst, host.codec.encode_message(msg))
         return msg
 
@@ -105,7 +109,7 @@ class RuntimeWorld:
         n: int,
         scheduler: Any,
         network: RuntimeNetwork,
-        trace: Trace,
+        trace: TraceSink,
         rng: RandomSource,
     ) -> None:
         self.n = n
@@ -140,8 +144,10 @@ class NodeHost:
         clock: any :class:`~repro.sim.api.SchedulerAPI`; defaults to a
             fresh wall-clock :class:`~repro.net.clock.AsyncioClock`.
         codec: wire codec; defaults to JSON (always available).
-        trace: a shared recorder for in-process clusters, or ``None`` for a
-            private one.
+        trace: any :class:`~repro.obs.TraceSink` — a shared recorder for
+            in-process clusters, a per-node :class:`~repro.obs.JsonlSink`
+            (or a tee of both) for trace shipping, or ``None`` for a
+            private in-memory one.
         seed: master seed for this node's deterministic RNG streams.
     """
 
@@ -152,7 +158,7 @@ class NodeHost:
         transport: Transport,
         clock: Optional[Any] = None,
         codec: Optional[Codec] = None,
-        trace: Optional[Trace] = None,
+        trace: Optional[TraceSink] = None,
         seed: int = 0,
     ) -> None:
         if not 0 <= pid < n:
@@ -166,7 +172,7 @@ class NodeHost:
         self.transport = transport
         self.clock = clock if clock is not None else AsyncioClock()
         self.codec = codec if codec is not None else JsonCodec()
-        self.trace = trace if trace is not None else Trace()
+        self.trace: TraceSink = trace if trace is not None else MemorySink()
         # Per-node seed spaces: the same master seed never makes two nodes'
         # jitter streams collide, yet runs stay reproducible.
         self.world = RuntimeWorld(
@@ -213,9 +219,10 @@ class NodeHost:
             # A malformed datagram (bit rot, port scanner, version skew) must
             # never take the node down — count it and move on.
             self.undecodable_frames += 1
-            self.trace.record(
-                self.clock.now, "drop", self.pid, reason="undecodable"
-            )
+            if self.trace.wants("drop"):
+                self.trace.record(
+                    self.clock.now, "drop", self.pid, reason="undecodable"
+                )
             return
         if msg.dst != self.pid:
             self.misrouted_frames += 1
@@ -225,11 +232,12 @@ class NodeHost:
     def _deliver(self, msg: Message) -> None:
         net = self.world.network
         net.delivered_total += 1
-        self.trace.record(
-            self.clock.now, "deliver", msg.dst,
-            channel=msg.channel, src=msg.src, dst=msg.dst,
-            tag=msg.tag, round=msg.round,
-        )
+        if self.trace.wants("deliver"):
+            self.trace.record(
+                self.clock.now, "deliver", msg.dst,
+                channel=msg.channel, src=msg.src, dst=msg.dst,
+                tag=msg.tag, round=msg.round,
+            )
         self.process.deliver(msg)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -1,0 +1,72 @@
+"""repro.obs — the observability layer: trace events, sinks, and merging.
+
+Every measured claim in this reproduction — the ◇C/◇P property checks, the
+"phases per round" and message-cost tables, detection latencies — is
+computed from a stream of :class:`TraceEvent` records.  This package owns
+that stream end to end:
+
+* :mod:`repro.obs.events` — the canonical :class:`TraceEvent` and the
+  machine-readable **event-schema registry** (kind → required/optional
+  payload keys).  The lint rule ``trace-schema`` and ``repro trace check``
+  validate against it, and ``docs/traces.md`` is generated from it.
+* :mod:`repro.obs.sinks` — the :class:`TraceSink` protocol with three
+  implementations: :class:`MemorySink` (the in-memory, query-friendly log
+  that :mod:`repro.analysis` consumes; re-exported as
+  :class:`repro.sim.trace.Trace` for compatibility), :class:`JsonlSink`
+  (line-buffered streaming JSONL writer with per-node clock provenance),
+  and :class:`TeeSink` (fan-out to several sinks).
+* :mod:`repro.obs.reader` — the JSONL reader and :func:`as_trace`, the
+  coercion every analysis function uses, so verdicts can be computed from
+  a live trace, an event list, or a trace file interchangeably.
+* :mod:`repro.obs.merge` — the offline merger: rebases per-node clocks
+  against a common epoch (headers first, then a max-skew estimate from
+  matched send→deliver handshakes) and emits one time-ordered stream.
+* :mod:`repro.obs.encode` — the tagged JSON-safe value transform shared
+  with the wire codec (tuples, int-keyed dicts, frozensets and the NULL
+  sentinel all round-trip exactly).
+
+The simulator (:mod:`repro.sim`) and the live runtime (:mod:`repro.net`)
+both record through this layer; hosts in separate OS processes each write
+their own JSONL file and :func:`merge_traces` reassembles the run
+postmortem — the prerequisite for ``kill -9``-style multi-process clusters.
+"""
+
+from .encode import EncodeError, from_jsonable, to_jsonable
+from .events import (
+    EVENT_SCHEMAS,
+    EventSchema,
+    TraceEvent,
+    known_kinds,
+    register_event_kind,
+    schema_for,
+    schema_table,
+    validate_event,
+)
+from .merge import MergeReport, merge_traces
+from .reader import TraceFile, as_trace, iter_trace_events, read_trace_file
+from .sinks import JsonlSink, MemorySink, TeeSink, Trace, TraceSink
+
+__all__ = [
+    "EncodeError",
+    "from_jsonable",
+    "to_jsonable",
+    "EVENT_SCHEMAS",
+    "EventSchema",
+    "TraceEvent",
+    "known_kinds",
+    "register_event_kind",
+    "schema_for",
+    "schema_table",
+    "validate_event",
+    "MergeReport",
+    "merge_traces",
+    "TraceFile",
+    "as_trace",
+    "iter_trace_events",
+    "read_trace_file",
+    "JsonlSink",
+    "MemorySink",
+    "TeeSink",
+    "Trace",
+    "TraceSink",
+]

@@ -1,0 +1,163 @@
+"""``python -m repro trace`` — operate on shipped JSONL trace files.
+
+Subcommands:
+
+``merge``
+    Merge per-node trace files into one time-ordered stream (epoch
+    rebasing + causality skew estimation, see :mod:`repro.obs.merge`);
+    print the per-node offsets and optionally write the merged stream
+    back out as one combined ``.jsonl`` file.
+``stats``
+    Per-file provenance and event-kind counts, computed streaming so
+    arbitrarily long traces are fine.
+``check``
+    Validate every event against the schema registry
+    (:data:`repro.obs.events.EVENT_SCHEMAS`): unknown kinds and missing
+    required payload keys fail the command — the runtime counterpart of
+    the ``trace-schema`` lint rule, and what CI runs on the committed
+    example traces.
+``schema``
+    Print the generated event-schema table (the same rendering embedded
+    in ``docs/traces.md``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, List
+
+from ..errors import ConfigurationError
+from .events import TraceEvent, schema_table, validate_event
+from .merge import merge_traces
+from .reader import iter_trace_events
+from .sinks import JsonlSink
+
+__all__ = ["add_trace_arguments", "run_from_args"]
+
+
+def _cmd_merge(args: argparse.Namespace) -> int:
+    report = merge_traces(
+        args.files,
+        rebase=not args.no_rebase,
+        estimate_skew=not args.no_skew,
+    )
+    print(report.summary())
+    if args.output:
+        earliest = min(f.epoch_wall for f in report.files)
+        out = JsonlSink(
+            args.output, node=None,
+            epoch_wall=earliest,
+            epoch_mono=min(f.epoch_mono for f in report.files),
+        )
+        for event in report.trace:
+            out.record_event(event)
+        out.close()
+        print(f"wrote {out.events_written} events to {args.output}")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    for path in args.files:
+        counts: Dict[str, int] = {}
+        first = last = None
+        header = None
+        for item in iter_trace_events(path):
+            if header is None:
+                header = item
+                continue
+            assert isinstance(item, TraceEvent)
+            counts[item.kind] = counts.get(item.kind, 0) + 1
+            if first is None:
+                first = item.time
+            last = item.time
+        node = header.get("node") if header else None
+        node_label = "combined" if node is None else f"node {node}"
+        total = sum(counts.values())
+        span = (
+            f"t in [{first:.3f}, {last:.3f}]" if first is not None else "empty"
+        )
+        print(f"{path}: {node_label}, {total} events, {span}, "
+              f"epoch_wall={header.get('epoch_wall', 0.0):.3f}")
+        for kind in sorted(counts):
+            print(f"  {kind:12s} {counts[kind]:>8d}")
+    return 0
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    failures = 0
+    for path in args.files:
+        problems: List[str] = []
+        checked = 0
+        header = None
+        for item in iter_trace_events(path):
+            if header is None:
+                header = item
+                continue
+            assert isinstance(item, TraceEvent)
+            checked += 1
+            for problem in validate_event(item):
+                problems.append(f"{path}: t={item.time:.3f}: {problem}")
+        if problems:
+            failures += len(problems)
+            for line in problems[: args.max_problems]:
+                print(line, file=sys.stderr)
+            hidden = len(problems) - args.max_problems
+            if hidden > 0:
+                print(f"{path}: ... and {hidden} more", file=sys.stderr)
+            print(f"{path}: FAILED ({len(problems)} schema violations "
+                  f"in {checked} events)")
+        else:
+            print(f"{path}: OK ({checked} events conform to the schema)")
+    return 1 if failures else 0
+
+
+def _cmd_schema(args: argparse.Namespace) -> int:
+    print(schema_table(fmt=args.format))
+    return 0
+
+
+def add_trace_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the ``trace`` subcommands to an argparse parser."""
+    sub = parser.add_subparsers(dest="trace_command", required=True)
+
+    merge = sub.add_parser(
+        "merge", help="merge per-node JSONL traces into one ordered stream"
+    )
+    merge.add_argument("files", nargs="+", metavar="FILE")
+    merge.add_argument("--output", "-o", metavar="OUT.jsonl",
+                       help="write the merged stream to this file")
+    merge.add_argument("--no-rebase", action="store_true",
+                       help="keep each file's own time base")
+    merge.add_argument("--no-skew", action="store_true",
+                       help="trust headers; skip causality skew estimation")
+    merge.set_defaults(trace_func=_cmd_merge)
+
+    stats = sub.add_parser("stats", help="per-file provenance and kind counts")
+    stats.add_argument("files", nargs="+", metavar="FILE")
+    stats.set_defaults(trace_func=_cmd_stats)
+
+    check = sub.add_parser(
+        "check", help="validate events against the schema registry"
+    )
+    check.add_argument("files", nargs="+", metavar="FILE")
+    check.add_argument("--max-problems", type=int, default=20,
+                       help="cap the violations printed per file")
+    check.set_defaults(trace_func=_cmd_check)
+
+    schema = sub.add_parser("schema", help="print the event-schema table")
+    schema.add_argument("--format", choices=["markdown", "rst"],
+                        default="markdown")
+    schema.set_defaults(trace_func=_cmd_schema)
+
+
+def run_from_args(args: argparse.Namespace) -> int:
+    """Dispatch a parsed ``trace`` invocation; returns the exit code."""
+    try:
+        return args.trace_func(args)
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2

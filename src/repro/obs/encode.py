@@ -1,0 +1,80 @@
+"""Tagged JSON-safe value transform, shared by trace files and the codec.
+
+The protocol layer produces rich Python values — nested tuples, dicts with
+integer keys (ring knowledge maps), frozensets (suspect lists), and the
+``NULL`` estimate sentinel of :mod:`repro.consensus.ec_consensus`.  Both
+persistence surfaces — the wire codec in :mod:`repro.net.codec` and the
+JSONL trace files in :mod:`repro.obs.sinks` — need those values as plain
+JSON structure and need them back **exactly** (tuples stay tuples, int
+keys stay ints, ``NULL`` stays the singleton), so one transform serves
+both.
+
+Encoding is recursive: scalars pass through, lists map elementwise, and
+every other shape becomes a single-key dict ``{"!<tag>": ...}``.  User
+dicts are encoded as pair lists under ``"!d"``, so payloads that *happen*
+to look like a tag dict can never be misread.  Set-like values are sorted
+by ``repr`` so the encoding is deterministic regardless of hash seeds.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+__all__ = ["EncodeError", "to_jsonable", "from_jsonable"]
+
+_TUPLE = "!t"
+_DICT = "!d"
+_FROZENSET = "!f"
+_SET = "!s"
+_NULL = "!0"
+
+
+class EncodeError(ValueError):
+    """A value cannot be represented as tagged JSON, or tags are malformed."""
+
+
+def to_jsonable(obj: Any) -> Any:
+    """Transform *obj* into JSON-native structure (see module docstring)."""
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    # Late import: consensus imports sim/obs, not the reverse.
+    from ..consensus.ec_consensus import NULL
+
+    if obj is NULL:
+        return {_NULL: 1}
+    if isinstance(obj, list):
+        return [to_jsonable(x) for x in obj]
+    if isinstance(obj, tuple):
+        return {_TUPLE: [to_jsonable(x) for x in obj]}
+    if isinstance(obj, dict):
+        return {_DICT: [[to_jsonable(k), to_jsonable(v)] for k, v in obj.items()]}
+    if isinstance(obj, frozenset):
+        return {_FROZENSET: sorted((to_jsonable(x) for x in obj), key=repr)}
+    if isinstance(obj, set):
+        return {_SET: sorted((to_jsonable(x) for x in obj), key=repr)}
+    raise EncodeError(
+        f"value of type {type(obj).__name__} is not wire-safe: {obj!r}"
+    )
+
+
+def from_jsonable(obj: Any) -> Any:
+    """Exact inverse of :func:`to_jsonable`."""
+    if isinstance(obj, list):
+        return [from_jsonable(x) for x in obj]
+    if isinstance(obj, dict):
+        if len(obj) == 1:
+            (tag, value), = obj.items()
+            if tag == _TUPLE:
+                return tuple(from_jsonable(x) for x in value)
+            if tag == _DICT:
+                return {from_jsonable(k): from_jsonable(v) for k, v in value}
+            if tag == _FROZENSET:
+                return frozenset(from_jsonable(x) for x in value)
+            if tag == _SET:
+                return {from_jsonable(x) for x in value}
+            if tag == _NULL:
+                from ..consensus.ec_consensus import NULL
+
+                return NULL
+        raise EncodeError(f"malformed wire structure: {obj!r}")
+    return obj

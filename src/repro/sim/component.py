@@ -195,7 +195,9 @@ class Component:
     # --------------------------------------------------------------- tracing
     def trace(self, kind: str, **data: Any) -> None:
         """Record a trace event attributed to this process."""
-        self.world.trace.record(self.now, kind, self.pid, **data)
+        sink = self.world.trace
+        if sink.wants(kind):
+            sink.record(self.now, kind, self.pid, **data)
 
     # ------------------------------------------------------------- internals
     def _handle_message(self, src: ProcessId, payload: Any) -> None:

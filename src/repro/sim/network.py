@@ -18,11 +18,11 @@ import random
 from typing import Any, Callable, Dict, Optional, Tuple
 
 from ..errors import ConfigurationError
+from ..obs.sinks import TraceSink
 from ..types import Channel, ProcessId, Time
 from .links import Link, ReliableLink
 from .message import Message
 from .scheduler import Scheduler
-from .trace import Trace
 
 __all__ = ["Network"]
 
@@ -34,7 +34,7 @@ class Network:
         self,
         n: int,
         scheduler: Scheduler,
-        trace: Trace,
+        trace: TraceSink,
         rng: random.Random,
         default_link: Optional[Link] = None,
         deliver: Optional[Callable[[Message], None]] = None,
@@ -109,35 +109,40 @@ class Network:
         if src == dst:
             # Loopback: local, instantaneous (next event at the same time),
             # never lost, never counted as a network message.
-            self._trace.record(
-                now, "send", src, channel=channel, src=src, dst=dst,
-                tag=tag, round=round, loopback=True,
-            )
+            if self._trace.wants("send"):
+                self._trace.record(
+                    now, "send", src, channel=channel, src=src, dst=dst,
+                    tag=tag, round=round, loopback=True,
+                )
             self._scheduler.schedule(0.0, self._finish_delivery, msg)
             return msg
 
         self.sent_network += 1
-        self._trace.record(
-            now, "send", src, channel=channel, src=src, dst=dst,
-            tag=tag, round=round, loopback=False,
-        )
+        if self._trace.wants("send"):
+            self._trace.record(
+                now, "send", src, channel=channel, src=src, dst=dst,
+                tag=tag, round=round, loopback=False,
+            )
         delay = self.link(src, dst).plan(msg, now, self._rng)
         if delay is None:
             self.dropped_total += 1
-            self._trace.record(
-                now, "drop", src, channel=channel, src=src, dst=dst, reason="link"
-            )
+            if self._trace.wants("drop"):
+                self._trace.record(
+                    now, "drop", src, channel=channel, src=src, dst=dst,
+                    reason="link",
+                )
             return msg
         self._scheduler.schedule(delay, self._finish_delivery, msg)
         return msg
 
     def _finish_delivery(self, msg: Message) -> None:
         self.delivered_total += 1
-        self._trace.record(
-            self._scheduler.now, "deliver", msg.dst,
-            channel=msg.channel, src=msg.src, dst=msg.dst,
-            tag=msg.tag, round=msg.round,
-        )
+        if self._trace.wants("deliver"):
+            self._trace.record(
+                self._scheduler.now, "deliver", msg.dst,
+                channel=msg.channel, src=msg.src, dst=msg.dst,
+                tag=msg.tag, round=msg.round,
+            )
         if self._deliver is None:  # pragma: no cover - defensive
             raise ConfigurationError("network has no delivery callback installed")
         self._deliver(msg)

@@ -1,144 +1,25 @@
-"""Structured run traces.
+"""Structured run traces — compatibility shim over :mod:`repro.obs`.
 
-Every observable action in a simulation — message sends, deliveries, drops,
-crashes, failure-detector output changes, protocol phase transitions,
-decisions — is recorded as a :class:`TraceEvent`.  The property checkers in
-:mod:`repro.analysis` and the benchmark harnesses work exclusively from these
-traces, so "phases per round" or "messages per round" are *measured*, never
-hard-coded.
+The trace model grew up here, inside the simulator; it now lives in the
+substrate-neutral observability layer :mod:`repro.obs`, shared by the
+discrete-event simulator and the live asyncio runtime alike:
 
-Well-known event kinds
-----------------------
+* :class:`repro.obs.events.TraceEvent` — the canonical event record;
+* :class:`repro.obs.sinks.MemorySink` — the append-only queryable log
+  historically called ``Trace`` (the name is preserved below);
+* the machine-readable event-kind schema registry
+  (:data:`repro.obs.events.EVENT_SCHEMAS`), which replaced the docstring
+  table that used to sit here — see ``docs/traces.md`` for the generated
+  reference, or ``python -m repro trace schema`` to print it.
 
-========================  ====================================================
-kind                      data payload
-========================  ====================================================
-``send``                  ``channel, src, dst, tag, round`` (tag/round optional)
-``deliver``               ``channel, src, dst, tag, round``
-``drop``                  ``channel, src, dst, reason``
-``crash``                 ``pid``
-``fd``                    ``pid, suspected (frozenset), trusted``
-``phase``                 ``pid, algo, round, phase``
-``round``                 ``pid, algo, round``
-``propose``               ``pid, algo, value``
-``decide``                ``pid, algo, value, round``
-``leader``                ``pid, leader``
-========================  ====================================================
+Every historical import path keeps working::
 
-Recording can be restricted to a subset of kinds for very long runs.
+    from repro.sim.trace import Trace, TraceEvent
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Set
-
-from ..types import ProcessId, Time
+from ..obs.events import TraceEvent
+from ..obs.sinks import MemorySink as Trace
 
 __all__ = ["TraceEvent", "Trace"]
-
-
-@dataclass(frozen=True, slots=True)
-class TraceEvent:
-    """A single timestamped observation of the simulated system."""
-
-    time: Time
-    kind: str
-    pid: Optional[ProcessId]
-    data: Dict[str, Any]
-
-    def get(self, key: str, default: Any = None) -> Any:
-        """Shorthand for ``event.data.get(key, default)``."""
-        return self.data.get(key, default)
-
-
-class Trace:
-    """An append-only log of :class:`TraceEvent` records.
-
-    Parameters:
-        kinds: if given, only events whose kind is in this set are kept;
-            everything else is silently discarded (cheap — one set lookup).
-        enabled: master switch; a disabled trace records nothing.
-    """
-
-    def __init__(
-        self,
-        kinds: Optional[Iterable[str]] = None,
-        enabled: bool = True,
-    ) -> None:
-        self._events: List[TraceEvent] = []
-        self._kinds: Optional[Set[str]] = set(kinds) if kinds is not None else None
-        self.enabled = enabled
-        self._counters: Dict[str, int] = {}
-
-    # ------------------------------------------------------------- recording
-    def record(
-        self, time: Time, kind: str, pid: Optional[ProcessId], **data: Any
-    ) -> None:
-        """Append one event (subject to the kind filter and master switch)."""
-        if not self.enabled:
-            return
-        if self._kinds is not None and kind not in self._kinds:
-            return
-        self._events.append(TraceEvent(time=time, kind=kind, pid=pid, data=data))
-        self._counters[kind] = self._counters.get(kind, 0) + 1
-
-    def wants(self, kind: str) -> bool:
-        """``True`` if an event of *kind* would actually be stored.
-
-        Callers building expensive payloads (e.g. copying a suspect set) can
-        skip the work when the trace would discard the event anyway.
-        """
-        return self.enabled and (self._kinds is None or kind in self._kinds)
-
-    # --------------------------------------------------------------- queries
-    def __len__(self) -> int:
-        return len(self._events)
-
-    def __iter__(self) -> Iterator[TraceEvent]:
-        return iter(self._events)
-
-    @property
-    def events(self) -> List[TraceEvent]:
-        """The raw event list (do not mutate)."""
-        return self._events
-
-    def count(self, kind: str) -> int:
-        """Number of recorded events of *kind* (O(1))."""
-        return self._counters.get(kind, 0)
-
-    def select(
-        self,
-        kind: Optional[str] = None,
-        pid: Optional[ProcessId] = None,
-        where: Optional[Callable[[TraceEvent], bool]] = None,
-        after: Optional[Time] = None,
-        before: Optional[Time] = None,
-    ) -> List[TraceEvent]:
-        """Return events matching all the given filters, in time order."""
-        out = []
-        for ev in self._events:
-            if kind is not None and ev.kind != kind:
-                continue
-            if pid is not None and ev.pid != pid:
-                continue
-            if after is not None and ev.time < after:
-                continue
-            if before is not None and ev.time > before:
-                continue
-            if where is not None and not where(ev):
-                continue
-            out.append(ev)
-        return out
-
-    def last(self, kind: str, pid: Optional[ProcessId] = None) -> Optional[TraceEvent]:
-        """The most recent event of *kind* (for *pid*, if given), or ``None``."""
-        for ev in reversed(self._events):
-            if ev.kind == kind and (pid is None or ev.pid == pid):
-                return ev
-        return None
-
-    @property
-    def end_time(self) -> Time:
-        """Timestamp of the last recorded event (0.0 if empty)."""
-        return self._events[-1].time if self._events else 0.0

@@ -17,6 +17,7 @@ from __future__ import annotations
 from typing import Callable, Iterable, List, Optional
 
 from ..errors import ConfigurationError
+from ..obs.sinks import MemorySink, TraceSink
 from ..types import ProcessId, Time, validate_pid
 from .component import Component
 from .links import Link
@@ -25,7 +26,6 @@ from .network import Network
 from .process import Process
 from .rng import RandomSource
 from .scheduler import Scheduler
-from .trace import Trace
 
 __all__ = ["World"]
 
@@ -40,13 +40,25 @@ class World:
         default_link: Optional[Link] = None,
         trace_kinds: Optional[Iterable[str]] = None,
         trace_enabled: bool = True,
+        trace: Optional[TraceSink] = None,
     ) -> None:
         if n < 1:
             raise ConfigurationError(f"n must be >= 1, got {n}")
+        if trace is not None and trace_kinds is not None:
+            raise ConfigurationError(
+                "pass either a ready trace sink or trace_kinds, not both "
+                "(apply the kind filter when constructing the sink)"
+            )
         self.n = n
         self.scheduler = Scheduler()
         self.rng = RandomSource(seed)
-        self.trace = Trace(kinds=trace_kinds, enabled=trace_enabled)
+        #: Any :class:`repro.obs.TraceSink`; defaults to the queryable
+        #: in-memory log.  Pass e.g. a ``JsonlSink`` (or a ``TeeSink`` of
+        #: both) to stream events out of the simulation as they happen.
+        self.trace: TraceSink = (
+            trace if trace is not None
+            else MemorySink(kinds=trace_kinds, enabled=trace_enabled)
+        )
         self.network = Network(
             n=n,
             scheduler=self.scheduler,

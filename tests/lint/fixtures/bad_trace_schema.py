@@ -1,0 +1,14 @@
+"""Bad: trace emissions that violate the event-schema registry."""
+
+
+class Detector:
+    def on_change(self):
+        self.trace("fd-output", channel="fd")  # unknown kind (typo of "fd")
+        self.trace("fd", channel="fd")  # missing suspected/trusted
+
+    def trace(self, kind, **data):
+        pass
+
+
+def record_crash(trace, now, pid):
+    trace.record(now, "crashed", pid)  # unknown kind (the kind is "crash")

@@ -1,0 +1,16 @@
+"""Good: trace emissions conforming to the event-schema registry."""
+
+
+class Detector:
+    def on_change(self):
+        self.trace("fd", channel="fd", suspected=frozenset(), trusted=None)
+        self.trace("decide", algo="ec", value=1, round=2)
+
+    def trace(self, kind, **data):
+        pass
+
+
+def record_crash(trace, now, pid, extra):
+    trace.record(now, "crash", pid)
+    trace.record(now, "drop", pid, reason="link")
+    trace.record(now, "parked", pid, **extra)  # splat: keys checked at run time

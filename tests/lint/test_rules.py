@@ -35,6 +35,7 @@ CASES = [
         "good_swallowed_exception.py",
     ),
     ("payload-encodability", "bad_payload.py", 3, "good_payload.py"),
+    ("trace-schema", "bad_trace_schema.py", 3, "good_trace_schema.py"),
 ]
 
 

@@ -1,0 +1,35 @@
+"""docs/traces.md embeds the generated schema table — keep it in sync.
+
+The table between the BEGIN/END markers is the verbatim output of
+``schema_table("markdown")``.  Regenerate with::
+
+    PYTHONPATH=src python - <<'EOF'
+    from repro.obs import schema_table; print(schema_table("markdown"))
+    EOF
+
+and paste between the markers (or just run ``python -m repro trace schema``).
+"""
+
+from pathlib import Path
+
+from repro.obs import schema_table
+
+DOC = Path(__file__).parents[2] / "docs" / "traces.md"
+BEGIN = "<!-- BEGIN GENERATED SCHEMA TABLE (python -m repro trace schema) -->"
+END = "<!-- END GENERATED SCHEMA TABLE -->"
+
+
+def test_docs_schema_table_matches_registry():
+    text = DOC.read_text()
+    assert BEGIN in text and END in text, "markers missing from docs/traces.md"
+    embedded = text.split(BEGIN, 1)[1].split(END, 1)[0].strip()
+    assert embedded == schema_table("markdown"), (
+        "docs/traces.md schema table is stale — regenerate it with "
+        "`python -m repro trace schema` (see this test's docstring)"
+    )
+
+
+def test_docs_mention_every_trace_subcommand():
+    text = DOC.read_text()
+    for sub in ("merge", "stats", "check", "schema"):
+        assert f"repro trace {sub}" in text

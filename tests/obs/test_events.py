@@ -1,0 +1,106 @@
+"""The event-schema registry: lookups, validation, conflicts, rendering."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs import (
+    EVENT_SCHEMAS,
+    TraceEvent,
+    known_kinds,
+    register_event_kind,
+    schema_for,
+    schema_table,
+    validate_event,
+)
+
+
+def test_builtin_kinds_cover_the_substrate_and_protocols():
+    kinds = known_kinds()
+    for kind in ("send", "deliver", "drop", "crash", "fd",
+                 "propose", "decide", "round", "phase"):
+        assert kind in kinds
+    assert list(kinds) == sorted(kinds)
+
+
+def test_schema_for_known_and_unknown():
+    send = schema_for("send")
+    assert send is not None
+    assert set(send.required) == {"channel", "src", "dst"}
+    assert "loopback" in send.optional
+    assert schema_for("no-such-kind") is None
+
+
+def test_validate_event_conforming():
+    ev = TraceEvent(1.0, "fd", 0, {
+        "channel": "fd", "suspected": frozenset(), "trusted": 1,
+    })
+    assert validate_event(ev) == []
+
+
+def test_validate_event_missing_required_key():
+    ev = TraceEvent(1.0, "fd", 0, {"channel": "fd"})
+    problems = validate_event(ev)
+    assert len(problems) == 1
+    assert "suspected" in problems[0] and "trusted" in problems[0]
+
+
+def test_validate_event_unknown_kind():
+    problems = validate_event(TraceEvent(1.0, "fd-output", 0, {}))
+    assert len(problems) == 1
+    assert "unknown" in problems[0]
+    assert "fd-output" in problems[0]
+
+
+def test_validate_tolerates_extra_keys():
+    ev = TraceEvent(1.0, "crash", 2, {"annotation": "scripted"})
+    assert validate_event(ev) == []
+
+
+def test_reregistration_identical_is_idempotent():
+    before = dict(EVENT_SCHEMAS)
+    schema = register_event_kind(
+        "send", required=("channel", "src", "dst"),
+        optional=("tag", "round", "loopback"),
+        doc="different doc text is fine",
+    )
+    assert schema is EVENT_SCHEMAS["send"]
+    assert dict(EVENT_SCHEMAS) == before
+
+
+def test_reregistration_conflicting_contract_raises():
+    with pytest.raises(ConfigurationError):
+        register_event_kind("send", required=("channel",))
+
+
+def test_register_new_kind_then_validate(monkeypatch):
+    monkeypatch.delitem(EVENT_SCHEMAS, "x-test", raising=False)
+    register_event_kind("x-test", required=("value",), doc="test-only")
+    try:
+        assert validate_event(TraceEvent(0.0, "x-test", None, {"value": 1})) == []
+        assert validate_event(TraceEvent(0.0, "x-test", None, {})) != []
+    finally:
+        del EVENT_SCHEMAS["x-test"]
+
+
+def test_schema_table_markdown_lists_every_kind():
+    table = schema_table("markdown")
+    lines = table.splitlines()
+    assert lines[0].startswith("| kind")
+    assert set(lines[1]) <= {"|", "-"}
+    for kind in known_kinds():
+        assert f"`{kind}`" in table
+
+
+def test_schema_table_rst_and_unknown_format():
+    rst = schema_table("rst")
+    assert "``send``" in rst
+    with pytest.raises(ConfigurationError):
+        schema_table("html")
+
+
+def test_trace_event_get_and_immutability():
+    ev = TraceEvent(3.0, "drop", 1, {"reason": "link"})
+    assert ev.get("reason") == "link"
+    assert ev.get("missing", "dflt") == "dflt"
+    with pytest.raises(AttributeError):
+        ev.time = 4.0

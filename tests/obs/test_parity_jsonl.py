@@ -1,0 +1,112 @@
+"""JSONL round-trip parity: shipped-and-merged traces verdict-identical.
+
+The scenario is the sim↔net parity scenario (n = 3, fixed 1.0 delays,
+leader p0 killed at t = 2.0, all proposals in flight), run once on the
+loopback runtime with per-node JSONL shipping enabled.  Every analysis
+verdict — FD class properties, consensus outcome, consensus properties —
+must be identical whether computed from the live in-memory trace or from
+the three per-node files merged offline.  This is the contract that makes
+postmortem trace shipping trustworthy: the merger must not lose, reorder,
+or corrupt anything the checkers look at.
+"""
+
+import pytest
+
+from repro.analysis import check_consensus, check_fd_class, extract_outcome
+from repro.fd import EVENTUALLY_CONSISTENT
+from repro.net import FaultPlan, LocalCluster, attach_standard_stack
+from repro.obs import merge_traces
+from repro.sim import FixedDelay
+
+PERIOD, TIMEOUT0, INCREMENT = 5.0, 12.0, 5.0
+KILL_AT, HORIZON = 2.0, 400.0
+
+
+@pytest.fixture(scope="module")
+def shipped_run(tmp_path_factory):
+    out = tmp_path_factory.mktemp("traces")
+    cluster = LocalCluster(
+        n=3, transport="loopback", clock="virtual", seed=0,
+        fault_plan=FaultPlan(3, delay=FixedDelay(1.0)),
+        trace_out=out,
+    )
+    stacks = attach_standard_stack(
+        cluster, period=PERIOD,
+        initial_timeout=TIMEOUT0, timeout_increment=INCREMENT,
+    )
+    cluster.start_virtual()
+    for p in stacks["consensus"]:
+        p.propose(f"v{p.pid}")
+    cluster.schedule_kill(0, KILL_AT)
+    cluster.run_virtual(until=HORIZON)
+    cluster.close_traces()  # virtual mode has no stop(); flush JSONL now
+    report = merge_traces(sorted(out.glob("node-*.jsonl")))
+    return cluster, out, report
+
+
+def test_one_file_per_node_each_a_valid_trace(shipped_run):
+    cluster, out, report = shipped_run
+    files = sorted(out.glob("node-*.jsonl"))
+    assert [f.name for f in files] == \
+        ["node-0.jsonl", "node-1.jsonl", "node-2.jsonl"]
+    assert [tf.node for tf in report.files] == [0, 1, 2]
+    # Virtual runs share one clock: zero epochs, so no rebase, no skew.
+    assert report.offsets == {"0": 0.0, "1": 0.0, "2": 0.0}
+    assert report.max_skew == 0.0
+
+
+def test_merged_stream_is_the_in_memory_stream(shipped_run):
+    cluster, _, report = shipped_run
+    key = lambda ev: (ev.time, ev.kind, ev.pid, sorted(ev.data.items()))
+    assert sorted(key(ev) for ev in report.trace.events) == \
+        sorted(key(ev) for ev in cluster.trace.events)
+
+
+def test_consensus_verdicts_identical(shipped_run):
+    cluster, _, report = shipped_run
+    live = extract_outcome(cluster.trace, "ec")
+    merged = extract_outcome(report.trace, "ec")
+    assert live.decisions == merged.decisions == {1: "v1", 2: "v1"}
+    live_checks = check_consensus(live, cluster.correct_pids)
+    merged_checks = check_consensus(merged, cluster.correct_pids)
+    assert live_checks == merged_checks
+    assert all(merged_checks.values())
+
+
+def test_fd_class_verdicts_identical(shipped_run):
+    cluster, _, report = shipped_run
+    live = check_fd_class(
+        cluster.trace, EVENTUALLY_CONSISTENT, cluster.correct_pids,
+        end_time=HORIZON,
+    )
+    merged = check_fd_class(
+        report.trace, EVENTUALLY_CONSISTENT, cluster.correct_pids,
+        end_time=HORIZON,
+    )
+    assert set(live) == set(merged)
+    for name in live:
+        assert live[name].ok == merged[name].ok, name
+        assert live[name].stabilized_at == merged[name].stabilized_at, name
+    assert all(check.ok for check in merged.values())
+
+
+def test_combined_file_mode_ships_one_checkable_stream(tmp_path):
+    out = tmp_path / "run.jsonl"
+    cluster = LocalCluster(
+        n=3, transport="loopback", clock="virtual", seed=0,
+        fault_plan=FaultPlan(3, delay=FixedDelay(1.0)),
+        trace_out=out,
+    )
+    stacks = attach_standard_stack(
+        cluster, period=PERIOD,
+        initial_timeout=TIMEOUT0, timeout_increment=INCREMENT,
+    )
+    cluster.start_virtual()
+    for p in stacks["consensus"]:
+        p.propose(f"v{p.pid}")
+    cluster.schedule_kill(0, KILL_AT)
+    cluster.run_virtual(until=HORIZON)
+    cluster.close_traces()
+    report = merge_traces([out])
+    assert len(report.trace) == len(cluster.trace)
+    assert extract_outcome(report.trace, "ec").decisions == {1: "v1", 2: "v1"}

@@ -1,0 +1,172 @@
+"""Sinks: MemorySink back-compat, JSONL writer mechanics, tee fan-out."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs import JsonlSink, MemorySink, TeeSink, TraceEvent
+
+
+# ---------------------------------------------------------------------------
+# MemorySink — the class historically known as repro.sim.trace.Trace
+# ---------------------------------------------------------------------------
+
+def test_sim_trace_shim_still_exports_the_old_names():
+    from repro.sim.trace import Trace, TraceEvent as ShimEvent
+
+    assert Trace is MemorySink
+    assert ShimEvent is TraceEvent
+    from repro.sim import Trace as PackageTrace
+
+    assert PackageTrace is MemorySink
+
+
+def test_memory_sink_record_select_last_count():
+    sink = MemorySink()
+    sink.record(1.0, "send", 0, channel="fd", src=0, dst=1)
+    sink.record(2.0, "deliver", 1, channel="fd", src=0, dst=1)
+    sink.record(3.0, "send", 0, channel="fd", src=0, dst=2)
+    assert len(sink) == 3
+    assert sink.count("send") == 2
+    assert [ev.kind for ev in sink.select(kind="send")] == ["send", "send"]
+    assert sink.select(pid=1)[0].kind == "deliver"
+    assert sink.select(after=2.5)[0].time == 3.0
+    assert sink.last("send").get("dst") == 2
+    assert sink.last("deliver", pid=0) is None
+    assert sink.end_time == 3.0
+
+
+def test_memory_sink_kind_filter_is_checked_before_counters():
+    sink = MemorySink(kinds={"decide"})
+    sink.record(1.0, "send", 0, channel="c", src=0, dst=1)
+    sink.record(2.0, "decide", 0, algo="ec", value="v", round=1)
+    assert len(sink) == 1
+    assert sink.count("send") == 0  # filtered kinds never touch counters
+    assert sink.wants("decide") and not sink.wants("send")
+
+
+def test_memory_sink_disabled_records_nothing():
+    sink = MemorySink(enabled=False)
+    sink.record(1.0, "crash", 0)
+    assert len(sink) == 0 and not sink.wants("crash")
+
+
+def test_memory_sink_extend_applies_filters():
+    sink = MemorySink(kinds={"crash"})
+    sink.extend([
+        TraceEvent(1.0, "crash", 0, {}),
+        TraceEvent(2.0, "send", 0, {"channel": "c", "src": 0, "dst": 1}),
+    ])
+    assert [ev.kind for ev in sink] == ["crash"]
+
+
+# ---------------------------------------------------------------------------
+# JsonlSink
+# ---------------------------------------------------------------------------
+
+def test_jsonl_sink_writes_header_then_events(tmp_path):
+    path = tmp_path / "t.jsonl"
+    sink = JsonlSink(path, node=2, epoch_wall=100.0, epoch_mono=5.0)
+    sink.record(1.5, "fd", 2, channel="fd", suspected=frozenset({0}), trusted=1)
+    sink.close()
+    lines = path.read_text().splitlines()
+    assert len(lines) == 2
+    header = json.loads(lines[0])
+    assert header == {"trace": "repro.obs", "version": 1, "node": 2,
+                      "epoch_wall": 100.0, "epoch_mono": 5.0}
+    event = json.loads(lines[1])
+    assert event["t"] == 1.5 and event["k"] == "fd" and event["p"] == 2
+    assert event["d"]["suspected"] == {"!f": [0]}
+
+
+def test_jsonl_sink_header_is_lazy_but_close_writes_it(tmp_path):
+    path = tmp_path / "empty.jsonl"
+    sink = JsonlSink(path, node=0, epoch_wall=1.0, epoch_mono=1.0)
+    assert path.read_text() == ""  # nothing until first event or close
+    sink.close()
+    sink.close()  # idempotent
+    lines = path.read_text().splitlines()
+    assert len(lines) == 1
+    assert json.loads(lines[0])["node"] == 0
+
+
+def test_jsonl_sink_rebase_epoch_forbidden_after_first_event(tmp_path):
+    sink = JsonlSink(tmp_path / "t.jsonl", node=0)
+    sink.rebase_epoch()  # fine before any event
+    sink.record(0.0, "crash", 0)
+    with pytest.raises(ConfigurationError):
+        sink.rebase_epoch()
+    sink.close()
+
+
+def test_jsonl_sink_is_line_buffered_before_close(tmp_path):
+    path = tmp_path / "t.jsonl"
+    sink = JsonlSink(path, node=0, epoch_wall=0.0, epoch_mono=0.0)
+    sink.record(1.0, "crash", 0)
+    # Not closed — a kill -9 now must still leave the event on disk.
+    assert len(path.read_text().splitlines()) == 2
+    sink.close()
+
+
+def test_jsonl_sink_kind_filter_and_counts(tmp_path):
+    path = tmp_path / "t.jsonl"
+    sink = JsonlSink(path, node=0, kinds={"decide"})
+    assert sink.wants("decide") and not sink.wants("send")
+    sink.record(1.0, "send", 0, channel="c", src=0, dst=1)
+    sink.record(2.0, "decide", 0, algo="ec", value="v", round=1)
+    sink.close()
+    assert sink.events_written == 1
+    assert not sink.wants("decide")  # closed sinks want nothing
+
+
+def test_jsonl_sink_record_after_close_is_dropped(tmp_path):
+    path = tmp_path / "t.jsonl"
+    sink = JsonlSink(path, node=0)
+    sink.close()
+    sink.record(1.0, "crash", 0)
+    assert sink.events_written == 0
+    assert len(path.read_text().splitlines()) == 1
+
+
+def test_jsonl_sink_accepts_open_file_object(tmp_path):
+    path = tmp_path / "t.jsonl"
+    with open(path, "w", encoding="utf-8") as fh:
+        sink = JsonlSink(fh, node=None, epoch_wall=0.0, epoch_mono=0.0)
+        sink.record(1.0, "heal", None)
+        sink.close()
+        fh.write("")  # close() must not close a file it does not own
+    assert json.loads(path.read_text().splitlines()[0])["node"] is None
+
+
+# ---------------------------------------------------------------------------
+# TeeSink
+# ---------------------------------------------------------------------------
+
+def test_tee_fans_out_and_children_keep_their_filters(tmp_path):
+    memory = MemorySink()
+    decides = MemorySink(kinds={"decide"})
+    tee = TeeSink(memory, decides)
+    tee.record(1.0, "send", 0, channel="c", src=0, dst=1)
+    tee.record(2.0, "decide", 0, algo="ec", value="v", round=1)
+    assert len(memory) == 2 and len(decides) == 1
+    # wants() is the union, so caller guards stay correct for any mix.
+    assert tee.wants("send") and tee.wants("decide")
+    only = TeeSink(decides)
+    assert not only.wants("send")
+
+
+def test_tee_record_event_and_close_propagate(tmp_path):
+    path = tmp_path / "t.jsonl"
+    jsonl = JsonlSink(path, node=0, epoch_wall=0.0, epoch_mono=0.0)
+    memory = MemorySink()
+    tee = TeeSink(memory, jsonl)
+    tee.record_event(TraceEvent(1.0, "crash", 0, {}))
+    tee.close()
+    assert len(memory) == 1
+    assert len(path.read_text().splitlines()) == 2
+
+
+def test_tee_needs_at_least_one_sink():
+    with pytest.raises(ConfigurationError):
+        TeeSink()

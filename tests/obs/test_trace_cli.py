@@ -1,0 +1,95 @@
+"""The ``repro trace`` command family: merge / stats / check / schema."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs import JsonlSink, known_kinds, read_trace_file
+
+
+@pytest.fixture
+def node_files(tmp_path):
+    """Two skewed per-node files with one cross-node handshake."""
+    msg = {"channel": "fd", "src": 0, "dst": 1, "tag": "hb", "round": 1}
+    a = JsonlSink(tmp_path / "node-0.jsonl", node=0,
+                  epoch_wall=1000.0, epoch_mono=0.0)
+    a.record(1.0, "send", 0, **msg)
+    a.record(2.0, "crash", 0)
+    a.close()
+    b = JsonlSink(tmp_path / "node-1.jsonl", node=1,
+                  epoch_wall=1000.5, epoch_mono=0.0)
+    b.record(1.5, "deliver", 1, **msg)
+    b.close()
+    return [str(tmp_path / "node-0.jsonl"), str(tmp_path / "node-1.jsonl")]
+
+
+def test_trace_merge_prints_offsets(node_files, capsys):
+    assert main(["trace", "merge", *node_files]) == 0
+    out = capsys.readouterr().out
+    assert "node 0: offset +0.000000s" in out
+    assert "node 1: offset +0.500000s" in out
+    assert "merged 3 events from 2 file(s)" in out
+
+
+def test_trace_merge_writes_a_readable_combined_file(node_files, tmp_path,
+                                                     capsys):
+    merged = tmp_path / "merged.jsonl"
+    assert main(["trace", "merge", *node_files, "-o", str(merged)]) == 0
+    tf = read_trace_file(merged)
+    assert tf.node is None  # combined stream
+    assert tf.epoch_wall == 1000.0  # the anchoring (earliest) epoch
+    assert [ev.kind for ev in tf] == ["send", "crash", "deliver"]
+    assert tf.events[2].time == pytest.approx(2.0)  # 1.5 rebased by +0.5
+
+
+def test_trace_stats_per_file(node_files, capsys):
+    assert main(["trace", "stats", *node_files]) == 0
+    out = capsys.readouterr().out
+    assert "node 0" in out and "node 1" in out
+    assert "send" in out and "deliver" in out
+
+
+def test_trace_check_accepts_conforming_files(node_files, capsys):
+    assert main(["trace", "check", *node_files]) == 0
+    out = capsys.readouterr().out
+    assert out.count("OK") == 2
+
+
+def test_trace_check_rejects_schema_violations(tmp_path, capsys):
+    bad = tmp_path / "bad.jsonl"
+    sink = JsonlSink(bad, node=0, epoch_wall=0.0, epoch_mono=0.0)
+    sink.record(1.0, "fd-output", 0)         # unknown kind
+    sink.record(2.0, "fd", 0, channel="fd")  # missing suspected/trusted
+    sink.close()
+    assert main(["trace", "check", str(bad)]) == 1
+    captured = capsys.readouterr()
+    assert "FAILED (2 schema violations in 2 events)" in captured.out
+    assert "fd-output" in captured.err
+
+
+def test_trace_schema_renders_the_registry(capsys):
+    assert main(["trace", "schema"]) == 0
+    out = capsys.readouterr().out
+    for kind in known_kinds():
+        assert f"`{kind}`" in out
+
+
+def test_trace_subcommands_fail_cleanly_on_missing_file(tmp_path, capsys):
+    missing = str(tmp_path / "nope.jsonl")
+    for sub in ("merge", "stats", "check"):
+        assert main(["trace", sub, missing]) == 2
+
+
+def test_cluster_trace_out_end_to_end(tmp_path, capsys):
+    out = tmp_path / "run.jsonl"
+    code = main([
+        "cluster", "--virtual", "--transport", "loopback",
+        "-n", "3", "--seed", "0",
+        "--trace-out", str(out),
+    ])
+    assert code == 0
+    assert "trace shipped to" in capsys.readouterr().out
+    header = json.loads(out.read_text().splitlines()[0])
+    assert header["trace"] == "repro.obs"
+    assert main(["trace", "check", str(out)]) == 0
