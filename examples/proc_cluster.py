@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Process cluster: one OS process per node, crashes by ``kill -9``.
+
+``examples/live_cluster.py`` hosts five nodes in one Python process;
+here each node is a real subprocess (``python -m repro node``) bound to
+its own UDP socket, discovering its peers from a static JSON address
+book.  The crash model is the real thing — the launcher SIGKILLs the
+initial leader mid-run, so the victim gets no chance to say goodbye:
+its heartbeats just stop, exactly the crash-stop silence the paper's
+detectors are built to notice.
+
+There is no shared trace object across processes, so analysis is
+entirely *postmortem*: every node ships ``node-<pid>.jsonl``, the
+offline merger rebases their clocks onto one time base, the launcher
+injects a synthetic ``crash`` event at the recorded kill time, and the
+merged stream feeds the exact same property checkers as a simulator or
+in-process run.
+
+Run:  python examples/proc_cluster.py
+"""
+
+import asyncio
+
+from repro.analysis import leader_timeline
+from repro.cluster import ProcessCluster, verdicts_ok
+
+N = 3
+PERIOD = 0.05   # wall-clock seconds between heartbeats
+DURATION = 6.0  # scenario length; every surviving node exits 0 after it
+CRASH_AT = 2.5  # SIGKILL the initial ring leader (p0) here
+PROPOSE = 3.5   # survivors propose after the crash
+
+
+async def main() -> None:
+    # 1. Script the whole scenario up front: there is no live control
+    #    channel into a foreign process, only the address book and time.
+    cluster = ProcessCluster(
+        N, transport="udp", stack="ring", period=PERIOD,
+        duration=DURATION, propose_after=PROPOSE, seed=7,
+    )
+    cluster.crash(0, at=CRASH_AT)
+
+    # 2. Spawn the nodes and let the scenario play out.
+    await cluster.start()
+    print(f"spawned {N} node processes under {cluster.workdir}")
+    print(f"kill -9 of p0 scheduled at t={CRASH_AT}s; waiting...")
+    quiescent = await cluster.wait_quiescent()
+    await cluster.stop()
+
+    # 3. Exit statuses tell the crash-model story: -9 is SIGKILL.
+    for pid, status in sorted(cluster.exit_statuses.items()):
+        note = " (killed)" if status == -9 else ""
+        print(f"  p{pid}: exit {status}{note}")
+
+    # 4. Postmortem: merge the shipped traces, check the properties.
+    report = cluster.merge_report()
+    print(f"merged {len(report.files)} trace files, "
+          f"{len(report.trace)} events")
+    trace = cluster.traces()
+    print()
+    print(leader_timeline(trace, channel="fd", width=64))
+    print()
+    verdicts = cluster.verdicts()
+    for name, result in sorted(verdicts.items()):
+        print(f"  {name}: {'ok' if result else 'VIOLATED'}")
+
+    # The example checks itself: a silent pass would be worthless.
+    assert quiescent, "nodes failed to quiesce in time"
+    assert verdicts_ok(verdicts), verdicts
+    omega = verdicts["fd.omega"]
+    assert omega.witness != 0, "dead p0 cannot be the stable leader"
+    print(f"\nnew stable leader after the kill: p{omega.witness}")
+
+
+if __name__ == "__main__":
+    asyncio.run(main())

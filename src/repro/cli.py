@@ -22,7 +22,19 @@ Commands:
     on real asyncio transports (loopback/UDP/TCP on localhost), kill the
     elected leader mid-run, reach a decision anyway, and print the same
     trace-derived timelines, property checks, and QoS tables the simulator
-    commands print.
+    commands print.  With ``--duration`` (and optional ``--crash PID:TIME``)
+    it runs a fully scripted scenario through the unified cluster API
+    instead.
+``node``
+    Run exactly ONE node of a multi-process cluster in this process,
+    configured from a static JSON address book (:mod:`repro.proc`).  This
+    is the entrypoint :class:`~repro.proc.ProcessCluster` spawns per pid;
+    for multi-machine runs, start it once per box by hand.
+``proc``
+    Manage multi-process clusters.  ``proc run`` spawns one ``repro node``
+    subprocess per pid, delivers scheduled ``kill -9`` crashes, waits for
+    quiescence, merges the shipped JSONL traces, and prints the property
+    verdicts — the paper's crash-stop model enforced by the OS.
 ``trace``
     Operate on shipped JSONL trace files (:mod:`repro.obs`): merge
     per-node files onto one time base, print stats, validate events
@@ -215,6 +227,22 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     return 0 if failures == 0 else 1
 
 
+def _parse_crash_specs(specs) -> list:
+    """Parse repeated ``--crash PID:TIME`` flags into (pid, time) pairs."""
+    from .errors import ConfigurationError
+
+    crashes = []
+    for spec in specs:
+        try:
+            pid_text, time_text = spec.split(":", 1)
+            crashes.append((int(pid_text), float(time_text)))
+        except ValueError:
+            raise ConfigurationError(
+                f"bad --crash spec {spec!r}; expected PID:TIME, e.g. 0:2.5"
+            )
+    return crashes
+
+
 def _cmd_cluster(args: argparse.Namespace) -> int:
     import asyncio
 
@@ -232,6 +260,8 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
 
     if args.virtual:
         return _cluster_virtual(args, codec, plan)
+    if args.duration is not None or args.crash:
+        return _cluster_scripted(args, codec, plan)
 
     period = args.period
     cluster = LocalCluster(
@@ -239,7 +269,7 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
         codec=codec, fault_plan=plan, trace_out=args.trace_out,
     )
     stacks = attach_standard_stack(
-        cluster, period=period,
+        cluster, suspects=args.stack, period=period,
         initial_timeout=2.4 * period, timeout_increment=period,
     )
     detectors, protocols = stacks["fd"], stacks["consensus"]
@@ -303,7 +333,8 @@ def _cluster_virtual(args: argparse.Namespace, codec, plan) -> int:
         trace_out=args.trace_out,
     )
     stacks = attach_standard_stack(
-        cluster, period=5.0, initial_timeout=12.0, timeout_increment=5.0,
+        cluster, suspects=args.stack,
+        period=5.0, initial_timeout=12.0, timeout_increment=5.0,
     )
     protocols = stacks["consensus"]
     leader, crash_time = 0, 60.0  # leaders start at p0 deterministically
@@ -322,6 +353,46 @@ def _cluster_virtual(args: argparse.Namespace, codec, plan) -> int:
                            decided)
 
 
+def _cluster_scripted(args: argparse.Namespace, codec, plan) -> int:
+    """Scripted scenario through the unified ClusterAPI: crash schedule
+    from ``--crash``, fixed ``--duration``, survivors propose after the
+    last crash."""
+    import asyncio
+
+    from .net import LocalCluster
+
+    crashes = _parse_crash_specs(args.crash)
+    duration = args.duration
+    if duration is None:
+        # --crash without --duration: leave room after the last kill for
+        # re-election and a decision.
+        duration = max((at for _, at in crashes), default=0.0) + args.timeout
+    period = args.period
+    cluster = LocalCluster(
+        n=args.nodes, transport=args.transport, seed=args.seed,
+        codec=codec, fault_plan=plan, trace_out=args.trace_out,
+        duration=duration,
+    )
+    propose_after = max((at for _, at in crashes), default=0.0) + 4 * period
+    stacks = cluster.deploy_standard_stack(
+        stack=args.stack, period=period, propose_after=propose_after,
+    )
+    protocols = stacks["consensus"]
+    for pid, at in crashes:
+        cluster.crash(pid, at=at)
+
+    async def drive():
+        await cluster.start()
+        await cluster.wait_quiescent()
+        await cluster.stop()
+
+    asyncio.run(drive())
+    decided = all(p.decided for p in protocols if not p.crashed)
+    leader, crash_time = (crashes[0] if crashes else (None, None))
+    return _cluster_report(args, cluster, protocols, leader, crash_time,
+                           decided)
+
+
 def _cluster_report(args, cluster, protocols, leader, crash_time,
                     decided) -> int:
     trace = cluster.trace
@@ -331,7 +402,10 @@ def _cluster_report(args, cluster, protocols, leader, crash_time,
           f"codec={cluster.codec.name} clock={mode}")
     if getattr(args, "trace_out", None):
         print(f"trace shipped to {args.trace_out}")
-    print(f"killed leader p{leader} at t={crash_time:.2f}\n")
+    if leader is not None:
+        print(f"killed leader p{leader} at t={crash_time:.2f}\n")
+    else:
+        print("no crashes scheduled\n")
     print(leader_timeline(trace, channel="fd", width=64, end=end))
     print()
     print(round_timeline(trace, "ec", width=64, end=end))
@@ -345,8 +419,9 @@ def _cluster_report(args, cluster, protocols, leader, crash_time,
     results = check_consensus(outcome, cluster.correct_pids)
     print("properties:", results)
 
-    latency = detection_latency(trace, leader, crash_time,
-                                cluster.correct_pids, channel="fd")
+    latency = (detection_latency(trace, leader, crash_time,
+                                 cluster.correct_pids, channel="fd")
+               if leader is not None else None)
     lat = f"{latency:.3f}" if latency is not None else "n/a"
     print(f"\nQoS (trace-derived, same analysis code as the simulator):")
     print(f"  {'crash detection latency':32s} {lat:>10s}")
@@ -360,6 +435,74 @@ def _cluster_report(args, cluster, protocols, leader, crash_time,
     print(f"  {'undecodable frames':32s} {drops:>10d}")
     ok = decided and all(results.values())
     print("\nresult:", "OK" if ok else "FAILED")
+    return 0 if ok else 1
+
+
+def _cmd_node(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .proc import AddressBook, run_node
+
+    book = AddressBook.load(args.book)
+    counters = asyncio.run(
+        run_node(
+            book, args.pid,
+            trace_out=args.trace_out, duration=args.duration,
+        )
+    )
+    print(f"node {args.pid}: " +
+          " ".join(f"{key}={value}" for key, value in counters.items()))
+    return 0
+
+
+def _cmd_proc_run(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .cluster.api import verdicts_ok
+    from .proc import ProcessCluster
+
+    crashes = _parse_crash_specs(args.crash)
+    duration = args.duration if args.duration is not None else 6.0
+    cluster = ProcessCluster(
+        n=args.nodes,
+        transport=args.transport,
+        stack=args.stack,
+        period=args.period,
+        duration=duration,
+        propose_after=args.propose_after,
+        seed=args.seed,
+        codec=args.codec,
+        workdir=args.trace_out,
+    )
+    for pid, at in crashes:
+        cluster.crash(pid, at=at)
+
+    async def drive() -> bool:
+        await cluster.start()
+        quiescent = await cluster.wait_quiescent()
+        await cluster.stop()
+        return quiescent
+
+    quiescent = asyncio.run(drive())
+    print(f"process cluster: n={cluster.n} transport={cluster.transport} "
+          f"stack={cluster.stack} duration={duration}s")
+    print(f"workdir: {cluster.workdir}")
+    for pid in cluster.pids:
+        status = cluster.exit_statuses.get(pid)
+        killed = " (killed)" if pid in cluster._killed else ""
+        print(f"  node {pid}: exit {status}{killed}")
+    if not quiescent:
+        print("result: FAILED (nodes still running at timeout)",
+              file=sys.stderr)
+        return 1
+    report = cluster.merge_report()
+    print(report.summary())
+    verdicts = cluster.verdicts()
+    print("verdicts:")
+    for name, result in verdicts.items():
+        print(f"  {name:32s} {'ok' if result else 'VIOLATED'}")
+    ok = verdicts_ok(verdicts)
+    print("result:", "OK" if ok else "FAILED")
     return 0 if ok else 1
 
 
@@ -387,6 +530,40 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     from .obs.cli import run_from_args
 
     return run_from_args(args)
+
+
+def _shared_cluster_options() -> argparse.ArgumentParser:
+    """Parent parser for the options every cluster-running subcommand
+    shares.
+
+    ``repro cluster`` (in-process) and ``repro proc run`` (one OS process
+    per node) must accept identical spellings for the same concepts —
+    a CLI test asserts help-text parity, so divergence is a test failure,
+    not a review nit.
+    """
+    shared = argparse.ArgumentParser(add_help=False)
+    group = shared.add_argument_group("shared cluster options")
+    group.add_argument(
+        "--transport", choices=["loopback", "udp", "tcp"], default="udp",
+        help="wire transport (process clusters need udp or tcp; loopback "
+             "cannot cross process boundaries)")
+    group.add_argument(
+        "--stack", choices=["ring", "heartbeat"], default="ring",
+        help="suspect source feeding the <>C combiner")
+    group.add_argument(
+        "--trace-out", metavar="PATH", default=None,
+        help="ship traces as they happen: a directory writes one "
+             "node-<pid>.jsonl per node (for `repro cluster` a single "
+             "*.jsonl path writes one combined file instead)")
+    group.add_argument(
+        "--duration", type=float, metavar="SECONDS", default=None,
+        help="scripted scenario length in cluster seconds (`repro "
+             "cluster` without it runs its adaptive kill-the-leader flow)")
+    group.add_argument(
+        "--crash", action="append", default=[], metavar="PID:TIME",
+        help="schedule a crash-stop kill of PID at cluster time TIME; "
+             "repeatable (a real kill -9 for process clusters)")
+    return shared
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -429,13 +606,14 @@ def build_parser() -> argparse.ArgumentParser:
     rep = sub.add_parser("report", help="print stored experiment tables")
     rep.set_defaults(func=_cmd_report)
 
+    shared = _shared_cluster_options()
+
     clu = sub.add_parser(
         "cluster",
+        parents=[shared],
         help="live asyncio runtime: the same stack over real transports",
     )
     clu.add_argument("--nodes", "-n", type=int, default=5)
-    clu.add_argument("--transport", choices=["loopback", "udp", "tcp"],
-                     default="udp")
     clu.add_argument("--seed", type=int, default=7)
     clu.add_argument("--period", type=float, default=0.05,
                      help="heartbeat period in wall seconds")
@@ -447,11 +625,46 @@ def build_parser() -> argparse.ArgumentParser:
                      help="wall-clock budget for convergence and decision")
     clu.add_argument("--virtual", action="store_true",
                      help="deterministic virtual-clock run (loopback only)")
-    clu.add_argument("--trace-out", metavar="PATH", default=None,
-                     help="ship the trace as it happens: a *.jsonl path "
-                          "writes one combined file, a directory writes "
-                          "one node-<pid>.jsonl per node")
     clu.set_defaults(func=_cmd_cluster)
+
+    node = sub.add_parser(
+        "node",
+        help="run ONE node of a multi-process cluster from an address book",
+    )
+    node.add_argument("--book", required=True, metavar="BOOK.json",
+                      help="static address book (see docs/runtime.md)")
+    node.add_argument("--pid", type=int, required=True,
+                      help="which pid of the book this process is")
+    node.add_argument("--trace-out", metavar="PATH", default=None,
+                      help="this node's JSONL trace file "
+                           "(e.g. node-<pid>.jsonl)")
+    node.add_argument("--duration", type=float, metavar="SECONDS",
+                      default=None,
+                      help="override the book's run duration")
+    node.set_defaults(func=_cmd_node)
+
+    proc = sub.add_parser(
+        "proc",
+        help="multi-process clusters: spawn nodes, kill -9, judge postmortem",
+    )
+    proc_sub = proc.add_subparsers(dest="proc_command", required=True)
+    prun = proc_sub.add_parser(
+        "run",
+        parents=[shared],
+        help="spawn a cluster of repro-node subprocesses, crash on "
+             "schedule, merge traces, check properties",
+    )
+    prun.add_argument("--nodes", "-n", type=int, default=3)
+    prun.add_argument("--seed", type=int, default=7)
+    prun.add_argument("--period", type=float, default=0.05,
+                      help="heartbeat period in wall seconds")
+    prun.add_argument("--codec", choices=["auto", "json", "msgpack"],
+                      default="auto")
+    prun.add_argument("--propose-after", type=float, metavar="SECONDS",
+                      default=1.0,
+                      help="cluster time at which every surviving node "
+                           "proposes its value")
+    prun.set_defaults(func=_cmd_proc_run)
 
     trc = sub.add_parser(
         "trace",

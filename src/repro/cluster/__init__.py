@@ -1,0 +1,49 @@
+"""Cluster runtimes behind one contract: :class:`ClusterAPI`.
+
+This package is the home of everything that boots *n* nodes, crashes
+some of them, and judges the run:
+
+* :mod:`~repro.cluster.api` — the :class:`ClusterAPI` structural
+  protocol (``start / stop / crash / wait_quiescent / traces /
+  verdicts``) and :func:`standard_verdicts`, the shared postmortem;
+* :mod:`~repro.cluster.local` — :class:`LocalCluster`, *n*
+  :class:`~repro.net.host.NodeHost`\\ s in one OS process (wall or
+  virtual clock), moved here from ``repro.net.cluster``;
+* :class:`~repro.proc.ProcessCluster` (re-exported lazily) — one OS
+  process per node with real ``kill -9`` crashes, from :mod:`repro.proc`.
+
+``repro.net.cluster`` remains as a deprecation shim.
+"""
+
+from __future__ import annotations
+
+from .api import ClusterAPI, standard_verdicts, verdicts_ok
+from .local import (
+    LocalCluster,
+    STACKS,
+    TRANSPORTS,
+    attach_node_stack,
+    attach_standard_stack,
+)
+
+__all__ = [
+    "ClusterAPI",
+    "standard_verdicts",
+    "verdicts_ok",
+    "LocalCluster",
+    "ProcessCluster",
+    "attach_node_stack",
+    "attach_standard_stack",
+    "STACKS",
+    "TRANSPORTS",
+]
+
+
+def __getattr__(name: str):
+    # Lazy: repro.proc imports repro.cluster.api, so an eager import here
+    # would be circular; it also keeps `import repro.cluster` cheap.
+    if name == "ProcessCluster":
+        from ..proc import ProcessCluster
+
+        return ProcessCluster
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,127 @@
+"""The one cluster contract: :class:`ClusterAPI` and the shared verdicts.
+
+Two very different runtimes host the paper's protocol stacks:
+
+* :class:`~repro.cluster.local.LocalCluster` — *n* :class:`NodeHost`\\ s in
+  one OS process sharing a clock (wall or virtual) and one trace sink;
+* :class:`~repro.proc.ProcessCluster` — one OS process *per node*, crashes
+  delivered as real ``SIGKILL``\\ s, traces shipped as per-process JSONL
+  files and merged postmortem.
+
+Test harnesses, examples, and the CLI should not care which one they
+drive.  :class:`ClusterAPI` is the structural protocol both implement —
+the whole crash-recovery experiment is expressible against it::
+
+    cluster.crash(pid=0, at=2.5)          # schedule a crash-stop kill
+    await cluster.start()                 # boot every node
+    await cluster.wait_quiescent(30.0)    # let the scenario play out
+    await cluster.stop()                  # tear down, flush traces
+    trace = cluster.traces()              # one time-ordered stream
+    verdicts = cluster.verdicts()         # machine-checked properties
+
+Crashes follow the paper's **crash-stop** model: a crashed process never
+recovers and is excluded from the correct set (no restart semantics).
+
+:func:`standard_verdicts` is the shared postmortem: it runs the
+:mod:`repro.analysis` property checkers for the paper's ◇C class (strong
+completeness, eventual weak accuracy, Ω eventual leader agreement,
+trusted ∉ suspected) plus the four Uniform Consensus properties over any
+trace source, so an in-memory live trace and a merged multi-process trace
+are judged by exactly the same code.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    Any, Dict, FrozenSet, Optional, Protocol, runtime_checkable,
+)
+
+from ..analysis import check_consensus, check_fd_class, extract_outcome
+from ..fd.classes import EVENTUALLY_CONSISTENT, FDClass
+from ..obs.reader import TraceSource, as_trace
+from ..obs.sinks import MemorySink
+from ..types import ProcessId, Time
+
+__all__ = ["ClusterAPI", "standard_verdicts", "verdicts_ok"]
+
+
+@runtime_checkable
+class ClusterAPI(Protocol):
+    """What every cluster runtime exposes (see module docstring).
+
+    The protocol is structural and ``@runtime_checkable``, so
+    ``isinstance(cluster, ClusterAPI)`` verifies a new implementation
+    carries the whole surface.
+    """
+
+    n: int
+
+    @property
+    def correct_pids(self) -> FrozenSet[ProcessId]:
+        """Nodes not (yet) crashed — the paper's correct set, so far."""
+        ...
+
+    async def start(self) -> None:
+        """Boot every node and flush any pre-start crash schedule."""
+        ...
+
+    async def stop(self) -> None:
+        """Tear the cluster down and flush trace outputs.  Idempotent."""
+        ...
+
+    def crash(self, pid: ProcessId, at: Optional[Time] = None) -> None:
+        """Crash-stop node *pid* at cluster time *at* (``None`` = now).
+
+        May be called before :meth:`start` to schedule the failure
+        pattern up front.  Crashed nodes never restart.
+        """
+        ...
+
+    async def wait_quiescent(self, timeout: Optional[Time] = None) -> bool:
+        """Block until the scenario has played out (every node finished
+        its run or crashed); returns whether quiescence was reached
+        within *timeout* seconds."""
+        ...
+
+    def traces(self) -> MemorySink:
+        """The run's events as one time-ordered in-memory stream."""
+        ...
+
+    def verdicts(self, channel: str = "fd", algo: str = "ec") -> Dict[str, Any]:
+        """Machine-checked FD + consensus properties of the run."""
+        ...
+
+
+def standard_verdicts(
+    trace: TraceSource,
+    correct: FrozenSet[ProcessId],
+    channel: str = "fd",
+    algo: str = "ec",
+    fd_class: FDClass = EVENTUALLY_CONSISTENT,
+    end_time: Optional[Time] = None,
+    margin: float = 0.1,
+) -> Dict[str, Any]:
+    """Judge one run: ◇C class properties plus Uniform Consensus.
+
+    Returns a flat dict: ``fd.<property>`` keys map to
+    :class:`~repro.analysis.PropertyCheck` objects (truthy when satisfied)
+    and ``consensus.<property>`` keys map to plain bools.  Use
+    :func:`verdicts_ok` for the single pass/fail bit.
+    """
+    trace = as_trace(trace)
+    verdicts: Dict[str, Any] = {}
+    fd_results = check_fd_class(
+        trace, fd_class, correct,
+        channel=channel, margin=margin, end_time=end_time,
+    )
+    for name, result in fd_results.items():
+        verdicts[f"fd.{name}"] = result
+    outcome = extract_outcome(trace, algo)
+    for name, ok in check_consensus(outcome, correct).items():
+        verdicts[f"consensus.{name}"] = ok
+    return verdicts
+
+
+def verdicts_ok(verdicts: Dict[str, Any]) -> bool:
+    """True iff every verdict in *verdicts* holds."""
+    return all(bool(result) for result in verdicts.values())

@@ -1,0 +1,574 @@
+"""In-process clusters of :class:`~repro.net.host.NodeHost` nodes.
+
+:class:`LocalCluster` spins up *n* hosts sharing one clock and one trace
+recorder, wires a transport per node (loopback, UDP, or TCP — optionally
+wrapped in a fault-injection proxy), and drives the run:
+
+* **wall mode** (default) — an :class:`~repro.net.clock.AsyncioClock` and
+  real sockets; drive it with ``await cluster.start() / run(seconds) /
+  stop()`` inside ``asyncio.run``;
+* **virtual mode** (``clock="virtual"``, loopback only) — the simulator's
+  deterministic scheduler under the full runtime path (codec, transport
+  framing, fault proxy); drive it synchronously with ``start_virtual()`` /
+  ``run_virtual(until)``.  This is what the sim↔net parity tests use: same
+  components, same seeds, bit-for-bit reproducible.
+
+Either way, a ``LocalCluster`` implements the unified
+:class:`~repro.cluster.api.ClusterAPI` protocol — ``crash(pid, at)``
+schedules crash-stop kills (before or after start), ``wait_quiescent``
+waits out a fixed-``duration`` scenario, and ``traces()`` /
+``verdicts()`` hand the run to the same postmortem pipeline a
+multi-process :class:`~repro.proc.ProcessCluster` uses.
+
+Because all hosts share one trace with one time base, everything in
+:mod:`repro.analysis` — property checkers, QoS metrics, ASCII timelines —
+works on a live run's trace without modification.  Pass ``trace_out`` to
+*also* ship the stream to disk as it happens: a ``*.jsonl`` path writes
+one combined file, a directory writes one ``node-<pid>.jsonl`` per node
+(each with its own provenance header, ready for ``repro trace merge``).
+
+:func:`attach_standard_stack` deploys the paper's full pipeline on every
+node: leader-based Ω + a ◇S source + the ◇C combiner, the Fig. 2 ◇C→◇P
+transformation, reliable broadcast, and ◇C-based consensus — the live
+counterpart of :func:`repro.fd.attach_ec_stack` plus consensus wiring.
+:meth:`LocalCluster.deploy_standard_stack` is the self-driving variant
+(stack plus a scheduled proposal round), mirroring what each node of a
+process cluster does for itself.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import inspect
+from pathlib import Path
+from typing import (
+    Any, Callable, Dict, Iterable, List, Optional, Tuple, Union,
+)
+
+from ..broadcast.reliable import ReliableBroadcast
+from ..consensus.ec_consensus import ECConsensus
+from ..errors import ConfigurationError
+from ..fd.eventually_consistent import CombinedDetector
+from ..fd.heartbeat import HeartbeatEventuallyPerfect
+from ..fd.leader_based import LeaderBasedOmega
+from ..fd.ring import RingDetector
+from ..net.clock import AsyncioClock, VirtualClock
+from ..net.codec import Codec, default_codec
+from ..net.faults import FaultPlan, FaultyTransport
+from ..net.host import NodeHost
+from ..net.tcp import TCPTransport
+from ..net.transport import LoopbackHub, LoopbackTransport, Transport
+from ..net.udp import UDPTransport
+from ..obs.sinks import JsonlSink, MemorySink, TeeSink, TraceSink
+from ..sim.component import Component
+from ..transform.c_to_p import CToPTransformation
+from ..types import ProcessId, Time
+from .api import standard_verdicts
+
+__all__ = [
+    "LocalCluster",
+    "attach_standard_stack",
+    "attach_node_stack",
+    "TRANSPORTS",
+    "STACKS",
+]
+
+#: Transport kinds `LocalCluster` can build itself.
+TRANSPORTS = ("loopback", "udp", "tcp")
+
+#: Suspect-source flavours of the standard ◇C stack.
+STACKS = ("ring", "heartbeat")
+
+
+async def _maybe(value: Any) -> Any:
+    """Await *value* if it is awaitable (loopback lifecycle calls are sync)."""
+    if inspect.isawaitable(value):
+        return await value
+    return value
+
+
+class LocalCluster:
+    """*n* live nodes in one OS process (see module docstring)."""
+
+    def __init__(
+        self,
+        n: int,
+        transport: str = "loopback",
+        clock: str = "wall",
+        seed: int = 0,
+        codec: Optional[Codec] = None,
+        fault_plan: Optional[FaultPlan] = None,
+        bind_host: str = "127.0.0.1",
+        trace_kinds: Optional[Iterable[str]] = None,
+        trace_out: Optional[Union[str, Path]] = None,
+        duration: Optional[Time] = None,
+    ) -> None:
+        if n < 1:
+            raise ConfigurationError(f"n must be >= 1, got {n}")
+        if transport not in TRANSPORTS:
+            raise ConfigurationError(
+                f"unknown transport {transport!r}; pick one of {TRANSPORTS}"
+            )
+        if clock not in ("wall", "virtual"):
+            raise ConfigurationError(f"clock must be 'wall' or 'virtual'")
+        if clock == "virtual" and transport != "loopback":
+            raise ConfigurationError(
+                "virtual-clock clusters are deterministic in-process runs; "
+                "only the loopback transport can ride a virtual clock"
+            )
+        self.n = n
+        self.transport_kind = transport
+        self.clock = VirtualClock() if clock == "virtual" else AsyncioClock()
+        self.virtual = clock == "virtual"
+        #: Scenario length in cluster seconds; `wait_quiescent` waits it out.
+        self.duration = duration
+        #: Analysis-facing in-memory log, always shared by every host.
+        self.trace = MemorySink(kinds=trace_kinds)
+        # Trace shipping: a `*.jsonl` path streams one combined file; a
+        # directory streams one per-node file (own provenance header each,
+        # the input shape `repro trace merge` reassembles).
+        self._jsonl_sinks: List[JsonlSink] = []
+        host_traces: List[TraceSink] = [self.trace] * n
+        if trace_out is not None:
+            # Virtual runs have no meaningful wall epoch; zero it so the
+            # files stay byte-for-byte deterministic (and trivially merge).
+            epochs = (
+                {"epoch_wall": 0.0, "epoch_mono": 0.0} if self.virtual else {}
+            )
+            out = Path(trace_out)
+            if out.suffix == ".jsonl":
+                out.parent.mkdir(parents=True, exist_ok=True)
+                combined = JsonlSink(
+                    out, node=None, kinds=trace_kinds, **epochs
+                )
+                self._jsonl_sinks.append(combined)
+                host_traces = [TeeSink(self.trace, combined)] * n
+            else:
+                out.mkdir(parents=True, exist_ok=True)
+                host_traces = []
+                for pid in range(n):
+                    sink = JsonlSink(
+                        out / f"node-{pid}.jsonl", node=pid,
+                        kinds=trace_kinds, **epochs
+                    )
+                    self._jsonl_sinks.append(sink)
+                    host_traces.append(TeeSink(self.trace, sink))
+        self.codec = codec if codec is not None else default_codec()
+        self.plan = fault_plan
+        self._hub = LoopbackHub(self.clock) if transport == "loopback" else None
+        self._started = False
+        # Crash-stop schedule accepted before start; flushed onto the clock
+        # the moment components start (ClusterAPI.crash contract).
+        self._pending_crashes: List[Tuple[ProcessId, Optional[Time]]] = []
+        # (time, value-factory) proposal rounds from deploy_standard_stack.
+        self._pending_proposals: List[Time] = []
+        #: Components per role when `deploy_standard_stack` was used.
+        self.stacks: Optional[Dict[str, List[Component]]] = None
+        # In-flight async transport closes from kill(); referenced here so
+        # the tasks cannot be garbage-collected mid-close, reaped in stop().
+        self._closing: set = set()
+        self.hosts: List[NodeHost] = []
+        for pid in range(n):
+            real: Transport
+            if transport == "loopback":
+                real = LoopbackTransport(pid, self._hub)
+            elif transport == "udp":
+                real = UDPTransport(pid, host=bind_host)
+            else:
+                real = TCPTransport(pid, host=bind_host)
+            wire = (
+                FaultyTransport(real, self.plan, self.clock)
+                if self.plan is not None
+                else real
+            )
+            self.hosts.append(
+                NodeHost(
+                    pid, n, wire,
+                    clock=self.clock, codec=self.codec,
+                    trace=host_traces[pid], seed=seed,
+                )
+            )
+
+    # ---------------------------------------------------------------- basics
+    @property
+    def pids(self) -> range:
+        return range(self.n)
+
+    def host(self, pid: ProcessId) -> NodeHost:
+        return self.hosts[pid]
+
+    @property
+    def correct_pids(self) -> frozenset:
+        """Nodes that have not been crashed/killed (so far)."""
+        return frozenset(h.pid for h in self.hosts if not h.crashed)
+
+    @property
+    def now(self) -> Time:
+        return self.clock.now
+
+    # ---------------------------------------------------------------- wiring
+    def attach(self, pid: ProcessId, component: Component) -> Component:
+        """Attach *component* to node *pid*; returns the component."""
+        return self.hosts[pid].attach(component)
+
+    def attach_all(
+        self, factory: Callable[[ProcessId], Component]
+    ) -> List[Component]:
+        """Attach ``factory(pid)`` on every node; returns them in pid order."""
+        return [self.attach(pid, factory(pid)) for pid in self.pids]
+
+    def deploy_standard_stack(
+        self,
+        stack: str = "ring",
+        period: Time = 0.05,
+        initial_timeout: Optional[Time] = None,
+        timeout_increment: Optional[Time] = None,
+        propose_after: Optional[Time] = None,
+        **kwargs: Any,
+    ) -> Dict[str, List[Component]]:
+        """Deploy the paper's full pipeline and make the run self-driving.
+
+        Attaches :func:`attach_standard_stack` on every node (``stack``
+        selects the ◇S suspect source) and, when *propose_after* is given,
+        schedules one proposal round at that cluster time: every
+        still-correct node proposes ``value-from-p<pid>``.  This mirrors
+        exactly what each node of a :class:`~repro.proc.ProcessCluster`
+        does for itself, so the same scenario drives both runtimes.
+        """
+        self.stacks = attach_standard_stack(
+            self,
+            suspects=stack,
+            period=period,
+            initial_timeout=(
+                initial_timeout if initial_timeout is not None else 2.4 * period
+            ),
+            timeout_increment=(
+                timeout_increment if timeout_increment is not None else period
+            ),
+            **kwargs,
+        )
+        if propose_after is not None:
+            self._pending_proposals.append(propose_after)
+        return self.stacks
+
+    def _propose_all(self) -> None:
+        """One proposal round: every correct node proposes its own value."""
+        for protocol in (self.stacks or {}).get("consensus", []):
+            if not protocol.crashed:
+                protocol.propose(f"value-from-p{protocol.pid}")
+
+    # ------------------------------------------------------- wall-clock mode
+    async def start(self) -> None:
+        """Bind every transport, share the address book, start every node.
+
+        Virtual-clock clusters are redirected to :meth:`start_virtual`, so
+        the unified ``await cluster.start()`` harness drives both modes.
+        """
+        if self.virtual:
+            self.start_virtual()
+            return
+        self._check_started()
+        for h in self.hosts:
+            await _maybe(h.transport.bind())
+        addresses = {h.pid: h.transport.local_address for h in self.hosts}
+        for h in self.hosts:
+            h.transport.set_peers(addresses)
+        if isinstance(self.clock, AsyncioClock):
+            self.clock.rebase()  # trace time 0 = the instant components start
+            for sink in self._jsonl_sinks:
+                sink.rebase_epoch()  # headers must reference the same zero
+        for h in self.hosts:
+            h.start()
+        self._flush_pending()
+
+    async def run(self, seconds: float) -> None:
+        """Let the cluster run for *seconds* of wall time."""
+        await asyncio.sleep(seconds)
+
+    async def run_until(
+        self,
+        predicate: Callable[[], bool],
+        timeout: float,
+        poll: float = 0.01,
+    ) -> bool:
+        """Run until ``predicate()`` holds or *timeout* elapses; returns
+        whether the predicate was met."""
+        deadline = self.clock.now + timeout
+        while self.clock.now < deadline:
+            if predicate():
+                return True
+            await asyncio.sleep(poll)
+        return predicate()
+
+    async def wait_quiescent(self, timeout: Optional[Time] = None) -> bool:
+        """Wait out the scenario (ClusterAPI contract).
+
+        With a ``duration`` configured, waits until the cluster clock
+        reaches it (virtual clusters run their scheduler to that point) —
+        always quiescent, returns ``True``.  Without one, waits up to
+        *timeout* seconds for every node to have crashed.
+        """
+        if self.duration is not None:
+            if self.virtual:
+                self.run_virtual(until=self.duration)
+            else:
+                remaining = self.duration - self.now
+                if remaining > 0:
+                    await asyncio.sleep(remaining)
+            return True
+        if self.virtual:
+            self.run_virtual()
+            return all(h.crashed for h in self.hosts)
+        if timeout is None:
+            raise ConfigurationError(
+                "wait_quiescent needs a timeout when the cluster has no "
+                "configured duration"
+            )
+        return await self.run_until(
+            lambda: all(h.crashed for h in self.hosts), timeout=timeout
+        )
+
+    async def stop(self) -> None:
+        """Close every transport and flush trace files (idempotent)."""
+        if self.virtual:
+            self.close_traces()
+            return
+        for h in self.hosts:
+            await _maybe(h.transport.close())
+        if self._closing:
+            await asyncio.gather(*self._closing, return_exceptions=True)
+            self._closing.clear()
+        self.close_traces()
+
+    def close_traces(self) -> None:
+        """Flush and close any ``trace_out`` JSONL files (idempotent).
+
+        ``stop()`` calls this; virtual-clock runs driven by hand (no
+        ``stop()``) call it directly once the run is over.
+        """
+        for sink in self._jsonl_sinks:
+            sink.close()
+
+    # --------------------------------------------------------- virtual mode
+    def start_virtual(self) -> None:
+        """Deterministic start: bind, share addresses, start components."""
+        if not self.virtual:
+            raise ConfigurationError(
+                "start_virtual() needs clock='virtual'; use `await start()`"
+            )
+        self._check_started()
+        for h in self.hosts:
+            h.transport.bind()
+        addresses = {h.pid: h.transport.local_address for h in self.hosts}
+        for h in self.hosts:
+            h.transport.set_peers(addresses)
+        for h in self.hosts:
+            h.start()
+        self._flush_pending()
+
+    def run_virtual(
+        self, until: Optional[Time] = None, max_events: Optional[int] = None
+    ) -> int:
+        """Drive the shared virtual clock (see sim ``Scheduler.run``)."""
+        if not self.virtual:
+            raise ConfigurationError("run_virtual() needs clock='virtual'")
+        if not self._started:
+            self.start_virtual()
+        return self.clock.run(until=until, max_events=max_events)
+
+    def schedule_kill(self, pid: ProcessId, time: Time) -> None:
+        """Schedule :meth:`kill` at absolute clock *time* (both modes)."""
+        self.clock.schedule_at(time, self.kill, pid)
+
+    # ----------------------------------------------------------------- kills
+    def crash(self, pid: ProcessId, at: Optional[Time] = None) -> None:
+        """Crash-stop node *pid* at cluster time *at* (ClusterAPI contract).
+
+        ``at=None`` means "now" (immediately if running, at time zero if
+        the cluster has not started yet).  Before :meth:`start` the kill
+        is queued and flushed onto the clock at start, so whole failure
+        patterns can be scripted up front.  Crashed nodes never restart.
+        """
+        if not 0 <= pid < self.n:
+            raise ConfigurationError(f"pid {pid} out of range for n={self.n}")
+        if not self._started:
+            self._pending_crashes.append((pid, at))
+            return
+        if at is None:
+            self.kill(pid)
+        else:
+            self.schedule_kill(pid, at)
+
+    def kill(self, pid: ProcessId) -> None:
+        """Kill node *pid*: crash its process and tear down its transport.
+
+        Unlike a bare ``host.crash()`` (which keeps receiving and counting
+        drops, like a simulated crashed process), a kill takes the node off
+        the network entirely — peers see silence, TCP peers see resets and
+        enter retry/backoff: the "killed leader process" scenario.
+        """
+        host = self.hosts[pid]
+        host.crash()
+        result = host.transport.close()
+        if inspect.isawaitable(result):
+            task = asyncio.ensure_future(result)
+            self._closing.add(task)
+            task.add_done_callback(self._closing.discard)
+
+    # ------------------------------------------------------------ postmortem
+    def traces(self) -> MemorySink:
+        """The run's events as one time-ordered stream (ClusterAPI)."""
+        return self.trace
+
+    def verdicts(self, channel: str = "fd", algo: str = "ec") -> Dict[str, Any]:
+        """Machine-checked FD + consensus properties of the run so far."""
+        return standard_verdicts(
+            self.trace, self.correct_pids,
+            channel=channel, algo=algo, end_time=self.now,
+        )
+
+    # -------------------------------------------------------------- internals
+    def _flush_pending(self) -> None:
+        """Move pre-start crash/proposal schedules onto the live clock."""
+        for pid, at in self._pending_crashes:
+            if at is None:
+                self.kill(pid)
+            else:
+                self.schedule_kill(pid, at)
+        self._pending_crashes.clear()
+        for at in self._pending_proposals:
+            self.clock.schedule_at(at, self._propose_all)
+        self._pending_proposals.clear()
+
+    def _check_started(self) -> None:
+        if self._started:
+            raise ConfigurationError("cluster already started")
+        self._started = True
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        mode = "virtual" if self.virtual else "wall"
+        return (
+            f"<LocalCluster n={self.n} transport={self.transport_kind} "
+            f"clock={mode}>"
+        )
+
+
+def attach_node_stack(
+    attach: Callable[[Component], Component],
+    suspects: str = "ring",
+    period: Time = 0.05,
+    initial_timeout: Time = 0.12,
+    timeout_increment: Time = 0.05,
+    with_transformation: bool = True,
+    with_consensus: bool = True,
+    stubborn_period: Optional[Time] = None,
+    channel: str = "fd",
+) -> Dict[str, Component]:
+    """Deploy one node's slice of the paper's pipeline via *attach*.
+
+    *attach* receives each component in dependency order and must return
+    it attached — ``host.attach`` for a bare :class:`NodeHost` (this is
+    what ``repro node`` runs in every OS process), or a closure over
+    ``cluster.attach(pid, ...)`` for in-process clusters.  Returns the
+    components by role.
+    """
+    parts: Dict[str, Component] = {}
+    omega = LeaderBasedOmega(
+        period=period,
+        initial_timeout=initial_timeout,
+        timeout_increment=timeout_increment,
+        channel=f"{channel}.omega",
+    )
+    attach(omega)
+    if suspects == "ring":
+        source: Component = RingDetector(
+            period=period,
+            initial_timeout=initial_timeout,
+            timeout_increment=timeout_increment,
+            channel=f"{channel}.suspects",
+        )
+    elif suspects == "heartbeat":
+        source = HeartbeatEventuallyPerfect(
+            period=period,
+            initial_timeout=initial_timeout,
+            timeout_increment=timeout_increment,
+            channel=f"{channel}.suspects",
+        )
+    else:
+        raise ConfigurationError(f"unknown suspects source {suspects!r}")
+    attach(source)
+    combined = CombinedDetector(omega, source, channel=channel)
+    attach(combined)
+    parts["omega"] = omega
+    parts["suspects"] = source
+    parts["fd"] = combined
+    if with_transformation:
+        fdp = CToPTransformation(
+            combined,
+            send_period=period,
+            alive_period=period,
+            initial_timeout=initial_timeout,
+            timeout_increment=timeout_increment,
+            channel="fdp",
+        )
+        attach(fdp)
+        parts["fdp"] = fdp
+    if with_consensus:
+        rb = ReliableBroadcast(channel="consensus.rb")
+        attach(rb)
+        protocol = ECConsensus(
+            combined, rb,
+            round_step=period / 5.0,
+            stubborn_period=stubborn_period,
+        )
+        attach(protocol)
+        parts["rb"] = rb
+        parts["consensus"] = protocol
+    return parts
+
+
+def attach_standard_stack(
+    cluster: LocalCluster,
+    suspects: str = "ring",
+    period: Time = 0.05,
+    initial_timeout: Time = 0.12,
+    timeout_increment: Time = 0.05,
+    with_transformation: bool = True,
+    with_consensus: bool = True,
+    stubborn_period: Optional[Time] = None,
+    channel: str = "fd",
+) -> Dict[str, List[Component]]:
+    """Deploy the paper's full pipeline on every node of *cluster*.
+
+    Per node: leader-based Ω (``fd.omega``) + a ◇S suspect source
+    (``fd.suspects``, ring or heartbeat) + the ◇C combiner (``fd``);
+    optionally the Fig. 2 ◇C→◇P transformation (``fdp``); optionally
+    reliable broadcast (``consensus.rb``) + ◇C-based consensus
+    (``consensus``).  Defaults are scaled for wall-clock seconds (50 ms
+    period) — pass sim-scale values for virtual-clock parity runs.
+
+    Returns the components per role, each a pid-ordered list.
+    """
+    stacks: Dict[str, List[Component]] = {
+        "omega": [], "suspects": [], "fd": [], "fdp": [], "rb": [], "consensus": [],
+    }
+    for pid in cluster.pids:
+        parts = attach_node_stack(
+            lambda component, pid=pid: cluster.attach(pid, component),
+            suspects=suspects,
+            period=period,
+            initial_timeout=initial_timeout,
+            timeout_increment=timeout_increment,
+            with_transformation=with_transformation,
+            with_consensus=with_consensus,
+            stubborn_period=stubborn_period,
+            channel=channel,
+        )
+        for role, component in parts.items():
+            stacks[role].append(component)
+    if not with_transformation:
+        stacks.pop("fdp")
+    if not with_consensus:
+        stacks.pop("rb")
+        stacks.pop("consensus")
+    return stacks

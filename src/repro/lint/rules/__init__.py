@@ -10,9 +10,24 @@ Rule groups, by the package contract they enforce:
 * :mod:`~repro.lint.rules.payload` — protocol payloads must survive the
   wire codec;
 * :mod:`~repro.lint.rules.trace_schema` — trace emissions must match the
-  :mod:`repro.obs` event-schema registry.
+  :mod:`repro.obs` event-schema registry;
+* :mod:`~repro.lint.rules.proc_isolation` — OS-process spawning and
+  killing stays behind the :mod:`repro.proc` launcher, the single source
+  of truth for the failure pattern.
 """
 
-from . import asyncio_hazards, determinism, payload, trace_schema  # noqa: F401
+from . import (  # noqa: F401
+    asyncio_hazards,
+    determinism,
+    payload,
+    proc_isolation,
+    trace_schema,
+)
 
-__all__ = ["asyncio_hazards", "determinism", "payload", "trace_schema"]
+__all__ = [
+    "asyncio_hazards",
+    "determinism",
+    "payload",
+    "proc_isolation",
+    "trace_schema",
+]

@@ -26,7 +26,9 @@ __all__ = [
     "SwallowedExceptionRule",
 ]
 
-NET_SCOPE = ("repro.net",)
+# Every package hosting event-loop code: the transports, the in-process
+# cluster runtime, and the multi-process node/launcher pair.
+NET_SCOPE = ("repro.net", "repro.cluster", "repro.proc")
 
 _BLOCKING_CALLS = {
     "time.sleep",

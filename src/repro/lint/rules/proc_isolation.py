@@ -1,0 +1,80 @@
+"""Process-management isolation: spawning and killing stays in
+:mod:`repro.proc`.
+
+The multi-process runtime owns the crash model: :class:`ProcessCluster`
+spawns ``repro node`` subprocesses and delivers ``SIGKILL`` on schedule,
+and the postmortem pipeline depends on the launcher being the *only*
+place that does — it records every kill's wall time so the merged trace
+gets its synthetic ``crash`` events.  A ``subprocess`` call or an
+``os.kill`` anywhere else is either an untracked side channel into the
+failure pattern (the checkers would judge the run against a wrong
+correct-set) or accidental process management that belongs behind the
+launcher API.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Set
+
+from ..astutil import dotted_name
+from ..findings import Finding
+from ..registry import Rule, rule
+
+__all__ = ["ProcIsolationRule"]
+
+#: The one package allowed to manage OS processes.
+_ALLOWED_PREFIX = "repro.proc"
+
+_KILL_CALLS = {"os.kill", "os.killpg"}
+
+
+@rule
+class ProcIsolationRule(Rule):
+    """Flag direct ``subprocess`` / ``os.kill`` use outside ``repro.proc``."""
+
+    id = "proc-isolation"
+    summary = (
+        "no direct subprocess spawning or os.kill outside repro.proc; the "
+        "launcher must stay the single source of truth for the failure "
+        "pattern"
+    )
+    scope = ()  # everywhere — the exemption below is the rule's point
+
+    def check(self, ctx) -> Iterator[Finding]:
+        module = ctx.module
+        if module == _ALLOWED_PREFIX or module.startswith(
+            _ALLOWED_PREFIX + "."
+        ):
+            return
+        # Names imported from subprocess (`from subprocess import Popen`)
+        # so bare `Popen(...)` calls are caught too.
+        imported: Set[str] = set()
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ImportFrom) and node.module == "subprocess":
+                imported.update(
+                    alias.asname or alias.name for alias in node.names
+                )
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            if name in _KILL_CALLS:
+                yield self.finding(
+                    ctx, node,
+                    f"{name}() outside repro.proc bypasses the launcher's "
+                    "kill bookkeeping (the postmortem trace would miss the "
+                    "crash); use ProcessCluster.crash instead",
+                )
+            elif (
+                name is not None and name.startswith("subprocess.")
+            ) or (
+                isinstance(node.func, ast.Name) and node.func.id in imported
+            ):
+                label = name or node.func.id  # type: ignore[union-attr]
+                yield self.finding(
+                    ctx, node,
+                    f"{label}() spawns processes outside repro.proc; "
+                    "process management belongs behind the ProcessCluster "
+                    "launcher API",
+                )

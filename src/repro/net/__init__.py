@@ -18,16 +18,17 @@ loops and real sockets:
 * :mod:`~repro.net.host` — the :class:`NodeHost` adapter that makes one
   live node look like one slot of a simulated
   :class:`~repro.sim.world.World`;
-* :mod:`~repro.net.cluster` — :class:`LocalCluster`, n nodes in one
-  process sharing a clock and a trace, so :mod:`repro.analysis` works on
-  live runs unchanged.
+* :class:`LocalCluster` — n nodes in one process sharing a clock and a
+  trace, so :mod:`repro.analysis` works on live runs unchanged.  Its
+  canonical home is now :mod:`repro.cluster` (next to the unified
+  :class:`~repro.cluster.api.ClusterAPI` contract); it is still
+  re-exported here for convenience.
 
 See ``docs/runtime.md`` for the architecture and the sim-vs-live guarantee
 matrix, and ``python -m repro cluster`` for the end-to-end demo.
 """
 
 from .clock import AsyncioClock, VirtualClock
-from .cluster import LocalCluster, TRANSPORTS, attach_standard_stack
 from .codec import Codec, CodecError, JsonCodec, MsgpackCodec, default_codec
 from .faults import FaultPlan, FaultyTransport
 from .host import NodeHost, RuntimeNetwork, RuntimeWorld
@@ -57,3 +58,17 @@ __all__ = [
     "Transport",
     "UDPTransport",
 ]
+
+_MOVED_TO_CLUSTER = ("LocalCluster", "TRANSPORTS", "attach_standard_stack")
+
+
+def __getattr__(name: str):
+    # Re-exported lazily from their new home: repro.cluster imports this
+    # package (clocks, transports, NodeHost), so an eager import here
+    # would be circular.  Unlike repro.net.cluster, this path does not
+    # warn — `from repro.net import LocalCluster` stays first-class.
+    if name in _MOVED_TO_CLUSTER:
+        from .. import cluster as _cluster
+
+        return getattr(_cluster, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,379 +1,33 @@
-"""In-process clusters of :class:`~repro.net.host.NodeHost` nodes.
+"""Deprecated location: :class:`LocalCluster` moved to :mod:`repro.cluster`.
 
-:class:`LocalCluster` spins up *n* hosts sharing one clock and one trace
-recorder, wires a transport per node (loopback, UDP, or TCP — optionally
-wrapped in a fault-injection proxy), and drives the run:
+The in-process cluster now lives in :mod:`repro.cluster.local`, next to
+the unified :class:`~repro.cluster.api.ClusterAPI` contract it shares
+with the multi-process :class:`~repro.proc.ProcessCluster`.  This module
+re-exports the old names with a :class:`DeprecationWarning` so existing
+imports keep working::
 
-* **wall mode** (default) — an :class:`~repro.net.clock.AsyncioClock` and
-  real sockets; drive it with ``await cluster.start() / run(seconds) /
-  stop()`` inside ``asyncio.run``;
-* **virtual mode** (``clock="virtual"``, loopback only) — the simulator's
-  deterministic scheduler under the full runtime path (codec, transport
-  framing, fault proxy); drive it synchronously with ``start_virtual()`` /
-  ``run_virtual(until)``.  This is what the sim↔net parity tests use: same
-  components, same seeds, bit-for-bit reproducible.
-
-Because all hosts share one trace with one time base, everything in
-:mod:`repro.analysis` — property checkers, QoS metrics, ASCII timelines —
-works on a live run's trace without modification.  Pass ``trace_out`` to
-*also* ship the stream to disk as it happens: a ``*.jsonl`` path writes
-one combined file, a directory writes one ``node-<pid>.jsonl`` per node
-(each with its own provenance header, ready for ``repro trace merge``).
-
-:func:`attach_standard_stack` deploys the paper's full pipeline on every
-node: leader-based Ω + a ◇S source + the ◇C combiner, the Fig. 2 ◇C→◇P
-transformation, reliable broadcast, and ◇C-based consensus — the live
-counterpart of :func:`repro.fd.attach_ec_stack` plus consensus wiring.
+    from repro.net.cluster import LocalCluster      # deprecated
+    from repro.cluster import LocalCluster          # new home
 """
 
 from __future__ import annotations
 
-import asyncio
-import inspect
-from pathlib import Path
-from typing import Any, Callable, Dict, Iterable, List, Optional, Union
+import warnings
 
-from ..broadcast.reliable import ReliableBroadcast
-from ..consensus.ec_consensus import ECConsensus
-from ..errors import ConfigurationError
-from ..fd.eventually_consistent import CombinedDetector
-from ..fd.heartbeat import HeartbeatEventuallyPerfect
-from ..fd.leader_based import LeaderBasedOmega
-from ..fd.ring import RingDetector
-from ..obs.sinks import JsonlSink, MemorySink, TeeSink, TraceSink
-from ..sim.component import Component
-from ..transform.c_to_p import CToPTransformation
-from ..types import ProcessId, Time
-from .clock import AsyncioClock, VirtualClock
-from .codec import Codec, default_codec
-from .faults import FaultPlan, FaultyTransport
-from .host import NodeHost
-from .tcp import TCPTransport
-from .transport import LoopbackHub, LoopbackTransport, Transport
-from .udp import UDPTransport
+_MOVED = ("LocalCluster", "attach_standard_stack", "TRANSPORTS")
 
-__all__ = ["LocalCluster", "attach_standard_stack", "TRANSPORTS"]
-
-#: Transport kinds `LocalCluster` can build itself.
-TRANSPORTS = ("loopback", "udp", "tcp")
+__all__ = list(_MOVED)
 
 
-async def _maybe(value: Any) -> Any:
-    """Await *value* if it is awaitable (loopback lifecycle calls are sync)."""
-    if inspect.isawaitable(value):
-        return await value
-    return value
-
-
-class LocalCluster:
-    """*n* live nodes in one OS process (see module docstring)."""
-
-    def __init__(
-        self,
-        n: int,
-        transport: str = "loopback",
-        clock: str = "wall",
-        seed: int = 0,
-        codec: Optional[Codec] = None,
-        fault_plan: Optional[FaultPlan] = None,
-        bind_host: str = "127.0.0.1",
-        trace_kinds: Optional[Iterable[str]] = None,
-        trace_out: Optional[Union[str, Path]] = None,
-    ) -> None:
-        if n < 1:
-            raise ConfigurationError(f"n must be >= 1, got {n}")
-        if transport not in TRANSPORTS:
-            raise ConfigurationError(
-                f"unknown transport {transport!r}; pick one of {TRANSPORTS}"
-            )
-        if clock not in ("wall", "virtual"):
-            raise ConfigurationError(f"clock must be 'wall' or 'virtual'")
-        if clock == "virtual" and transport != "loopback":
-            raise ConfigurationError(
-                "virtual-clock clusters are deterministic in-process runs; "
-                "only the loopback transport can ride a virtual clock"
-            )
-        self.n = n
-        self.transport_kind = transport
-        self.clock = VirtualClock() if clock == "virtual" else AsyncioClock()
-        self.virtual = clock == "virtual"
-        #: Analysis-facing in-memory log, always shared by every host.
-        self.trace = MemorySink(kinds=trace_kinds)
-        # Trace shipping: a `*.jsonl` path streams one combined file; a
-        # directory streams one per-node file (own provenance header each,
-        # the input shape `repro trace merge` reassembles).
-        self._jsonl_sinks: List[JsonlSink] = []
-        host_traces: List[TraceSink] = [self.trace] * n
-        if trace_out is not None:
-            # Virtual runs have no meaningful wall epoch; zero it so the
-            # files stay byte-for-byte deterministic (and trivially merge).
-            epochs = (
-                {"epoch_wall": 0.0, "epoch_mono": 0.0} if self.virtual else {}
-            )
-            out = Path(trace_out)
-            if out.suffix == ".jsonl":
-                out.parent.mkdir(parents=True, exist_ok=True)
-                combined = JsonlSink(
-                    out, node=None, kinds=trace_kinds, **epochs
-                )
-                self._jsonl_sinks.append(combined)
-                host_traces = [TeeSink(self.trace, combined)] * n
-            else:
-                out.mkdir(parents=True, exist_ok=True)
-                host_traces = []
-                for pid in range(n):
-                    sink = JsonlSink(
-                        out / f"node-{pid}.jsonl", node=pid,
-                        kinds=trace_kinds, **epochs
-                    )
-                    self._jsonl_sinks.append(sink)
-                    host_traces.append(TeeSink(self.trace, sink))
-        self.codec = codec if codec is not None else default_codec()
-        self.plan = fault_plan
-        self._hub = LoopbackHub(self.clock) if transport == "loopback" else None
-        self._started = False
-        # In-flight async transport closes from kill(); referenced here so
-        # the tasks cannot be garbage-collected mid-close, reaped in stop().
-        self._closing: set = set()
-        self.hosts: List[NodeHost] = []
-        for pid in range(n):
-            real: Transport
-            if transport == "loopback":
-                real = LoopbackTransport(pid, self._hub)
-            elif transport == "udp":
-                real = UDPTransport(pid, host=bind_host)
-            else:
-                real = TCPTransport(pid, host=bind_host)
-            wire = (
-                FaultyTransport(real, self.plan, self.clock)
-                if self.plan is not None
-                else real
-            )
-            self.hosts.append(
-                NodeHost(
-                    pid, n, wire,
-                    clock=self.clock, codec=self.codec,
-                    trace=host_traces[pid], seed=seed,
-                )
-            )
-
-    # ---------------------------------------------------------------- basics
-    @property
-    def pids(self) -> range:
-        return range(self.n)
-
-    def host(self, pid: ProcessId) -> NodeHost:
-        return self.hosts[pid]
-
-    @property
-    def correct_pids(self) -> frozenset:
-        """Nodes that have not been crashed/killed (so far)."""
-        return frozenset(h.pid for h in self.hosts if not h.crashed)
-
-    @property
-    def now(self) -> Time:
-        return self.clock.now
-
-    # ---------------------------------------------------------------- wiring
-    def attach(self, pid: ProcessId, component: Component) -> Component:
-        """Attach *component* to node *pid*; returns the component."""
-        return self.hosts[pid].attach(component)
-
-    def attach_all(
-        self, factory: Callable[[ProcessId], Component]
-    ) -> List[Component]:
-        """Attach ``factory(pid)`` on every node; returns them in pid order."""
-        return [self.attach(pid, factory(pid)) for pid in self.pids]
-
-    # ------------------------------------------------------- wall-clock mode
-    async def start(self) -> None:
-        """Bind every transport, share the address book, start every node."""
-        self._check_started()
-        for h in self.hosts:
-            await _maybe(h.transport.bind())
-        addresses = {h.pid: h.transport.local_address for h in self.hosts}
-        for h in self.hosts:
-            h.transport.set_peers(addresses)
-        if isinstance(self.clock, AsyncioClock):
-            self.clock.rebase()  # trace time 0 = the instant components start
-            for sink in self._jsonl_sinks:
-                sink.rebase_epoch()  # headers must reference the same zero
-        for h in self.hosts:
-            h.start()
-
-    async def run(self, seconds: float) -> None:
-        """Let the cluster run for *seconds* of wall time."""
-        await asyncio.sleep(seconds)
-
-    async def run_until(
-        self,
-        predicate: Callable[[], bool],
-        timeout: float,
-        poll: float = 0.01,
-    ) -> bool:
-        """Run until ``predicate()`` holds or *timeout* elapses; returns
-        whether the predicate was met."""
-        deadline = self.clock.now + timeout
-        while self.clock.now < deadline:
-            if predicate():
-                return True
-            await asyncio.sleep(poll)
-        return predicate()
-
-    async def stop(self) -> None:
-        """Close every transport and flush trace files (idempotent)."""
-        for h in self.hosts:
-            await _maybe(h.transport.close())
-        if self._closing:
-            await asyncio.gather(*self._closing, return_exceptions=True)
-            self._closing.clear()
-        self.close_traces()
-
-    def close_traces(self) -> None:
-        """Flush and close any ``trace_out`` JSONL files (idempotent).
-
-        ``stop()`` calls this; virtual-clock runs (which have no ``stop()``)
-        call it directly once the run is over.
-        """
-        for sink in self._jsonl_sinks:
-            sink.close()
-
-    # --------------------------------------------------------- virtual mode
-    def start_virtual(self) -> None:
-        """Deterministic start: bind, share addresses, start components."""
-        if not self.virtual:
-            raise ConfigurationError(
-                "start_virtual() needs clock='virtual'; use `await start()`"
-            )
-        self._check_started()
-        for h in self.hosts:
-            h.transport.bind()
-        addresses = {h.pid: h.transport.local_address for h in self.hosts}
-        for h in self.hosts:
-            h.transport.set_peers(addresses)
-        for h in self.hosts:
-            h.start()
-
-    def run_virtual(
-        self, until: Optional[Time] = None, max_events: Optional[int] = None
-    ) -> int:
-        """Drive the shared virtual clock (see sim ``Scheduler.run``)."""
-        if not self.virtual:
-            raise ConfigurationError("run_virtual() needs clock='virtual'")
-        if not self._started:
-            self.start_virtual()
-        return self.clock.run(until=until, max_events=max_events)
-
-    def schedule_kill(self, pid: ProcessId, time: Time) -> None:
-        """Schedule :meth:`kill` at absolute clock *time* (both modes)."""
-        self.clock.schedule_at(time, self.kill, pid)
-
-    # ----------------------------------------------------------------- kills
-    def kill(self, pid: ProcessId) -> None:
-        """Kill node *pid*: crash its process and tear down its transport.
-
-        Unlike a bare ``host.crash()`` (which keeps receiving and counting
-        drops, like a simulated crashed process), a kill takes the node off
-        the network entirely — peers see silence, TCP peers see resets and
-        enter retry/backoff: the "killed leader process" scenario.
-        """
-        host = self.hosts[pid]
-        host.crash()
-        result = host.transport.close()
-        if inspect.isawaitable(result):
-            task = asyncio.ensure_future(result)
-            self._closing.add(task)
-            task.add_done_callback(self._closing.discard)
-
-    # -------------------------------------------------------------- internals
-    def _check_started(self) -> None:
-        if self._started:
-            raise ConfigurationError("cluster already started")
-        self._started = True
-
-    def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        mode = "virtual" if self.virtual else "wall"
-        return (
-            f"<LocalCluster n={self.n} transport={self.transport_kind} "
-            f"clock={mode}>"
+def __getattr__(name: str):
+    if name in _MOVED:
+        warnings.warn(
+            f"repro.net.cluster.{name} moved to repro.cluster.{name}; "
+            "this alias will be removed in a future release",
+            DeprecationWarning,
+            stacklevel=2,
         )
+        from .. import cluster as _cluster
 
-
-def attach_standard_stack(
-    cluster: LocalCluster,
-    suspects: str = "ring",
-    period: Time = 0.05,
-    initial_timeout: Time = 0.12,
-    timeout_increment: Time = 0.05,
-    with_transformation: bool = True,
-    with_consensus: bool = True,
-    stubborn_period: Optional[Time] = None,
-    channel: str = "fd",
-) -> Dict[str, List[Component]]:
-    """Deploy the paper's full pipeline on every node of *cluster*.
-
-    Per node: leader-based Ω (``fd.omega``) + a ◇S suspect source
-    (``fd.suspects``, ring or heartbeat) + the ◇C combiner (``fd``);
-    optionally the Fig. 2 ◇C→◇P transformation (``fdp``); optionally
-    reliable broadcast (``consensus.rb``) + ◇C-based consensus
-    (``consensus``).  Defaults are scaled for wall-clock seconds (50 ms
-    period) — pass sim-scale values for virtual-clock parity runs.
-
-    Returns the components per role, each a pid-ordered list.
-    """
-    stacks: Dict[str, List[Component]] = {
-        "omega": [], "suspects": [], "fd": [], "fdp": [], "rb": [], "consensus": [],
-    }
-    for pid in cluster.pids:
-        omega = LeaderBasedOmega(
-            period=period,
-            initial_timeout=initial_timeout,
-            timeout_increment=timeout_increment,
-            channel=f"{channel}.omega",
-        )
-        cluster.attach(pid, omega)
-        if suspects == "ring":
-            source: Component = RingDetector(
-                period=period,
-                initial_timeout=initial_timeout,
-                timeout_increment=timeout_increment,
-                channel=f"{channel}.suspects",
-            )
-        elif suspects == "heartbeat":
-            source = HeartbeatEventuallyPerfect(
-                period=period,
-                initial_timeout=initial_timeout,
-                timeout_increment=timeout_increment,
-                channel=f"{channel}.suspects",
-            )
-        else:
-            raise ConfigurationError(f"unknown suspects source {suspects!r}")
-        cluster.attach(pid, source)
-        combined = CombinedDetector(omega, source, channel=channel)
-        cluster.attach(pid, combined)
-        stacks["omega"].append(omega)
-        stacks["suspects"].append(source)
-        stacks["fd"].append(combined)
-        if with_transformation:
-            fdp = CToPTransformation(
-                combined,
-                send_period=period,
-                alive_period=period,
-                initial_timeout=initial_timeout,
-                timeout_increment=timeout_increment,
-                channel="fdp",
-            )
-            cluster.attach(pid, fdp)
-            stacks["fdp"].append(fdp)
-        if with_consensus:
-            rb = ReliableBroadcast(channel="consensus.rb")
-            cluster.attach(pid, rb)
-            protocol = ECConsensus(
-                combined, rb,
-                round_step=period / 5.0,
-                stubborn_period=stubborn_period,
-            )
-            cluster.attach(pid, protocol)
-            stacks["rb"].append(rb)
-            stacks["consensus"].append(protocol)
-    return stacks
+        return getattr(_cluster, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -163,9 +163,13 @@ class FaultyTransport(Transport):
     bytes_received = property(lambda self: self.inner.bytes_received)
     send_errors = property(lambda self: self.inner.send_errors)
 
-    # Receiver and peers pass straight through to the wrapped transport.
+    # Receiver, observer, and peers pass straight through to the wrapped
+    # transport.
     def set_receiver(self, receiver) -> None:
         self.inner.set_receiver(receiver)
+
+    def set_observer(self, observer) -> None:
+        self.inner.set_observer(observer)
 
     def set_peers(self, addresses: Dict[ProcessId, Any]) -> None:
         self.inner.set_peers(addresses)

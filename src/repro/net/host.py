@@ -186,6 +186,7 @@ class NodeHost:
         self.undecodable_frames = 0
         self.misrouted_frames = 0
         transport.set_receiver(self._on_frame)
+        transport.set_observer(self._on_transport_event)
 
     # ----------------------------------------------------------------- wiring
     def attach(self, component) -> Any:
@@ -228,6 +229,12 @@ class NodeHost:
             self.misrouted_frames += 1
             return
         self._deliver(msg)
+
+    def _on_transport_event(self, event: str, **fields: Any) -> None:
+        """Land transport incidents (``net.peer_unreachable``, ...) in the
+        trace, timestamped on this host's clock."""
+        if self.trace.wants(event):
+            self.trace.record(self.clock.now, event, self.pid, **fields)
 
     def _deliver(self, msg: Message) -> None:
         net = self.world.network

@@ -15,6 +15,15 @@ and protocol messages are re-sendable via stubborn channels.  A TCP
 transport therefore behaves like a *fair-lossy* link under churn and a
 reliable FIFO link in steady state — both regimes the algorithms are
 proven for.
+
+Retries are **bounded**: after ``max_connect_attempts`` consecutive
+failed connects the peer is declared unreachable — its queued frames are
+dropped (counted in ``dropped_frames``) and a ``net.peer_unreachable``
+incident is reported through the transport observer, so a ``kill -9``'d
+peer turns into dropped messages plus a trace event instead of a writer
+task wedged on a growing queue.  Fresh traffic to that peer re-arms the
+attempt budget: under crash-stop the peer never returns and the cycle
+repeats cheaply; under churn a recovered peer is picked back up.
 """
 
 from __future__ import annotations
@@ -46,6 +55,7 @@ class TCPTransport(Transport):
         queue_limit: int = 1024,
         backoff_initial: float = 0.05,
         backoff_max: float = 2.0,
+        max_connect_attempts: int = 6,
     ) -> None:
         super().__init__(pid)
         self.host = host
@@ -53,6 +63,7 @@ class TCPTransport(Transport):
         self.queue_limit = queue_limit
         self.backoff_initial = backoff_initial
         self.backoff_max = backoff_max
+        self.max_connect_attempts = max_connect_attempts
         self._server: Optional[asyncio.AbstractServer] = None
         self._queues: Dict[ProcessId, Deque[bytes]] = {}
         self._kick: Dict[ProcessId, asyncio.Event] = {}
@@ -60,6 +71,8 @@ class TCPTransport(Transport):
         self._readers: Set[asyncio.Task] = set()
         self.reconnects = 0
         self.shed_frames = 0
+        self.dropped_frames = 0
+        self.unreachable_peers = 0
 
     # -------------------------------------------------------------- lifecycle
     async def bind(self) -> None:
@@ -104,8 +117,9 @@ class TCPTransport(Transport):
         self._kick[dst].set()
 
     async def _writer_loop(self, dst: ProcessId) -> None:
-        """Own the single outgoing connection to *dst*; reconnect forever."""
+        """Own the single outgoing connection to *dst*; bounded reconnect."""
         backoff = self.backoff_initial
+        attempts = 0  # consecutive failed connects in the current burst
         writer: Optional[asyncio.StreamWriter] = None
         queue = self._queues[dst]
         kick = self._kick[dst]
@@ -123,9 +137,26 @@ class TCPTransport(Transport):
                     try:
                         _, writer = await asyncio.open_connection(*tuple(addr))
                         backoff = self.backoff_initial
+                        attempts = 0
                     except OSError:
                         self.send_errors += 1
                         self.reconnects += 1
+                        attempts += 1
+                        if attempts >= self.max_connect_attempts:
+                            # Peer declared unreachable: flush its queue so
+                            # sends degrade to drops (fair-lossy), never a
+                            # wedged writer.  New traffic re-arms the budget.
+                            dropped = len(queue)
+                            queue.clear()
+                            self.dropped_frames += dropped
+                            self.unreachable_peers += 1
+                            self._notify(
+                                "net.peer_unreachable",
+                                peer=dst, attempts=attempts, dropped=dropped,
+                            )
+                            backoff = self.backoff_initial
+                            attempts = 0
+                            continue
                         await asyncio.sleep(backoff)
                         backoff = min(backoff * 2, self.backoff_max)
                         continue

@@ -37,6 +37,9 @@ from ..types import ProcessId
 __all__ = ["Transport", "LoopbackHub", "LoopbackTransport"]
 
 Receiver = Callable[[bytes], None]
+#: ``observer(event, **fields)`` — transport-level incidents (e.g.
+#: ``net.peer_unreachable``); event names must be registered trace kinds.
+Observer = Callable[..., None]
 
 
 class Transport(ABC):
@@ -45,6 +48,7 @@ class Transport(ABC):
     def __init__(self, pid: ProcessId) -> None:
         self.pid = pid
         self._receiver: Optional[Receiver] = None
+        self._observer: Optional[Observer] = None
         self._peers: Dict[ProcessId, Any] = {}
         self.closed = False
         # Cheap counters, mirrored after sim.Network's always-on ones.
@@ -58,6 +62,16 @@ class Transport(ABC):
     def set_receiver(self, receiver: Receiver) -> None:
         """Install the callback invoked (in the loop thread) per frame."""
         self._receiver = receiver
+
+    def set_observer(self, observer: Observer) -> None:
+        """Install the callback invoked per transport incident.
+
+        The :class:`~repro.net.host.NodeHost` installs one that records
+        each incident as a trace event at the host clock's current time,
+        so transport trouble (dead peers, exhausted retries) lands in the
+        same stream the analysis layer already reads.
+        """
+        self._observer = observer
 
     def set_peers(self, addresses: Dict[ProcessId, Any]) -> None:
         """Learn every node's address (including our own, which is ignored)."""
@@ -89,6 +103,11 @@ class Transport(ABC):
         self.frames_received += 1
         self.bytes_received += len(data)
         self._receiver(data)
+
+    def _notify(self, event: str, **fields: Any) -> None:
+        """Report one incident to the observer (no-op when none installed)."""
+        if self._observer is not None:
+            self._observer(event, **fields)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         state = "closed" if self.closed else "open"

@@ -1,0 +1,38 @@
+"""Multi-process clusters: one OS process per node, real ``kill -9``.
+
+Everything before this package runs the paper's algorithms inside one
+process — the simulator in virtual time, :class:`~repro.cluster.local
+.LocalCluster` on one asyncio loop.  Here the failure model is enforced
+by the operating system instead: each node is its own ``repro node``
+process (:mod:`~repro.proc.node`), membership is a static JSON address
+book (:mod:`~repro.proc.book`), crashes are genuine ``SIGKILL``\\ s
+delivered by the :class:`ProcessCluster` launcher
+(:mod:`~repro.proc.launcher`), and analysis happens postmortem by
+merging the per-process JSONL traces.
+
+The launcher implements the same :class:`~repro.cluster.api.ClusterAPI`
+as ``LocalCluster``, so one harness drives both::
+
+    cluster = ProcessCluster(3, transport="udp", duration=6.0,
+                             propose_after=1.0)
+    cluster.crash(0, at=2.5)            # kill -9 the initial leader
+    await cluster.start()
+    await cluster.wait_quiescent()
+    await cluster.stop()
+    assert verdicts_ok(cluster.verdicts())
+"""
+
+from __future__ import annotations
+
+from .book import AddressBook, NodeAddress, PROC_TRANSPORTS
+from .launcher import ProcessCluster
+from .node import build_node, run_node
+
+__all__ = [
+    "AddressBook",
+    "NodeAddress",
+    "PROC_TRANSPORTS",
+    "ProcessCluster",
+    "build_node",
+    "run_node",
+]

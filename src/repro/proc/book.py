@@ -1,0 +1,185 @@
+"""The address book: one JSON document describing a process cluster.
+
+A multi-process run has no shared Python objects, so everything every
+node must agree on travels in one static JSON file — the classic static
+membership assumption of the paper (all *n* identities known up front;
+only crashes change the picture):
+
+.. code-block:: json
+
+    {
+      "n": 3,
+      "transport": "udp",
+      "stack": "ring",
+      "period": 0.05,
+      "initial_timeout": 0.12,
+      "timeout_increment": 0.05,
+      "seed": 0,
+      "codec": "auto",
+      "duration": 6.0,
+      "propose_after": 1.0,
+      "nodes": [
+        {"pid": 0, "host": "127.0.0.1", "port": 42001},
+        {"pid": 1, "host": "127.0.0.1", "port": 42002},
+        {"pid": 2, "host": "127.0.0.1", "port": 42003}
+      ]
+    }
+
+``repro node --book cluster.json --pid 2`` reads this, binds pid 2's
+socket, and runs that one node; the :class:`~repro.proc.ProcessCluster`
+launcher writes the file before spawning anything.  For a multi-machine
+deployment you write the book by hand (real hosts instead of loopback)
+and start one ``repro node`` per box.
+
+:meth:`AddressBook.allocate` builds a loopback book with genuinely free
+ports by binding each one to port 0 and reading back the kernel's choice
+— the ports are released again before the nodes start, which is racy in
+principle but reliable for single-machine test runs.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from ..errors import ConfigurationError
+from ..types import ProcessId, Time
+
+__all__ = ["NodeAddress", "AddressBook", "PROC_TRANSPORTS"]
+
+#: Transports that cross process boundaries (no loopback hub here).
+PROC_TRANSPORTS = ("udp", "tcp")
+
+_STACKS = ("ring", "heartbeat")
+_CODECS = ("auto", "json", "msgpack")
+
+
+@dataclass
+class NodeAddress:
+    """Where one node listens."""
+
+    pid: ProcessId
+    host: str
+    port: int
+
+
+@dataclass
+class AddressBook:
+    """Everything a node needs to join a process cluster (see module doc)."""
+
+    n: int
+    transport: str = "udp"
+    stack: str = "ring"
+    period: Time = 0.05
+    initial_timeout: Optional[Time] = None
+    timeout_increment: Optional[Time] = None
+    seed: int = 0
+    codec: str = "auto"
+    duration: Time = 6.0
+    propose_after: Optional[Time] = None
+    nodes: List[NodeAddress] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.n < 1:
+            raise ConfigurationError(f"n must be >= 1, got {self.n}")
+        if self.transport not in PROC_TRANSPORTS:
+            raise ConfigurationError(
+                f"unknown transport {self.transport!r} for a process "
+                f"cluster; pick one of {PROC_TRANSPORTS} (loopback cannot "
+                "cross process boundaries)"
+            )
+        if self.stack not in _STACKS:
+            raise ConfigurationError(
+                f"unknown stack {self.stack!r}; pick one of {_STACKS}"
+            )
+        if self.codec not in _CODECS:
+            raise ConfigurationError(
+                f"unknown codec {self.codec!r}; pick one of {_CODECS}"
+            )
+        # Same scaling rule as LocalCluster.deploy_standard_stack: the
+        # paper's timeout ≈ 2.4 periods, increment = one period.
+        if self.initial_timeout is None:
+            self.initial_timeout = 2.4 * self.period
+        if self.timeout_increment is None:
+            self.timeout_increment = self.period
+        self.nodes = [
+            NodeAddress(**entry) if isinstance(entry, dict) else entry
+            for entry in self.nodes
+        ]
+        if self.nodes:
+            pids = sorted(entry.pid for entry in self.nodes)
+            if pids != list(range(self.n)):
+                raise ConfigurationError(
+                    f"address book must cover pids 0..{self.n - 1} exactly, "
+                    f"got {pids}"
+                )
+
+    # ----------------------------------------------------------------- access
+    def address(self, pid: ProcessId) -> Tuple[str, int]:
+        """The ``(host, port)`` pair node *pid* listens on."""
+        for entry in self.nodes:
+            if entry.pid == pid:
+                return (entry.host, entry.port)
+        raise ConfigurationError(f"pid {pid} not in the address book")
+
+    def addresses(self) -> Dict[ProcessId, Tuple[str, int]]:
+        """The full peer map, the shape ``Transport.set_peers`` takes."""
+        return {entry.pid: (entry.host, entry.port) for entry in self.nodes}
+
+    # -------------------------------------------------------------- (de)serde
+    def to_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "AddressBook":
+        known = {f for f in cls.__dataclass_fields__}  # type: ignore[attr-defined]
+        unknown = set(data) - known
+        if unknown:
+            raise ConfigurationError(
+                f"unknown address-book keys: {sorted(unknown)}"
+            )
+        return cls(**data)
+
+    def save(self, path: Union[str, Path]) -> Path:
+        path = Path(path)
+        path.write_text(json.dumps(self.to_dict(), indent=2) + "\n")
+        return path
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "AddressBook":
+        path = Path(path)
+        try:
+            data = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise ConfigurationError(f"cannot read address book {path}: {exc}")
+        return cls.from_dict(data)
+
+    # ------------------------------------------------------------- allocation
+    @classmethod
+    def allocate(
+        cls, n: int, host: str = "127.0.0.1", transport: str = "udp",
+        **settings: Any,
+    ) -> "AddressBook":
+        """Build a single-machine book with *n* kernel-chosen free ports."""
+        kind = (
+            socket.SOCK_DGRAM if transport == "udp" else socket.SOCK_STREAM
+        )
+        nodes: List[NodeAddress] = []
+        probes: List[socket.socket] = []
+        try:
+            # Hold all probes open until every port is chosen so the kernel
+            # cannot hand the same port out twice.
+            for pid in range(n):
+                probe = socket.socket(socket.AF_INET, kind)
+                probe.bind((host, 0))
+                probes.append(probe)
+                nodes.append(
+                    NodeAddress(pid=pid, host=host, port=probe.getsockname()[1])
+                )
+        finally:
+            for probe in probes:
+                probe.close()
+        return cls(n=n, transport=transport, nodes=nodes, **settings)

@@ -1,0 +1,346 @@
+""":class:`ProcessCluster` — one OS process per node, ``kill -9`` crashes.
+
+The launcher is the multi-process implementation of the unified
+:class:`~repro.cluster.api.ClusterAPI`:
+
+1. **spawn** — :meth:`start` allocates an address book with free ports,
+   writes it to the working directory, and spawns one ``python -m repro
+   node`` subprocess per pid, each shipping its trace to
+   ``node-<pid>.jsonl`` and logging to ``node-<pid>.log``;
+2. **crash** — :meth:`crash` delivers ``SIGKILL`` at the scheduled wall
+   offset.  Nothing cooperative happens on the victim: no signal handler,
+   no flush, no goodbye message — the OS enforces the paper's crash-stop
+   model and the launcher remembers the wall time of the kill;
+3. **postmortem** — after :meth:`wait_quiescent` and :meth:`stop`,
+   :meth:`traces` reads the shipped JSONL files (tolerating a torn final
+   line on killed nodes), merges them on a common time base via
+   :func:`repro.obs.merge.merge_traces`, and injects a synthetic
+   ``crash`` event per kill — victims cannot record their own death, but
+   the property checkers need the failure pattern — so
+   :meth:`verdicts` judges the run with exactly the code that judges
+   in-process clusters.
+
+Restarts are deliberately unsupported: a killed pid stays killed
+(crash-stop, not crash-recovery).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from ..errors import ConfigurationError
+from ..cluster.api import standard_verdicts
+from ..obs.events import TraceEvent
+from ..obs.merge import MergeReport, merge_traces
+from ..obs.reader import TraceFile, iter_trace_events
+from ..obs.sinks import MemorySink
+from ..types import ProcessId, Time
+from .book import AddressBook
+
+__all__ = ["ProcessCluster"]
+
+
+def _read_trace_lenient(path: Path) -> TraceFile:
+    """Read one shipped trace, keeping the intact prefix of a torn file.
+
+    A ``kill -9`` can land mid-write; the sink is line-buffered so at most
+    the final line is garbage.  Everything before the first undecodable
+    line is kept — for a crash-stop victim that *is* its trace.
+    """
+    stream = iter_trace_events(path)
+    header = next(stream)
+    events: List[TraceEvent] = []
+    try:
+        for event in stream:
+            events.append(event)  # type: ignore[arg-type]
+    except ConfigurationError:
+        pass  # torn trailing line
+    return TraceFile(
+        events=events,
+        node=header.get("node"),
+        epoch_wall=float(header.get("epoch_wall", 0.0)),
+        epoch_mono=float(header.get("epoch_mono", 0.0)),
+        path=path,
+        header=header,
+    )
+
+
+class ProcessCluster:
+    """*n* ``repro node`` subprocesses under the unified cluster API.
+
+    Parameters mirror :class:`~repro.cluster.local.LocalCluster` where
+    they overlap; the rest configure the spawned processes:
+
+    Parameters:
+        n / transport / stack / period / seed / codec: forwarded into the
+            address book every node reads (UDP or TCP only — loopback
+            cannot cross process boundaries).
+        duration: how long each node runs before exiting 0.  The whole
+            scenario is scripted up front; there is no live orchestration
+            channel into a foreign process.
+        propose_after: when set, every (surviving) node proposes
+            ``value-from-p<pid>`` at that cluster time.
+        workdir: where the book, traces, and logs land; a temporary
+            directory by default (kept for debugging, path in
+            :attr:`workdir`).
+        host: listening interface for every node.
+        python: interpreter for the subprocesses (default:
+            ``sys.executable``).
+    """
+
+    def __init__(
+        self,
+        n: int,
+        transport: str = "udp",
+        stack: str = "ring",
+        period: Time = 0.05,
+        duration: Time = 6.0,
+        propose_after: Optional[Time] = None,
+        initial_timeout: Optional[Time] = None,
+        timeout_increment: Optional[Time] = None,
+        seed: int = 0,
+        codec: str = "auto",
+        workdir: Optional[Union[str, Path]] = None,
+        host: str = "127.0.0.1",
+        python: Optional[str] = None,
+    ) -> None:
+        # Validate early (n, transport, stack, codec) by building a
+        # node-less book; ports are allocated at start().
+        AddressBook(n=n, transport=transport, stack=stack, codec=codec)
+        self.n = n
+        self.transport = transport
+        self.stack = stack
+        self.period = period
+        self.duration = duration
+        self.propose_after = propose_after
+        self.initial_timeout = initial_timeout
+        self.timeout_increment = timeout_increment
+        self.seed = seed
+        self.codec = codec
+        self.host = host
+        self.python = python if python is not None else sys.executable
+        self.workdir = Path(
+            workdir if workdir is not None
+            else tempfile.mkdtemp(prefix="repro-proc-")
+        )
+        self.book: Optional[AddressBook] = None
+        self.procs: Dict[ProcessId, subprocess.Popen] = {}
+        self.exit_statuses: Dict[ProcessId, Optional[int]] = {}
+        self._logs: Dict[ProcessId, Any] = {}
+        self._killed: set = set()
+        self._kill_walls: Dict[ProcessId, float] = {}
+        self._pending_crashes: List[tuple] = []
+        self._crash_timers: List[asyncio.TimerHandle] = []
+        self._started = False
+        self._stopped = False
+        self._t0: Optional[float] = None
+        self._postmortem: Optional[MergeReport] = None
+        self._trace_cache: Optional[MemorySink] = None
+
+    # ---------------------------------------------------------------- basics
+    @property
+    def pids(self) -> range:
+        return range(self.n)
+
+    @property
+    def correct_pids(self) -> frozenset:
+        """Pids never killed (crash-stop: killed means gone for good)."""
+        return frozenset(pid for pid in self.pids if pid not in self._killed)
+
+    @property
+    def trace_files(self) -> List[Path]:
+        return [self.workdir / f"node-{pid}.jsonl" for pid in self.pids]
+
+    def log_file(self, pid: ProcessId) -> Path:
+        return self.workdir / f"node-{pid}.log"
+
+    # -------------------------------------------------------------- lifecycle
+    async def start(self) -> None:
+        """Write the book, spawn every node, arm the crash schedule."""
+        if self._started:
+            raise ConfigurationError("cluster already started")
+        self._started = True
+        self.workdir.mkdir(parents=True, exist_ok=True)
+        self.book = AddressBook.allocate(
+            self.n,
+            host=self.host,
+            transport=self.transport,
+            stack=self.stack,
+            period=self.period,
+            initial_timeout=self.initial_timeout,
+            timeout_increment=self.timeout_increment,
+            seed=self.seed,
+            codec=self.codec,
+            duration=self.duration,
+            propose_after=self.propose_after,
+        )
+        book_path = self.book.save(self.workdir / "book.json")
+        env = dict(os.environ)
+        # The children must import the same repro tree as the launcher,
+        # installed or not.
+        src_root = str(Path(__file__).resolve().parents[2])
+        existing = env.get("PYTHONPATH")
+        env["PYTHONPATH"] = (
+            src_root if not existing else src_root + os.pathsep + existing
+        )
+        for pid in self.pids:
+            log = open(self.log_file(pid), "w", encoding="utf-8")
+            self._logs[pid] = log
+            self.procs[pid] = subprocess.Popen(
+                [
+                    self.python, "-m", "repro", "node",
+                    "--book", str(book_path),
+                    "--pid", str(pid),
+                    "--trace-out", str(self.workdir / f"node-{pid}.jsonl"),
+                ],
+                stdout=log, stderr=subprocess.STDOUT, env=env,
+            )
+        self._t0 = time.monotonic()
+        loop = asyncio.get_running_loop()
+        for pid, at in self._pending_crashes:
+            self._arm_crash(loop, pid, at)
+        self._pending_crashes.clear()
+
+    @property
+    def elapsed(self) -> float:
+        """Wall seconds since the nodes were spawned (0 before start)."""
+        return 0.0 if self._t0 is None else time.monotonic() - self._t0
+
+    def crash(self, pid: ProcessId, at: Optional[Time] = None) -> None:
+        """``kill -9`` node *pid* at wall offset *at* from cluster start.
+
+        ``at=None`` means now.  Callable before :meth:`start` (the whole
+        failure pattern is usually scripted up front) or while running.
+        Killed nodes never restart.
+        """
+        if not 0 <= pid < self.n:
+            raise ConfigurationError(f"pid {pid} out of range for n={self.n}")
+        if not self._started:
+            self._pending_crashes.append((pid, at))
+            return
+        self._arm_crash(asyncio.get_running_loop(), pid, at)
+
+    def _arm_crash(
+        self, loop: asyncio.AbstractEventLoop, pid: ProcessId, at: Optional[Time]
+    ) -> None:
+        delay = 0.0 if at is None else max(0.0, at - self.elapsed)
+        if delay <= 0.0:
+            self._kill_now(pid)
+        else:
+            self._crash_timers.append(loop.call_later(delay, self._kill_now, pid))
+
+    def _kill_now(self, pid: ProcessId) -> None:
+        """The actual ``kill -9``: no warning, no cleanup on the victim."""
+        proc = self.procs.get(pid)
+        if proc is None or proc.poll() is not None or pid in self._killed:
+            return
+        os.kill(proc.pid, signal.SIGKILL)
+        self._killed.add(pid)
+        self._kill_walls[pid] = time.time()
+
+    def poll(self) -> Dict[ProcessId, Optional[int]]:
+        """Liveness snapshot: pid -> exit status (``None`` = still running)."""
+        return {pid: proc.poll() for pid, proc in self.procs.items()}
+
+    async def wait_quiescent(self, timeout: Optional[Time] = None) -> bool:
+        """Wait until every node process has exited (died or finished).
+
+        Default *timeout* is the scenario duration plus a grace period.
+        Returns whether full quiescence was reached in time.
+        """
+        if not self._started:
+            raise ConfigurationError("cluster not started")
+        if timeout is None:
+            timeout = self.duration + 10.0
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            statuses = self.poll()
+            if all(status is not None for status in statuses.values()):
+                return True
+            await asyncio.sleep(0.05)
+        return all(status is not None for status in self.poll().values())
+
+    async def stop(self) -> None:
+        """Reap everything: kill stragglers, collect exit statuses, close
+        logs.  Idempotent."""
+        if self._stopped:
+            return
+        self._stopped = True
+        for timer in self._crash_timers:
+            timer.cancel()
+        self._crash_timers.clear()
+        for pid, proc in self.procs.items():
+            if proc.poll() is None:
+                proc.kill()  # launcher cleanup, not part of the crash model
+            proc.wait()
+            self.exit_statuses[pid] = proc.returncode
+        for log in self._logs.values():
+            log.close()
+        self._logs.clear()
+
+    # ------------------------------------------------------------ postmortem
+    def merge_report(self) -> MergeReport:
+        """Merge the shipped traces (cached); see :mod:`repro.obs.merge`."""
+        if self._postmortem is None:
+            files = [
+                _read_trace_lenient(path)
+                for path in self.trace_files
+                if path.exists()
+            ]
+            if not files:
+                raise ConfigurationError(
+                    f"no trace files under {self.workdir} — did the nodes "
+                    "start? check the node-*.log files"
+                )
+            self._postmortem = merge_traces(files)
+        return self._postmortem
+
+    def traces(self) -> MemorySink:
+        """The merged postmortem stream, with synthetic ``crash`` events.
+
+        A ``kill -9`` victim cannot record its own death, so the launcher
+        injects one ``crash`` event per kill at the kill's wall time
+        rebased onto the merged time base — the property checkers then
+        see the same failure-pattern shape an in-process run records.
+        """
+        if self._trace_cache is not None:
+            return self._trace_cache
+        report = self.merge_report()
+        events = list(report.trace)
+        base = min(f.epoch_wall for f in report.files)
+        for pid, wall in self._kill_walls.items():
+            events.append(
+                TraceEvent(
+                    time=max(0.0, wall - base), kind="crash", pid=pid,
+                    data={"signal": "SIGKILL"},
+                )
+            )
+        events.sort(key=lambda event: event.time)
+        merged = MemorySink()
+        merged.extend(events)
+        self._trace_cache = merged
+        return merged
+
+    def verdicts(self, channel: str = "fd", algo: str = "ec") -> Dict[str, Any]:
+        """Machine-checked FD + consensus properties of the merged run."""
+        return standard_verdicts(
+            self.traces(), self.correct_pids, channel=channel, algo=algo,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = (
+            "stopped" if self._stopped
+            else "running" if self._started else "new"
+        )
+        return (
+            f"<ProcessCluster n={self.n} transport={self.transport} "
+            f"{state} workdir={self.workdir}>"
+        )

@@ -1,0 +1,110 @@
+"""One node per OS process: the ``repro node`` entrypoint.
+
+This is the runtime half of the multi-process story: read the address
+book, bind this pid's socket, attach the paper's standard stack on a
+single :class:`~repro.net.host.NodeHost`, ship the trace to a per-node
+JSONL file, run for the configured duration, exit 0.  Everything the
+node does is self-driving — proposals fire from the book's
+``propose_after``, timers run on a wall :class:`AsyncioClock` — because
+a process cluster has no in-process orchestrator to poke components.
+
+Crashes are *not* handled here, and that is the point: the launcher
+``kill -9``'s the process, the OS reclaims the sockets, and the peers
+observe genuine silence.  The node never traps signals, so there is no
+cooperative-shutdown path that could soften the failure model.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+from ..net.clock import AsyncioClock
+from ..net.codec import default_codec
+from ..net.host import NodeHost
+from ..net.tcp import TCPTransport
+from ..net.udp import UDPTransport
+from ..obs.sinks import JsonlSink, MemorySink, TraceSink
+from ..cluster.local import attach_node_stack
+from ..types import ProcessId
+from .book import AddressBook
+
+__all__ = ["build_node", "run_node"]
+
+
+def build_node(
+    book: AddressBook,
+    pid: ProcessId,
+    trace: Optional[TraceSink] = None,
+) -> NodeHost:
+    """Assemble (but do not start) node *pid* of the cluster in *book*.
+
+    The host gets its listening address from the book, the paper's
+    standard stack attached (``book.stack`` selects the ◇S source), and
+    *trace* as its sink (an in-memory one by default).  Components by
+    role are available as ``host.stacks`` afterwards.
+    """
+    host_addr, port = book.address(pid)
+    if book.transport == "udp":
+        transport: Any = UDPTransport(pid, host=host_addr, port=port)
+    else:
+        transport = TCPTransport(pid, host=host_addr, port=port)
+    prefer = None if book.codec == "auto" else book.codec
+    host = NodeHost(
+        pid, book.n, transport,
+        clock=AsyncioClock(),
+        codec=default_codec(prefer=prefer),
+        trace=trace if trace is not None else MemorySink(),
+        seed=book.seed,
+    )
+    host.stacks = attach_node_stack(  # type: ignore[attr-defined]
+        host.attach,
+        suspects=book.stack,
+        period=book.period,
+        initial_timeout=book.initial_timeout,
+        timeout_increment=book.timeout_increment,
+    )
+    return host
+
+
+async def run_node(
+    book: AddressBook,
+    pid: ProcessId,
+    trace_out: Optional[Union[str, Path]] = None,
+    duration: Optional[float] = None,
+) -> Dict[str, int]:
+    """Run node *pid* to completion; returns transport counters.
+
+    The lifecycle mirrors one slot of ``LocalCluster.start()``: bind,
+    learn the peer map, rebase trace time zero, start components,
+    schedule the proposal round, sleep out the duration, tear down.
+    """
+    sink: TraceSink
+    if trace_out is not None:
+        sink = JsonlSink(Path(trace_out), node=pid)
+    else:
+        sink = MemorySink()
+    host = build_node(book, pid, trace=sink)
+    await host.transport.bind()
+    host.transport.set_peers(book.addresses())
+    host.clock.rebase()  # trace time 0 = the instant this node starts
+    if isinstance(sink, JsonlSink):
+        sink.rebase_epoch()
+    host.start()
+    if book.propose_after is not None:
+        protocol = host.stacks.get("consensus")  # type: ignore[attr-defined]
+        if protocol is not None:
+            host.clock.schedule_at(
+                book.propose_after,
+                lambda: protocol.propose(f"value-from-p{pid}"),
+            )
+    run_for = duration if duration is not None else book.duration
+    await asyncio.sleep(run_for)
+    await host.transport.close()
+    sink.close()
+    return {
+        "frames_sent": host.transport.frames_sent,
+        "frames_received": host.transport.frames_received,
+        "send_errors": host.transport.send_errors,
+    }

@@ -1,0 +1,131 @@
+"""The unified ClusterAPI: protocol conformance, shared verdicts, and the
+virtual-clock LocalCluster driven through the same harness a
+ProcessCluster uses."""
+
+import asyncio
+
+import pytest
+
+from repro.cluster import (
+    ClusterAPI,
+    LocalCluster,
+    ProcessCluster,
+    standard_verdicts,
+    verdicts_ok,
+)
+from repro.errors import ConfigurationError
+from repro.obs.sinks import MemorySink
+
+SIM_SCALE = dict(period=5.0, initial_timeout=12.0, timeout_increment=5.0)
+
+
+async def run_scenario(cluster, crash_pid, crash_at):
+    """The one harness both cluster types satisfy (ISSUE acceptance)."""
+    cluster.crash(crash_pid, at=crash_at)
+    await cluster.start()
+    quiescent = await cluster.wait_quiescent()
+    await cluster.stop()
+    return quiescent, cluster.traces(), cluster.verdicts()
+
+
+def make_virtual_cluster(**overrides):
+    settings = dict(n=3, clock="virtual", duration=400.0)
+    settings.update(overrides)
+    cluster = LocalCluster(**settings)
+    cluster.deploy_standard_stack(propose_after=100.0, **SIM_SCALE)
+    return cluster
+
+
+# ----------------------------------------------------------- the protocol
+def test_both_implementations_satisfy_cluster_api():
+    local = LocalCluster(n=2, clock="virtual")
+    proc = ProcessCluster(n=2)
+    assert isinstance(local, ClusterAPI)
+    assert isinstance(proc, ClusterAPI)
+
+
+def test_cluster_api_rejects_partial_implementations():
+    class NotACluster:
+        n = 3
+
+        async def start(self):  # missing the rest of the surface
+            pass
+
+    assert not isinstance(NotACluster(), ClusterAPI)
+
+
+# ------------------------------------------ LocalCluster under the harness
+def test_virtual_local_cluster_through_unified_harness():
+    cluster = make_virtual_cluster()
+    quiescent, trace, verdicts = asyncio.run(
+        run_scenario(cluster, crash_pid=0, crash_at=60.0)
+    )
+    assert quiescent
+    assert isinstance(trace, MemorySink)
+    assert cluster.correct_pids == frozenset({1, 2})
+    assert trace.count("crash") == 1
+    assert verdicts_ok(verdicts), verdicts
+    # The verdict keys are the shared postmortem's flat namespace.
+    assert {"fd.completeness", "fd.omega", "consensus.termination"} <= set(
+        verdicts
+    )
+
+
+def test_crash_now_before_start_kills_at_time_zero():
+    cluster = make_virtual_cluster()
+    cluster.crash(0)  # at=None before start: dead from the very beginning
+    asyncio.run(run_scenario(cluster, crash_pid=1, crash_at=60.0))
+    assert cluster.correct_pids == frozenset({2})
+
+
+def test_crash_validates_pid():
+    cluster = make_virtual_cluster()
+    with pytest.raises(ConfigurationError):
+        cluster.crash(99)
+
+
+def test_wait_quiescent_without_duration_needs_timeout():
+    cluster = LocalCluster(n=2)  # wall clock, no duration
+
+    async def drive():
+        await cluster.start()
+        try:
+            with pytest.raises(ConfigurationError):
+                await cluster.wait_quiescent()
+        finally:
+            await cluster.stop()
+
+    asyncio.run(drive())
+
+
+def test_wait_quiescent_all_crashed():
+    cluster = LocalCluster(n=2, clock="virtual")
+    cluster.crash(0, at=10.0)
+    cluster.crash(1, at=20.0)
+
+    async def drive():
+        await cluster.start()
+        return await cluster.wait_quiescent()
+
+    assert asyncio.run(drive()) is True
+    assert cluster.correct_pids == frozenset()
+
+
+# ------------------------------------------------------- shared postmortem
+def test_standard_verdicts_accepts_any_trace_source(tmp_path):
+    cluster = make_virtual_cluster(trace_out=str(tmp_path / "trace.jsonl"))
+    asyncio.run(run_scenario(cluster, crash_pid=0, crash_at=60.0))
+    live = standard_verdicts(cluster.trace, cluster.correct_pids)
+    shipped = standard_verdicts(
+        str(tmp_path / "trace.jsonl"), cluster.correct_pids
+    )
+    assert {k: bool(v) for k, v in live.items()} == {
+        k: bool(v) for k, v in shipped.items()
+    }
+    assert verdicts_ok(live)
+
+
+def test_verdicts_ok_fails_on_any_violation():
+    assert verdicts_ok({"a": True, "b": 1})
+    assert not verdicts_ok({"a": True, "b": False})
+    assert verdicts_ok({})

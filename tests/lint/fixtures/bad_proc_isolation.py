@@ -1,0 +1,12 @@
+"""Bad: OS-process management outside repro.proc."""
+
+import os
+import subprocess
+
+
+def restart_node(book, pid):
+    subprocess.run(["repro", "node", "--book", book, "--pid", str(pid)])
+
+
+def crash_node(os_pid):
+    os.kill(os_pid, 9)

@@ -1,0 +1,13 @@
+"""Good: crashes go through the launcher, which tracks the failure
+pattern for the postmortem checkers."""
+
+
+def crash_leader(cluster, leader_pid, at):
+    cluster.crash(leader_pid, at=at)
+
+
+async def run_scenario(cluster):
+    await cluster.start()
+    await cluster.wait_quiescent()
+    await cluster.stop()
+    return cluster.verdicts()

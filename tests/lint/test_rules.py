@@ -36,6 +36,7 @@ CASES = [
     ),
     ("payload-encodability", "bad_payload.py", 3, "good_payload.py"),
     ("trace-schema", "bad_trace_schema.py", 3, "good_trace_schema.py"),
+    ("proc-isolation", "bad_proc_isolation.py", 2, "good_proc_isolation.py"),
 ]
 
 

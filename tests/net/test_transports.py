@@ -113,6 +113,36 @@ def test_tcp_sheds_oldest_when_peer_unreachable():
     asyncio.run(scenario())
 
 
+def test_tcp_bounded_retry_declares_peer_unreachable():
+    async def scenario():
+        incidents = []
+        a = TCPTransport(0, backoff_initial=0.01, max_connect_attempts=3)
+        await a.bind()
+        a.set_observer(lambda event, **f: incidents.append((event, f)))
+        # A genuinely dead port: bind a listener, note the address, close it.
+        probe = TCPTransport(1)
+        await probe.bind()
+        dead = probe.local_address
+        await probe.close()
+        a.set_peers({0: a.local_address, 1: dead})
+        for i in range(5):
+            a.send(1, b"frame-%d" % i)
+        assert await _drain(lambda: a.unreachable_peers >= 1)
+        assert a.dropped_frames == 5  # whole queue flushed, not shed
+        assert not a._queues[1]
+        assert incidents[0] == (
+            "net.peer_unreachable", {"peer": 1, "attempts": 3, "dropped": 5}
+        )
+        # Fresh traffic re-arms the attempt budget: the cycle repeats
+        # instead of the peer staying silently blacklisted.
+        a.send(1, b"again")
+        assert await _drain(lambda: a.unreachable_peers >= 2)
+        assert a.dropped_frames == 6
+        await a.close()
+
+    asyncio.run(scenario())
+
+
 @pytest.mark.parametrize("factory", [UDPTransport, TCPTransport],
                          ids=["udp", "tcp"])
 def test_send_after_close_is_noop(factory):

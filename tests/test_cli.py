@@ -1,8 +1,22 @@
 """Tests for the command-line interface."""
 
+import argparse
+
 import pytest
 
-from repro.cli import build_parser, main
+from repro.cli import _parse_crash_specs, build_parser, main
+from repro.errors import ConfigurationError
+
+#: The flags factored into the shared parent parser — `repro cluster` and
+#: `repro proc run` must agree on them exactly.
+SHARED_DESTS = ("transport", "stack", "trace_out", "duration", "crash")
+
+
+def _subcommands(parser):
+    return next(
+        action for action in parser._actions
+        if isinstance(action, argparse._SubParsersAction)
+    ).choices
 
 
 class TestParser:
@@ -23,6 +37,79 @@ class TestParser:
     def test_rejects_unknown_algo(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["consensus", "raft"])
+
+    def test_node_args(self):
+        args = build_parser().parse_args(
+            ["node", "--book", "cluster.json", "--pid", "2",
+             "--trace-out", "node-2.jsonl"]
+        )
+        assert args.book == "cluster.json"
+        assert args.pid == 2
+        assert args.trace_out == "node-2.jsonl"
+
+    def test_node_requires_book_and_pid(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["node", "--pid", "0"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["node", "--book", "cluster.json"])
+
+    def test_proc_run_args(self):
+        args = build_parser().parse_args(
+            ["proc", "run", "-n", "5", "--transport", "tcp",
+             "--duration", "2", "--crash", "0:1.5", "--crash", "3:1.8"]
+        )
+        assert args.nodes == 5
+        assert args.transport == "tcp"
+        assert args.duration == 2.0
+        assert args.crash == ["0:1.5", "3:1.8"]
+
+    def test_parse_crash_specs(self):
+        assert _parse_crash_specs(["0:1.5", "2:3"]) == [(0, 1.5), (2, 3.0)]
+        assert _parse_crash_specs([]) == []
+        for bad in ("1.5", "x:2", "0:y", "0:"):
+            with pytest.raises(ConfigurationError):
+                _parse_crash_specs([bad])
+
+
+class TestSharedClusterOptions:
+    """`repro cluster` and `repro proc run` share one options surface
+    (the parent-parser satellite): same flags, same help, same defaults."""
+
+    def _parsers(self):
+        top = _subcommands(build_parser())
+        return top["cluster"], _subcommands(top["proc"])["run"]
+
+    def _action(self, parser, dest):
+        matches = [a for a in parser._actions if a.dest == dest]
+        assert len(matches) == 1, f"{dest!r} defined {len(matches)} times"
+        return matches[0]
+
+    @pytest.mark.parametrize("dest", SHARED_DESTS)
+    def test_flag_parity(self, dest):
+        cluster, proc_run = self._parsers()
+        ours, theirs = self._action(cluster, dest), self._action(proc_run, dest)
+        assert ours.option_strings == theirs.option_strings
+        assert ours.help == theirs.help
+        assert ours.choices == theirs.choices
+        assert ours.default == theirs.default
+
+    def test_help_text_parity(self):
+        """The rendered --help blocks for the shared group are identical."""
+
+        def shared_block(parser):
+            groups = [
+                g for g in parser._action_groups
+                if g.title == "shared cluster options"
+            ]
+            assert len(groups) == 1
+            fmt = parser._get_formatter()
+            fmt.start_section(groups[0].title)
+            fmt.add_arguments(groups[0]._group_actions)
+            fmt.end_section()
+            return fmt.format_help()
+
+        cluster, proc_run = self._parsers()
+        assert shared_block(cluster) == shared_block(proc_run)
 
 
 class TestCommands:

@@ -15,8 +15,10 @@ EXAMPLES = sorted(
     (pathlib.Path(__file__).parent.parent / "examples").glob("*.py")
 )
 
-# Minutes-scale narrated runs; the fast tier (-m "not slow") skips them.
-SLOW_EXAMPLES = {"partition_and_recovery"}
+# Minutes-scale narrated runs (and the multi-process scenario, which
+# spends real wall seconds by design); the fast tier (-m "not slow")
+# skips them.
+SLOW_EXAMPLES = {"partition_and_recovery", "proc_cluster"}
 
 
 @pytest.mark.parametrize(

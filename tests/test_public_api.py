@@ -45,9 +45,52 @@ class TestPublicAPI:
         for module in (
             "repro.sim", "repro.fd", "repro.transform", "repro.broadcast",
             "repro.consensus", "repro.analysis", "repro.workloads",
-            "repro.core", "repro.cli",
+            "repro.core", "repro.cli", "repro.net", "repro.obs",
+            "repro.cluster", "repro.proc",
         ):
             importlib.import_module(module)
+
+    def test_unified_cluster_surface(self):
+        """The ClusterAPI contract and both implementations share a home."""
+        from repro.cluster import (
+            ClusterAPI, LocalCluster, ProcessCluster, standard_verdicts,
+            verdicts_ok,
+        )
+
+        for method in ("start", "stop", "crash", "wait_quiescent",
+                       "traces", "verdicts"):
+            assert hasattr(LocalCluster, method), method
+            assert hasattr(ProcessCluster, method), method
+        assert callable(standard_verdicts) and callable(verdicts_ok)
+        assert isinstance(ClusterAPI, type)
+
+    def test_local_cluster_old_home_warns(self):
+        """repro.net.cluster still works but carries a DeprecationWarning."""
+        import warnings
+
+        from repro.cluster import LocalCluster as canonical
+        from repro.net import cluster as old_home
+
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            assert old_home.LocalCluster is canonical
+        assert any(
+            issubclass(w.category, DeprecationWarning) for w in caught
+        )
+
+    def test_local_cluster_net_reexport_does_not_warn(self):
+        """`from repro.net import LocalCluster` stays first-class."""
+        import warnings
+
+        import repro.net as net
+        from repro.cluster import LocalCluster as canonical
+
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            assert net.LocalCluster is canonical
+        assert not [
+            w for w in caught if issubclass(w.category, DeprecationWarning)
+        ]
 
     def test_public_items_documented(self):
         """Every public callable/class reachable from the root has a
