@@ -1,9 +1,9 @@
 """N1 — the live runtime across transports (repro.net, not the simulator).
 
 Runs the full ◇C + ◇C→◇P + consensus stack on real asyncio event loops for
-each in-process transport (loopback, UDP, TCP on localhost): elect a
-leader, kill it, and measure wall-clock time to a surviving decision plus
-the wire traffic it took.  There is no paper row to match here — the
+each in-process transport (loopback, UDP, TCP on localhost), sweeping the
+system size: elect a leader, kill it, and measure wall-clock time to a
+surviving decision plus the wire traffic it took.  There is no paper row to match here — the
 benchmark exists to show the *same unchanged components* meeting the
 paper's guarantees outside virtual time, and to catch runtime-layer
 regressions (codec bloat, transport stalls).
@@ -16,12 +16,12 @@ from _harness import publish_table
 from repro.analysis import check_consensus, extract_outcome
 from repro.net import LocalCluster, attach_standard_stack
 
-N = 5
+NS = (5, 7, 9)
 PERIOD = 0.05
 
 
-async def _run(transport: str, seed: int = 7):
-    cluster = LocalCluster(n=N, transport=transport, seed=seed)
+async def _run(transport: str, n: int, seed: int = 7):
+    cluster = LocalCluster(n=n, transport=transport, seed=seed)
     stacks = attach_standard_stack(
         cluster, period=PERIOD,
         initial_timeout=2.4 * PERIOD, timeout_increment=PERIOD,
@@ -47,24 +47,25 @@ async def _run(transport: str, seed: int = 7):
     return ok, decide_latency, frames, payload
 
 
-def measure(transport: str):
-    return asyncio.run(_run(transport))
+def measure(transport: str, n: int = NS[0]):
+    return asyncio.run(_run(transport, n))
 
 
 def test_n1_live_transports(benchmark):
     rows = []
     for transport in ("loopback", "udp", "tcp"):
-        ok, latency, frames, payload = measure(transport)
-        rows.append((
-            transport, N, "yes" if ok else "NO",
-            f"{latency:.3f}", frames, payload,
-        ))
-        assert ok, transport
+        for n in NS:
+            ok, latency, frames, payload = measure(transport, n)
+            rows.append((
+                f"{transport}/n{n}", n, "yes" if ok else "NO",
+                f"{latency:.3f}", frames, payload,
+            ))
+            assert ok, (transport, n)
     publish_table(
         "n1_live_transports",
         f"N1 — live asyncio runtime, kill-the-leader scenario "
-        f"(n={N}, period={PERIOD}s wall)",
-        ["transport", "n", "decided+props", "s to decide after kill",
+        f"(n in {NS}, period={PERIOD}s wall)",
+        ["transport/n", "n", "decided+props", "s to decide after kill",
          "frames", "bytes"],
         rows,
         note="Same unchanged Component stacks as the simulator, hosted by "

@@ -1,8 +1,9 @@
 """Regenerate the example per-node traces in this directory.
 
 Runs the deterministic loopback scenario (n = 3, fixed 1.0 delays, leader
-p0 killed at t = 2.0, all proposals in flight) with per-node JSONL
-shipping, then fabricates disagreeing wall-clock epochs in the headers —
+p0 killed at t = 2.0, all proposals in flight, metrics snapshots every
+10.0) with per-node JSONL shipping, then fabricates disagreeing
+wall-clock epochs in the headers —
 node 0 "booted" 0.2 s after node 2, node 1 0.55 s after — so that
 
     python -m repro trace merge examples/traces/node-*.jsonl
@@ -32,6 +33,7 @@ def main():
     )
     stacks = attach_standard_stack(
         cluster, period=5.0, initial_timeout=12.0, timeout_increment=5.0,
+        metrics_interval=10.0,
     )
     cluster.start_virtual()
     for p in stacks["consensus"]:

@@ -34,6 +34,7 @@ from .metrics import (
     rounds_after_system,
     steady_state_message_rate,
 )
+from .qos import Mistake, QoSReport, qos_report, transformation_bound
 from .report import collect_results, render_report
 from .stats import Summary, geometric_mean, summarize
 from .timeline import leader_timeline, round_timeline, suspicion_timeline
@@ -66,6 +67,10 @@ __all__ = [
     "rounds_after",
     "rounds_after_system",
     "steady_state_message_rate",
+    "Mistake",
+    "QoSReport",
+    "qos_report",
+    "transformation_bound",
     "Summary",
     "collect_results",
     "render_report",

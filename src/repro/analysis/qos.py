@@ -1,0 +1,351 @@
+"""Chen-style QoS analysis of failure-detector runs, from any trace.
+
+The paper's efficiency story is quantitative: the Fig. 2 ◇C→◇P
+transformation costs 2(n−1) periodic messages (Section 4), the leader-based
+Ω costs n−1 (Section 6), the ring ◇P costs 2n with Θ(n) detection latency
+(Section 5).  This module turns a recorded run — simulated
+:class:`~repro.sim.world.World`, in-process :class:`~repro.cluster.local.
+LocalCluster`, or merged multi-process :class:`~repro.proc.launcher.
+ProcessCluster` trace, they all flow through :func:`repro.obs.as_trace` —
+into the standard quality-of-service numbers of Chen, Toueg & Aguilera
+("On the quality of service of failure detectors"):
+
+* **detection time** ``T_D`` — crash until every correct process suspects
+  the victim permanently (:func:`repro.analysis.metrics.detection_latency`);
+* **mistakes** — wrongful suspicions of processes that were alive, with
+  their correction times: count, rate ``λ_M`` (mistakes per time unit) and
+  mean duration ``T_M``;
+* **leader stabilization** — the earliest time from which every correct
+  process's ``trusted`` output permanently names one correct leader (the
+  measured "eventually agree on a correct leader" instant, cf. Section 6);
+* **message cost** — per-channel network messages per period over the
+  post-stabilization window, checked against the paper's 2(n−1) bound for
+  the transformation channel (Section 4).
+
+``repro trace qos`` is the CLI front end; ``benchmarks/bench_n2_live_qos.py``
+uses the same report to compare live wall latencies against simulator
+predictions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from ..obs.reader import TraceSource, as_trace
+from ..types import ProcessId, Time
+from .fd_properties import _stabilization, build_histories, crash_times
+from .metrics import detection_latency, steady_state_message_rate
+
+__all__ = ["Mistake", "QoSReport", "qos_report", "transformation_bound"]
+
+#: Fractional slack on the 2(n−1) message-cost bound: one extra in-flight
+#: period's worth of messages may straddle the measurement window edges.
+BOUND_TOLERANCE = 0.25
+
+
+def transformation_bound(n: int) -> int:
+    """The paper's periodic message cost of the ◇C→◇P transformation,
+    2(n−1): each period the leader sends its suspect list to the other
+    n−1 processes and each of them answers *alive* (Section 4)."""
+    return 2 * (n - 1)
+
+
+@dataclass(frozen=True)
+class Mistake:
+    """One wrongful suspicion: *observer* suspected *suspect* while it was
+    alive.  ``end`` is the correction time (``None`` = never corrected
+    within the run — an unresolved mistake)."""
+
+    observer: ProcessId
+    suspect: ProcessId
+    start: Time
+    end: Optional[Time]
+
+    @property
+    def duration(self) -> Optional[Time]:
+        """``T_M`` of this mistake (``None`` while unresolved)."""
+        return None if self.end is None else self.end - self.start
+
+
+@dataclass
+class QoSReport:
+    """Everything :func:`qos_report` measured about one run."""
+
+    n: int
+    channel: str
+    end_time: Time
+    correct: FrozenSet[ProcessId]
+    crashes: Dict[ProcessId, Time]
+    #: victim -> T_D (``None`` = some correct process never converged).
+    detection: Dict[ProcessId, Optional[Time]]
+    mistakes: List[Mistake]
+    #: λ_M: mistakes per time unit over the whole run (``None`` if empty run).
+    mistake_rate: Optional[float]
+    #: mean T_M over corrected mistakes (``None`` if none were corrected).
+    mean_mistake_duration: Optional[Time]
+    #: earliest time from which all correct trusted outputs equal
+    #: ``stable_leader`` for the rest of the run.
+    leader_stabilized_at: Optional[Time]
+    stable_leader: Optional[ProcessId]
+    # ----- message cost (populated only when a period was supplied) -----
+    period: Optional[Time] = None
+    cost_window: Optional[Tuple[Time, Time]] = None
+    #: channel -> network messages per period over ``cost_window``.
+    message_cost: Dict[str, float] = field(default_factory=dict)
+    bound_channel: Optional[str] = None
+    bound_value: Optional[float] = None
+    #: ``None`` = not measurable (no period / window too short / channel
+    #: silent); otherwise whether the bound (with tolerance) held.
+    bound_ok: Optional[bool] = None
+
+    @property
+    def unresolved_mistakes(self) -> int:
+        return sum(1 for m in self.mistakes if m.end is None)
+
+    @property
+    def max_detection(self) -> Optional[Time]:
+        """Worst T_D across victims (``None`` when unmeasurable)."""
+        values = list(self.detection.values())
+        if not values or any(v is None for v in values):
+            return None
+        return max(values)
+
+    def format(self) -> str:
+        """Human-readable multi-line rendering (what ``repro trace qos``
+        prints)."""
+        lines = [
+            f"QoS report — fd channel {self.channel!r}, n={self.n}, "
+            f"horizon t={self.end_time:.3f}"
+        ]
+        if self.crashes:
+            crashed = ", ".join(
+                f"p{pid} @ t={at:.3f}" for pid, at in sorted(self.crashes.items())
+            )
+            lines.append(f"  crashes              : {crashed}")
+            for pid in sorted(self.detection):
+                latency = self.detection[pid]
+                shown = "never (some observer not converged)" \
+                    if latency is None else f"{latency:.3f}"
+                lines.append(f"  detection time T_D   : p{pid}: {shown}")
+        else:
+            lines.append("  crashes              : none")
+        rate = (
+            "n/a" if self.mistake_rate is None
+            else f"{self.mistake_rate:.6f}/time-unit"
+        )
+        lines.append(
+            f"  mistakes             : {len(self.mistakes)} "
+            f"({self.unresolved_mistakes} unresolved), rate λ_M = {rate}"
+        )
+        if self.mean_mistake_duration is not None:
+            lines.append(
+                f"  mistake duration T_M : mean {self.mean_mistake_duration:.3f}"
+            )
+        for mistake in self.mistakes:
+            until = "∞" if mistake.end is None else f"{mistake.end:.3f}"
+            lines.append(
+                f"    p{mistake.observer} wrongly suspected p{mistake.suspect} "
+                f"during [{mistake.start:.3f}, {until})"
+            )
+        if self.leader_stabilized_at is not None:
+            lines.append(
+                f"  leader stabilization : t={self.leader_stabilized_at:.3f} "
+                f"(leader p{self.stable_leader})"
+            )
+        else:
+            lines.append(
+                "  leader stabilization : not reached (no common correct "
+                "leader suffix)"
+            )
+        if self.period is not None and self.cost_window is not None:
+            w0, w1 = self.cost_window
+            lines.append(
+                f"  message cost         : window [{w0:.3f}, {w1:.3f}], "
+                f"period {self.period}"
+            )
+            for channel in sorted(self.message_cost):
+                cost = self.message_cost[channel]
+                suffix = ""
+                if channel == self.bound_channel and self.bound_value is not None:
+                    verdict = (
+                        "?" if self.bound_ok is None
+                        else "OK" if self.bound_ok else "VIOLATED"
+                    )
+                    suffix = (
+                        f"   [2(n-1) bound = {self.bound_value:.0f}: {verdict}]"
+                    )
+                lines.append(
+                    f"    {channel:<12s}: {cost:6.2f} msgs/period{suffix}"
+                )
+        elif self.period is None:
+            lines.append(
+                "  message cost         : skipped (pass --period to enable)"
+            )
+        return "\n".join(lines)
+
+
+def _find_mistakes(
+    histories: Dict[ProcessId, List],
+    crashes: Dict[ProcessId, Time],
+) -> List[Mistake]:
+    """Wrongful-suspicion intervals from per-observer output histories.
+
+    A mistake opens when an observer adds a then-alive process to its
+    suspected set; it closes when the suspicion is retracted.  If the
+    suspect crashes while wrongly suspected, the mistake closes at the
+    crash (from then on the suspicion is correct)."""
+    mistakes: List[Mistake] = []
+    for observer in sorted(histories):
+        previous: FrozenSet[ProcessId] = frozenset()
+        open_since: Dict[ProcessId, Time] = {}
+        for time, suspected, _ in histories[observer]:
+            if suspected is None:  # pragma: no cover - malformed event
+                continue
+            for q in suspected - previous:
+                crash_at = crashes.get(q)
+                if crash_at is None or crash_at > time:
+                    open_since[q] = time
+            for q in previous - suspected:
+                start = open_since.pop(q, None)
+                if start is not None:
+                    end = time
+                    crash_at = crashes.get(q)
+                    if crash_at is not None and crash_at < end:
+                        end = max(start, crash_at)
+                    mistakes.append(Mistake(observer, q, start, end))
+            previous = suspected
+        for q, start in open_since.items():
+            crash_at = crashes.get(q)
+            if crash_at is not None and crash_at >= start:
+                # The suspect eventually did crash: the mistake lasted
+                # until the crash made the suspicion true.
+                mistakes.append(Mistake(observer, q, start, crash_at))
+            else:
+                mistakes.append(Mistake(observer, q, start, None))
+    mistakes.sort(key=lambda m: (m.start, m.observer, m.suspect))
+    return mistakes
+
+
+def _leader_stabilization(
+    histories: Dict[ProcessId, List],
+    correct: FrozenSet[ProcessId],
+) -> Tuple[Optional[Time], Optional[ProcessId]]:
+    """Earliest time from which all correct trusted outputs permanently
+    agree on one correct leader; ``(None, None)`` if they never do."""
+    observers = frozenset(pid for pid in correct if histories.get(pid))
+    if not observers or observers != correct:
+        return None, None
+    finals = {histories[pid][-1][2] for pid in observers}
+    if len(finals) != 1:
+        return None, None
+    leader = next(iter(finals))
+    if leader is None or leader not in correct:
+        return None, None
+    stabilized = _stabilization(
+        histories, observers,
+        lambda pid, suspected, trusted: trusted != leader,
+    )
+    return stabilized, leader
+
+
+def qos_report(
+    trace: TraceSource,
+    correct: Optional[FrozenSet[ProcessId]] = None,
+    channel: str = "fd",
+    period: Optional[Time] = None,
+    cost_channels: Optional[Sequence[str]] = None,
+    bound_channel: str = "fdp",
+    n: Optional[int] = None,
+    bound_tolerance: float = BOUND_TOLERANCE,
+) -> QoSReport:
+    """Measure the QoS of one recorded run (see module docstring).
+
+    Parameters:
+        trace: anything :func:`repro.obs.as_trace` accepts — a live
+            ``MemorySink``, an event list, a ``.jsonl`` path, or a merged
+            postmortem stream.
+        correct: the correct processes; inferred from the recorded
+            ``crash`` events when omitted.
+        channel: which detector's ``fd`` events to analyze.
+        period: the stack's heartbeat period.  When given, per-channel
+            message cost over the post-stabilization window is computed
+            and the 2(n−1) bound checked on *bound_channel*.
+        cost_channels: channels to cost (default: every channel with
+            network sends in the window).
+        n: system size; inferred from the highest pid seen when omitted.
+    """
+    trace = as_trace(trace)
+    events = trace.events
+    end_time = max((ev.time for ev in events), default=0.0)
+    if n is None:
+        pids = {ev.pid for ev in events if ev.pid is not None}
+        for ev in events:
+            if ev.kind in ("send", "deliver"):
+                pids.add(ev.get("src"))
+                pids.add(ev.get("dst"))
+        pids.discard(None)
+        n = max(pids) + 1 if pids else 0
+    crashes = crash_times(trace)
+    if correct is None:
+        correct = frozenset(range(n)) - frozenset(crashes)
+    correct = frozenset(correct)
+
+    histories = build_histories(trace, channel=channel)
+    detection = {
+        victim: detection_latency(trace, victim, at, correct, channel=channel)
+        for victim, at in sorted(crashes.items())
+    }
+    mistakes = _find_mistakes(
+        {pid: histories[pid] for pid in histories if pid in correct}, crashes
+    )
+    mistake_rate = len(mistakes) / end_time if end_time > 0 else None
+    durations = [m.duration for m in mistakes if m.duration is not None]
+    mean_duration = sum(durations) / len(durations) if durations else None
+    stabilized_at, leader = _leader_stabilization(histories, correct)
+
+    report = QoSReport(
+        n=n, channel=channel, end_time=end_time, correct=correct,
+        crashes=dict(sorted(crashes.items())), detection=detection,
+        mistakes=mistakes, mistake_rate=mistake_rate,
+        mean_mistake_duration=mean_duration,
+        leader_stabilized_at=stabilized_at, stable_leader=leader,
+    )
+    if period is None or period <= 0:
+        return report
+
+    # ----- post-stabilization message cost -----
+    report.period = period
+    settle_points = [stabilized_at if stabilized_at is not None else 0.0]
+    for victim, at in crashes.items():
+        latency = detection.get(victim)
+        if latency is not None:
+            settle_points.append(at + latency)
+    window_start = max(settle_points) + period
+    if end_time - window_start < 2 * period:
+        # Too little stable suffix to measure a rate meaningfully.
+        report.cost_window = None
+        return report
+    report.cost_window = (window_start, end_time)
+    if cost_channels is None:
+        seen = {
+            ev.get("channel") for ev in events
+            if ev.kind == "send" and not ev.get("loopback")
+            and window_start <= ev.time <= end_time
+        }
+        cost_channels = sorted(ch for ch in seen if ch)
+    report.message_cost = {
+        ch: steady_state_message_rate(
+            trace, (ch,), (window_start, end_time), period
+        )
+        for ch in cost_channels
+    }
+    report.bound_channel = bound_channel
+    report.bound_value = float(transformation_bound(n))
+    if bound_channel in report.message_cost:
+        cost = report.message_cost[bound_channel]
+        if cost > 0:
+            report.bound_ok = (
+                cost <= report.bound_value * (1.0 + bound_tolerance)
+            )
+    return report

@@ -97,6 +97,8 @@ _EXPERIMENTS = [
     ("A4", "leader stability ablation", "bench_a4_leader_stability.py"),
     ("N1", "live runtime across transports (repro.net)",
      "bench_n1_live_transports.py"),
+    ("N2", "live QoS: E3/E8 on the real runtime vs simulator",
+     "bench_n2_live_qos.py"),
 ]
 
 
@@ -271,6 +273,7 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
     stacks = attach_standard_stack(
         cluster, suspects=args.stack, period=period,
         initial_timeout=2.4 * period, timeout_increment=period,
+        metrics_interval=args.metrics_interval,
     )
     detectors, protocols = stacks["fd"], stacks["consensus"]
 
@@ -335,6 +338,7 @@ def _cluster_virtual(args: argparse.Namespace, codec, plan) -> int:
     stacks = attach_standard_stack(
         cluster, suspects=args.stack,
         period=5.0, initial_timeout=12.0, timeout_increment=5.0,
+        metrics_interval=args.metrics_interval,
     )
     protocols = stacks["consensus"]
     leader, crash_time = 0, 60.0  # leaders start at p0 deterministically
@@ -376,6 +380,7 @@ def _cluster_scripted(args: argparse.Namespace, codec, plan) -> int:
     propose_after = max((at for _, at in crashes), default=0.0) + 4 * period
     stacks = cluster.deploy_standard_stack(
         stack=args.stack, period=period, propose_after=propose_after,
+        metrics_interval=args.metrics_interval,
     )
     protocols = stacks["consensus"]
     for pid, at in crashes:
@@ -448,6 +453,7 @@ def _cmd_node(args: argparse.Namespace) -> int:
         run_node(
             book, args.pid,
             trace_out=args.trace_out, duration=args.duration,
+            stats_addr=args.stats_addr,
         )
     )
     print(f"node {args.pid}: " +
@@ -473,6 +479,7 @@ def _cmd_proc_run(args: argparse.Namespace) -> int:
         seed=args.seed,
         codec=args.codec,
         workdir=args.trace_out,
+        metrics_interval=args.metrics_interval,
     )
     for pid, at in crashes:
         cluster.crash(pid, at=at)
@@ -501,6 +508,10 @@ def _cmd_proc_run(args: argparse.Namespace) -> int:
     print("verdicts:")
     for name, result in verdicts.items():
         print(f"  {name:32s} {'ok' if result else 'VIOLATED'}")
+    if args.merge_out:
+        saved = cluster.save_merged(args.merge_out)
+        print(f"merged trace (synthetic crash events included) written to "
+              f"{saved}")
     ok = verdicts_ok(verdicts)
     print("result:", "OK" if ok else "FAILED")
     return 0 if ok else 1
@@ -563,6 +574,10 @@ def _shared_cluster_options() -> argparse.ArgumentParser:
         "--crash", action="append", default=[], metavar="PID:TIME",
         help="schedule a crash-stop kill of PID at cluster time TIME; "
              "repeatable (a real kill -9 for process clusters)")
+    group.add_argument(
+        "--metrics-interval", type=float, metavar="SECONDS", default=None,
+        help="attach a metrics reporter on every node emitting "
+             "obs.metrics_snapshot trace events at this interval")
     return shared
 
 
@@ -641,6 +656,10 @@ def build_parser() -> argparse.ArgumentParser:
     node.add_argument("--duration", type=float, metavar="SECONDS",
                       default=None,
                       help="override the book's run duration")
+    node.add_argument("--stats-addr", metavar="HOST:PORT", default=None,
+                      help="serve this node's metrics registry over UDP in "
+                           "Prometheus text format (HOST:PORT, :PORT or "
+                           "PORT; poke it with any datagram)")
     node.set_defaults(func=_cmd_node)
 
     proc = sub.add_parser(
@@ -664,6 +683,10 @@ def build_parser() -> argparse.ArgumentParser:
                       default=1.0,
                       help="cluster time at which every surviving node "
                            "proposes its value")
+    prun.add_argument("--merge-out", metavar="OUT.jsonl", default=None,
+                      help="also write the merged stream (synthetic crash "
+                           "events included) as one combined JSONL file — "
+                           "the input `repro trace qos` wants")
     prun.set_defaults(func=_cmd_proc_run)
 
     trc = sub.add_parser(

@@ -59,6 +59,7 @@ from ..net.host import NodeHost
 from ..net.tcp import TCPTransport
 from ..net.transport import LoopbackHub, LoopbackTransport, Transport
 from ..net.udp import UDPTransport
+from ..obs.metrics import MetricsReporter
 from ..obs.sinks import JsonlSink, MemorySink, TeeSink, TraceSink
 from ..sim.component import Component
 from ..transform.c_to_p import CToPTransformation
@@ -463,6 +464,7 @@ def attach_node_stack(
     with_consensus: bool = True,
     stubborn_period: Optional[Time] = None,
     channel: str = "fd",
+    metrics_interval: Optional[Time] = None,
 ) -> Dict[str, Component]:
     """Deploy one node's slice of the paper's pipeline via *attach*.
 
@@ -524,6 +526,10 @@ def attach_node_stack(
         attach(protocol)
         parts["rb"] = rb
         parts["consensus"] = protocol
+    if metrics_interval is not None:
+        reporter = MetricsReporter(metrics_interval)
+        attach(reporter)
+        parts["metrics"] = reporter
     return parts
 
 
@@ -537,6 +543,7 @@ def attach_standard_stack(
     with_consensus: bool = True,
     stubborn_period: Optional[Time] = None,
     channel: str = "fd",
+    metrics_interval: Optional[Time] = None,
 ) -> Dict[str, List[Component]]:
     """Deploy the paper's full pipeline on every node of *cluster*.
 
@@ -550,7 +557,8 @@ def attach_standard_stack(
     Returns the components per role, each a pid-ordered list.
     """
     stacks: Dict[str, List[Component]] = {
-        "omega": [], "suspects": [], "fd": [], "fdp": [], "rb": [], "consensus": [],
+        "omega": [], "suspects": [], "fd": [], "fdp": [], "rb": [],
+        "consensus": [], "metrics": [],
     }
     for pid in cluster.pids:
         parts = attach_node_stack(
@@ -563,6 +571,7 @@ def attach_standard_stack(
             with_consensus=with_consensus,
             stubborn_period=stubborn_period,
             channel=channel,
+            metrics_interval=metrics_interval,
         )
         for role, component in parts.items():
             stacks[role].append(component)
@@ -571,4 +580,6 @@ def attach_standard_stack(
     if not with_consensus:
         stacks.pop("rb")
         stacks.pop("consensus")
+    if metrics_interval is None:
+        stacks.pop("metrics")
     return stacks

@@ -52,6 +52,7 @@ class ConsensusProtocol(Component):
         self.proposal = value
         self.proposed = True
         self.trace("propose", algo=self.name, value=value)
+        self.metrics.inc("consensus_proposals_total", algo=self.name)
         self._on_propose(value)
 
     def on_decide(self, callback: Callable[[Any], None]) -> None:
@@ -77,6 +78,7 @@ class ConsensusProtocol(Component):
         self.decision_round = round
         self.decision_time = self.now
         self.trace("decide", algo=self.name, value=value, round=round)
+        self.metrics.inc("consensus_decisions_total", algo=self.name)
         for callback in self._decide_callbacks:
             callback(value)
         # A decision may unblock waits like ``... or self.decided``.
@@ -86,6 +88,7 @@ class ConsensusProtocol(Component):
     def mark_round(self, round: int) -> None:
         """Trace entry into *round*."""
         self.trace("round", algo=self.name, round=round)
+        self.metrics.inc("consensus_rounds_total", algo=self.name)
 
     def mark_phase(self, round: int, phase: int) -> None:
         """Trace entry into *phase* of *round* (consecutive duplicates are

@@ -77,9 +77,14 @@ class FailureDetector(Component):
         changed = False
         if suspected is not None and suspected != self._suspected:
             self._suspected = frozenset(suspected)
+            self.metrics.inc("fd_suspicion_flips_total", channel=self.channel)
+            self.metrics.set(
+                "fd_suspected_size", len(self._suspected), channel=self.channel
+            )
             changed = True
         if trusted != "__keep__" and trusted != self._trusted:
             self._trusted = trusted  # type: ignore[assignment]
+            self.metrics.inc("fd_leader_changes_total", channel=self.channel)
             changed = True
         if not changed:
             return

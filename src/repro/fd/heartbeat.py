@@ -77,6 +77,7 @@ class HeartbeatEventuallyPerfect(FailureDetector):
         if src in self._suspected:
             # False suspicion: retract and widen the timeout (Task 4 logic).
             self._timeout[src] += self.timeout_increment
+            self.metrics.inc("fd_timeout_adaptations_total", channel=self.channel)
             self._set_output(suspected=self._suspected - {src})
 
     # ------------------------------------------------------------ monitoring

@@ -108,6 +108,7 @@ class LeaderBasedOmega(FailureDetector):
             # False suspicion: reinstate and widen the timeout.
             self._ruled_out.discard(src)
             self._timeout[src] += self.timeout_increment
+            self.metrics.inc("fd_timeout_adaptations_total", channel=self.channel)
         if self._candidate() != old_cand:
             self._watch_start = self.now
         self._publish()

@@ -132,6 +132,7 @@ class RingDetector(FailureDetector):
             self._timeout[q] = self._timeout.get(q, self.initial_timeout) + (
                 self.timeout_increment
             )
+            self.metrics.inc("fd_timeout_adaptations_total", channel=self.channel)
             self._retarget()
             self._publish()
 

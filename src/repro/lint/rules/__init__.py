@@ -11,6 +11,8 @@ Rule groups, by the package contract they enforce:
   wire codec;
 * :mod:`~repro.lint.rules.trace_schema` — trace emissions must match the
   :mod:`repro.obs` event-schema registry;
+* :mod:`~repro.lint.rules.metrics_registry` — metric updates must match
+  the :mod:`repro.obs` metric-schema registry;
 * :mod:`~repro.lint.rules.proc_isolation` — OS-process spawning and
   killing stays behind the :mod:`repro.proc` launcher, the single source
   of truth for the failure pattern.
@@ -19,6 +21,7 @@ Rule groups, by the package contract they enforce:
 from . import (  # noqa: F401
     asyncio_hazards,
     determinism,
+    metrics_registry,
     payload,
     proc_isolation,
     trace_schema,
@@ -27,6 +30,7 @@ from . import (  # noqa: F401
 __all__ = [
     "asyncio_hazards",
     "determinism",
+    "metrics_registry",
     "payload",
     "proc_isolation",
     "trace_schema",

@@ -1,0 +1,109 @@
+"""Metrics-registry rule: metric updates must match the metric registry.
+
+The metric-schema registry (:data:`repro.obs.metrics.METRIC_SCHEMAS`) is
+the single source of truth for what each metric is called and which
+labels it carries.  :class:`~repro.obs.metrics.MetricsRegistry` enforces
+that contract at run time — an unknown name or a wrong label set raises —
+but a record site on a rarely taken branch (a drop path, an error
+handler) only blows up when that branch finally executes, which in a
+failure-detector codebase is exactly the moment you need the counter.
+This rule moves the failure to the lint step: every statically
+resolvable ``<...>metrics.inc/set/observe(...)`` call site is checked
+against the registry.
+
+The check is one-sided and best-effort, like the trace-schema rule: only
+**literal string** metric names are judged (helpers forwarding a name
+variable are unknowable statically and covered at run time); a
+``**splat`` in the labels suppresses the label-set check but not the
+unknown-name check.  The ``amount``/``value`` keywords are the update
+arguments, not labels, and are excluded before comparing.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from ...obs.metrics import METRIC_SCHEMAS
+from ..astutil import dotted_name
+from ..findings import Finding
+from ..registry import Rule, rule
+
+__all__ = ["MetricsRegistryRule"]
+
+#: The update methods whose first positional argument is a metric name.
+_METHODS = ("inc", "set", "observe")
+
+#: Keyword arguments that configure the update itself, never labels.
+_RESERVED = frozenset({"amount", "value"})
+
+
+def _name_argument(call: ast.Call) -> Optional[ast.expr]:
+    """The metric-name argument of a recognized update, or ``None``.
+
+    Recognized shape: ``<...>metrics.inc/set/observe(name, ...)`` — any
+    attribute chain whose receiver's final name mentions "metrics"
+    (``self.metrics``, ``host.metrics``, ``registry.metrics``, bare
+    ``metrics``); the name is the first positional argument.
+    """
+    func = call.func
+    if not isinstance(func, ast.Attribute) or func.attr not in _METHODS:
+        return None
+    receiver = dotted_name(func.value)
+    if receiver is None or "metrics" not in receiver.rsplit(".", 1)[-1]:
+        return None
+    if not call.args or isinstance(call.args[0], ast.Starred):
+        return None
+    return call.args[0]
+
+
+@rule
+class MetricsRegistryRule(Rule):
+    """Statically check metric updates against the metric-schema registry."""
+
+    id = "metrics-registry"
+    summary = (
+        "metrics.inc/set/observe(...) calls must use registered metric "
+        "names and supply exactly each metric's declared labels"
+    )
+    scope = ()  # the registry contract holds everywhere metrics are updated
+
+    def check(self, ctx) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name_node = _name_argument(node)
+            if name_node is None:
+                continue
+            if not (
+                isinstance(name_node, ast.Constant)
+                and isinstance(name_node.value, str)
+            ):
+                continue  # dynamic name: checked at run time, not here
+            name = name_node.value
+            schema = METRIC_SCHEMAS.get(name)
+            if schema is None:
+                yield self.finding(
+                    ctx, name_node,
+                    f"unknown metric {name!r}; register it with "
+                    "repro.obs.register_metric or fix the typo (known "
+                    "metrics: " + ", ".join(sorted(METRIC_SCHEMAS)) + ")",
+                )
+                continue
+            if any(kw.arg is None for kw in node.keywords):
+                continue  # **splat labels: keys unknowable statically
+            supplied = sorted(
+                kw.arg for kw in node.keywords
+                if kw.arg is not None and kw.arg not in _RESERVED
+            )
+            declared = sorted(schema.labels)
+            if supplied != declared:
+                expected = (
+                    "{" + ", ".join(declared) + "}" if declared else "none"
+                )
+                got = "{" + ", ".join(supplied) + "}" if supplied else "none"
+                yield self.finding(
+                    ctx, node,
+                    f"metric {name!r} declares labels {expected} but this "
+                    f"update supplies {got}",
+                )

@@ -32,11 +32,15 @@ from .clock import AsyncioClock, VirtualClock
 from .codec import Codec, CodecError, JsonCodec, MsgpackCodec, default_codec
 from .faults import FaultPlan, FaultyTransport
 from .host import NodeHost, RuntimeNetwork, RuntimeWorld
+from .stats import StatsEndpoint, fetch_stats, parse_stats_addr
 from .tcp import TCPTransport
 from .transport import LoopbackHub, LoopbackTransport, Transport
 from .udp import UDPTransport
 
 __all__ = [
+    "StatsEndpoint",
+    "fetch_stats",
+    "parse_stats_addr",
     "AsyncioClock",
     "VirtualClock",
     "LocalCluster",

@@ -31,6 +31,7 @@ from __future__ import annotations
 from typing import Any, Dict, Optional
 
 from ..errors import ConfigurationError
+from ..obs.metrics import MetricsRegistry
 from ..obs.sinks import MemorySink, TraceSink
 from ..sim.message import Message
 from ..sim.process import Process
@@ -91,7 +92,11 @@ class RuntimeNetwork:
                 now, "send", src, channel=channel, src=src, dst=dst,
                 tag=tag, round=round, loopback=False,
             )
-        host.transport.send(dst, host.codec.encode_message(msg))
+        frame = host.codec.encode_message(msg)
+        metrics = host.metrics
+        metrics.inc("messages_sent_total", channel=channel)
+        metrics.inc("bytes_sent_total", amount=len(frame), channel=channel)
+        host.transport.send(dst, frame)
         return msg
 
 
@@ -111,6 +116,7 @@ class RuntimeWorld:
         network: RuntimeNetwork,
         trace: TraceSink,
         rng: RandomSource,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self.n = n
         self.scheduler = scheduler
@@ -118,6 +124,11 @@ class RuntimeWorld:
         self.trace = trace
         self.rng = rng
         self.crash_epoch = 0
+        #: Same surface as :attr:`repro.sim.world.World.metrics`.
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        #: Samplers run before each metrics snapshot; the owning
+        #: :class:`NodeHost` registers one copying the transport counters.
+        self.metrics_samplers: list = []
 
     @property
     def now(self) -> float:
@@ -183,6 +194,9 @@ class NodeHost:
             rng=RandomSource(seed).spawn(f"node:{pid}"),
         )
         self.process = Process(pid, self.world)  # reused verbatim from sim
+        #: The node's metric store (shared with ``world.metrics``).
+        self.metrics: MetricsRegistry = self.world.metrics
+        self.world.metrics_samplers.append(self._sample_transport_metrics)
         self.undecodable_frames = 0
         self.misrouted_frames = 0
         transport.set_receiver(self._on_frame)
@@ -220,6 +234,8 @@ class NodeHost:
             # A malformed datagram (bit rot, port scanner, version skew) must
             # never take the node down — count it and move on.
             self.undecodable_frames += 1
+            self.metrics.inc("frames_undecodable_total")
+            self.metrics.inc("messages_dropped_total", reason="undecodable")
             if self.trace.wants("drop"):
                 self.trace.record(
                     self.clock.now, "drop", self.pid, reason="undecodable"
@@ -228,17 +244,32 @@ class NodeHost:
         if msg.dst != self.pid:
             self.misrouted_frames += 1
             return
+        self.metrics.inc(
+            "bytes_received_total", amount=len(data), channel=msg.channel
+        )
         self._deliver(msg)
 
     def _on_transport_event(self, event: str, **fields: Any) -> None:
         """Land transport incidents (``net.peer_unreachable``, ...) in the
         trace, timestamped on this host's clock."""
+        self.metrics.inc("transport_incidents_total", event=event)
         if self.trace.wants(event):
             self.trace.record(self.clock.now, event, self.pid, **fields)
+
+    def _sample_transport_metrics(self, registry: MetricsRegistry) -> None:
+        """Copy the transport's always-on counters into gauges — run by the
+        :class:`~repro.obs.MetricsReporter` right before each snapshot."""
+        transport = self.transport
+        registry.set("transport_frames_sent", transport.frames_sent)
+        registry.set("transport_frames_received", transport.frames_received)
+        registry.set("transport_bytes_sent", transport.bytes_sent)
+        registry.set("transport_bytes_received", transport.bytes_received)
+        registry.set("transport_send_errors", transport.send_errors)
 
     def _deliver(self, msg: Message) -> None:
         net = self.world.network
         net.delivered_total += 1
+        self.metrics.inc("messages_delivered_total", channel=msg.channel)
         if self.trace.wants("deliver"):
             self.trace.record(
                 self.clock.now, "deliver", msg.dst,

@@ -1,0 +1,147 @@
+"""The node-introspection endpoint behind ``repro node --stats-addr``.
+
+A deliberately tiny UDP request/response service: send *any* datagram to
+the endpoint and it answers with the node's
+:class:`~repro.obs.MetricsRegistry` rendered in Prometheus text
+exposition format (see :func:`repro.obs.metrics.render_prometheus`).
+Registered samplers run before each render, so transport counters are
+fresh.  One round trip, no connection state, no framing beyond one
+datagram each way — ``echo | nc -u`` is a sufficient client:
+
+.. code-block:: console
+
+    $ echo stats | nc -u -w1 127.0.0.1 9400
+    # HELP messages_sent_total protocol messages handed to the network ...
+    # TYPE messages_sent_total counter
+    messages_sent_total{channel="fd.omega"} 241
+    ...
+
+The endpoint is read-only and stateless by construction: it cannot
+mutate the node, so exposing it does not widen the failure model (a
+``kill -9`` victim simply stops answering).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Callable, Iterable, Optional, Tuple
+
+from ..errors import ConfigurationError
+from ..obs.metrics import MetricsRegistry, render_prometheus
+
+__all__ = ["StatsEndpoint", "fetch_stats", "parse_stats_addr"]
+
+
+def parse_stats_addr(spec: str) -> Tuple[str, int]:
+    """Parse ``HOST:PORT``, ``:PORT`` or ``PORT`` (host defaults to
+    127.0.0.1; port 0 asks the OS for a free one)."""
+    host, _, port_text = spec.rpartition(":")
+    if not host:
+        host = "127.0.0.1"
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise ConfigurationError(
+            f"stats address must be HOST:PORT, :PORT or PORT, got {spec!r}"
+        ) from None
+    return host, port
+
+
+class _StatsProtocol(asyncio.DatagramProtocol):
+    def __init__(self, endpoint: "StatsEndpoint") -> None:
+        self._endpoint = endpoint
+        self._transport: Optional[asyncio.DatagramTransport] = None
+
+    def connection_made(self, transport) -> None:
+        self._transport = transport
+
+    def datagram_received(self, data: bytes, addr) -> None:
+        if self._transport is not None:
+            self._endpoint.requests_served += 1
+            self._transport.sendto(self._endpoint.render().encode("utf-8"), addr)
+
+
+class StatsEndpoint:
+    """Serves one registry's Prometheus exposition over UDP.
+
+    Parameters:
+        registry: the node's metric store.
+        samplers: callables run on the registry before every render
+            (pass ``host.world.metrics_samplers`` so transport gauges are
+            sampled on demand, not only at snapshot ticks).
+        host / port: bind address; port 0 = ephemeral (the bound port is
+            returned by :meth:`bind` and kept in :attr:`address`).
+    """
+
+    def __init__(
+        self,
+        registry: MetricsRegistry,
+        samplers: Iterable[Callable[[MetricsRegistry], None]] = (),
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.registry = registry
+        self.samplers = samplers
+        self.host = host
+        self.port = port
+        self.requests_served = 0
+        self.address: Optional[Tuple[str, int]] = None
+        self._transport: Optional[asyncio.DatagramTransport] = None
+
+    def render(self) -> str:
+        """Run the samplers, then render the registry."""
+        for sampler in self.samplers:
+            sampler(self.registry)
+        return render_prometheus(self.registry)
+
+    async def bind(self) -> Tuple[str, int]:
+        """Bind the UDP socket; returns (and remembers) the bound address."""
+        if self._transport is not None:
+            raise ConfigurationError("stats endpoint already bound")
+        loop = asyncio.get_running_loop()
+        self._transport, _ = await loop.create_datagram_endpoint(
+            lambda: _StatsProtocol(self), local_addr=(self.host, self.port)
+        )
+        sock = self._transport.get_extra_info("sockname")
+        self.address = (sock[0], sock[1])
+        return self.address
+
+    def close(self) -> None:
+        """Stop serving.  Idempotent."""
+        if self._transport is not None:
+            self._transport.close()
+            self._transport = None
+
+
+async def fetch_stats(
+    address: Tuple[str, int], timeout: float = 2.0
+) -> str:
+    """One client round trip: poke *address*, return the exposition text.
+
+    A dead node surfaces as :class:`asyncio.TimeoutError` (silence —
+    e.g. a remote host gone) or :class:`ConnectionRefusedError` (the
+    local kernel's ICMP port-unreachable after a ``kill -9``) — callers
+    treat both as "node down".
+    """
+    loop = asyncio.get_running_loop()
+    reply: asyncio.Future = loop.create_future()
+
+    class _Client(asyncio.DatagramProtocol):
+        def connection_made(self, transport) -> None:
+            transport.sendto(b"stats")
+
+        def datagram_received(self, data: bytes, addr) -> None:
+            if not reply.done():
+                reply.set_result(data.decode("utf-8"))
+
+        def error_received(self, exc) -> None:
+            if not reply.done():
+                reply.set_exception(exc)
+
+    transport, _ = await loop.create_datagram_endpoint(
+        _Client, remote_addr=address
+    )
+    try:
+        return await asyncio.wait_for(reply, timeout)
+    finally:
+        transport.close()

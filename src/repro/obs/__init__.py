@@ -46,6 +46,20 @@ from .merge import MergeReport, merge_traces
 from .reader import TraceFile, as_trace, iter_trace_events, read_trace_file
 from .sinks import JsonlSink, MemorySink, TeeSink, Trace, TraceSink
 
+# .metrics subclasses repro.sim.component.Component, and repro.sim imports
+# repro.obs.sinks — import it last so both import orders resolve cleanly.
+from .metrics import (
+    METRIC_SCHEMAS,
+    MetricSchema,
+    MetricsRegistry,
+    MetricsReporter,
+    aggregate_trace_kinds,
+    known_metrics,
+    metric_schema_for,
+    register_metric,
+    render_prometheus,
+)
+
 __all__ = [
     "EncodeError",
     "from_jsonable",
@@ -69,4 +83,13 @@ __all__ = [
     "TeeSink",
     "Trace",
     "TraceSink",
+    "METRIC_SCHEMAS",
+    "MetricSchema",
+    "MetricsRegistry",
+    "MetricsReporter",
+    "aggregate_trace_kinds",
+    "known_metrics",
+    "metric_schema_for",
+    "register_metric",
+    "render_prometheus",
 ]

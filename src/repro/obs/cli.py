@@ -8,8 +8,17 @@ Subcommands:
     print the per-node offsets and optionally write the merged stream
     back out as one combined ``.jsonl`` file.
 ``stats``
-    Per-file provenance and event-kind counts, computed streaming so
-    arbitrarily long traces are fine.
+    Per-file provenance plus per-kind event counts *and* JSONL byte
+    sizes, computed streaming (via
+    :func:`repro.obs.metrics.aggregate_trace_kinds`, the same registry
+    aggregation the live metrics endpoint uses) so arbitrarily long
+    traces are fine.
+``qos``
+    Merge the given trace files (single files are used as-is) and print
+    the Chen-style QoS report — detection time T_D, mistake count/rate/
+    duration, leader-stabilization time and, with ``--period``, the
+    per-channel message cost checked against the paper's 2(n−1) bound
+    (see :mod:`repro.analysis.qos`).
 ``check``
     Validate every event against the schema registry
     (:data:`repro.obs.events.EVENT_SCHEMAS`): unknown kinds and missing
@@ -25,12 +34,14 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import Dict, List
+from typing import List
 
+from ..analysis.qos import qos_report
 from ..errors import ConfigurationError
 from .events import TraceEvent, schema_table, validate_event
 from .merge import merge_traces
-from .reader import iter_trace_events
+from .metrics import aggregate_trace_kinds
+from .reader import as_trace, iter_trace_events
 from .sinks import JsonlSink
 
 __all__ = ["add_trace_arguments", "run_from_args"]
@@ -59,28 +70,35 @@ def _cmd_merge(args: argparse.Namespace) -> int:
 
 def _cmd_stats(args: argparse.Namespace) -> int:
     for path in args.files:
-        counts: Dict[str, int] = {}
-        first = last = None
-        header = None
-        for item in iter_trace_events(path):
-            if header is None:
-                header = item
-                continue
-            assert isinstance(item, TraceEvent)
-            counts[item.kind] = counts.get(item.kind, 0) + 1
-            if first is None:
-                first = item.time
-            last = item.time
-        node = header.get("node") if header else None
+        stats = aggregate_trace_kinds(path)
+        node = stats.header.get("node")
         node_label = "combined" if node is None else f"node {node}"
-        total = sum(counts.values())
         span = (
-            f"t in [{first:.3f}, {last:.3f}]" if first is not None else "empty"
+            f"t in [{stats.first:.3f}, {stats.last:.3f}]"
+            if stats.first is not None else "empty"
         )
-        print(f"{path}: {node_label}, {total} events, {span}, "
-              f"epoch_wall={header.get('epoch_wall', 0.0):.3f}")
-        for kind in sorted(counts):
-            print(f"  {kind:12s} {counts[kind]:>8d}")
+        print(f"{path}: {node_label}, {stats.total_events} events, {span}, "
+              f"epoch_wall={stats.header.get('epoch_wall', 0.0):.3f}")
+        for kind, count, size in stats.kinds():
+            print(f"  {kind:20s} {count:>8d} events {size:>10d} bytes")
+    return 0
+
+
+def _cmd_qos(args: argparse.Namespace) -> int:
+    if len(args.files) == 1:
+        trace = as_trace(args.files[0])
+    else:
+        trace = merge_traces(args.files).trace
+    report = qos_report(
+        trace,
+        channel=args.channel,
+        period=args.period,
+        bound_channel=args.bound_channel,
+        n=args.n,
+    )
+    print(report.format())
+    if report.bound_ok is False:
+        return 1
     return 0
 
 
@@ -133,9 +151,28 @@ def add_trace_arguments(parser: argparse.ArgumentParser) -> None:
                        help="trust headers; skip causality skew estimation")
     merge.set_defaults(trace_func=_cmd_merge)
 
-    stats = sub.add_parser("stats", help="per-file provenance and kind counts")
+    stats = sub.add_parser(
+        "stats", help="per-file provenance, per-kind event counts and bytes"
+    )
     stats.add_argument("files", nargs="+", metavar="FILE")
     stats.set_defaults(trace_func=_cmd_stats)
+
+    qos = sub.add_parser(
+        "qos",
+        help="Chen-style QoS report (detection time, mistakes, leader "
+             "stabilization, message cost vs the 2(n-1) bound)",
+    )
+    qos.add_argument("files", nargs="+", metavar="FILE",
+                     help="per-node traces (merged first) or one merged file")
+    qos.add_argument("--channel", default="fd",
+                     help="failure-detector channel to analyze (default: fd)")
+    qos.add_argument("--period", type=float, default=None,
+                     help="heartbeat period; enables the message-cost section")
+    qos.add_argument("--bound-channel", default="fdp",
+                     help="channel checked against 2(n-1) (default: fdp)")
+    qos.add_argument("--n", type=int, default=None,
+                     help="system size (default: inferred from the trace)")
+    qos.set_defaults(trace_func=_cmd_qos)
 
     check = sub.add_parser(
         "check", help="validate events against the schema registry"

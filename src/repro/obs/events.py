@@ -256,3 +256,8 @@ register_event_kind(
     doc="a transport exhausted its bounded reconnect attempts to a peer and "
         "dropped that peer's queued frames (retries resume on new traffic)",
 )
+register_event_kind(
+    "obs.metrics_snapshot", required=("metrics",), optional=("seq",),
+    doc="a periodic dump of the node's metrics registry "
+        "(see repro.obs.metrics; payload is MetricsRegistry.snapshot())",
+)

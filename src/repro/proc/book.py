@@ -80,6 +80,9 @@ class AddressBook:
     codec: str = "auto"
     duration: Time = 6.0
     propose_after: Optional[Time] = None
+    #: When set, every node attaches a MetricsReporter emitting
+    #: ``obs.metrics_snapshot`` trace events at this interval (seconds).
+    metrics_interval: Optional[Time] = None
     nodes: List[NodeAddress] = field(default_factory=list)
 
     def __post_init__(self) -> None:

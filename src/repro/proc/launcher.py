@@ -111,6 +111,7 @@ class ProcessCluster:
         workdir: Optional[Union[str, Path]] = None,
         host: str = "127.0.0.1",
         python: Optional[str] = None,
+        metrics_interval: Optional[Time] = None,
     ) -> None:
         # Validate early (n, transport, stack, codec) by building a
         # node-less book; ports are allocated at start().
@@ -125,6 +126,7 @@ class ProcessCluster:
         self.timeout_increment = timeout_increment
         self.seed = seed
         self.codec = codec
+        self.metrics_interval = metrics_interval
         self.host = host
         self.python = python if python is not None else sys.executable
         self.workdir = Path(
@@ -181,6 +183,7 @@ class ProcessCluster:
             codec=self.codec,
             duration=self.duration,
             propose_after=self.propose_after,
+            metrics_interval=self.metrics_interval,
         )
         book_path = self.book.save(self.workdir / "book.json")
         env = dict(os.environ)
@@ -328,6 +331,30 @@ class ProcessCluster:
         merged.extend(events)
         self._trace_cache = merged
         return merged
+
+    def save_merged(self, path: Union[str, Path]) -> Path:
+        """Write the merged stream (synthetic ``crash`` events included)
+        to one combined ``.jsonl`` file.
+
+        The per-node files under :attr:`workdir` are the raw shipped
+        streams — a kill victim's file necessarily ends mid-run with no
+        ``crash`` marker.  This file is the analysis-ready form:
+        ``repro trace qos`` / ``repro trace check`` see the same
+        failure-pattern shape the in-process checkers do.
+        """
+        from ..obs.sinks import JsonlSink
+
+        report = self.merge_report()
+        path = Path(path)
+        out = JsonlSink(
+            path, node=None,
+            epoch_wall=min(f.epoch_wall for f in report.files),
+            epoch_mono=min(f.epoch_mono for f in report.files),
+        )
+        for event in self.traces().events:
+            out.record_event(event)
+        out.close()
+        return path
 
     def verdicts(self, channel: str = "fd", algo: str = "ec") -> Dict[str, Any]:
         """Machine-checked FD + consensus properties of the merged run."""

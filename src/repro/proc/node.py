@@ -23,6 +23,7 @@ from typing import Any, Dict, Optional, Union
 from ..net.clock import AsyncioClock
 from ..net.codec import default_codec
 from ..net.host import NodeHost
+from ..net.stats import StatsEndpoint, parse_stats_addr
 from ..net.tcp import TCPTransport
 from ..net.udp import UDPTransport
 from ..obs.sinks import JsonlSink, MemorySink, TraceSink
@@ -64,6 +65,7 @@ def build_node(
         period=book.period,
         initial_timeout=book.initial_timeout,
         timeout_increment=book.timeout_increment,
+        metrics_interval=book.metrics_interval,
     )
     return host
 
@@ -73,12 +75,17 @@ async def run_node(
     pid: ProcessId,
     trace_out: Optional[Union[str, Path]] = None,
     duration: Optional[float] = None,
+    stats_addr: Optional[str] = None,
 ) -> Dict[str, int]:
     """Run node *pid* to completion; returns transport counters.
 
     The lifecycle mirrors one slot of ``LocalCluster.start()``: bind,
     learn the peer map, rebase trace time zero, start components,
     schedule the proposal round, sleep out the duration, tear down.
+
+    *stats_addr* (``HOST:PORT`` / ``:PORT`` / ``PORT``) additionally
+    binds the UDP introspection endpoint serving the node's metrics
+    registry in Prometheus text format (see :mod:`repro.net.stats`).
     """
     sink: TraceSink
     if trace_out is not None:
@@ -86,6 +93,14 @@ async def run_node(
     else:
         sink = MemorySink()
     host = build_node(book, pid, trace=sink)
+    stats: Optional[StatsEndpoint] = None
+    if stats_addr is not None:
+        stats_host, stats_port = parse_stats_addr(stats_addr)
+        stats = StatsEndpoint(
+            host.metrics, samplers=host.world.metrics_samplers,
+            host=stats_host, port=stats_port,
+        )
+        await stats.bind()
     await host.transport.bind()
     host.transport.set_peers(book.addresses())
     host.clock.rebase()  # trace time 0 = the instant this node starts
@@ -101,6 +116,8 @@ async def run_node(
             )
     run_for = duration if duration is not None else book.duration
     await asyncio.sleep(run_for)
+    if stats is not None:
+        stats.close()
     await host.transport.close()
     sink.close()
     return {

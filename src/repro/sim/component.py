@@ -86,6 +86,11 @@ class Component:
         """``True`` once the host process has crashed."""
         return self.process.crashed
 
+    @property
+    def metrics(self):
+        """The world's :class:`~repro.obs.metrics.MetricsRegistry`."""
+        return self.world.metrics
+
     # ------------------------------------------------------------ overrides
     def on_start(self) -> None:
         """Called once when the world starts (time 0)."""

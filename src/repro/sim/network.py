@@ -18,6 +18,7 @@ import random
 from typing import Any, Callable, Dict, Optional, Tuple
 
 from ..errors import ConfigurationError
+from ..obs.metrics import MetricsRegistry
 from ..obs.sinks import TraceSink
 from ..types import Channel, ProcessId, Time
 from .links import Link, ReliableLink
@@ -38,6 +39,7 @@ class Network:
         rng: random.Random,
         default_link: Optional[Link] = None,
         deliver: Optional[Callable[[Message], None]] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         if n < 1:
             raise ConfigurationError(f"need at least one process, got n={n}")
@@ -45,6 +47,7 @@ class Network:
         self._scheduler = scheduler
         self._trace = trace
         self._rng = rng
+        self._metrics = metrics if metrics is not None else MetricsRegistry()
         self._default_link = default_link if default_link is not None else ReliableLink()
         self._links: Dict[Tuple[ProcessId, ProcessId], Link] = {}
         self._deliver = deliver
@@ -118,6 +121,7 @@ class Network:
             return msg
 
         self.sent_network += 1
+        self._metrics.inc("messages_sent_total", channel=channel)
         if self._trace.wants("send"):
             self._trace.record(
                 now, "send", src, channel=channel, src=src, dst=dst,
@@ -126,6 +130,7 @@ class Network:
         delay = self.link(src, dst).plan(msg, now, self._rng)
         if delay is None:
             self.dropped_total += 1
+            self._metrics.inc("messages_dropped_total", reason="link")
             if self._trace.wants("drop"):
                 self._trace.record(
                     now, "drop", src, channel=channel, src=src, dst=dst,
@@ -137,6 +142,7 @@ class Network:
 
     def _finish_delivery(self, msg: Message) -> None:
         self.delivered_total += 1
+        self._metrics.inc("messages_delivered_total", channel=msg.channel)
         if self._trace.wants("deliver"):
             self._trace.record(
                 self._scheduler.now, "deliver", msg.dst,

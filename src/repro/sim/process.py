@@ -115,6 +115,7 @@ class Process:
     def deliver(self, msg: Message) -> None:
         """Hand a delivered message to the component owning its channel."""
         if self.crashed:
+            self.world.metrics.inc("messages_dropped_total", reason="crashed")
             self.world.trace.record(
                 self.world.scheduler.now, "drop", self.pid,
                 channel=msg.channel, src=msg.src, dst=msg.dst, reason="crashed",

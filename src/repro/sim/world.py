@@ -17,6 +17,7 @@ from __future__ import annotations
 from typing import Callable, Iterable, List, Optional
 
 from ..errors import ConfigurationError
+from ..obs.metrics import MetricsRegistry
 from ..obs.sinks import MemorySink, TraceSink
 from ..types import ProcessId, Time, validate_pid
 from .component import Component
@@ -59,12 +60,21 @@ class World:
             trace if trace is not None
             else MemorySink(kinds=trace_kinds, enabled=trace_enabled)
         )
+        #: Per-world metric store (see :mod:`repro.obs.metrics`); components
+        #: reach it as ``self.metrics``, the substrate increments the
+        #: message/byte counters, and a :class:`~repro.obs.MetricsReporter`
+        #: component periodically dumps it into the trace.
+        self.metrics = MetricsRegistry()
+        #: Callables run right before each metrics snapshot (live hosts
+        #: register a transport-counter sampler here; empty in the sim).
+        self.metrics_samplers: List[Callable[[MetricsRegistry], None]] = []
         self.network = Network(
             n=n,
             scheduler=self.scheduler,
             trace=self.trace,
             rng=self.rng.stream("network"),
             default_link=default_link,
+            metrics=self.metrics,
         )
         self.network.set_deliver(self._deliver)
         self.processes: List[Process] = [Process(pid, self) for pid in range(n)]

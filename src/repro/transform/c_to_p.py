@@ -135,6 +135,7 @@ class CToPTransformation(FailureDetector):
                 # Task 4: false suspicion — retract and widen the timeout.
                 self._local_list.discard(src)
                 self._delta[src] += self.timeout_increment
+                self.metrics.inc("fd_timeout_adaptations_total", channel=self.channel)
                 if self._is_leader():
                     self._publish()
             return

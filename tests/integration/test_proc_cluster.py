@@ -11,7 +11,9 @@ import asyncio
 
 import pytest
 
+from repro.analysis.qos import qos_report
 from repro.cluster import ClusterAPI, LocalCluster, ProcessCluster, verdicts_ok
+from repro.obs.reader import as_trace
 from repro.proc import ProcessCluster as ProcFromProc
 
 pytestmark = pytest.mark.slow
@@ -67,6 +69,19 @@ def test_kill9_leader_three_node_udp_process_cluster(tmp_path):
     # and the offline merger accepted all three.
     assert all(path.exists() for path in cluster.trace_files)
     assert len(cluster.merge_report().files) == 3
+    # save_merged() ships the analysis-ready combined file: unlike the
+    # per-node streams it carries the synthetic crash marker (a SIGKILL
+    # victim cannot write its own), so `repro trace qos` on the file
+    # sees the full failure pattern — p0's detection, stabilization on
+    # a survivor, and the 2(n-1) transformation bound.
+    merged_path = cluster.save_merged(tmp_path / "merged.jsonl")
+    shipped = as_trace(merged_path)
+    assert [ev.pid for ev in shipped.events if ev.kind == "crash"] == [0]
+    qos = qos_report(shipped, channel="fd", period=PERIOD, n=3)
+    assert qos.detection.get(0) is not None
+    assert qos.unresolved_mistakes == 0
+    assert qos.stable_leader in {1, 2}
+    assert qos.bound_ok is True
 
 
 def test_same_harness_drives_local_cluster(tmp_path):

@@ -36,6 +36,11 @@ CASES = [
     ),
     ("payload-encodability", "bad_payload.py", 3, "good_payload.py"),
     ("trace-schema", "bad_trace_schema.py", 3, "good_trace_schema.py"),
+    (
+        "metrics-registry",
+        "bad_metrics_registry.py", 5,
+        "good_metrics_registry.py",
+    ),
     ("proc-isolation", "bad_proc_isolation.py", 2, "good_proc_isolation.py"),
 ]
 

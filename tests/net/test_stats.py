@@ -1,0 +1,124 @@
+"""The UDP node-introspection endpoint (``repro node --stats-addr``)."""
+
+import asyncio
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.net import (
+    LocalCluster,
+    StatsEndpoint,
+    attach_standard_stack,
+    fetch_stats,
+    parse_stats_addr,
+)
+from repro.obs import MetricsRegistry
+
+
+def test_parse_stats_addr_accepts_the_three_spellings():
+    assert parse_stats_addr("0.0.0.0:9400") == ("0.0.0.0", 9400)
+    assert parse_stats_addr(":9400") == ("127.0.0.1", 9400)
+    assert parse_stats_addr("9400") == ("127.0.0.1", 9400)
+
+
+def test_parse_stats_addr_rejects_garbage():
+    for bad in ("", "host:", "host:port", "1.2.3.4"):
+        with pytest.raises(ConfigurationError):
+            parse_stats_addr(bad)
+
+
+def test_endpoint_serves_the_registry_over_udp():
+    async def scenario():
+        registry = MetricsRegistry()
+        registry.inc("messages_sent_total", amount=3, channel="fd")
+        endpoint = StatsEndpoint(registry)
+        address = await endpoint.bind()
+        try:
+            text = await fetch_stats(address)
+        finally:
+            endpoint.close()
+        return endpoint, text
+
+    endpoint, text = asyncio.run(scenario())
+    assert 'messages_sent_total{channel="fd"} 3' in text
+    assert "# TYPE messages_sent_total counter" in text
+    assert endpoint.requests_served == 1
+
+
+def test_endpoint_runs_samplers_before_each_render():
+    async def scenario():
+        registry = MetricsRegistry()
+        ticks = []
+
+        def sampler(reg):
+            ticks.append(1)
+            reg.set("transport_frames_sent", len(ticks))
+
+        endpoint = StatsEndpoint(registry, samplers=[sampler])
+        address = await endpoint.bind()
+        try:
+            first = await fetch_stats(address)
+            second = await fetch_stats(address)
+        finally:
+            endpoint.close()
+        return first, second
+
+    first, second = asyncio.run(scenario())
+    assert "transport_frames_sent 1" in first
+    assert "transport_frames_sent 2" in second
+
+
+def test_closed_endpoint_reads_as_node_down():
+    async def scenario():
+        endpoint = StatsEndpoint(MetricsRegistry())
+        address = await endpoint.bind()
+        endpoint.close()
+        endpoint.close()  # idempotent
+        # Silence (remote death) or ICMP port-unreachable (local kill):
+        # both spell "node down" to a stats client.
+        with pytest.raises((asyncio.TimeoutError, ConnectionRefusedError)):
+            await fetch_stats(address, timeout=0.2)
+
+    asyncio.run(scenario())
+
+
+def test_double_bind_is_rejected():
+    async def scenario():
+        endpoint = StatsEndpoint(MetricsRegistry())
+        await endpoint.bind()
+        try:
+            with pytest.raises(ConfigurationError):
+                await endpoint.bind()
+        finally:
+            endpoint.close()
+
+    asyncio.run(scenario())
+
+
+def test_live_cluster_host_registry_is_exposable():
+    """End to end on a running loopback cluster: the exposition carries
+    the instrumented record sites' series."""
+
+    async def scenario():
+        cluster = LocalCluster(n=3, transport="loopback", seed=0)
+        attach_standard_stack(
+            cluster, period=0.05,
+            initial_timeout=0.12, timeout_increment=0.05,
+        )
+        await cluster.start()
+        await cluster.run(0.5)
+        host = cluster.host(0)
+        endpoint = StatsEndpoint(
+            host.metrics, samplers=host.world.metrics_samplers
+        )
+        address = await endpoint.bind()
+        try:
+            text = await fetch_stats(address)
+        finally:
+            endpoint.close()
+            await cluster.stop()
+        return text
+
+    text = asyncio.run(scenario())
+    assert 'messages_sent_total{channel="fd.suspects"}' in text
+    assert "transport_frames_sent" in text

@@ -12,7 +12,12 @@ or corrupt anything the checkers look at.
 
 import pytest
 
-from repro.analysis import check_consensus, check_fd_class, extract_outcome
+from repro.analysis import (
+    check_consensus,
+    check_fd_class,
+    extract_outcome,
+    qos_report,
+)
 from repro.fd import EVENTUALLY_CONSISTENT
 from repro.net import FaultPlan, LocalCluster, attach_standard_stack
 from repro.obs import merge_traces
@@ -88,6 +93,25 @@ def test_fd_class_verdicts_identical(shipped_run):
         assert live[name].ok == merged[name].ok, name
         assert live[name].stabilized_at == merged[name].stabilized_at, name
     assert all(check.ok for check in merged.values())
+
+
+def test_qos_verdicts_identical(shipped_run):
+    cluster, _, report = shipped_run
+    live = qos_report(cluster.trace, period=PERIOD)
+    merged = qos_report(report.trace, period=PERIOD)
+    assert live.detection == merged.detection
+    assert live.mistakes == merged.mistakes
+    assert live.leader_stabilized_at == merged.leader_stabilized_at
+    assert live.stable_leader == merged.stable_leader
+    assert live.cost_window == merged.cost_window
+    assert set(live.message_cost) == set(merged.message_cost)
+    for ch, cost in live.message_cost.items():
+        assert merged.message_cost[ch] == pytest.approx(cost), ch
+    assert live.bound_ok is merged.bound_ok is True
+    # The scenario's known answers: p0 crashes at t=2 and is detected;
+    # the survivors re-stabilize on a correct leader.
+    assert live.detection[0] is not None
+    assert live.stable_leader in {1, 2}
 
 
 def test_combined_file_mode_ships_one_checkable_stream(tmp_path):

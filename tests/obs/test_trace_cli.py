@@ -1,4 +1,4 @@
-"""The ``repro trace`` command family: merge / stats / check / schema."""
+"""The ``repro trace`` command family: merge / stats / qos / check / schema."""
 
 import json
 
@@ -50,6 +50,71 @@ def test_trace_stats_per_file(node_files, capsys):
     assert "send" in out and "deliver" in out
 
 
+def test_trace_stats_reports_counts_and_bytes(node_files, capsys):
+    assert main(["trace", "stats", node_files[0]]) == 0
+    out = capsys.readouterr().out
+    send_line = next(l for l in out.splitlines() if l.strip().startswith("send"))
+    assert "1 events" in send_line
+    # The byte column is the on-disk JSONL line length of the send event.
+    with open(node_files[0], encoding="utf-8") as fh:
+        send_bytes = len(next(l for l in fh if '"k": "send"' in l or '"k":"send"' in l))
+    assert f"{send_bytes} bytes" in send_line
+
+
+@pytest.fixture
+def qos_files(tmp_path):
+    """Two per-node files of a clean kill-the-leader run: p0 crashes at
+    t=10, both survivors suspect it and re-elect p1, then the fdp channel
+    hums along at exactly 2(n-1)=4 messages per 5.0-unit period."""
+    files = []
+    for pid, detect_at in ((1, 13.0), (2, 14.0)):
+        sink = JsonlSink(tmp_path / f"node-{pid}.jsonl", node=pid,
+                         epoch_wall=1000.0, epoch_mono=0.0)
+        sink.record(0.0, "fd", pid, channel="fd",
+                    suspected=frozenset(), trusted=0)
+        if pid == 1:
+            sink.record(10.0, "crash", 0)
+        sink.record(detect_at, "fd", pid, channel="fd",
+                    suspected=frozenset({0}), trusted=1)
+        if pid == 1:
+            # 4 msgs/period over the cost window [19, 49]: 24 sends.
+            for i in range(24):
+                sink.record(19.0 + (i + 0.5) * 1.25, "send", 1,
+                            channel="fdp", src=1, dst=2, tag="list")
+        sink.record(49.0, "fd", pid, channel="fd",
+                    suspected=frozenset({0}), trusted=1)
+        sink.close()
+        files.append(str(tmp_path / f"node-{pid}.jsonl"))
+    return files
+
+
+def test_trace_qos_reports_the_headline_numbers(qos_files, capsys):
+    assert main(["trace", "qos", "--period", "5.0", *qos_files]) == 0
+    out = capsys.readouterr().out
+    assert "detection time T_D   : p0: 4.000" in out
+    assert "mistakes             : 0 (0 unresolved)" in out
+    assert "leader stabilization : t=14.000 (leader p1)" in out
+    assert "fdp" in out and "[2(n-1) bound = 4: OK]" in out
+
+
+def test_trace_qos_exit_code_flags_a_bound_violation(tmp_path, capsys):
+    sink = JsonlSink(tmp_path / "run.jsonl", node=None,
+                     epoch_wall=0.0, epoch_mono=0.0)
+    for pid in (1, 2):
+        sink.record(0.0, "fd", pid, channel="fd",
+                    suspected=frozenset(), trusted=1)
+        sink.record(49.0, "fd", pid, channel="fd",
+                    suspected=frozenset(), trusted=1)
+    for i in range(80):  # 10 msgs/period on a 3-node system: over 2(n-1)
+        sink.record(5.0 + i * 0.5, "send", 1,
+                    channel="fdp", src=1, dst=2, tag="list")
+    sink.close()
+    code = main(["trace", "qos", "--period", "5.0", "--n", "3",
+                 str(tmp_path / "run.jsonl")])
+    assert code == 1
+    assert "VIOLATED" in capsys.readouterr().out
+
+
 def test_trace_check_accepts_conforming_files(node_files, capsys):
     assert main(["trace", "check", *node_files]) == 0
     out = capsys.readouterr().out
@@ -77,7 +142,7 @@ def test_trace_schema_renders_the_registry(capsys):
 
 def test_trace_subcommands_fail_cleanly_on_missing_file(tmp_path, capsys):
     missing = str(tmp_path / "nope.jsonl")
-    for sub in ("merge", "stats", "check"):
+    for sub in ("merge", "stats", "qos", "check"):
         assert main(["trace", sub, missing]) == 2
 
 
