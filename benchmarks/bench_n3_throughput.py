@@ -1,0 +1,113 @@
+"""N3 — replicated KV service throughput under real client load.
+
+Boots the full service path live — ◇C detectors electing a leader, the
+slot-by-slot replicated state machine, TCP frontends, and the
+:mod:`repro.load` generator driving real client sessions over real
+sockets — and measures decided-commands/s plus latency percentiles
+across the node-to-node transports at n in {3, 5}, closed-loop.
+
+The headline cell is the fleet row: **1000 concurrent closed-loop
+clients** against a 3-node loopback cluster.  The service decides one
+command per consensus slot (~1/period/few-rounds), so a thousand open
+sessions see multi-second queueing latency — the interesting claim is
+that every session still completes exactly-once with zero errors, not
+that the numbers are big.
+
+Wall-dependent columns carry "wall"/"latency" in their headers so
+``check_drift.py`` skips them; topology, error counts, and verdicts are
+the regression surface.
+"""
+
+import asyncio
+import resource
+
+from _harness import publish_table
+
+from repro.cluster import LocalCluster, verdicts_ok
+from repro.load import LoadGenerator
+from repro.svc import start_service
+
+PERIOD = 0.05
+NS = (3, 5)
+
+#: (transport, n, clients, offered seconds, per-request timeout seconds).
+CELLS = [
+    (transport, n, 10, 3.0, 30.0)
+    for transport in ("loopback", "udp", "tcp")
+    for n in NS
+]
+#: The fleet cell: ≥1000 concurrent sessions on loopback at n=3.
+FLEET = ("loopback", 3, 1000, 5.0, 120.0)
+
+
+def _raise_fd_limit() -> None:
+    """1000 client connections + cluster sockets need headroom."""
+    soft, hard = resource.getrlimit(resource.RLIMIT_NOFILE)
+    if soft < hard:
+        resource.setrlimit(resource.RLIMIT_NOFILE, (hard, hard))
+
+
+async def _run(transport, n, clients, duration, timeout):
+    cluster = LocalCluster(n=n, transport=transport, seed=7)
+    stacks = cluster.deploy_standard_stack(stack="rsm", period=PERIOD)
+    await cluster.start()
+    fronts = await start_service(
+        cluster, stacks, apply_timeout=timeout,
+    )
+    try:
+        generator = LoadGenerator(
+            [front.local_address for front in fronts],
+            clients=clients, mode="closed", duration=duration,
+            request_timeout=timeout, max_attempts=10, seed=1,
+        )
+        report = await generator.run()
+    finally:
+        for front in fronts:
+            await front.close()
+        await cluster.stop()
+    return report, verdicts_ok(cluster.verdicts())
+
+
+def measure(cell):
+    return asyncio.run(_run(*cell))
+
+
+def test_n3_throughput(benchmark):
+    _raise_fd_limit()
+    rows = []
+    for cell in CELLS + [FLEET]:
+        transport, n, clients, _, _ = cell
+        report, ok = measure(cell)
+        assert report.acked > 0, (cell, report.render())
+        latency_ms = [
+            None if q is None else round(q * 1e3, 1)
+            for q in (report.latency(0.5), report.latency(0.95),
+                      report.latency(0.99))
+        ]
+        rows.append((
+            f"{transport}/n{n}/c{clients}", n, clients,
+            report.acked, round(report.achieved_rate, 1), *latency_ms,
+            report.errors, "ok" if ok else "VIOLATED",
+        ))
+        assert ok, (cell, report.render())
+        assert report.errors == 0, (cell, report.render())
+    publish_table(
+        "n3_throughput",
+        f"N3 — replicated KV service under closed-loop client load "
+        f"(period={PERIOD}s wall, one command per consensus slot)",
+        ["cell", "n", "clients", "acked cmds (wall)",
+         "decided cmds/s (wall)", "p50 latency ms", "p95 latency ms",
+         "p99 latency ms", "errors", "verdicts"],
+        rows,
+        note="Real TCP clients against live frontends; every command "
+        "rides its own consensus slot, so throughput is slot rate, not "
+        "I/O rate. The c1000 row shows 1000 concurrent sessions "
+        "completing exactly-once with zero errors despite multi-second "
+        "queueing. Wall/latency columns are host-dependent and skipped "
+        "by check_drift.py.",
+    )
+
+    benchmark.pedantic(
+        lambda: measure(("loopback", 3, 10, 1.0, 30.0)),
+        rounds=3, iterations=1,
+    )

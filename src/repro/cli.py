@@ -99,6 +99,8 @@ _EXPERIMENTS = [
      "bench_n1_live_transports.py"),
     ("N2", "live QoS: E3/E8 on the real runtime vs simulator",
      "bench_n2_live_qos.py"),
+    ("N3", "replicated KV service throughput (repro.svc)",
+     "bench_n3_throughput.py"),
 ]
 
 
@@ -264,6 +266,11 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
         return _cluster_virtual(args, codec, plan)
     if args.duration is not None or args.crash:
         return _cluster_scripted(args, codec, plan)
+    if args.stack == "rsm":
+        print("error: --stack rsm needs a scripted run (--duration and/or "
+              "--crash) or --virtual; the adaptive kill-the-leader flow "
+              "drives one-shot consensus", file=sys.stderr)
+        return 2
 
     period = args.period
     cluster = LocalCluster(
@@ -324,7 +331,7 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
 def _cluster_virtual(args: argparse.Namespace, codec, plan) -> int:
     """Deterministic variant: virtual clock over loopback, sim-scale times."""
     from .errors import ConfigurationError
-    from .net import LocalCluster, attach_standard_stack
+    from .net import LocalCluster
 
     if args.transport != "loopback":
         print("error: --virtual requires --transport loopback",
@@ -335,23 +342,20 @@ def _cluster_virtual(args: argparse.Namespace, codec, plan) -> int:
         seed=args.seed, codec=codec, fault_plan=plan,
         trace_out=args.trace_out,
     )
-    stacks = attach_standard_stack(
-        cluster, suspects=args.stack,
+    leader, crash_time = 0, 60.0  # leaders start at p0 deterministically
+    stacks = cluster.deploy_standard_stack(
+        stack=args.stack,
         period=5.0, initial_timeout=12.0, timeout_increment=5.0,
+        propose_after=crash_time + 1.0,
         metrics_interval=args.metrics_interval,
     )
-    protocols = stacks["consensus"]
-    leader, crash_time = 0, 60.0  # leaders start at p0 deterministically
     cluster.schedule_kill(leader, crash_time)
-
-    def propose_survivors():
-        for p in protocols:
-            if not p.crashed:
-                p.propose(f"value-from-p{p.pid}")
-
-    cluster.clock.schedule_at(crash_time + 1.0, propose_survivors)
     cluster.run_virtual(until=4000.0)
     cluster.close_traces()  # virtual mode has no stop(); flush JSONL now
+    if args.stack == "rsm":
+        return _cluster_report_rsm(args, cluster, stacks["rsm"],
+                                   leader, crash_time)
+    protocols = stacks["consensus"]
     decided = all(p.decided for p in protocols if not p.crashed)
     return _cluster_report(args, cluster, protocols, leader, crash_time,
                            decided)
@@ -382,7 +386,6 @@ def _cluster_scripted(args: argparse.Namespace, codec, plan) -> int:
         stack=args.stack, period=period, propose_after=propose_after,
         metrics_interval=args.metrics_interval,
     )
-    protocols = stacks["consensus"]
     for pid, at in crashes:
         cluster.crash(pid, at=at)
 
@@ -392,8 +395,12 @@ def _cluster_scripted(args: argparse.Namespace, codec, plan) -> int:
         await cluster.stop()
 
     asyncio.run(drive())
-    decided = all(p.decided for p in protocols if not p.crashed)
     leader, crash_time = (crashes[0] if crashes else (None, None))
+    if args.stack == "rsm":
+        return _cluster_report_rsm(args, cluster, stacks["rsm"],
+                                   leader, crash_time)
+    protocols = stacks["consensus"]
+    decided = all(p.decided for p in protocols if not p.crashed)
     return _cluster_report(args, cluster, protocols, leader, crash_time,
                            decided)
 
@@ -443,6 +450,41 @@ def _cluster_report(args, cluster, protocols, leader, crash_time,
     return 0 if ok else 1
 
 
+def _cluster_report_rsm(args, cluster, rsms, leader, crash_time) -> int:
+    """Postmortem for an ``rsm``-stack cluster run: replica log lengths
+    and the log-level verdicts instead of one-shot consensus outcomes."""
+    from .cluster.api import verdicts_ok
+
+    trace = cluster.trace
+    end = cluster.now
+    mode = "virtual" if cluster.virtual else "wall"
+    print(f"live cluster: n={cluster.n} transport={cluster.transport_kind} "
+          f"codec={cluster.codec.name} clock={mode} stack=rsm")
+    if getattr(args, "trace_out", None):
+        print(f"trace shipped to {args.trace_out}")
+    if leader is not None:
+        print(f"killed p{leader} at t={crash_time:.2f}\n")
+    else:
+        print("no crashes scheduled\n")
+    print(leader_timeline(trace, channel="fd", width=64, end=end))
+    print()
+    for rsm in rsms:
+        state = ("killed" if rsm.crashed
+                 else f"applied {len(rsm.log)} commands "
+                      f"(slot {rsm.current_slot})")
+        print(f"  p{rsm.pid}: {state}")
+    verdicts = cluster.verdicts()
+    print("verdicts:")
+    for name, result in verdicts.items():
+        print(f"  {name:32s} {'ok' if result else 'VIOLATED'}")
+    for channel in ("fd.omega", "fd.suspects", "rsm"):
+        count = channel_message_count(trace, channel)
+        print(f"  {'messages on ' + channel:32s} {count:>10d}")
+    ok = verdicts_ok(verdicts)
+    print("\nresult:", "OK" if ok else "FAILED")
+    return 0 if ok else 1
+
+
 def _cmd_node(args: argparse.Namespace) -> int:
     import asyncio
 
@@ -453,7 +495,7 @@ def _cmd_node(args: argparse.Namespace) -> int:
         run_node(
             book, args.pid,
             trace_out=args.trace_out, duration=args.duration,
-            stats_addr=args.stats_addr,
+            stats_addr=args.stats_addr, serve_addr=args.serve_addr,
         )
     )
     print(f"node {args.pid}: " +
@@ -517,6 +559,247 @@ def _cmd_proc_run(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def _parse_connect(spec: str) -> list:
+    """Parse ``HOST:PORT[,HOST:PORT...]`` into ``(host, port)`` pairs."""
+    from .errors import ConfigurationError
+
+    addrs = []
+    for part in spec.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        try:
+            host, port_text = part.rsplit(":", 1)
+            addrs.append((host or "127.0.0.1", int(port_text)))
+        except ValueError:
+            raise ConfigurationError(
+                f"bad address {part!r}; expected HOST:PORT"
+            )
+    if not addrs:
+        raise ConfigurationError(
+            f"no addresses in --connect spec {spec!r}"
+        )
+    return addrs
+
+
+def _parse_kv_value(text: str):
+    """CLI values arrive as text; decode JSON when it parses, else keep
+    the raw string (so ``repro kv put k 7`` stores the int 7 and
+    ``repro kv put k hello`` stores the string)."""
+    import json
+
+    try:
+        return json.loads(text)
+    except json.JSONDecodeError:
+        return text
+
+
+def _cmd_kv_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .errors import ConfigurationError
+    from .net import LocalCluster, default_codec
+    from .svc import start_service
+
+    try:
+        codec = default_codec(
+            prefer=None if args.codec == "auto" else args.codec)
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    async def serve() -> None:
+        cluster = LocalCluster(
+            n=args.nodes, transport=args.transport, seed=args.seed,
+            codec=codec, trace_out=args.trace_out,
+        )
+        cluster.deploy_standard_stack(stack="rsm", period=args.period)
+        await cluster.start()
+        frontends = await start_service(
+            cluster, cluster.stacks, listen_host=args.serve_host,
+        )
+        connect = ",".join(
+            f"{f.listen_host}:{f.port}" for f in frontends
+        )
+        print(f"replicated KV service up: n={cluster.n} "
+              f"transport={cluster.transport_kind} period={args.period}")
+        for frontend in frontends:
+            print(f"  node {frontend.host.pid}: "
+                  f"{frontend.listen_host}:{frontend.port}")
+        print(f"connect with: repro kv get KEY --connect {connect}")
+        try:
+            await cluster.run(args.duration)
+        finally:
+            for frontend in frontends:
+                await frontend.close()
+            await cluster.stop()
+
+    asyncio.run(serve())
+    return 0
+
+
+def _kv_session_id(args: argparse.Namespace) -> str:
+    """The session name for one CLI invocation.
+
+    Must be fresh per invocation by default: every invocation restarts
+    its sequence numbers at 0, so a reused name would make the
+    replicated session table dedup this run's first command as a retry
+    of the previous run's.  ``--client-id`` pins a name deliberately
+    (e.g. to demonstrate exactly that dedup).
+    """
+    import uuid
+
+    if args.client_id is not None:
+        return args.client_id
+    return f"cli-{uuid.uuid4().hex[:8]}"
+
+
+def _cmd_kv_op(args: argparse.Namespace) -> int:
+    """One-shot ``kv get`` / ``kv put`` against a running service."""
+    import asyncio
+
+    from .svc import KVClient, ServiceUnavailable
+
+    addrs = _parse_connect(args.connect)
+
+    async def one() -> dict:
+        async with KVClient(
+            addrs, client_id=_kv_session_id(args),
+            request_timeout=args.timeout,
+        ) as client:
+            if args.kv_command == "get":
+                return await client.get(args.key)
+            return await client.put(args.key, _parse_kv_value(args.value))
+
+    try:
+        result = asyncio.run(one())
+    except (ServiceUnavailable, ConnectionError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(result)
+    return 0 if result.get("ok") else 1
+
+
+def _cmd_kv_bench_client(args: argparse.Namespace) -> int:
+    """Single-session latency microbench: sequential ops, percentiles."""
+    import asyncio
+    import time
+
+    from .load import percentile
+    from .svc import KVClient, ServiceUnavailable
+
+    addrs = _parse_connect(args.connect)
+
+    async def bench() -> list:
+        latencies = []
+        async with KVClient(
+            addrs, client_id=_kv_session_id(args),
+            request_timeout=args.timeout,
+        ) as client:
+            for i in range(args.ops):
+                started = time.monotonic()
+                if i % 2:
+                    await client.get("bench")
+                else:
+                    await client.put("bench", i)
+                latencies.append(time.monotonic() - started)
+        return latencies
+
+    try:
+        latencies = asyncio.run(bench())
+    except (ServiceUnavailable, ConnectionError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    total = sum(latencies)
+    print(f"bench-client: {args.ops} sequential ops in {total:.3f}s "
+          f"({args.ops / total:.1f} op/s)")
+    for q in (0.5, 0.95, 0.99):
+        value = percentile(latencies, q)
+        print(f"  p{int(q * 100):<3d} {value * 1e3:9.2f} ms")
+    return 0
+
+
+def _cmd_kv(args: argparse.Namespace) -> int:
+    if args.kv_command == "serve":
+        return _cmd_kv_serve(args)
+    if args.kv_command == "bench-client":
+        return _cmd_kv_bench_client(args)
+    return _cmd_kv_op(args)
+
+
+def _cmd_load(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .load import LoadGenerator
+
+    def make_generator(addrs) -> LoadGenerator:
+        return LoadGenerator(
+            addrs,
+            clients=args.clients,
+            mode=args.mode,
+            duration=args.duration,
+            rate=args.rate,
+            think=args.think,
+            write_fraction=args.write_fraction,
+            request_timeout=args.timeout,
+            seed=args.seed,
+        )
+
+    if args.connect is not None:
+        report = asyncio.run(make_generator(_parse_connect(args.connect)).run())
+        print(report.render())
+        return 0 if report.acked > 0 else 1
+
+    # --proc N: self-hosted run — spawn an rsm process cluster with serve
+    # ports, offer the load, then judge the merged trace like `proc run`.
+    from .cluster.api import verdicts_ok
+    from .proc import ProcessCluster
+
+    crashes = _parse_crash_specs(args.crash)
+    warmup = args.warmup
+    # Nodes must outlive warmup + offered load + the slowest straggler
+    # command (bounded by the client request timeout).
+    node_duration = warmup + args.duration + args.timeout + 2.0
+    cluster = ProcessCluster(
+        n=args.proc,
+        transport=args.transport if args.transport != "loopback" else "udp",
+        stack="rsm",
+        period=args.period,
+        duration=node_duration,
+        seed=args.seed,
+        workdir=args.trace_out,
+        serve=True,
+    )
+    for pid, at in crashes:
+        cluster.crash(pid, at=at)
+
+    async def drive():
+        await cluster.start()
+        await asyncio.sleep(warmup)
+        report = await make_generator(
+            list(cluster.serve_addresses.values())
+        ).run()
+        await cluster.wait_quiescent()
+        await cluster.stop()
+        return report
+
+    report = asyncio.run(drive())
+    print(f"process cluster: n={cluster.n} transport={cluster.transport} "
+          f"stack=rsm period={args.period} workdir={cluster.workdir}")
+    print(report.render())
+    verdicts = cluster.verdicts()
+    print("verdicts:")
+    for name, result in verdicts.items():
+        print(f"  {name:32s} {'ok' if result else 'VIOLATED'}")
+    if args.merge_out:
+        saved = cluster.save_merged(args.merge_out)
+        print(f"merged trace (synthetic crash events included) written to "
+              f"{saved}")
+    ok = verdicts_ok(verdicts) and report.acked > 0
+    print("result:", "OK" if ok else "FAILED")
+    return 0 if ok else 1
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from .analysis import render_report
 
@@ -559,8 +842,10 @@ def _shared_cluster_options() -> argparse.ArgumentParser:
         help="wire transport (process clusters need udp or tcp; loopback "
              "cannot cross process boundaries)")
     group.add_argument(
-        "--stack", choices=["ring", "heartbeat"], default="ring",
-        help="suspect source feeding the <>C combiner")
+        "--stack", choices=["ring", "heartbeat", "rsm"], default="ring",
+        help="suspect source feeding the <>C combiner, or 'rsm' for the "
+             "replicated-state-machine service substrate (slot-by-slot "
+             "consensus instead of a single instance)")
     group.add_argument(
         "--trace-out", metavar="PATH", default=None,
         help="ship traces as they happen: a directory writes one "
@@ -660,6 +945,10 @@ def build_parser() -> argparse.ArgumentParser:
                       help="serve this node's metrics registry over UDP in "
                            "Prometheus text format (HOST:PORT, :PORT or "
                            "PORT; poke it with any datagram)")
+    node.add_argument("--serve-addr", metavar="HOST:PORT", default=None,
+                      help="bind the KV service frontend for real clients "
+                           "at this TCP address (requires the book's stack "
+                           "to be 'rsm'; overrides the book's serve_port)")
     node.set_defaults(func=_cmd_node)
 
     proc = sub.add_parser(
@@ -688,6 +977,113 @@ def build_parser() -> argparse.ArgumentParser:
                            "events included) as one combined JSONL file — "
                            "the input `repro trace qos` wants")
     prun.set_defaults(func=_cmd_proc_run)
+
+    kv = sub.add_parser(
+        "kv",
+        help="replicated KV service: serve a cluster, run client ops",
+    )
+    kv_sub = kv.add_subparsers(dest="kv_command", required=True)
+    kserve = kv_sub.add_parser(
+        "serve",
+        help="boot an in-process rsm cluster and serve real TCP clients",
+    )
+    kserve.add_argument("--nodes", "-n", type=int, default=3)
+    kserve.add_argument("--transport", choices=["loopback", "udp", "tcp"],
+                        default="loopback",
+                        help="node-to-node transport (clients always "
+                             "connect over TCP)")
+    kserve.add_argument("--period", type=float, default=0.05,
+                        help="heartbeat period in wall seconds")
+    kserve.add_argument("--seed", type=int, default=7)
+    kserve.add_argument("--codec", choices=["auto", "json", "msgpack"],
+                        default="auto")
+    kserve.add_argument("--serve-host", default="127.0.0.1",
+                        help="interface the client-facing frontends bind")
+    kserve.add_argument("--duration", type=float, metavar="SECONDS",
+                        default=60.0, help="how long to serve")
+    kserve.add_argument("--trace-out", metavar="PATH", default=None,
+                        help="ship the cluster trace (JSONL file or "
+                             "directory)")
+    kserve.set_defaults(func=_cmd_kv)
+
+    def _kv_client_options(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--connect", required=True,
+                       metavar="HOST:PORT[,HOST:PORT...]",
+                       help="serve addresses of any subset of replicas")
+        p.add_argument("--client-id", default=None,
+                       help="pin the session name (the dedup table key); "
+                            "default is a fresh name per invocation — a "
+                            "reused name with restarting sequence numbers "
+                            "would be deduplicated as a retry")
+        p.add_argument("--timeout", type=float, default=5.0,
+                       help="per-attempt request timeout in seconds")
+
+    kget = kv_sub.add_parser("get", help="read one key (through the log)")
+    kget.add_argument("key")
+    _kv_client_options(kget)
+    kget.set_defaults(func=_cmd_kv)
+
+    kput = kv_sub.add_parser("put", help="write one key (exactly-once)")
+    kput.add_argument("key")
+    kput.add_argument("value",
+                      help="JSON when it parses, raw string otherwise")
+    _kv_client_options(kput)
+    kput.set_defaults(func=_cmd_kv)
+
+    kbench = kv_sub.add_parser(
+        "bench-client",
+        help="single-session sequential latency microbench",
+    )
+    _kv_client_options(kbench)
+    kbench.add_argument("--ops", type=int, default=100,
+                        help="how many sequential commands to run")
+    kbench.set_defaults(func=_cmd_kv)
+
+    load = sub.add_parser(
+        "load",
+        help="drive open/closed-loop load at a replicated KV service",
+    )
+    load_target = load.add_mutually_exclusive_group(required=True)
+    load_target.add_argument(
+        "--connect", metavar="HOST:PORT[,HOST:PORT...]", default=None,
+        help="serve addresses of an already-running service")
+    load_target.add_argument(
+        "--proc", type=int, metavar="N", default=None,
+        help="self-hosted: spawn an N-node rsm process cluster with serve "
+             "ports, load it, judge the merged trace")
+    load.add_argument("--mode", choices=["closed", "open"], default="closed")
+    load.add_argument("--clients", type=int, default=10,
+                      help="concurrent client sessions (closed) or pool "
+                           "size (open)")
+    load.add_argument("--rate", type=float, default=None,
+                      help="open-loop target command rate per second")
+    load.add_argument("--duration", type=float, default=5.0,
+                      help="how long to offer load, in wall seconds")
+    load.add_argument("--think", type=float, default=0.0,
+                      help="closed-loop think time between commands")
+    load.add_argument("--write-fraction", type=float, default=0.8,
+                      help="fraction of commands that are puts")
+    load.add_argument("--timeout", type=float, default=10.0,
+                      help="per-attempt client request timeout in seconds")
+    load.add_argument("--seed", type=int, default=0)
+    load.add_argument("--transport", choices=["loopback", "udp", "tcp"],
+                      default="udp",
+                      help="node-to-node transport for --proc clusters")
+    load.add_argument("--period", type=float, default=0.05,
+                      help="heartbeat period for --proc clusters")
+    load.add_argument("--warmup", type=float, default=1.0,
+                      help="seconds to let --proc detectors converge "
+                           "before offering load")
+    load.add_argument("--crash", action="append", default=[],
+                      metavar="PID:TIME",
+                      help="schedule a kill -9 in a --proc cluster; "
+                           "repeatable")
+    load.add_argument("--trace-out", metavar="DIR", default=None,
+                      help="workdir for --proc traces and logs")
+    load.add_argument("--merge-out", metavar="OUT.jsonl", default=None,
+                      help="write the --proc merged trace as one combined "
+                           "JSONL file")
+    load.set_defaults(func=_cmd_load)
 
     trc = sub.add_parser(
         "trace",

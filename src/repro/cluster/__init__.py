@@ -17,7 +17,7 @@ some of them, and judges the run:
 
 from __future__ import annotations
 
-from .api import ClusterAPI, standard_verdicts, verdicts_ok
+from .api import ClusterAPI, rsm_verdicts, standard_verdicts, verdicts_ok
 from .local import (
     LocalCluster,
     STACKS,
@@ -28,6 +28,7 @@ from .local import (
 
 __all__ = [
     "ClusterAPI",
+    "rsm_verdicts",
     "standard_verdicts",
     "verdicts_ok",
     "LocalCluster",

@@ -42,7 +42,7 @@ from ..obs.reader import TraceSource, as_trace
 from ..obs.sinks import MemorySink
 from ..types import ProcessId, Time
 
-__all__ = ["ClusterAPI", "standard_verdicts", "verdicts_ok"]
+__all__ = ["ClusterAPI", "standard_verdicts", "rsm_verdicts", "verdicts_ok"]
 
 
 @runtime_checkable
@@ -119,6 +119,66 @@ def standard_verdicts(
     outcome = extract_outcome(trace, algo)
     for name, ok in check_consensus(outcome, correct).items():
         verdicts[f"consensus.{name}"] = ok
+    return verdicts
+
+
+def rsm_verdicts(
+    trace: TraceSource,
+    correct: FrozenSet[ProcessId],
+    channel: str = "fd",
+    fd_class: FDClass = EVENTUALLY_CONSISTENT,
+    end_time: Optional[Time] = None,
+    margin: float = 0.1,
+) -> Dict[str, Any]:
+    """Judge one replicated-state-machine run (``--stack rsm``).
+
+    The FD-class checks are the same as :func:`standard_verdicts`, but the
+    one-shot Uniform Consensus checks do not fit a slot-by-slot log (many
+    ``decide`` events per pid; trailing slots legitimately differ while a
+    replica catches up).  The log-level properties are checked from the
+    ``apply`` events instead:
+
+    * ``rsm.agreement`` — no two replicas applied different commands in
+      the same slot;
+    * ``rsm.prefix`` — each replica's applied log is a prefix of the
+      longest: its applied slots are exactly the globally applied slots
+      up to its own frontier (NOOP slots record no ``apply``, so slot
+      sets are sparse but must stay aligned);
+    * ``rsm.progress`` — every correct replica applied at least one
+      command whenever any replica did.
+    """
+    trace = as_trace(trace)
+    verdicts: Dict[str, Any] = {}
+    fd_results = check_fd_class(
+        trace, fd_class, correct,
+        channel=channel, margin=margin, end_time=end_time,
+    )
+    for name, result in fd_results.items():
+        verdicts[f"fd.{name}"] = result
+    logs: Dict[ProcessId, Dict[int, Any]] = {}
+    for event in trace.events:
+        if event.kind == "apply" and event.pid is not None:
+            logs.setdefault(event.pid, {})[event.get("slot")] = (
+                event.get("command")
+            )
+    slots: Dict[int, Any] = {}
+    agreement = True
+    for log in logs.values():
+        for slot, command in log.items():
+            if slot in slots and slots[slot] != command:
+                agreement = False
+            slots.setdefault(slot, command)
+    prefix = True
+    applied_slots = sorted(slots)
+    for log in logs.values():
+        frontier = max(log)
+        expected = [slot for slot in applied_slots if slot <= frontier]
+        if sorted(log) != expected:
+            prefix = False
+    progress = (not slots) or all(pid in logs for pid in correct)
+    verdicts["rsm.agreement"] = agreement
+    verdicts["rsm.prefix"] = prefix
+    verdicts["rsm.progress"] = progress
     return verdicts
 
 

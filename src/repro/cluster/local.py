@@ -47,6 +47,7 @@ from typing import (
 
 from ..broadcast.reliable import ReliableBroadcast
 from ..consensus.ec_consensus import ECConsensus
+from ..consensus.multi import ReplicatedStateMachine
 from ..errors import ConfigurationError
 from ..fd.eventually_consistent import CombinedDetector
 from ..fd.heartbeat import HeartbeatEventuallyPerfect
@@ -64,7 +65,7 @@ from ..obs.sinks import JsonlSink, MemorySink, TeeSink, TraceSink
 from ..sim.component import Component
 from ..transform.c_to_p import CToPTransformation
 from ..types import ProcessId, Time
-from .api import standard_verdicts
+from .api import rsm_verdicts, standard_verdicts
 
 __all__ = [
     "LocalCluster",
@@ -77,8 +78,11 @@ __all__ = [
 #: Transport kinds `LocalCluster` can build itself.
 TRANSPORTS = ("loopback", "udp", "tcp")
 
-#: Suspect-source flavours of the standard ◇C stack.
-STACKS = ("ring", "heartbeat")
+#: Deployable stack flavours: suspect-source variants of the one-shot
+#: consensus pipeline, plus ``rsm`` — the same ◇C detectors driving a
+#: slot-by-slot :class:`~repro.consensus.multi.ReplicatedStateMachine`
+#: instead of a single consensus instance (the service substrate).
+STACKS = ("ring", "heartbeat", "rsm")
 
 
 async def _maybe(value: Any) -> Any:
@@ -165,6 +169,8 @@ class LocalCluster:
         self._pending_proposals: List[Time] = []
         #: Components per role when `deploy_standard_stack` was used.
         self.stacks: Optional[Dict[str, List[Component]]] = None
+        #: Which stack `deploy_standard_stack` deployed (verdict dispatch).
+        self.stack_kind: Optional[str] = None
         # In-flight async transport closes from kill(); referenced here so
         # the tasks cannot be garbage-collected mid-close, reaped in stop().
         self._closing: set = set()
@@ -236,6 +242,11 @@ class LocalCluster:
         exactly what each node of a :class:`~repro.proc.ProcessCluster`
         does for itself, so the same scenario drives both runtimes.
         """
+        if stack not in STACKS:
+            raise ConfigurationError(
+                f"unknown stack {stack!r}; pick one of {STACKS}"
+            )
+        self.stack_kind = stack
         self.stacks = attach_standard_stack(
             self,
             suspects=stack,
@@ -253,10 +264,18 @@ class LocalCluster:
         return self.stacks
 
     def _propose_all(self) -> None:
-        """One proposal round: every correct node proposes its own value."""
+        """One proposal round: every correct node proposes its own value.
+
+        On a one-shot consensus stack each node proposes into its single
+        instance; on an ``rsm`` stack each node submits one command into
+        the replicated log (same scenario shape, different substrate).
+        """
         for protocol in (self.stacks or {}).get("consensus", []):
             if not protocol.crashed:
                 protocol.propose(f"value-from-p{protocol.pid}")
+        for rsm in (self.stacks or {}).get("rsm", []):
+            if not rsm.crashed:
+                rsm.submit(f"value-from-p{rsm.pid}")
 
     # ------------------------------------------------------- wall-clock mode
     async def start(self) -> None:
@@ -422,7 +441,17 @@ class LocalCluster:
         return self.trace
 
     def verdicts(self, channel: str = "fd", algo: str = "ec") -> Dict[str, Any]:
-        """Machine-checked FD + consensus properties of the run so far."""
+        """Machine-checked FD + consensus properties of the run so far.
+
+        An ``rsm`` deployment is judged by :func:`rsm_verdicts` (log-level
+        agreement/prefix/progress); anything else by
+        :func:`standard_verdicts` (one-shot Uniform Consensus).
+        """
+        if self.stack_kind == "rsm":
+            return rsm_verdicts(
+                self.trace, self.correct_pids,
+                channel=channel, end_time=self.now,
+            )
         return standard_verdicts(
             self.trace, self.correct_pids,
             channel=channel, algo=algo, end_time=self.now,
@@ -473,8 +502,17 @@ def attach_node_stack(
     what ``repro node`` runs in every OS process), or a closure over
     ``cluster.attach(pid, ...)`` for in-process clusters.  Returns the
     components by role.
+
+    ``suspects="rsm"`` deploys the service substrate: the ring-sourced
+    ◇C detectors as usual, but a slot-by-slot
+    :class:`~repro.consensus.multi.ReplicatedStateMachine` (role
+    ``rsm``) in place of the one-shot consensus instance.
     """
     parts: Dict[str, Component] = {}
+    with_rsm = suspects == "rsm"
+    if with_rsm:
+        suspects = "ring"
+        with_consensus = False
     omega = LeaderBasedOmega(
         period=period,
         initial_timeout=initial_timeout,
@@ -526,6 +564,20 @@ def attach_node_stack(
         attach(protocol)
         parts["rb"] = rb
         parts["consensus"] = protocol
+    if with_rsm:
+        rsm = ReplicatedStateMachine(
+            combined,
+            channel="rsm",
+            consensus_kwargs={
+                "round_step": period / 5.0,
+                "stubborn_period": stubborn_period,
+            },
+            # A service sits mostly idle between bursts; without grace it
+            # would burn one NOOP consensus instance per slot forever.
+            idle_grace=2 * period,
+        )
+        attach(rsm)
+        parts["rsm"] = rsm
     if metrics_interval is not None:
         reporter = MetricsReporter(metrics_interval)
         attach(reporter)
@@ -554,12 +606,10 @@ def attach_standard_stack(
     (``consensus``).  Defaults are scaled for wall-clock seconds (50 ms
     period) — pass sim-scale values for virtual-clock parity runs.
 
-    Returns the components per role, each a pid-ordered list.
+    Returns the components per role, each a pid-ordered list (only the
+    roles the chosen stack actually deploys appear as keys).
     """
-    stacks: Dict[str, List[Component]] = {
-        "omega": [], "suspects": [], "fd": [], "fdp": [], "rb": [],
-        "consensus": [], "metrics": [],
-    }
+    stacks: Dict[str, List[Component]] = {}
     for pid in cluster.pids:
         parts = attach_node_stack(
             lambda component, pid=pid: cluster.attach(pid, component),
@@ -574,12 +624,5 @@ def attach_standard_stack(
             metrics_interval=metrics_interval,
         )
         for role, component in parts.items():
-            stacks[role].append(component)
-    if not with_transformation:
-        stacks.pop("fdp")
-    if not with_consensus:
-        stacks.pop("rb")
-        stacks.pop("consensus")
-    if metrics_interval is None:
-        stacks.pop("metrics")
+            stacks.setdefault(role, []).append(component)
     return stacks

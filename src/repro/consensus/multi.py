@@ -48,6 +48,7 @@ class ReplicatedStateMachine(Component):
         channel: str = "rsm",
         rebroadcast_period: Optional[float] = None,
         consensus_kwargs: Optional[dict] = None,
+        idle_grace: Optional[float] = None,
     ) -> None:
         super().__init__(channel)
         self.fd = fd
@@ -58,12 +59,23 @@ class ReplicatedStateMachine(Component):
         # only when the run violates the reliable-links model (partitions);
         # they implement the usual "clients retry" recovery story.
         self.rebroadcast_period = rebroadcast_period
+        # When set: a slot opened with an empty queue delays its NOOP
+        # proposal by this long.  Liveness is untouched — a command
+        # arriving mid-grace is proposed immediately (dissemination
+        # reaches every replica, so every replica un-parks the slot), and
+        # the timer is only the fallback keeping wholly idle clusters
+        # live.  Off (None) by default: the eager-NOOP behaviour is what
+        # the deterministic parity runs pin down.  Long-running services
+        # want it, because an idle service otherwise burns one consensus
+        # instance per slot at full speed forever.
+        self.idle_grace = idle_grace
         self.log: List[Any] = []
         self._pending: List[Command] = []
         self._seen: set = set()
         self._applied: set = set()
         self._next_seq = 0
         self._slot = -1
+        self._noop_timer = None
         self._instances: Dict[int, ConsensusProtocol] = {}
         self._apply_callbacks: List[Callable[[int, Any], None]] = []
 
@@ -108,10 +120,16 @@ class ReplicatedStateMachine(Component):
         if self._cid(command) not in self._applied:
             self._pending.append(command)
             self._pending.sort(key=self._cid)
+            self._unpark_idle_slot()
 
     # ------------------------------------------------------------- internals
     def _open_slot(self, slot: int) -> None:
         self._slot = slot
+        if self._noop_timer is not None:
+            # The previous slot decided while parked (its decision arrived
+            # by broadcast before our CMD copy did): retire its timer.
+            self._noop_timer[1].cancel()
+            self._noop_timer = None
         rb = ReliableBroadcast(
             channel=f"{self.channel}.c{slot}.rb",
             retransmit_period=self.rebroadcast_period,
@@ -124,6 +142,37 @@ class ReplicatedStateMachine(Component):
         self.process.attach(instance)
         self._instances[slot] = instance
         instance.on_decide(lambda value, s=slot: self._on_slot_decided(s, value))
+        if self._pending or self.idle_grace is None:
+            instance.propose(self._pending[0] if self._pending else NOOP)
+        else:
+            # Idle slot: park it; a CMD arrival or the grace timer (the
+            # liveness fallback) proposes later.
+            self._noop_timer = (
+                slot, self.set_timer(self.idle_grace, self._grace_expired, slot)
+            )
+
+    def _unpark_idle_slot(self) -> None:
+        """A command arrived while the current slot sat parked: propose."""
+        if self._noop_timer is None or not self._pending:
+            return
+        slot, handle = self._noop_timer
+        if slot != self._slot:
+            self._noop_timer = None
+            return
+        handle.cancel()
+        self._noop_timer = None
+        self._propose_now(slot)
+
+    def _grace_expired(self, slot: int) -> None:
+        if self._noop_timer is not None and self._noop_timer[0] == slot:
+            self._noop_timer = None
+        if slot == self._slot:
+            self._propose_now(slot)
+
+    def _propose_now(self, slot: int) -> None:
+        instance = self._instances[slot]
+        if instance.proposed or instance.decided:
+            return  # decided via broadcast while parked; nothing to add
         instance.propose(self._pending[0] if self._pending else NOOP)
 
     def _on_slot_decided(self, slot: int, value: Any) -> None:

@@ -27,8 +27,11 @@ __all__ = [
 ]
 
 # Every package hosting event-loop code: the transports, the in-process
-# cluster runtime, and the multi-process node/launcher pair.
-NET_SCOPE = ("repro.net", "repro.cluster", "repro.proc")
+# cluster runtime, the multi-process node/launcher pair, and the KV
+# service (frontend + client) with its load generator.
+NET_SCOPE = (
+    "repro.net", "repro.cluster", "repro.proc", "repro.svc", "repro.load",
+)
 
 _BLOCKING_CALLS = {
     "time.sleep",

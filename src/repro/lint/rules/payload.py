@@ -69,8 +69,12 @@ class PayloadEncodabilityRule(Rule):
     )
     # Component code lives in these packages; repro.net and repro.sim are
     # excluded because their `send` methods move already-encoded frames and
-    # envelope internals, not protocol payloads.
-    scope = ("repro.fd", "repro.consensus", "repro.transform", "repro.broadcast")
+    # envelope internals, not protocol payloads.  repro.svc submits client
+    # commands into the replicated log, so its payloads ride the codec too.
+    scope = (
+        "repro.fd", "repro.consensus", "repro.transform", "repro.broadcast",
+        "repro.svc", "repro.load",
+    )
 
     def check(self, ctx) -> Iterator[Finding]:
         for node in ast.walk(ctx.tree):

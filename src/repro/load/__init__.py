@@ -1,0 +1,15 @@
+"""repro.load — open/closed-loop load generation for :mod:`repro.svc`.
+
+:class:`LoadGenerator` drives fleets of :class:`~repro.svc.KVClient`
+sessions against a replicated KV service and measures what the paper's
+machinery cannot see from inside: end-to-end client latency and achieved
+decided-commands/s.  Closed-loop mode fixes the client population (each
+waits for its reply, thinks, repeats); open-loop mode dispatches at a
+target rate from a client pool regardless of completions — the classic
+pair of load models, with the classic caveat that only open loop exposes
+queueing collapse.
+"""
+
+from .generator import LoadGenerator, LoadReport, percentile
+
+__all__ = ["LoadGenerator", "LoadReport", "percentile"]

@@ -261,3 +261,18 @@ register_event_kind(
     doc="a periodic dump of the node's metrics registry "
         "(see repro.obs.metrics; payload is MetricsRegistry.snapshot())",
 )
+register_event_kind(
+    "svc.request", required=("op", "client"), optional=("seq", "rid", "key"),
+    doc="the service frontend accepted one client request frame",
+)
+register_event_kind(
+    "svc.redirect", required=("leader",), optional=("client", "op"),
+    doc="a non-leader frontend redirected a client (leader is the pid the "
+        "local Omega output trusts, or None while it has no leader)",
+)
+register_event_kind(
+    "svc.apply", required=("slot", "op", "duplicate"),
+    optional=("client", "seq", "ok"),
+    doc="the KV state machine executed (or deduplicated) one decided "
+        "command from the replicated log",
+)

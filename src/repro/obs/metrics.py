@@ -499,6 +499,34 @@ register_metric(
     doc="obs.metrics_snapshot events emitted by the reporter",
 )
 register_metric(
+    "svc_requests_total", "counter", ("op",),
+    doc="client request frames accepted by the service frontend, by op",
+)
+register_metric(
+    "svc_redirects_total", "counter", (),
+    doc="client requests answered with a leader redirect",
+)
+register_metric(
+    "svc_applies_total", "counter", ("op",),
+    doc="commands the KV state machine executed from the replicated log",
+)
+register_metric(
+    "svc_duplicates_total", "counter", (),
+    doc="client retries deduplicated by the session table (exactly-once)",
+)
+register_metric(
+    "svc_connections", "gauge", (),
+    doc="currently open client connections on the service frontend",
+)
+register_metric(
+    "svc_sessions", "gauge", (),
+    doc="client sessions tracked in the replicated dedup table",
+)
+register_metric(
+    "svc_request_latency_seconds", "histogram", ("op",),
+    doc="end-to-end client request latency observed by the load generator",
+)
+register_metric(
     "trace_events_total", "counter", ("kind",),
     doc="trace events aggregated per kind (repro trace stats)",
 )

@@ -53,17 +53,23 @@ __all__ = ["NodeAddress", "AddressBook", "PROC_TRANSPORTS"]
 #: Transports that cross process boundaries (no loopback hub here).
 PROC_TRANSPORTS = ("udp", "tcp")
 
-_STACKS = ("ring", "heartbeat")
+_STACKS = ("ring", "heartbeat", "rsm")
 _CODECS = ("auto", "json", "msgpack")
 
 
 @dataclass
 class NodeAddress:
-    """Where one node listens."""
+    """Where one node listens.
+
+    ``serve_port`` is the optional client-facing TCP port of the node's
+    KV service frontend (``--stack rsm`` only); ``port`` stays the
+    node-to-node transport address.
+    """
 
     pid: ProcessId
     host: str
     port: int
+    serve_port: Optional[int] = None
 
 
 @dataclass
@@ -119,6 +125,13 @@ class AddressBook:
                     f"address book must cover pids 0..{self.n - 1} exactly, "
                     f"got {pids}"
                 )
+        if self.stack != "rsm" and any(
+            entry.serve_port is not None for entry in self.nodes
+        ):
+            raise ConfigurationError(
+                "serve ports only make sense with the 'rsm' stack (the KV "
+                "service frontend rides the replicated state machine)"
+            )
 
     # ----------------------------------------------------------------- access
     def address(self, pid: ProcessId) -> Tuple[str, int]:
@@ -132,9 +145,32 @@ class AddressBook:
         """The full peer map, the shape ``Transport.set_peers`` takes."""
         return {entry.pid: (entry.host, entry.port) for entry in self.nodes}
 
+    def serve_address(self, pid: ProcessId) -> Optional[Tuple[str, int]]:
+        """Node *pid*'s client-facing service address, if it has one."""
+        for entry in self.nodes:
+            if entry.pid == pid:
+                if entry.serve_port is None:
+                    return None
+                return (entry.host, entry.serve_port)
+        raise ConfigurationError(f"pid {pid} not in the address book")
+
+    def serve_addresses(self) -> Dict[ProcessId, Tuple[str, int]]:
+        """All client-facing service addresses (pids without one omitted)."""
+        return {
+            entry.pid: (entry.host, entry.serve_port)
+            for entry in self.nodes
+            if entry.serve_port is not None
+        }
+
     # -------------------------------------------------------------- (de)serde
     def to_dict(self) -> Dict[str, Any]:
-        return asdict(self)
+        data = asdict(self)
+        # Keep the on-disk document minimal and byte-compatible with books
+        # written before serve ports existed: absent means "no frontend".
+        for entry in data["nodes"]:
+            if entry.get("serve_port") is None:
+                entry.pop("serve_port")
+        return data
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "AddressBook":
@@ -164,9 +200,14 @@ class AddressBook:
     @classmethod
     def allocate(
         cls, n: int, host: str = "127.0.0.1", transport: str = "udp",
-        **settings: Any,
+        serve: bool = False, **settings: Any,
     ) -> "AddressBook":
-        """Build a single-machine book with *n* kernel-chosen free ports."""
+        """Build a single-machine book with *n* kernel-chosen free ports.
+
+        With ``serve=True`` every node also gets a client-facing TCP
+        ``serve_port`` for its KV service frontend (requires
+        ``stack="rsm"``).
+        """
         kind = (
             socket.SOCK_DGRAM if transport == "udp" else socket.SOCK_STREAM
         )
@@ -179,8 +220,19 @@ class AddressBook:
                 probe = socket.socket(socket.AF_INET, kind)
                 probe.bind((host, 0))
                 probes.append(probe)
+                serve_port: Optional[int] = None
+                if serve:
+                    # Client connections are always TCP streams, whatever
+                    # the node-to-node transport is.
+                    extra = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+                    extra.bind((host, 0))
+                    probes.append(extra)
+                    serve_port = extra.getsockname()[1]
                 nodes.append(
-                    NodeAddress(pid=pid, host=host, port=probe.getsockname()[1])
+                    NodeAddress(
+                        pid=pid, host=host,
+                        port=probe.getsockname()[1], serve_port=serve_port,
+                    )
                 )
         finally:
             for probe in probes:

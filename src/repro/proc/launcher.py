@@ -37,7 +37,7 @@ from pathlib import Path
 from typing import Any, Dict, List, Optional, Union
 
 from ..errors import ConfigurationError
-from ..cluster.api import standard_verdicts
+from ..cluster.api import rsm_verdicts, standard_verdicts
 from ..obs.events import TraceEvent
 from ..obs.merge import MergeReport, merge_traces
 from ..obs.reader import TraceFile, iter_trace_events
@@ -88,6 +88,9 @@ class ProcessCluster:
             channel into a foreign process.
         propose_after: when set, every (surviving) node proposes
             ``value-from-p<pid>`` at that cluster time.
+        serve: allocate a client-facing TCP port per node and run the KV
+            service frontend there (``stack="rsm"`` only); addresses are
+            in :attr:`serve_addresses` after :meth:`start`.
         workdir: where the book, traces, and logs land; a temporary
             directory by default (kept for debugging, path in
             :attr:`workdir`).
@@ -112,10 +115,17 @@ class ProcessCluster:
         host: str = "127.0.0.1",
         python: Optional[str] = None,
         metrics_interval: Optional[Time] = None,
+        serve: bool = False,
     ) -> None:
         # Validate early (n, transport, stack, codec) by building a
         # node-less book; ports are allocated at start().
         AddressBook(n=n, transport=transport, stack=stack, codec=codec)
+        if serve and stack != "rsm":
+            raise ConfigurationError(
+                "serve=True needs stack='rsm' (the KV frontend submits "
+                "into the replicated log)"
+            )
+        self.serve = serve
         self.n = n
         self.transport = transport
         self.stack = stack
@@ -174,6 +184,7 @@ class ProcessCluster:
         self.book = AddressBook.allocate(
             self.n,
             host=self.host,
+            serve=self.serve,
             transport=self.transport,
             stack=self.stack,
             period=self.period,
@@ -211,6 +222,13 @@ class ProcessCluster:
         for pid, at in self._pending_crashes:
             self._arm_crash(loop, pid, at)
         self._pending_crashes.clear()
+
+    @property
+    def serve_addresses(self) -> Dict[ProcessId, tuple]:
+        """Client-facing service addresses (empty unless ``serve=True``)."""
+        if self.book is None:
+            return {}
+        return self.book.serve_addresses()
 
     @property
     def elapsed(self) -> float:
@@ -357,7 +375,16 @@ class ProcessCluster:
         return path
 
     def verdicts(self, channel: str = "fd", algo: str = "ec") -> Dict[str, Any]:
-        """Machine-checked FD + consensus properties of the merged run."""
+        """Machine-checked FD + consensus properties of the merged run.
+
+        An ``rsm`` cluster is judged by :func:`rsm_verdicts` (log-level
+        agreement/prefix/progress over ``apply`` events); anything else
+        by :func:`standard_verdicts`.
+        """
+        if self.stack == "rsm":
+            return rsm_verdicts(
+                self.traces(), self.correct_pids, channel=channel,
+            )
         return standard_verdicts(
             self.traces(), self.correct_pids, channel=channel, algo=algo,
         )

@@ -20,6 +20,7 @@ import asyncio
 from pathlib import Path
 from typing import Any, Dict, Optional, Union
 
+from ..errors import ConfigurationError
 from ..net.clock import AsyncioClock
 from ..net.codec import default_codec
 from ..net.host import NodeHost
@@ -28,6 +29,7 @@ from ..net.tcp import TCPTransport
 from ..net.udp import UDPTransport
 from ..obs.sinks import JsonlSink, MemorySink, TraceSink
 from ..cluster.local import attach_node_stack
+from ..svc.frontend import ServiceFrontend
 from ..types import ProcessId
 from .book import AddressBook
 
@@ -76,6 +78,7 @@ async def run_node(
     trace_out: Optional[Union[str, Path]] = None,
     duration: Optional[float] = None,
     stats_addr: Optional[str] = None,
+    serve_addr: Optional[str] = None,
 ) -> Dict[str, int]:
     """Run node *pid* to completion; returns transport counters.
 
@@ -86,6 +89,11 @@ async def run_node(
     *stats_addr* (``HOST:PORT`` / ``:PORT`` / ``PORT``) additionally
     binds the UDP introspection endpoint serving the node's metrics
     registry in Prometheus text format (see :mod:`repro.net.stats`).
+
+    On an ``rsm`` stack, a KV :class:`~repro.svc.ServiceFrontend` is
+    bound for real clients when either *serve_addr* (same spec syntax
+    as *stats_addr*) or the book's per-node ``serve_port`` names a
+    listen address.
     """
     sink: TraceSink
     if trace_out is not None:
@@ -101,12 +109,34 @@ async def run_node(
             host=stats_host, port=stats_port,
         )
         await stats.bind()
+    frontend: Optional[ServiceFrontend] = None
+    rsm = host.stacks.get("rsm")  # type: ignore[attr-defined]
+    serve_at = (
+        parse_stats_addr(serve_addr)
+        if serve_addr is not None
+        else book.serve_address(pid)
+    )
+    if serve_at is not None:
+        if rsm is None:
+            raise ConfigurationError(
+                "a serve address needs the 'rsm' stack (the KV frontend "
+                "submits into the replicated log)"
+            )
+        # Construct before start so no applied command can slip past the
+        # frontend's on_apply registration.
+        frontend = ServiceFrontend(
+            host, rsm, host.stacks["fd"],  # type: ignore[attr-defined]
+            listen_host=serve_at[0], port=serve_at[1],
+        )
     await host.transport.bind()
     host.transport.set_peers(book.addresses())
     host.clock.rebase()  # trace time 0 = the instant this node starts
     if isinstance(sink, JsonlSink):
         sink.rebase_epoch()
     host.start()
+    if frontend is not None:
+        await frontend.bind()
+        frontend.set_peers(book.serve_addresses())
     if book.propose_after is not None:
         protocol = host.stacks.get("consensus")  # type: ignore[attr-defined]
         if protocol is not None:
@@ -114,10 +144,17 @@ async def run_node(
                 book.propose_after,
                 lambda: protocol.propose(f"value-from-p{pid}"),
             )
+        if rsm is not None:
+            host.clock.schedule_at(
+                book.propose_after,
+                lambda: rsm.submit(f"value-from-p{pid}"),
+            )
     run_for = duration if duration is not None else book.duration
     await asyncio.sleep(run_for)
     if stats is not None:
         stats.close()
+    if frontend is not None:
+        await frontend.close()
     await host.transport.close()
     sink.close()
     return {

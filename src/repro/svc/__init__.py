@@ -1,0 +1,48 @@
+"""repro.svc — the replicated key-value/lock service (:mod:`repro.svc`).
+
+The paper's consensus algorithms exist to power replicated services; this
+package is that service, end to end:
+
+* :mod:`repro.svc.protocol` — the client wire protocol: length-prefixed
+  request/reply frames reusing the tagged-JSON wire codec, with request
+  ids and per-client session sequence numbers;
+* :mod:`repro.svc.state` — :class:`KVStateMachine`, the deterministic
+  get/put/cas/delete + acquire/release state machine applied from the
+  :class:`~repro.consensus.multi.ReplicatedStateMachine` log, with the
+  session dedup table (exactly-once on client retries) as part of the
+  replicated state;
+* :mod:`repro.svc.frontend` — :class:`ServiceFrontend`, the asyncio TCP
+  acceptor attached to a :class:`~repro.net.host.NodeHost`: it submits
+  commands into the local replica, replies on local apply, and returns
+  leader redirects derived from the Ω output;
+* :mod:`repro.svc.client` — :class:`KVClient`, the smart async client:
+  redirect-following, timeout/backoff retry, connection reuse.
+
+See ``docs/service.md`` for the protocol and session/dedup model.
+"""
+
+from .client import KVClient, ServiceUnavailable
+from .frontend import ServiceFrontend, start_service
+from .protocol import (
+    MAX_FRAME,
+    ProtocolError,
+    Reply,
+    Request,
+    encode_frame,
+    read_frame,
+)
+from .state import KVStateMachine
+
+__all__ = [
+    "KVClient",
+    "ServiceUnavailable",
+    "ServiceFrontend",
+    "start_service",
+    "KVStateMachine",
+    "Request",
+    "Reply",
+    "ProtocolError",
+    "MAX_FRAME",
+    "encode_frame",
+    "read_frame",
+]

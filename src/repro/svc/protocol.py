@@ -1,0 +1,165 @@
+"""The client wire protocol: length-prefixed tagged-JSON frames.
+
+Clients and frontends exchange dict payloads through the same
+:class:`~repro.net.codec.Codec` the node-to-node transports use — one
+structural transform, one set of tags, on every wire this repo owns.
+Framing mirrors :mod:`repro.net.tcp`: a 4-byte big-endian length prefix,
+then the encoded body; frames above :data:`MAX_FRAME` are protocol bugs,
+not traffic.
+
+Two message shapes cross the wire:
+
+* a :class:`Request` — ``rid`` (per-connection request id, echoed back so
+  a client can discard stale replies after a timeout), ``client`` (the
+  session name), ``seq`` (the per-client session sequence number that
+  drives exactly-once dedup in :class:`~repro.svc.state.KVStateMachine`),
+  ``op`` and its operands;
+* a :class:`Reply` — the echoed ``rid`` plus a status: ``ok`` carries the
+  state machine's result dict, ``error`` a human-readable reason, and
+  ``redirect`` the pid (and, when known, the serve address) of the
+  leader the client should retry against.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+from ..net.codec import Codec, CodecError
+
+__all__ = [
+    "MAX_FRAME",
+    "ProtocolError",
+    "Request",
+    "Reply",
+    "encode_frame",
+    "read_frame",
+]
+
+_LEN_BYTES = 4
+#: Client frames are small command/result dicts; anything near this is a bug.
+MAX_FRAME = 1024 * 1024
+
+
+class ProtocolError(Exception):
+    """A frame violated the client wire protocol."""
+
+
+@dataclass
+class Request:
+    """One client request (see module docstring for field semantics)."""
+
+    rid: int
+    client: str
+    op: str
+    seq: Optional[int] = None
+    key: Optional[str] = None
+    value: Any = None
+    expect: Any = None
+
+    def to_payload(self) -> Dict[str, Any]:
+        return {
+            "rid": self.rid, "client": self.client, "op": self.op,
+            "seq": self.seq, "key": self.key, "value": self.value,
+            "expect": self.expect,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Any) -> "Request":
+        if not isinstance(payload, dict):
+            raise ProtocolError(f"request frame is not a dict: {payload!r}")
+        try:
+            return cls(
+                rid=int(payload["rid"]),
+                client=str(payload["client"]),
+                op=str(payload["op"]),
+                seq=payload.get("seq"),
+                key=payload.get("key"),
+                value=payload.get("value"),
+                expect=payload.get("expect"),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ProtocolError(f"malformed request frame: {exc}") from exc
+
+    def command(self) -> Dict[str, Any]:
+        """The replicated-log payload this request submits (no ``rid`` —
+        retries get fresh rids but must hash to the same command)."""
+        return {
+            "client": self.client, "seq": self.seq, "op": self.op,
+            "key": self.key, "value": self.value, "expect": self.expect,
+        }
+
+
+@dataclass
+class Reply:
+    """One frontend reply; ``status`` is ``ok`` / ``error`` / ``redirect``."""
+
+    rid: int
+    status: str
+    result: Dict[str, Any] = field(default_factory=dict)
+    error: Optional[str] = None
+    leader: Optional[int] = None
+    addr: Optional[Tuple[str, int]] = None
+
+    def to_payload(self) -> Dict[str, Any]:
+        return {
+            "rid": self.rid, "status": self.status, "result": self.result,
+            "error": self.error, "leader": self.leader, "addr": self.addr,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Any) -> "Reply":
+        if not isinstance(payload, dict):
+            raise ProtocolError(f"reply frame is not a dict: {payload!r}")
+        try:
+            addr = payload.get("addr")
+            return cls(
+                rid=int(payload["rid"]),
+                status=str(payload["status"]),
+                result=dict(payload.get("result") or {}),
+                error=payload.get("error"),
+                leader=payload.get("leader"),
+                addr=(str(addr[0]), int(addr[1])) if addr else None,
+            )
+        except (KeyError, TypeError, ValueError, IndexError) as exc:
+            raise ProtocolError(f"malformed reply frame: {exc}") from exc
+
+
+def encode_frame(codec: Codec, payload: Any) -> bytes:
+    """Serialize *payload* as one length-prefixed frame."""
+    try:
+        body = codec.encode_payload(payload)
+    except CodecError as exc:
+        raise ProtocolError(f"unencodable frame payload: {exc}") from exc
+    if len(body) > MAX_FRAME:
+        raise ProtocolError(
+            f"frame of {len(body)} bytes exceeds MAX_FRAME={MAX_FRAME}"
+        )
+    return len(body).to_bytes(_LEN_BYTES, "big") + body
+
+
+async def read_frame(reader: asyncio.StreamReader, codec: Codec) -> Any:
+    """Read and decode one frame; ``None`` on clean EOF.
+
+    A length above :data:`MAX_FRAME` or an undecodable body raises
+    :class:`ProtocolError` — the caller drops the connection (the stream
+    is unrecoverable once out of sync).
+    """
+    try:
+        header = await reader.readexactly(_LEN_BYTES)
+    except (asyncio.IncompleteReadError, ConnectionError):
+        return None
+    length = int.from_bytes(header, "big")
+    if length > MAX_FRAME:
+        raise ProtocolError(
+            f"frame length {length} exceeds MAX_FRAME={MAX_FRAME}"
+        )
+    try:
+        body = await reader.readexactly(length)
+    except (asyncio.IncompleteReadError, ConnectionError):
+        return None
+    try:
+        return codec.decode_payload(body)
+    except CodecError as exc:
+        raise ProtocolError(f"undecodable frame body: {exc}") from exc

@@ -1,0 +1,131 @@
+"""The deterministic KV/lock state machine applied from the replicated log.
+
+Every replica owns one :class:`KVStateMachine` and feeds it the commands
+its :class:`~repro.consensus.multi.ReplicatedStateMachine` applies, in
+slot order.  Determinism is the whole contract: identical logs produce
+identical stores, lock tables, *and session tables* on every replica —
+the session table is the exactly-once mechanism, so it must be part of
+the replicated state, not frontend bookkeeping.
+
+Exactly-once on retries works in two layers:
+
+* the client resubmits a timed-out command under the **same** ``(client,
+  seq)`` pair (possibly at a different replica after a leader change), so
+  the log may carry the command more than once;
+* :meth:`KVStateMachine.apply` executes a command only when ``seq`` is
+  greater than the session's last applied sequence; a replayed ``seq``
+  returns the *cached* result of the original execution (the
+  read-your-retry answer), and an older one — a command its client
+  abandoned before issuing newer ones — is rejected as stale.  The
+  mutation runs once, everywhere, no matter how often it appears.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Tuple
+
+__all__ = ["KVStateMachine"]
+
+#: Operations that mutate or read through the replicated log.
+OPS = ("get", "put", "delete", "cas", "acquire", "release")
+
+
+class KVStateMachine:
+    """get/put/cas/delete + acquire/release over one replicated dict."""
+
+    def __init__(self) -> None:
+        self.store: Dict[str, Any] = {}
+        #: lock name -> owning client (session) id.
+        self.locks: Dict[str, str] = {}
+        #: client id -> (last applied seq, its result) — replicated state.
+        self.sessions: Dict[str, Tuple[int, Dict[str, Any]]] = {}
+        #: Commands executed (dedup hits excluded).
+        self.applied = 0
+
+    # ------------------------------------------------------------- dedup API
+    def cached(self, client: str, seq: Any) -> Optional[Dict[str, Any]]:
+        """The cached result if ``(client, seq)`` was already applied."""
+        if not isinstance(seq, int):
+            return None
+        session = self.sessions.get(client)
+        if session is not None and session[0] == seq:
+            return session[1]
+        return None
+
+    # ----------------------------------------------------------------- apply
+    def apply(self, command: Dict[str, Any]) -> Tuple[Dict[str, Any], bool]:
+        """Execute one decided *command*; returns ``(result, duplicate)``.
+
+        Commands without a session (``client``/``seq`` missing) are
+        executed unconditionally — internal traffic like the proposal
+        round's plain-string payloads never reaches here (the frontend
+        only applies dict commands).
+        """
+        client = command.get("client")
+        seq = command.get("seq")
+        if isinstance(client, str) and isinstance(seq, int):
+            session = self.sessions.get(client)
+            if session is not None and seq <= session[0]:
+                if seq == session[0]:
+                    return session[1], True
+                return {"ok": False, "error": "stale-seq"}, True
+            result = self._execute(command)
+            self.sessions[client] = (seq, result)
+        else:
+            result = self._execute(command)
+        self.applied += 1
+        return result, False
+
+    # ------------------------------------------------------------ operations
+    def _execute(self, command: Dict[str, Any]) -> Dict[str, Any]:
+        op = command.get("op")
+        key = command.get("key")
+        if not isinstance(key, str) and op in OPS:
+            return {"ok": False, "error": "missing-key"}
+        if op == "get":
+            return {
+                "ok": True, "value": self.store.get(key),
+                "found": key in self.store,
+            }
+        if op == "put":
+            self.store[key] = command.get("value")
+            return {"ok": True, "value": command.get("value")}
+        if op == "delete":
+            found = key in self.store
+            self.store.pop(key, None)
+            return {"ok": True, "found": found}
+        if op == "cas":
+            current = self.store.get(key)
+            if current == command.get("expect"):
+                self.store[key] = command.get("value")
+                return {"ok": True, "value": command.get("value")}
+            return {"ok": False, "error": "cas-mismatch", "value": current}
+        if op == "acquire":
+            owner = self.locks.get(key)
+            client = command.get("client")
+            if owner is None or owner == client:
+                if isinstance(client, str):
+                    self.locks[key] = client
+                    return {"ok": True, "owner": client}
+                return {"ok": False, "error": "lock-needs-session"}
+            return {"ok": False, "error": "lock-held", "owner": owner}
+        if op == "release":
+            owner = self.locks.get(key)
+            if owner is not None and owner == command.get("client"):
+                del self.locks[key]
+                return {"ok": True}
+            return {"ok": False, "error": "not-owner", "owner": owner}
+        return {"ok": False, "error": f"unknown-op:{op}"}
+
+    # ------------------------------------------------------------- snapshots
+    def dump(self) -> Dict[str, Any]:
+        """A codec-safe snapshot (what the ``dump`` frontend op returns)."""
+        return {
+            "store": dict(self.store),
+            "locks": dict(self.locks),
+            "sessions": {
+                client: [seq, result]
+                for client, (seq, result) in self.sessions.items()
+            },
+            "applied": self.applied,
+        }

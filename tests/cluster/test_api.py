@@ -10,6 +10,7 @@ from repro.cluster import (
     ClusterAPI,
     LocalCluster,
     ProcessCluster,
+    rsm_verdicts,
     standard_verdicts,
     verdicts_ok,
 )
@@ -129,3 +130,55 @@ def test_verdicts_ok_fails_on_any_violation():
     assert verdicts_ok({"a": True, "b": 1})
     assert not verdicts_ok({"a": True, "b": False})
     assert verdicts_ok({})
+
+
+# -------------------------------------------------- rsm log-level verdicts
+def applied(*events):
+    """A synthetic trace of ``apply`` events: (time, pid, slot, command)."""
+    sink = MemorySink()
+    for time, pid, slot, command in events:
+        sink.record(time, "apply", pid, slot=slot, command=command)
+    return sink
+
+
+def rsm_only(trace, correct):
+    verdicts = rsm_verdicts(trace, frozenset(correct))
+    return {k: v for k, v in verdicts.items() if k.startswith("rsm.")}
+
+
+def test_rsm_verdicts_clean_sparse_log():
+    # NOOP slots record no apply, so slot sets are sparse (0, 2) — that
+    # must not read as a prefix violation.
+    trace = applied(
+        (1.0, 0, 0, "a"), (2.0, 0, 2, "b"),
+        (1.1, 1, 0, "a"), (2.1, 1, 2, "b"),
+    )
+    assert rsm_only(trace, {0, 1}) == {
+        "rsm.agreement": True, "rsm.prefix": True, "rsm.progress": True,
+    }
+
+
+def test_rsm_agreement_catches_diverging_slots():
+    trace = applied((1.0, 0, 0, "a"), (1.1, 1, 0, "b"))
+    assert rsm_only(trace, {0, 1})["rsm.agreement"] is False
+
+
+def test_rsm_prefix_allows_lag_but_not_gaps():
+    # p1 stopping early (frontier 0) is fine...
+    lagging = applied(
+        (1.0, 0, 0, "a"), (2.0, 0, 2, "b"), (1.1, 1, 0, "a"),
+    )
+    assert rsm_only(lagging, {0, 1})["rsm.prefix"] is True
+    # ...but p1 applying slot 2 while missing slot 0 is a hole below its
+    # own frontier.
+    holed = applied(
+        (1.0, 0, 0, "a"), (2.0, 0, 2, "b"), (2.1, 1, 2, "b"),
+    )
+    assert rsm_only(holed, {0, 1})["rsm.prefix"] is False
+
+
+def test_rsm_progress_needs_every_correct_replica():
+    one_sided = applied((1.0, 0, 0, "a"))
+    assert rsm_only(one_sided, {0, 1})["rsm.progress"] is False
+    # An entirely empty log is vacuous progress (nothing was decided).
+    assert rsm_only(applied(), {0, 1})["rsm.progress"] is True

@@ -1,0 +1,104 @@
+"""The acceptance-criteria integration: kill -9 the leader while real
+clients hammer the KV service over real sockets.
+
+Asserts the whole contract at once:
+
+* the load keeps completing (acked > 0 despite the crash window);
+* **zero acknowledged-write loss** — every client's last acked put is
+  at or below the surviving stores' value for its key (each client owns
+  one key and writes an incrementing counter, so a lost ack would show
+  as ``store[key] < acked value``);
+* the surviving replicas converge to **identical stores**;
+* the merged trace passes ``repro trace check`` and the QoS analyzer's
+  ``2(n-1)`` transformation bound (``repro trace qos``).
+"""
+
+import asyncio
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.cluster import ProcessCluster, verdicts_ok
+from repro.load import LoadGenerator
+from repro.svc import KVClient
+
+pytestmark = pytest.mark.slow
+
+PERIOD = 0.05
+WARMUP = 1.5          # let the first leader settle before offering load
+LOAD_DURATION = 3.0
+CRASH_AT = WARMUP + 1.0   # SIGKILL mid-load
+TIMEOUT = 8.0             # per-request budget: spans re-election
+
+
+def test_kill_leader_under_load_loses_no_acked_write(tmp_path):
+    async def drive():
+        cluster = ProcessCluster(
+            3, transport="udp", stack="rsm", period=PERIOD,
+            duration=WARMUP + LOAD_DURATION + TIMEOUT + 4.0,
+            serve=True, seed=7, workdir=tmp_path / "run",
+        )
+        cluster.crash(0, at=CRASH_AT)
+        await cluster.start()
+        serve = cluster.serve_addresses
+        await asyncio.sleep(WARMUP)
+        generator = LoadGenerator(
+            list(serve.values()), clients=20, mode="closed",
+            duration=LOAD_DURATION, request_timeout=TIMEOUT,
+            max_attempts=10, seed=3,
+        )
+        report = await generator.run()
+
+        # Survivors keep applying trailing duplicates for a moment; poll
+        # their (non-replicated) dumps until the stores agree.
+        checker = KVClient(
+            [serve[1], serve[2]], client_id="checker", request_timeout=2.0,
+        )
+        dumps = None
+        try:
+            for _ in range(50):
+                one = await checker.dump(addr=serve[1])
+                two = await checker.dump(addr=serve[2])
+                if one == two:
+                    dumps = (one, two)
+                    break
+                await asyncio.sleep(0.1)
+        finally:
+            await checker.close()
+        assert await cluster.wait_quiescent(timeout=30.0)
+        await cluster.stop()
+        return cluster, report, dumps
+
+    cluster, report, dumps = asyncio.run(drive())
+
+    # The crash model held: the leader died of SIGKILL, survivors exited
+    # cleanly at the end of the scenario.
+    assert cluster.exit_statuses[0] == -9
+    assert cluster.exit_statuses[1] == 0
+    assert cluster.exit_statuses[2] == 0
+
+    # Load completed through the failover.
+    assert report.acked > 0, report.render()
+    assert report.last_acked_put, "no put was ever acknowledged"
+
+    # Identical surviving stores (dump also covers locks + sessions).
+    assert dumps is not None, "survivor stores never converged"
+    assert dumps[0] == dumps[1]
+
+    # Zero acked-write loss: each client owns its key and writes an
+    # incrementing counter, so the store must be at or past every ack.
+    store = dumps[0]["store"]
+    for client_id, (key, _seq, value) in report.last_acked_put.items():
+        assert key in store, f"{client_id}: acked key {key} missing"
+        assert store[key] >= value, (
+            f"{client_id}: acked {key}={value} but survivors hold "
+            f"{store[key]} — an acknowledged write was lost"
+        )
+
+    # Log-level safety + the paper's QoS bound on the merged trace.
+    assert verdicts_ok(cluster.verdicts()), cluster.verdicts()
+    merged = cluster.save_merged(tmp_path / "merged.jsonl")
+    assert cli_main(["trace", "check", str(merged)]) == 0
+    assert cli_main(
+        ["trace", "qos", str(merged), "--period", str(PERIOD)]
+    ) == 0

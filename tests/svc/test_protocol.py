@@ -1,0 +1,133 @@
+"""Wire protocol units: framing and Request/Reply codec round-trips."""
+
+import asyncio
+
+import pytest
+
+from repro.net.codec import default_codec
+from repro.svc.protocol import (
+    MAX_FRAME,
+    ProtocolError,
+    Reply,
+    Request,
+    encode_frame,
+    read_frame,
+)
+
+CODEC = default_codec()
+
+
+def roundtrip_frames(*frames: bytes):
+    """Feed raw bytes to a StreamReader and read frames back."""
+
+    async def run():
+        reader = asyncio.StreamReader()
+        for frame in frames:
+            reader.feed_data(frame)
+        reader.feed_eof()
+        out = []
+        while True:
+            payload = await read_frame(reader, CODEC)
+            if payload is None:
+                return out
+            out.append(payload)
+
+    return asyncio.run(run())
+
+
+# ---------------------------------------------------------------- dataclasses
+def test_request_roundtrips_through_the_codec():
+    request = Request(rid=7, client="c1", op="cas", seq=3,
+                      key="k", value=[1, 2], expect={"a": 1})
+    body = CODEC.encode_payload(request.to_payload())
+    decoded = Request.from_payload(CODEC.decode_payload(body))
+    assert decoded == request
+
+
+def test_reply_roundtrips_through_the_codec():
+    reply = Reply(rid=9, status="redirect", leader=2,
+                  addr=("127.0.0.1", 4242))
+    body = CODEC.encode_payload(reply.to_payload())
+    decoded = Reply.from_payload(CODEC.decode_payload(body))
+    assert decoded == reply
+    ok = Reply(rid=1, status="ok", result={"ok": True, "value": "v"})
+    assert Reply.from_payload(ok.to_payload()) == ok
+
+
+def test_malformed_payloads_raise_protocol_error():
+    with pytest.raises(ProtocolError):
+        Request.from_payload(["not", "a", "dict"])
+    with pytest.raises(ProtocolError):
+        Request.from_payload({"client": "c", "op": "get"})  # no rid
+    with pytest.raises(ProtocolError):
+        Reply.from_payload({"rid": 1})  # no status
+    with pytest.raises(ProtocolError):
+        Reply.from_payload(None)
+
+
+def test_command_is_rid_free_and_retry_stable():
+    # A retry gets a fresh rid but must submit the identical log payload,
+    # or the state machine could not recognize it as the same command.
+    first = Request(rid=1, client="c", op="put", seq=0, key="k", value=5)
+    retry = Request(rid=2, client="c", op="put", seq=0, key="k", value=5)
+    assert first.command() == retry.command()
+    assert "rid" not in first.command()
+
+
+# -------------------------------------------------------------------- framing
+def test_frame_roundtrip_single_and_back_to_back():
+    a = Request(rid=1, client="c", op="get", seq=0, key="k").to_payload()
+    b = Reply(rid=1, status="ok", result={"ok": True}).to_payload()
+    frames = roundtrip_frames(encode_frame(CODEC, a), encode_frame(CODEC, b))
+    assert frames == [a, b]
+
+
+def test_split_delivery_reassembles():
+    payload = Request(rid=3, client="c", op="put", seq=1,
+                      key="k", value="x" * 100).to_payload()
+    frame = encode_frame(CODEC, payload)
+
+    async def run():
+        reader = asyncio.StreamReader()
+        # Deliver byte-by-byte; readexactly must reassemble.
+        for i in range(len(frame)):
+            reader.feed_data(frame[i:i + 1])
+        reader.feed_eof()
+        return await read_frame(reader, CODEC)
+
+    assert asyncio.run(run()) == payload
+
+
+def test_clean_eof_returns_none_mid_frame_too():
+    frame = encode_frame(CODEC, {"rid": 1, "x": 1})
+    assert roundtrip_frames() == []
+    # A torn frame (EOF mid-body) is also reported as end-of-stream.
+    assert roundtrip_frames(frame[: len(frame) - 2]) == []
+
+
+def test_oversize_frames_are_protocol_errors():
+    with pytest.raises(ProtocolError):
+        encode_frame(CODEC, {"blob": "x" * (MAX_FRAME + 1)})
+
+    async def run():
+        reader = asyncio.StreamReader()
+        reader.feed_data((MAX_FRAME + 1).to_bytes(4, "big") + b"zzzz")
+        with pytest.raises(ProtocolError):
+            await read_frame(reader, CODEC)
+
+    asyncio.run(run())
+
+
+def test_undecodable_body_is_a_protocol_error():
+    async def run():
+        reader = asyncio.StreamReader()
+        reader.feed_data((4).to_bytes(4, "big") + b"\xff\xfe\xfd\xfc")
+        with pytest.raises(ProtocolError):
+            await read_frame(reader, CODEC)
+
+    asyncio.run(run())
+
+
+def test_unencodable_payload_is_a_protocol_error():
+    with pytest.raises(ProtocolError):
+        encode_frame(CODEC, {"bad": object()})

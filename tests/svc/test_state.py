@@ -1,0 +1,116 @@
+"""KVStateMachine units: operations, locks, and exactly-once dedup."""
+
+from repro.net.codec import default_codec
+from repro.svc.state import KVStateMachine
+
+
+def cmd(op, client="c", seq=None, **rest):
+    command = {"op": op, "client": client, "seq": seq}
+    command.update(rest)
+    return command
+
+
+def fresh(machine, op, client="c", seq=None, **rest):
+    """Apply a command expected to execute (not dedup); returns the result."""
+    result, duplicate = machine.apply(cmd(op, client=client, seq=seq, **rest))
+    assert duplicate is False
+    return result
+
+
+# ------------------------------------------------------------------ operations
+def test_kv_operations():
+    m = KVStateMachine()
+    assert fresh(m, "get", seq=0, key="k") == {
+        "ok": True, "value": None, "found": False}
+    assert fresh(m, "put", seq=1, key="k", value=7) == {"ok": True, "value": 7}
+    assert fresh(m, "get", seq=2, key="k") == {
+        "ok": True, "value": 7, "found": True}
+    assert fresh(m, "cas", seq=3, key="k", expect=0, value=9) == {
+        "ok": False, "error": "cas-mismatch", "value": 7}
+    assert fresh(m, "cas", seq=4, key="k", expect=7, value=9) == {
+        "ok": True, "value": 9}
+    assert fresh(m, "delete", seq=5, key="k") == {"ok": True, "found": True}
+    assert fresh(m, "delete", seq=6, key="k") == {"ok": True, "found": False}
+    assert fresh(m, "bogus", seq=7, key="k") == {
+        "ok": False, "error": "unknown-op:bogus"}
+    assert fresh(m, "put", seq=8)["error"] == "missing-key"
+
+
+def test_locks_are_per_session_and_idempotent():
+    m = KVStateMachine()
+    assert fresh(m, "acquire", client="a", seq=0, key="L")["ok"]
+    # Re-acquire by the owner is idempotent, not an error.
+    assert fresh(m, "acquire", client="a", seq=1, key="L")["ok"]
+    held = fresh(m, "acquire", client="b", seq=0, key="L")
+    assert held == {"ok": False, "error": "lock-held", "owner": "a"}
+    not_owner = fresh(m, "release", client="b", seq=1, key="L")
+    assert not_owner["error"] == "not-owner"
+    assert fresh(m, "release", client="a", seq=2, key="L") == {"ok": True}
+    assert m.locks == {}
+
+
+# ----------------------------------------------------------------- exactly-once
+def test_replayed_seq_returns_cached_result_without_mutating():
+    m = KVStateMachine()
+    original, duplicate = m.apply(cmd("put", seq=0, key="k", value=1))
+    assert duplicate is False
+    # The log can carry a retried command twice; the second copy must not
+    # execute, only answer with the original's cached result.
+    replay, duplicate = m.apply(cmd("put", seq=0, key="k", value=1))
+    assert duplicate is True
+    assert replay == original
+    assert m.applied == 1
+    assert m.store == {"k": 1}
+
+
+def test_stale_seq_is_rejected_and_gaps_are_tolerated():
+    m = KVStateMachine()
+    m.apply(cmd("put", seq=5, key="k", value=5))
+    # seq 3 < 5: its client abandoned it before issuing newer commands.
+    stale, duplicate = m.apply(cmd("put", seq=3, key="k", value=3))
+    assert duplicate is True
+    assert stale == {"ok": False, "error": "stale-seq"}
+    assert m.store == {"k": 5}
+    # A gap (5 -> 9) executes: clients may abandon timed-out commands.
+    result, duplicate = m.apply(cmd("put", seq=9, key="k", value=9))
+    assert duplicate is False and result["ok"]
+
+
+def test_sessions_are_independent():
+    m = KVStateMachine()
+    m.apply(cmd("put", client="a", seq=0, key="k", value="a0"))
+    result, duplicate = m.apply(cmd("put", client="b", seq=0, key="k",
+                                    value="b0"))
+    assert duplicate is False
+    assert result["ok"]
+    assert m.store == {"k": "b0"}
+
+
+def test_cached_answers_only_the_last_seq():
+    m = KVStateMachine()
+    m.apply(cmd("put", seq=0, key="k", value=1))
+    assert m.cached("c", 0) == {"ok": True, "value": 1}
+    assert m.cached("c", 1) is None
+    assert m.cached("nobody", 0) is None
+    assert m.cached("c", None) is None
+    m.apply(cmd("put", seq=1, key="k", value=2))
+    assert m.cached("c", 0) is None  # only the latest seq stays cached
+
+
+def test_sessionless_commands_execute_unconditionally():
+    m = KVStateMachine()
+    for _ in range(2):
+        result, duplicate = m.apply({"op": "put", "key": "k", "value": 1})
+        assert duplicate is False and result["ok"]
+    assert m.applied == 2
+
+
+def test_dump_is_codec_safe_and_detached():
+    m = KVStateMachine()
+    m.apply(cmd("put", seq=0, key="k", value=[1, 2]))
+    m.apply(cmd("acquire", seq=1, key="L"))
+    dump = m.dump()
+    codec = default_codec()
+    assert codec.decode_payload(codec.encode_payload(dump)) == dump
+    dump["store"]["k"] = "tampered"
+    assert m.store["k"] == [1, 2]

@@ -71,6 +71,35 @@ def test_wall_latency_column_is_skipped(tmp_path):
     assert code == 0
 
 
+def test_throughput_table_skips_every_volatile_column(tmp_path):
+    # The BENCH_N3 throughput table names all its host-dependent columns
+    # with "wall"/"latency" so only topology and verdicts are compared.
+    headers = (
+        "transport", "n", "clients", "acked/s (wall)",
+        "p50 latency ms", "p95 latency ms", "p99 latency ms",
+        "errors", "verdicts",
+    )
+    fresh, base = _write_dirs(
+        tmp_path,
+        [["loopback", 3, 10, 400.0, 5.0, 9.0, 12.0, 0, "ok"]],
+        [["loopback", 3, 10, 60.0, 280.0, 700.0, 900.0, 0, "ok"]],
+        headers=headers,
+    )
+    code, messages = check_drift.run(fresh, base, tolerance=0.35)
+    assert code == 0, messages
+    # ...while a verdict flip or an error count still fails.
+    (tmp_path / "bad").mkdir()
+    fresh, base = _write_dirs(
+        tmp_path / "bad",
+        [["loopback", 3, 10, 60.0, 280.0, 700.0, 900.0, 9, "VIOLATED"]],
+        [["loopback", 3, 10, 60.0, 280.0, 700.0, 900.0, 0, "ok"]],
+        headers=headers,
+    )
+    code, messages = check_drift.run(fresh, base, tolerance=0.35)
+    assert code == 1
+    assert any("verdicts" in m for m in messages)
+
+
 def test_string_cell_change_fails(tmp_path):
     fresh, base = _write_dirs(
         tmp_path,

@@ -70,6 +70,37 @@ class TestParser:
             with pytest.raises(ConfigurationError):
                 _parse_crash_specs([bad])
 
+    def test_node_serve_addr(self):
+        args = build_parser().parse_args(
+            ["node", "--book", "b.json", "--pid", "0",
+             "--serve-addr", "127.0.0.1:9000"]
+        )
+        assert args.serve_addr == "127.0.0.1:9000"
+
+    def test_kv_verbs(self):
+        args = build_parser().parse_args(
+            ["kv", "put", "k", "42", "--connect", "127.0.0.1:9000"]
+        )
+        assert args.kv_command == "put"
+        assert args.key == "k" and args.value == "42"
+        args = build_parser().parse_args(
+            ["kv", "serve", "-n", "5", "--duration", "3"]
+        )
+        assert args.kv_command == "serve" and args.nodes == 5
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["kv", "get", "k"])  # needs --connect
+
+    def test_load_args(self):
+        args = build_parser().parse_args(
+            ["load", "--proc", "3", "--mode", "open", "--rate", "50",
+             "--clients", "100", "--crash", "0:2"]
+        )
+        assert args.proc == 3 and args.rate == 50.0 and args.clients == 100
+        with pytest.raises(SystemExit):  # --connect and --proc are exclusive
+            build_parser().parse_args(
+                ["load", "--connect", "h:1", "--proc", "3"]
+            )
+
 
 class TestSharedClusterOptions:
     """`repro cluster` and `repro proc run` share one options surface
@@ -116,8 +147,14 @@ class TestCommands:
     def test_experiments_lists_all(self, capsys):
         assert main(["experiments"]) == 0
         out = capsys.readouterr().out
-        for exp in ("E1", "E5", "E9", "A4"):
+        for exp in ("E1", "E5", "E9", "A4", "N3"):
             assert exp in out
+
+    def test_cluster_rsm_rejects_the_adaptive_path(self, capsys):
+        # The adaptive (run-until-stable) flow has no proposal script; an
+        # rsm deployment without --duration/--crash/--virtual is an error.
+        assert main(["cluster", "--stack", "rsm"]) == 2
+        assert "scripted" in capsys.readouterr().err
 
     def test_demo_runs_and_decides(self, capsys):
         assert main(["demo", "-n", "4", "--seed", "3"]) == 0
