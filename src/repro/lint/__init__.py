@@ -14,7 +14,11 @@ keep them so, statically, on every PR:
   against the wire codec — :mod:`repro.lint.rules.payload`;
 * a **trace-schema rule** checking every ``trace.record(...)`` /
   ``self.trace(...)`` call site against the :mod:`repro.obs` event-schema
-  registry — :mod:`repro.lint.rules.trace_schema`.
+  registry — :mod:`repro.lint.rules.trace_schema`;
+* the **whole-program pass** — :mod:`repro.lint.program` builds a project
+  model (import resolution, call graph, protocol flows) from all parsed
+  files and runs the interprocedural rules over it: async-blocking-reach,
+  ambient-state-reach, protocol-flow, registry-flow, unreachable-public.
 
 Run it as ``python -m repro lint`` or ``repro-lint``; suppress a single
 finding with ``# lint: ignore[rule-id]``.  See ``docs/lint.md``.
@@ -22,15 +26,26 @@ finding with ``# lint: ignore[rule-id]``.  See ``docs/lint.md``.
 
 from .engine import FileContext, LintResult, lint_paths
 from .findings import Finding
-from .registry import Rule, all_rules, resolve_rules, rule
+from .registry import (
+    ProgramRule,
+    Rule,
+    all_program_rules,
+    all_rules,
+    program_rule,
+    resolve_rules,
+    rule,
+)
 
 __all__ = [
     "FileContext",
     "Finding",
     "LintResult",
+    "ProgramRule",
     "Rule",
+    "all_program_rules",
     "all_rules",
     "lint_paths",
+    "program_rule",
     "resolve_rules",
     "rule",
 ]

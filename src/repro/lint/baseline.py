@@ -1,0 +1,75 @@
+"""The committed-findings baseline: accepted debt that must not grow.
+
+A baseline is a JSON file of finding fingerprints
+(:meth:`~repro.lint.findings.Finding.fingerprint` — path + rule +
+message, deliberately line-independent).  Running the linter with
+``--baseline lint-baseline.json`` filters out exactly those findings, so
+pre-existing accepted ones (benchmarks *measure* wall time; examples block
+on purpose) don't fail the build while anything new still does.
+``--write-baseline`` regenerates the file from the current findings —
+the diff of the committed baseline is then reviewable debt, one line per
+accepted finding.
+
+The format is versioned and sorted so the file is diff-stable: two runs
+over the same tree write byte-identical baselines.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import List, Sequence, Set, Tuple
+
+from ..errors import ConfigurationError
+from .findings import Finding
+
+__all__ = [
+    "BASELINE_VERSION",
+    "load_baseline",
+    "write_baseline",
+    "apply_baseline",
+]
+
+BASELINE_VERSION = 1
+
+
+def load_baseline(path: Path) -> Set[str]:
+    """The fingerprint set stored at *path*.
+
+    An unreadable or malformed file is a configuration error (exit 2):
+    silently linting without the baseline would fail CI on every accepted
+    finding, which is noisier than failing fast.
+    """
+    try:
+        raw = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ConfigurationError(f"cannot read baseline {path}: {exc}") from exc
+    if (
+        not isinstance(raw, dict)
+        or raw.get("version") != BASELINE_VERSION
+        or not isinstance(raw.get("fingerprints"), list)
+    ):
+        raise ConfigurationError(
+            f"baseline {path} is not a version-{BASELINE_VERSION} "
+            "lint baseline (expected {version, fingerprints})"
+        )
+    return {str(fp) for fp in raw["fingerprints"]}
+
+
+def write_baseline(path: Path, findings: Sequence[Finding]) -> None:
+    """Serialize *findings* as a baseline at *path* (sorted, stable)."""
+    record = {
+        "version": BASELINE_VERSION,
+        "fingerprints": sorted({f.fingerprint() for f in findings}),
+    }
+    path.write_text(
+        json.dumps(record, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+
+
+def apply_baseline(
+    findings: Sequence[Finding], fingerprints: Set[str]
+) -> Tuple[List[Finding], int]:
+    """Split *findings* into (kept, number suppressed by the baseline)."""
+    kept = [f for f in findings if f.fingerprint() not in fingerprints]
+    return kept, len(findings) - len(kept)

@@ -7,8 +7,19 @@ context-sensitive checks, and filtering findings through the suppression
 comments.  Rules stay tiny visitors over a prepared
 :class:`FileContext`.
 
+Two passes run per invocation: the **per-file pass** (each rule sees one
+parsed file) and the **whole-program pass** (all parsed files become a
+:class:`~repro.lint.program.model.ProjectModel`; the program rules see the
+call graph, protocol flows, and symbol tables).  When the target set
+includes the ``repro`` package itself, the repository's ``tests/``,
+``benchmarks/``, and ``examples/`` trees are parsed as a *reference
+corpus*: their symbol references and message sends feed the model (so an
+op only tests exercise is not a dead arm) but findings are never
+attributed to them.
+
 Determinism note — the linter holds itself to the contract it enforces:
-file discovery is sorted, rules run in registration order, and findings are
+file discovery is sorted, rules run in registration order, the project
+model iterates modules and edges in sorted order, and findings are
 reported in (path, line, col, rule) order, so two runs over the same tree
 produce byte-identical output.
 """
@@ -18,11 +29,17 @@ from __future__ import annotations
 import ast
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Iterator, List, Optional, Sequence
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..errors import ConfigurationError
+from .baseline import apply_baseline, load_baseline
 from .findings import Finding
-from .registry import Rule, resolve_rules
+from .registry import (
+    ProgramRule,
+    Rule,
+    resolve_program_rules,
+    resolve_rules,
+)
 from .suppress import Suppressions, parse_suppressions
 
 __all__ = ["FileContext", "LintResult", "lint_paths", "default_target"]
@@ -64,6 +81,8 @@ class LintResult:
 
     findings: List[Finding]
     files_checked: int
+    #: findings filtered out by ``--baseline`` (accepted pre-existing ones).
+    baselined: int = 0
 
     @property
     def clean(self) -> bool:
@@ -127,7 +146,8 @@ def _display_path(path: Path) -> str:
         return str(path)
 
 
-def _lint_file(path: Path, rules: Sequence[Rule]) -> List[Finding]:
+def _parse_file(path: Path) -> Tuple[Optional[FileContext], List[Finding]]:
+    """Parse *path* into a context; a syntax error becomes a finding."""
     display = _display_path(path)
     try:
         source = path.read_text(encoding="utf-8")
@@ -136,7 +156,7 @@ def _lint_file(path: Path, rules: Sequence[Rule]) -> List[Finding]:
     try:
         tree = ast.parse(source, filename=str(path))
     except SyntaxError as exc:
-        return [
+        return None, [
             Finding(
                 path=display,
                 line=exc.lineno or 1,
@@ -145,24 +165,101 @@ def _lint_file(path: Path, rules: Sequence[Rule]) -> List[Finding]:
                 message=f"file does not parse: {exc.msg}",
             )
         ]
-    suppressions = parse_suppressions(source)
-    if suppressions.skip_file:
-        return []
     ctx = FileContext(
         path=path,
         display_path=display,
         module=module_name(path),
         source=source,
         tree=tree,
-        suppressions=suppressions,
+        suppressions=parse_suppressions(source),
     )
+    return ctx, []
+
+
+def _run_per_file(ctx: FileContext, rules: Sequence[Rule]) -> List[Finding]:
+    if ctx.suppressions.skip_file:
+        return []
     findings: List[Finding] = []
     for rule in rules:
         if not rule.applies_to(ctx.module):
             continue
         for finding in rule.check(ctx):
-            if not suppressions.is_suppressed(finding.rule, finding.line):
+            if not ctx.suppressions.is_suppressed(finding.rule, finding.line):
                 findings.append(finding)
+    return findings
+
+
+def _repo_root(start: Path) -> Optional[Path]:
+    """Nearest ancestor of *start* holding a ``pyproject.toml``."""
+    current = start.resolve()
+    if current.is_file():
+        current = current.parent
+    for candidate in [current, *current.parents]:
+        if (candidate / "pyproject.toml").is_file():
+            return candidate
+    return None
+
+
+#: Repository trees parsed as the reference corpus (never targets).
+_REFERENCE_TREES = ("tests", "benchmarks", "examples")
+
+
+def _reference_contexts(
+    target_contexts: Sequence[FileContext],
+) -> List[FileContext]:
+    """The reference corpus for the program pass (see module docstring).
+
+    Only engaged when the target set includes the ``repro`` package:
+    fixture corpora and user trees stay self-contained, so their program
+    findings do not depend on this repository's tests.
+    """
+    if not any(
+        ctx.module == "repro" or ctx.module.startswith("repro.")
+        for ctx in target_contexts
+    ):
+        return []
+    root = _repo_root(default_target())
+    if root is None:
+        return []
+    taken = {ctx.path.resolve() for ctx in target_contexts}
+    out: List[FileContext] = []
+    for tree_name in _REFERENCE_TREES:
+        directory = root / tree_name
+        if not directory.is_dir():
+            continue
+        for path in sorted(directory.rglob("*.py")):
+            if not path.is_file() or path.resolve() in taken:
+                continue
+            if "fixtures" in path.parts:
+                continue  # synthetic lint corpora: not real usage evidence
+            try:
+                ctx, _syntax = _parse_file(path)
+            except ConfigurationError:
+                continue  # unreadable reference file: skip, never fail
+            if ctx is not None:
+                out.append(ctx)
+    return out
+
+
+def _run_program(
+    contexts: Sequence[FileContext], program_rules: Sequence[ProgramRule]
+) -> List[Finding]:
+    """Build the project model and run the program rules over it."""
+    from .program import build_project_model  # local: rules import engine
+
+    model = build_project_model(contexts, _reference_contexts(contexts))
+    suppressions = {ctx.display_path: ctx.suppressions for ctx in contexts}
+    findings: List[Finding] = []
+    for rule in program_rules:
+        for finding in rule.check(model):
+            supp = suppressions.get(finding.path)
+            if supp is None:
+                continue  # never attribute findings outside the target set
+            if supp.skip_file:
+                continue
+            if supp.is_suppressed(finding.rule, finding.line):
+                continue
+            findings.append(finding)
     return findings
 
 
@@ -170,17 +267,39 @@ def lint_paths(
     paths: Optional[Sequence[Path]] = None,
     select: Optional[Sequence[str]] = None,
     ignore: Optional[Sequence[str]] = None,
+    program: bool = True,
+    baseline: Optional[Path] = None,
 ) -> LintResult:
     """Lint every Python file under *paths* (default: the repro package).
+
+    *program* toggles the whole-program pass (the ``--no-program`` escape
+    hatch); *baseline* filters findings whose fingerprints appear in the
+    given baseline file (see :mod:`repro.lint.baseline`).
 
     Raises :class:`~repro.errors.ConfigurationError` for unknown rules or
     unreadable paths — the CLI maps that to exit code 2, findings to 1.
     """
     rules = resolve_rules(select=select, ignore=ignore)
+    program_rules = (
+        resolve_program_rules(select=select, ignore=ignore) if program else []
+    )
     targets = [Path(p) for p in paths] if paths else [default_target()]
     files = iter_python_files(targets)
     findings: List[Finding] = []
+    contexts: List[FileContext] = []
     for path in files:
-        findings.extend(_lint_file(path, rules))
+        ctx, parse_findings = _parse_file(path)
+        findings.extend(parse_findings)
+        if ctx is not None:
+            contexts.append(ctx)
+            findings.extend(_run_per_file(ctx, rules))
+    if program_rules and contexts:
+        findings.extend(_run_program(contexts, program_rules))
     findings.sort()
-    return LintResult(findings=findings, files_checked=len(files))
+    baselined = 0
+    if baseline is not None:
+        fingerprints = load_baseline(baseline)
+        findings, baselined = apply_baseline(findings, fingerprints)
+    return LintResult(
+        findings=findings, files_checked=len(files), baselined=baselined
+    )

@@ -2,17 +2,31 @@
 
 A finding pins one defect to one source location.  Findings are plain data:
 the engine collects them, the suppression layer filters them, and the
-reporters (:mod:`repro.lint.reporting`) render them as text or JSON.  Rules
-never print — they only yield findings — so the same rule code serves the
-CLI, the CI job, and the test suite identically.
+reporters (:mod:`repro.lint.reporting`) render them as text, JSON, or
+SARIF.  Rules never print — they only yield findings — so the same rule
+code serves the CLI, the CI job, and the test suite identically.
+
+Two classification fields ride along with the location:
+
+* ``severity`` — ``"error"`` (a contract violation; fails the build) or
+  ``"warning"`` (suspicious but survivable, e.g. a dead protocol arm);
+  both count toward the exit code, but reporters and the SARIF mapping
+  distinguish them;
+* ``origin`` — rule provenance: ``"per-file"`` for the single-file
+  visitors, ``"program"`` for the whole-program pass, so a reader of any
+  report can tell which analysis produced a finding (interprocedural
+  findings need different suppression judgement, see docs/lint.md).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Dict
 
-__all__ = ["Finding"]
+__all__ = ["Finding", "SEVERITIES"]
+
+#: The allowed ``severity`` values, most severe first.
+SEVERITIES = ("error", "warning")
 
 
 @dataclass(frozen=True, order=True)
@@ -20,7 +34,8 @@ class Finding:
     """One rule violation at one source location.
 
     Ordering is (path, line, col, rule) so reports read top-to-bottom per
-    file regardless of which rule found what first.
+    file regardless of which rule found what first; the trailing fields
+    participate only as deterministic tie-breakers.
     """
 
     path: str
@@ -28,10 +43,15 @@ class Finding:
     col: int
     rule: str
     message: str
+    severity: str = field(default="error")
+    origin: str = field(default="per-file")
 
     def render(self) -> str:
         """The canonical one-line textual form (compiler-style)."""
-        return f"{self.path}:{self.line}:{self.col}: {self.rule}: {self.message}"
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.rule}: {self.severity}: {self.message}"
+        )
 
     def to_json(self) -> Dict[str, Any]:
         """A JSON-safe dict (used by the ``--format json`` reporter)."""
@@ -41,4 +61,17 @@ class Finding:
             "col": self.col,
             "rule": self.rule,
             "message": self.message,
+            "severity": self.severity,
+            "origin": self.origin,
         }
+
+    def fingerprint(self) -> str:
+        """Line-independent identity used by the baseline mechanism.
+
+        Deliberately excludes ``line``/``col`` so an accepted finding
+        survives unrelated edits above it; path + rule + message is stable
+        because messages are deterministic functions of the code they
+        describe.
+        """
+        path = self.path.replace("\\", "/")
+        return f"{path}::{self.rule}::{self.message}"

@@ -1,0 +1,18 @@
+"""The whole-program analysis layer of :mod:`repro.lint`.
+
+The per-file rules see one parsed file at a time; this package sees all of
+them at once.  :func:`~repro.lint.program.model.build_project_model` turns
+the engine's parsed :class:`~repro.lint.engine.FileContext`\\ s into a
+:class:`~repro.lint.program.model.ProjectModel` — module/import
+resolution, symbol tables, message-kind flows, a conservative call graph
+with an async-context map — and the program rules in
+:mod:`repro.lint.program.rules` run over that model.
+
+Determinism contract: the model builder iterates modules, functions, and
+graph edges in sorted order, so the program pass (like the per-file pass)
+produces byte-identical output across runs over the same tree.
+"""
+
+from .model import ProjectModel, build_project_model
+
+__all__ = ["ProjectModel", "build_project_model"]

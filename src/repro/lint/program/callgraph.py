@@ -1,0 +1,258 @@
+"""Conservative call-graph construction and reachability over the model.
+
+Edges are *may-call* over-approximations, which is the right polarity for
+the reach rules (a blocking call that might run under an ``async def`` is
+worth a finding).  Two edge kinds:
+
+* ``"call"`` — a direct invocation whose target resolves statically: a
+  module-level function (through import aliases), a method reached via
+  ``self.``/``cls.`` on a locally defined class (following base classes
+  that resolve inside the model), a class constructor (edges to
+  ``__init__``), or a nested function;
+* ``"ref"`` — the function is passed or stored as a value: scheduler and
+  callback registrations (``loop.call_later(d, self._kill, pid)``,
+  ``periodically(p, self._beat)``, ``asyncio.create_task`` with a bare
+  function reference), assignments, decorators.  A referenced function is
+  assumed to eventually run — that is exactly how timers and task spawns
+  smuggle blocking calls into the event loop.
+
+Calls that do not resolve to a project function are recorded as
+*external* callees under their canonical dotted name (``time.sleep``,
+``subprocess.run`` — aliased imports resolved), which is what the
+blocking/ambient tables match against.
+
+Determinism: functions are processed and edges appended in sorted order;
+:func:`reach_external` explores sorted adjacency, so reported chains are
+stable across runs.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from ..astutil import dotted_name
+from .model import FunctionInfo, ModuleInfo, ProjectModel
+
+__all__ = ["build_call_graph", "own_nodes", "reach_external", "ReachResult"]
+
+#: (external name that was reached, chain of function keys walked).
+ReachResult = Tuple[str, Tuple[str, ...]]
+
+
+def build_call_graph(model: ProjectModel) -> None:
+    """Populate ``calls`` / ``external_calls`` on every FunctionInfo."""
+    for key in sorted(model.functions):
+        func = model.functions[key]
+        module = model.modules[func.module]
+        _resolve_function_body(model, module, func)
+
+
+# ------------------------------------------------------------------ builders
+
+
+def own_nodes(func: FunctionInfo) -> List[ast.AST]:
+    """*func*'s body without nested function/class bodies (those are their
+    own graph nodes), in source order."""
+    out: List[ast.AST] = []
+    stack: List[ast.AST] = list(reversed(func.node.body))
+    while stack:
+        node = stack.pop()
+        out.append(node)
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            continue  # separate scope
+        stack.extend(reversed(list(ast.iter_child_nodes(node))))
+    return out
+
+
+def _resolve_function_body(
+    model: ProjectModel, module: ModuleInfo, func: FunctionInfo
+) -> None:
+    nodes = own_nodes(func)
+    call_funcs: Set[int] = {
+        id(n.func) for n in nodes if isinstance(n, ast.Call)
+    }
+    for node in nodes:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            # A nested def: assume the enclosing function runs it.
+            nested = f"{func.key}.{node.name}"
+            if nested in model.functions:
+                func.calls.append((nested, node, "ref"))
+            continue
+        if isinstance(node, ast.Call):
+            resolved = _resolve_target(model, module, func, node.func)
+            if resolved is None:
+                continue
+            kind, target = resolved
+            if kind == "project":
+                func.calls.append((target, node, "call"))
+            elif kind == "class":
+                init = _lookup_method(model, target, "__init__")
+                if init is not None:
+                    func.calls.append((init, node, "call"))
+            else:
+                func.external_calls.append((target, node))
+            continue
+        if isinstance(node, (ast.Name, ast.Attribute)):
+            if id(node) in call_funcs:
+                continue  # already handled as a call target
+            if isinstance(node, ast.Attribute) and not isinstance(
+                getattr(node, "ctx", None), ast.Load
+            ):
+                continue
+            if isinstance(node, ast.Name) and not isinstance(
+                node.ctx, ast.Load
+            ):
+                continue
+            resolved = _resolve_target(model, module, func, node)
+            if resolved is not None and resolved[0] == "project":
+                func.calls.append((resolved[1], node, "ref"))
+
+
+def _resolve_target(
+    model: ProjectModel,
+    module: ModuleInfo,
+    func: FunctionInfo,
+    node: ast.AST,
+) -> Optional[Tuple[str, str]]:
+    """Resolve a call/reference target.
+
+    Returns ``("project", function key)``, ``("class", class key)``,
+    ``("external", canonical dotted name)``, or ``None`` (unresolvable:
+    locals, computed attributes, foreign objects).
+    """
+    dotted = dotted_name(node)
+    if dotted is None:
+        return None
+    head, _, rest = dotted.partition(".")
+    if head in ("self", "cls") and func.class_name is not None:
+        if not rest or "." in rest:
+            return None  # bare self / chained attribute object: unknown
+        cls_key = f"{module.name}.{func.class_name}"
+        method = _lookup_method(model, cls_key, rest)
+        return ("project", method) if method is not None else None
+    # Same-module resolution first: nested siblings, then module level.
+    if "." not in dotted:
+        sibling = f"{func.key}.{dotted}"
+        if sibling in model.functions:
+            return ("project", sibling)
+        if dotted in module.functions:
+            return ("project", module.functions[dotted])
+        if dotted in module.classes:
+            return ("class", module.classes[dotted])
+    resolved = module.imports.resolve(dotted)
+    if resolved is None:
+        return None
+    mod_name, symbol = model.split_module(resolved)
+    if mod_name and symbol:
+        target = model.modules[mod_name]
+        if symbol in target.functions:
+            return ("project", target.functions[symbol])
+        if symbol in target.classes:
+            return ("class", target.classes[symbol])
+        # Re-exported through that module's own imports?
+        canonical = model.canonical_symbol(mod_name, symbol.split(".")[0])
+        if canonical != f"{mod_name}.{symbol.split('.')[0]}":
+            tail = symbol.split(".", 1)
+            redirected = (
+                canonical if len(tail) == 1 else f"{canonical}.{tail[1]}"
+            )
+            mod2, sym2 = model.split_module(redirected)
+            if mod2 and sym2:
+                target2 = model.modules[mod2]
+                if sym2 in target2.functions:
+                    return ("project", target2.functions[sym2])
+                if sym2 in target2.classes:
+                    return ("class", target2.classes[sym2])
+        return None  # inside the project but not a static callable
+    if "." in resolved:
+        return ("external", resolved)
+    return ("external", resolved) if resolved != dotted else (
+        ("external", dotted) if rest == "" else None
+    )
+
+
+def _lookup_method(
+    model: ProjectModel, cls_key: str, name: str
+) -> Optional[str]:
+    """Find *name* on the class or its resolvable bases (breadth-first,
+    declaration order — a deterministic MRO approximation)."""
+    queue: List[str] = [cls_key]
+    seen: Set[str] = set()
+    while queue:
+        current = queue.pop(0)
+        if current in seen:
+            continue
+        seen.add(current)
+        cls = model.classes.get(current)
+        if cls is None:
+            continue
+        if name in cls.methods:
+            return cls.methods[name]
+        for base in cls.bases:
+            mod_name, symbol = model.split_module(base)
+            if not mod_name or not symbol:
+                continue
+            base_key = f"{mod_name}.{symbol}"
+            if base_key in model.classes:
+                queue.append(base_key)
+            else:
+                canonical = model.canonical_symbol(mod_name, symbol)
+                if canonical in model.classes:
+                    queue.append(canonical)
+    return None
+
+
+# -------------------------------------------------------------- reachability
+
+
+def reach_external(
+    model: ProjectModel,
+    external_names: Set[str],
+    traverse: Callable[[FunctionInfo], bool],
+) -> Dict[str, Optional[ReachResult]]:
+    """For every function: the first *external* call in *external_names*
+    reachable from it, with the (deterministic) chain of function keys
+    walked — or ``None``.
+
+    *traverse* gates which project callees the walk may descend into
+    (e.g. sync-only for the event-loop blocking analysis).  Cycles are
+    handled by treating in-progress functions as unreachable, which is
+    sound for may-reach (the cycle's answer is found on the acyclic part).
+    """
+    memo: Dict[str, Optional[ReachResult]] = {}
+    in_progress: Set[str] = set()
+
+    def visit(key: str) -> Optional[ReachResult]:
+        if key in memo:
+            return memo[key]
+        if key in in_progress:
+            return None
+        in_progress.add(key)
+        func = model.functions[key]
+        result: Optional[ReachResult] = None
+        for name, _node in sorted(
+            func.external_calls, key=lambda pair: pair[0]
+        ):
+            if name in external_names:
+                result = (name, (key,))
+                break
+        if result is None:
+            for callee, _node, _how in sorted(
+                func.calls, key=lambda edge: edge[0]
+            ):
+                target = model.functions.get(callee)
+                if target is None or not traverse(target):
+                    continue
+                sub = visit(callee)
+                if sub is not None:
+                    result = (sub[0], (key,) + sub[1])
+                    break
+        in_progress.discard(key)
+        memo[key] = result
+        return result
+
+    for key in sorted(model.functions):
+        visit(key)
+    return memo

@@ -1,0 +1,388 @@
+"""The project model: every parsed file, cross-referenced.
+
+Built once per lint run from the engine's :class:`FileContext` list, the
+model answers the questions per-file rules cannot: *which function does
+this call resolve to, possibly through an import alias or a ``self``
+method lookup?  What string does this name ultimately denote?  Who, in the
+whole program, references this exported symbol?*
+
+Three layers:
+
+* **modules** — one :class:`ModuleInfo` per file: the import-alias map,
+  module-level string constants, the ``__all__`` export list, and the
+  outgoing symbol references used by the ``unreachable-public`` rule;
+* **symbols** — every function/method/class indexed by its canonical
+  dotted path, with re-export chains (``from .engine import lint_paths``)
+  resolved to the defining module;
+* **call graph** — built on top by :mod:`repro.lint.program.callgraph`.
+
+Module naming here is *structural*: a file's dotted name is derived by
+walking up through ``__init__.py``-bearing directories, so fixture
+mini-packages resolve exactly like the installed ``repro`` package does.
+(The engine's ``FileContext.module`` — used for rule scoping — keeps its
+own convention: "" for files outside a ``repro`` tree.)
+
+Determinism: ``modules`` is a dict built in sorted-path order and every
+accessor iterates sorted keys, upholding the byte-identical-output
+contract of the engine.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..astutil import ImportMap, dotted_name
+from ..engine import FileContext
+
+__all__ = [
+    "model_module_name",
+    "FunctionInfo",
+    "ClassInfo",
+    "ModuleInfo",
+    "ProjectModel",
+    "build_project_model",
+]
+
+
+def model_module_name(path: Path) -> str:
+    """Structural dotted name of *path*: walk up while ``__init__.py``
+    marks a package.  ``src/repro/net/tcp.py`` -> ``repro.net.tcp`` (the
+    ``src`` directory has no ``__init__.py``); a standalone file maps to
+    its stem."""
+    path = path.resolve()
+    parts: List[str] = [] if path.stem == "__init__" else [path.stem]
+    current = path.parent
+    while (current / "__init__.py").is_file():
+        parts.insert(0, current.name)
+        parent = current.parent
+        if parent == current:  # filesystem root
+            break
+        current = parent
+    return ".".join(parts) if parts else path.stem
+
+
+@dataclass
+class FunctionInfo:
+    """One function, method, or nested function."""
+
+    key: str  #: canonical dotted path: ``module.Class.method``
+    module: str
+    qualname: str
+    node: ast.AST  #: the FunctionDef / AsyncFunctionDef
+    is_async: bool
+    class_name: Optional[str] = None  #: qualname of the owning class
+    #: resolved project-internal callees: (callee key, call-site node, how)
+    #: where ``how`` is "call" (direct invocation) or "ref" (the function
+    #: is passed/stored as a value — schedulers, callbacks, task spawns).
+    calls: List[Tuple[str, ast.AST, str]] = field(default_factory=list)
+    #: resolved external callees: (canonical dotted name, call-site node).
+    external_calls: List[Tuple[str, ast.AST]] = field(default_factory=list)
+
+
+@dataclass
+class ClassInfo:
+    """One locally defined class."""
+
+    key: str  #: ``module.QualName``
+    module: str
+    qualname: str
+    node: ast.ClassDef
+    #: base classes as canonical dotted names (import aliases resolved).
+    bases: List[str] = field(default_factory=list)
+    #: direct method name -> FunctionInfo key.
+    methods: Dict[str, str] = field(default_factory=dict)
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed file inside the model."""
+
+    name: str  #: structural dotted name (see :func:`model_module_name`)
+    ctx: FileContext
+    #: True for reference-corpus files (tests etc.): their symbols count
+    #: as uses and producers, but rules never report findings in them.
+    reference: bool = False
+    imports: ImportMap = None  # type: ignore[assignment]
+    #: module-level NAME = "string" constants.
+    constants: Dict[str, str] = field(default_factory=dict)
+    #: names bound at module level (defs, classes, assignments).
+    defined_names: Set[str] = field(default_factory=set)
+    #: ``__all__`` entries with the AST node of each string element.
+    exports: List[Tuple[str, ast.AST]] = field(default_factory=list)
+    functions: Dict[str, str] = field(default_factory=dict)  #: qualname -> key
+    classes: Dict[str, str] = field(default_factory=dict)  #: qualname -> key
+    #: outgoing (module, name) symbol references (imports + attributes).
+    references: Set[Tuple[str, str]] = field(default_factory=set)
+    #: modules star-imported by this module.
+    star_imports: List[str] = field(default_factory=list)
+
+
+class ProjectModel:
+    """The cross-referenced whole-program view (see module docstring)."""
+
+    def __init__(self) -> None:
+        self.modules: Dict[str, ModuleInfo] = {}
+        self.functions: Dict[str, FunctionInfo] = {}
+        self.classes: Dict[str, ClassInfo] = {}
+
+    # ------------------------------------------------------------ accessors
+    def sorted_modules(self) -> List[ModuleInfo]:
+        """Every module, in sorted-name order (deterministic iteration)."""
+        return [self.modules[name] for name in sorted(self.modules)]
+
+    def target_modules(self) -> List[ModuleInfo]:
+        """Modules findings may be reported in (non-reference), sorted."""
+        return [m for m in self.sorted_modules() if not m.reference]
+
+    # ----------------------------------------------------------- resolution
+    def split_module(self, dotted: str) -> Tuple[str, str]:
+        """Split *dotted* at the longest known module prefix.
+
+        ``repro.sim.world.World`` -> ("repro.sim.world", "World");
+        a path naming no known module -> ("", dotted).
+        """
+        parts = dotted.split(".")
+        for cut in range(len(parts), 0, -1):
+            prefix = ".".join(parts[:cut])
+            if prefix in self.modules:
+                return prefix, ".".join(parts[cut:])
+        return "", dotted
+
+    def canonical_symbol(self, module: str, name: str) -> str:
+        """Follow re-export chains to the defining module.
+
+        ``canonical_symbol("repro.lint", "lint_paths")`` ->
+        ``repro.lint.engine.lint_paths`` when the package ``__init__``
+        re-exports it.  Cycles and unknown names terminate at the last
+        resolvable point.
+        """
+        seen: Set[Tuple[str, str]] = set()
+        while (module, name) not in seen:
+            seen.add((module, name))
+            info = self.modules.get(module)
+            if info is None:
+                break
+            target = info.imports.aliases.get(name)
+            if target is None:
+                break  # defined (or undefined) here: terminal
+            mod, rest = self.split_module(target)
+            if not mod:
+                return target  # external symbol: its dotted path is canonical
+            if not rest:
+                return mod  # the name aliases a module itself
+            if "." in rest:
+                return f"{mod}.{rest}"
+            module, name = mod, rest
+        return f"{module}.{name}"
+
+    def resolve_string(
+        self, module: ModuleInfo, node: ast.AST
+    ) -> Optional[str]:
+        """The string value *node* statically denotes, or ``None``.
+
+        Handles string literals, module-level constants, and constants
+        imported from other modules in the model (``from .kinds import
+        ACK`` — the aliased-constant case the per-file rules cannot see).
+        """
+        if isinstance(node, ast.Constant):
+            return node.value if isinstance(node.value, str) else None
+        dotted = dotted_name(node)
+        if dotted is None:
+            return None
+        return self._lookup_constant(module.name, dotted, depth=0)
+
+    def _lookup_constant(
+        self, module_name: str, dotted: str, depth: int
+    ) -> Optional[str]:
+        if depth > 8:  # defensive: alias cycles
+            return None
+        info = self.modules.get(module_name)
+        if info is None:
+            return None
+        if "." not in dotted and dotted in info.constants:
+            return info.constants[dotted]
+        resolved = info.imports.resolve(dotted)
+        if resolved is None or resolved == dotted and "." not in dotted:
+            return None
+        mod, rest = self.split_module(resolved)
+        if not mod or not rest or "." in rest:
+            return None
+        target = self.modules.get(mod)
+        if target is None:
+            return None
+        if rest in target.constants:
+            return target.constants[rest]
+        if mod != module_name:
+            return self._lookup_constant(mod, rest, depth + 1)
+        return None
+
+    # ------------------------------------------------- export-use matching
+    def canonical_references(self) -> Set[str]:
+        """Every referenced symbol, canonicalized, across the program."""
+        out: Set[str] = set()
+        star_exports: Set[str] = set()
+        for info in self.sorted_modules():
+            for mod, name in sorted(info.references):
+                out.add(self.canonical_symbol(mod, name))
+            for starred in info.star_imports:
+                target = self.modules.get(starred)
+                if target is None:
+                    continue
+                for name, _node in target.exports:
+                    star_exports.add(self.canonical_symbol(starred, name))
+        return out | star_exports
+
+
+# --------------------------------------------------------------------- build
+
+
+def build_project_model(
+    targets: Sequence[FileContext],
+    references: Sequence[FileContext] = (),
+) -> ProjectModel:
+    """Construct the model from parsed *targets* plus an optional
+    *references* corpus (tests/benchmarks/examples: their symbol uses and
+    message sends count, but no findings are ever attributed to them)."""
+    model = ProjectModel()
+    ordered: List[Tuple[FileContext, bool]] = sorted(
+        [(ctx, False) for ctx in targets]
+        + [(ctx, True) for ctx in references],
+        key=lambda pair: str(pair[0].path.resolve()),
+    )
+    for ctx, is_reference in ordered:
+        name = model_module_name(ctx.path)
+        if name in model.modules:
+            continue  # first (sorted) file wins; duplicates are degenerate
+        model.modules[name] = _build_module(model, name, ctx, is_reference)
+    # Second pass: reference extraction needs split_module over the full
+    # module table, so it runs after every module is registered.
+    for info in model.sorted_modules():
+        _collect_references(model, info)
+    from .callgraph import build_call_graph  # local: avoid import cycle
+
+    build_call_graph(model)
+    return model
+
+
+def _build_module(
+    model: ProjectModel, name: str, ctx: FileContext, reference: bool
+) -> ModuleInfo:
+    package = name if ctx.path.stem == "__init__" else name.rpartition(".")[0]
+    info = ModuleInfo(
+        name=name,
+        ctx=ctx,
+        reference=reference,
+        imports=ImportMap(ctx.tree, package=package),
+    )
+    info.star_imports = list(info.imports.star_imports)
+    _collect_toplevel(info)
+    _collect_definitions(model, info)
+    return info
+
+
+def _collect_toplevel(info: ModuleInfo) -> None:
+    """Module-level constants, bound names, and the ``__all__`` list."""
+    for stmt in info.ctx.tree.body:
+        targets: List[ast.expr] = []
+        value: Optional[ast.expr] = None
+        if isinstance(stmt, ast.Assign):
+            targets, value = stmt.targets, stmt.value
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            targets, value = [stmt.target], stmt.value
+        elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                               ast.ClassDef)):
+            info.defined_names.add(stmt.name)
+            continue
+        else:
+            continue
+        for target in targets:
+            if not isinstance(target, ast.Name):
+                continue
+            info.defined_names.add(target.id)
+            if target.id == "__all__" and isinstance(
+                value, (ast.List, ast.Tuple)
+            ):
+                for elt in value.elts:
+                    if isinstance(elt, ast.Constant) and isinstance(
+                        elt.value, str
+                    ):
+                        info.exports.append((elt.value, elt))
+            elif isinstance(value, ast.Constant) and isinstance(
+                value.value, str
+            ):
+                info.constants[target.id] = value.value
+
+
+def _collect_definitions(model: ProjectModel, info: ModuleInfo) -> None:
+    """Index every function, method, and class under its qualname."""
+
+    def visit(body: List[ast.stmt], prefix: str, owner: Optional[ClassInfo]):
+        for stmt in body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qual = f"{prefix}{stmt.name}"
+                key = f"{info.name}.{qual}"
+                func = FunctionInfo(
+                    key=key,
+                    module=info.name,
+                    qualname=qual,
+                    node=stmt,
+                    is_async=isinstance(stmt, ast.AsyncFunctionDef),
+                    class_name=owner.qualname if owner is not None else None,
+                )
+                model.functions[key] = func
+                info.functions[qual] = key
+                if owner is not None and "." not in stmt.name:
+                    owner.methods.setdefault(stmt.name, key)
+                # Nested defs are indexed too (they become "ref" callees
+                # of the enclosing function in the call graph).
+                visit(stmt.body, f"{qual}.", None)
+            elif isinstance(stmt, ast.ClassDef):
+                qual = f"{prefix}{stmt.name}"
+                key = f"{info.name}.{qual}"
+                cls = ClassInfo(
+                    key=key, module=info.name, qualname=qual, node=stmt
+                )
+                for base in stmt.bases:
+                    resolved = info.imports.resolve(dotted_name(base))
+                    if resolved is not None:
+                        cls.bases.append(resolved)
+                model.classes[key] = cls
+                info.classes[qual] = key
+                visit(stmt.body, f"{qual}.", cls)
+
+
+    visit(info.ctx.tree.body, "", None)
+
+
+def _collect_references(model: ProjectModel, info: ModuleInfo) -> None:
+    """Outgoing (module, name) references: imports + attribute chains."""
+    for node in ast.walk(info.ctx.tree):
+        if isinstance(node, ast.ImportFrom):
+            base = info.imports._resolve_base(node)
+            if base is None:
+                continue
+            for alias in node.names:
+                if alias.name != "*":
+                    info.references.add((base, alias.name))
+        elif isinstance(node, ast.Attribute):
+            dotted = dotted_name(node)
+            if dotted is None:
+                continue
+            resolved = info.imports.resolve(dotted)
+            if resolved is None:
+                continue
+            parts = resolved.split(".")
+            for cut in range(1, len(parts)):
+                prefix = ".".join(parts[:cut])
+                if prefix in model.modules:
+                    info.references.add((prefix, parts[cut]))
+        elif isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load):
+            target = info.imports.aliases.get(node.id)
+            if target is None:
+                continue
+            mod, rest = model.split_module(target)
+            if mod and rest and "." not in rest:
+                info.references.add((mod, rest))

@@ -1,0 +1,10 @@
+"""Whole-program rule modules; importing this package registers them.
+
+Each module registers its rules with the
+:func:`~repro.lint.registry.program_rule` decorator at import time, the
+same pattern :mod:`repro.lint.rules` uses for the per-file rules.
+"""
+
+from . import exports, protocol, reach, registries  # noqa: F401
+
+__all__ = ["exports", "protocol", "reach", "registries"]

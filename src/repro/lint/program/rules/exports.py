@@ -1,0 +1,156 @@
+"""``unreachable-public``: ``__all__`` names nobody imports.
+
+A name in ``__all__`` is a promise: the package, CLI, tests, or
+benchmarks reach for it.  This rule checks the promise against the whole
+program (reference corpus included): every export is canonicalized
+through re-export chains (``repro.__init__``'s ``World`` *is*
+``repro.sim.world.World``), every reference in every module is
+canonicalized the same way, and an export no canonical reference matches
+is flagged.  The import statement that *realizes* a re-export is not a
+use — otherwise ``from .sim.world import World`` in ``repro/__init__``
+would mark ``World`` used forever.
+
+Two findings:
+
+* **error** — an exported name bound nowhere in its module (a star-import
+  consumer would crash on it; usually a rename leftover) — checked in
+  every module;
+* **warning** — an export never referenced anywhere (dead public surface,
+  or a symbol the tests should be covering and are not) — checked only in
+  package ``__init__`` modules: a submodule's ``__all__`` is internal
+  organization and star-import control, while the package surface is the
+  promise consumers rely on.
+
+Exempt: ``main`` (console-script entry points reference it from
+``pyproject.toml``, outside the AST's view) and exports that name a
+*module* (``from . import rules``-style namespace listings).
+
+Modules defining a top-level ``__getattr__`` (PEP 562 lazy re-export,
+e.g. ``repro.net`` delegating moved names to ``repro.cluster``) get two
+concessions: the undefined-export error is skipped (the name may be
+provided dynamically), and an import *through* such a module counts as a
+bare-name use of every same-named export elsewhere (the delegation target
+cannot be resolved statically, so the rule stays conservative).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Set, Tuple
+
+from ...findings import Finding
+from ...registry import ProgramRule, program_rule
+
+__all__ = ["UnreachablePublicRule"]
+
+#: Exported names referenced from outside the AST's view.
+_ENTRY_POINTS = frozenset({"main"})
+
+
+def _has_dynamic_getattr(tree: ast.Module) -> bool:
+    """Whether the module defines a top-level ``__getattr__`` (PEP 562)."""
+    return any(
+        isinstance(node, ast.FunctionDef) and node.name == "__getattr__"
+        for node in tree.body
+    )
+
+
+def _bound_names(tree: ast.AST) -> Set[str]:
+    """Every name bound anywhere in *tree* (assignments, defs, classes) —
+    deliberately lenient, so conditional module-level bindings
+    (``try: ... except ImportError: HAVE = False``) are not flagged."""
+    out: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Store):
+            out.add(node.id)
+        elif isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            out.add(node.name)
+    return out
+
+
+@program_rule
+class UnreachablePublicRule(ProgramRule):
+    """Flag ``__all__`` entries that are undefined or never referenced."""
+
+    id = "unreachable-public"
+    summary = (
+        "every name in __all__ must exist and be referenced somewhere in "
+        "the program (package, CLI, tests, benchmarks)"
+    )
+    scope = ()  # the export contract holds for every package
+
+    def check(self, model) -> Iterator[Finding]:
+        used, dynamic = self._used_symbols(model)
+        for module in model.target_modules():
+            if not module.exports:
+                continue
+            is_package = module.ctx.path.stem == "__init__"
+            bound = _bound_names(module.ctx.tree)
+            lazy = _has_dynamic_getattr(module.ctx.tree)
+            for name, node in module.exports:
+                if name in _ENTRY_POINTS:
+                    continue
+                if name not in bound and name not in module.imports.aliases:
+                    if lazy:
+                        continue  # __getattr__ may provide it dynamically
+                    yield self.finding(
+                        module, node,
+                        f"__all__ exports {name!r} but the module never "
+                        "binds that name; star-import consumers would "
+                        "crash on it",
+                    )
+                    continue
+                if not is_package:
+                    continue  # submodule __all__: organization, not API
+                canonical = model.canonical_symbol(module.name, name)
+                if canonical in model.modules:
+                    continue  # exporting a submodule: namespace listing
+                if canonical not in used and name not in dynamic:
+                    yield self.finding(
+                        module, node,
+                        f"exported name {name!r} is never referenced from "
+                        "the package, CLI, tests, or benchmarks; drop it "
+                        "from __all__ or add the missing consumer",
+                        severity="warning",
+                    )
+
+    @staticmethod
+    def _used_symbols(model) -> Tuple[Set[str], Set[str]]:
+        """``(canonical uses, dynamic bare-name uses)`` across the program.
+
+        Canonical uses follow re-export chains; re-export-realizing imports
+        are excluded (see module docstring).  A reference landing on a
+        ``__getattr__``-bearing module that does not statically bind the
+        name is a *dynamic* use: the delegation target is unknowable, so
+        the bare name marks every same-named export as reached."""
+        used: Set[str] = set()
+        dynamic: Set[str] = set()
+        lazy_modules = {
+            name: _bound_names(info.ctx.tree) | set(info.imports.aliases)
+            for name, info in model.modules.items()
+            if _has_dynamic_getattr(info.ctx.tree)
+        }
+        for info in model.sorted_modules():
+            reexported = {
+                name for name, _node in info.exports
+                if name in info.imports.aliases
+            }
+            for mod, name in sorted(info.references):
+                canonical = model.canonical_symbol(mod, name)
+                if (
+                    name in reexported
+                    and model.canonical_symbol(info.name, name) == canonical
+                ):
+                    continue  # the import realizing a re-export: not a use
+                used.add(canonical)
+                if mod in lazy_modules and name not in lazy_modules[mod]:
+                    dynamic.add(name)
+            for starred in info.star_imports:
+                target = model.modules.get(starred)
+                if target is None:
+                    continue
+                for name, _node in target.exports:
+                    used.add(model.canonical_symbol(starred, name))
+        return used, dynamic

@@ -1,0 +1,139 @@
+"""Interprocedural reachability rules: the whole-program versions of
+``blocking-call`` and ``wall-clock``/``global-random``.
+
+The per-file rules see a blocking or ambient call only when it sits
+lexically inside the guarded function.  These rules follow the call graph
+instead: a sync helper that calls ``time.sleep`` is flagged at the point
+where an ``async def`` (or sim-scoped code) enters the path that reaches
+it.  To avoid double-reporting, each rule flags exactly the *edges* its
+per-file sibling cannot see:
+
+* ``async-blocking-reach`` skips blocking calls written directly inside
+  the ``async def`` (per-file ``blocking-call`` owns those) and reports
+  the call/ref edge into the sync helper that reaches one;
+* ``ambient-state-reach`` reports only *boundary* edges — a sim-scoped
+  caller invoking a function outside the sim scope that transitively
+  reads ambient state.  Reads inside sim-scoped modules are per-file
+  ``wall-clock``/``global-random`` findings already.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Tuple
+
+from ...findings import Finding
+from ...registry import ProgramRule, program_rule
+from ...rules.asyncio_hazards import NET_SCOPE, _BLOCKING_CALLS
+from ...rules.determinism import (
+    SIM_SCOPE,
+    _ENTROPY_CALLS,
+    _GLOBAL_RANDOM_CALLS,
+    _WALL_CLOCK_CALLS,
+)
+from ..callgraph import reach_external
+
+__all__ = ["AsyncBlockingReachRule", "AmbientStateReachRule"]
+
+
+def _in_scope(module: str, scope: Tuple[str, ...]) -> bool:
+    """Whether *module* (engine dotted name) is strictly inside *scope*.
+
+    Unlike ``applies_to``, "" (a file outside the repro tree) is *not*
+    inside: for boundary detection an unknown module offers none of the
+    guarantees scope membership implies.
+    """
+    return bool(module) and any(
+        module == prefix or module.startswith(prefix + ".")
+        for prefix in scope
+    )
+
+
+def _chain(keys: Tuple[str, ...], terminal: str) -> str:
+    return " -> ".join(keys + (f"{terminal}()",))
+
+
+@program_rule
+class AsyncBlockingReachRule(ProgramRule):
+    """Blocking calls reachable from ``async def`` through sync helpers."""
+
+    id = "async-blocking-reach"
+    summary = (
+        "no blocking call (time.sleep, sync subprocess/socket) reachable "
+        "from an async def through sync helpers, callbacks, or timers"
+    )
+    scope = NET_SCOPE
+
+    def check(self, model) -> Iterator[Finding]:
+        reach = reach_external(
+            model, _BLOCKING_CALLS, traverse=lambda f: not f.is_async
+        )
+        for module in model.target_modules():
+            if not self.applies_to(module.ctx.module):
+                continue
+            for qual in sorted(module.functions):
+                func = model.functions[module.functions[qual]]
+                if not func.is_async:
+                    continue
+                for callee, node, how in func.calls:
+                    target = model.functions.get(callee)
+                    if target is None or target.is_async:
+                        continue
+                    result = reach.get(callee)
+                    if result is None:
+                        continue
+                    blocked, chain = result
+                    verb = (
+                        "calls" if how == "call"
+                        else "schedules/references"
+                    )
+                    yield self.finding(
+                        module, node,
+                        f"async def {func.qualname!r} {verb} a sync path "
+                        f"that reaches blocking {blocked}() "
+                        f"({_chain(chain, blocked)}); this stalls every "
+                        "node sharing the event loop — use the asyncio "
+                        "equivalent or move the work off-loop",
+                    )
+
+
+@program_rule
+class AmbientStateReachRule(ProgramRule):
+    """Ambient clock/RNG reads reachable from sim-scoped code."""
+
+    id = "ambient-state-reach"
+    summary = (
+        "no wall-clock or global-RNG read reachable from sim-path code "
+        "through helpers outside the sim scope"
+    )
+    scope = SIM_SCOPE
+
+    _AMBIENT = _WALL_CLOCK_CALLS | _GLOBAL_RANDOM_CALLS | _ENTROPY_CALLS
+
+    def check(self, model) -> Iterator[Finding]:
+        reach = reach_external(
+            model, self._AMBIENT, traverse=lambda f: True
+        )
+        for module in model.target_modules():
+            if not self.applies_to(module.ctx.module):
+                continue
+            for qual in sorted(module.functions):
+                func = model.functions[module.functions[qual]]
+                for callee, node, _how in func.calls:
+                    target = model.functions.get(callee)
+                    if target is None:
+                        continue
+                    callee_module = model.modules[target.module]
+                    if _in_scope(callee_module.ctx.module, self.scope):
+                        continue  # sim-internal edge: per-file rules own it
+                    result = reach.get(callee)
+                    if result is None:
+                        continue
+                    ambient, chain = result
+                    yield self.finding(
+                        module, node,
+                        f"{func.qualname!r} calls outside the sim scope "
+                        f"into a path that reads ambient {ambient}() "
+                        f"({_chain(chain, ambient)}); this breaks "
+                        "deterministic replay — thread self.now / the "
+                        "injected rng through instead",
+                    )

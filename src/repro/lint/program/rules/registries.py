@@ -1,0 +1,126 @@
+"""``registry-flow``: alias/constant-resolved record sites vs the registries.
+
+The per-file ``trace-schema`` / ``metrics-registry`` rules judge only
+**literal string** kinds and names; a site writing ``self.trace(_KIND,
+...)`` with ``_KIND = "fd.suspect"`` at module level — or with the
+constant imported from another module — slips through.  This rule closes
+that loophole: the same recognizers run over every call site, but the
+kind/name argument is resolved through the project model's constant and
+import-alias tables first.  Literal arguments are deliberately skipped
+here — the per-file rules own them, so no site is reported twice.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List
+
+from ....obs.events import EVENT_SCHEMAS
+from ....obs.metrics import METRIC_SCHEMAS
+from ...findings import Finding
+from ...registry import ProgramRule, program_rule
+from ...rules.metrics_registry import _RESERVED, _name_argument
+from ...rules.trace_schema import _kind_argument
+
+__all__ = ["RegistryFlowRule"]
+
+
+def _is_literal_str(node: ast.AST) -> bool:
+    return isinstance(node, ast.Constant) and isinstance(node.value, str)
+
+
+@program_rule
+class RegistryFlowRule(ProgramRule):
+    """Check constant-resolved trace/metric record sites against the
+    obs registries."""
+
+    id = "registry-flow"
+    summary = (
+        "trace/metric record sites whose kind or name is a resolvable "
+        "constant (module-level or imported) must match the obs registries"
+    )
+    scope = ()  # the registry contract holds everywhere, like its per-file kin
+
+    def check(self, model) -> Iterator[Finding]:
+        for module in model.target_modules():
+            for node in ast.walk(module.ctx.tree):
+                if not isinstance(node, ast.Call):
+                    continue
+                kind_node = _kind_argument(node, module.imports)
+                if kind_node is not None:
+                    yield from self._check_trace(
+                        model, module, node, kind_node
+                    )
+                    continue
+                name_node = _name_argument(node, module.imports)
+                if name_node is not None:
+                    yield from self._check_metric(
+                        model, module, node, name_node
+                    )
+
+    def _check_trace(
+        self, model, module, call: ast.Call, kind_node: ast.AST
+    ) -> Iterator[Finding]:
+        if _is_literal_str(kind_node):
+            return  # per-file trace-schema owns literal kinds
+        kind = model.resolve_string(module, kind_node)
+        if kind is None:
+            return  # genuinely dynamic: checked at run time
+        schema = EVENT_SCHEMAS.get(kind)
+        if schema is None:
+            yield self.finding(
+                module, kind_node,
+                f"trace event kind constant resolves to {kind!r}, which "
+                "is not registered; register it with "
+                "repro.obs.register_event_kind or fix the constant "
+                "(known kinds: " + ", ".join(sorted(EVENT_SCHEMAS)) + ")",
+            )
+            return
+        if any(kw.arg is None for kw in call.keywords):
+            return  # **splat payload: keys unknowable statically
+        supplied = {kw.arg for kw in call.keywords}
+        missing: List[str] = [
+            key for key in schema.required if key not in supplied
+        ]
+        if missing:
+            yield self.finding(
+                module, call,
+                f"trace event {kind!r} (via constant) is missing required "
+                "payload key(s): " + ", ".join(missing),
+            )
+
+    def _check_metric(
+        self, model, module, call: ast.Call, name_node: ast.AST
+    ) -> Iterator[Finding]:
+        if _is_literal_str(name_node):
+            return  # per-file metrics-registry owns literal names
+        name = model.resolve_string(module, name_node)
+        if name is None:
+            return
+        schema = METRIC_SCHEMAS.get(name)
+        if schema is None:
+            yield self.finding(
+                module, name_node,
+                f"metric name constant resolves to {name!r}, which is not "
+                "registered; register it with repro.obs.register_metric "
+                "or fix the constant (known metrics: "
+                + ", ".join(sorted(METRIC_SCHEMAS)) + ")",
+            )
+            return
+        if any(kw.arg is None for kw in call.keywords):
+            return  # **splat labels
+        supplied = sorted(
+            kw.arg for kw in call.keywords
+            if kw.arg is not None and kw.arg not in _RESERVED
+        )
+        declared = sorted(schema.labels)
+        if supplied != declared:
+            expected = (
+                "{" + ", ".join(declared) + "}" if declared else "none"
+            )
+            got = "{" + ", ".join(supplied) + "}" if supplied else "none"
+            yield self.finding(
+                module, call,
+                f"metric {name!r} (via constant) declares labels "
+                f"{expected} but this update supplies {got}",
+            )

@@ -1,11 +1,16 @@
-"""Rule base class and the rule registry.
+"""Rule base classes and the two rule registries.
 
-A rule is a small object with an ``id``, a one-line ``summary``, a package
-``scope``, and a ``check(ctx)`` generator yielding
-:class:`~repro.lint.findings.Finding` objects.  Rules register themselves
-with the :func:`rule` class decorator at import time;
-:mod:`repro.lint.rules` imports every rule module, so importing that package
-populates the registry.
+A **per-file rule** is a small object with an ``id``, a one-line
+``summary``, a package ``scope``, and a ``check(ctx)`` generator yielding
+:class:`~repro.lint.findings.Finding` objects for one parsed file.  A
+**program rule** has the same surface but its ``check(model)`` runs once
+over the whole-program :class:`~repro.lint.program.model.ProjectModel` —
+call graph, symbol tables, protocol flows — after every file is parsed.
+
+Rules register themselves with the :func:`rule` / :func:`program_rule`
+class decorators at import time; :mod:`repro.lint.rules` and
+:mod:`repro.lint.program.rules` import every rule module, so importing
+those packages populates the registries.
 
 Scoping: each rule names the ``repro`` sub-packages it guards (e.g. the
 determinism rules guard the simulation-path packages but not
@@ -18,16 +23,27 @@ under, and over-reporting beats silence.
 from __future__ import annotations
 
 import ast
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Type
+from typing import (
+    Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Type,
+)
 
 from ..errors import ConfigurationError
 from .findings import Finding
 
-__all__ = ["Rule", "rule", "all_rules", "resolve_rules"]
+__all__ = [
+    "Rule",
+    "ProgramRule",
+    "rule",
+    "program_rule",
+    "all_rules",
+    "all_program_rules",
+    "resolve_rules",
+    "resolve_program_rules",
+]
 
 
-class Rule:
-    """Base class for every lint rule (see module docstring)."""
+class _RuleBase:
+    """Shared identity/scoping surface of both rule kinds."""
 
     #: Stable kebab-case identifier, used in reports and suppressions.
     id: str = ""
@@ -45,12 +61,18 @@ class Rule:
             for prefix in self.scope
         )
 
+
+class Rule(_RuleBase):
+    """Base class for every per-file lint rule (see module docstring)."""
+
     def check(self, ctx: "FileContext") -> Iterator[Finding]:  # noqa: F821
         """Yield findings for one parsed file."""
         raise NotImplementedError
 
     # ------------------------------------------------------------- helpers
-    def finding(self, ctx, node: ast.AST, message: str) -> Finding:
+    def finding(
+        self, ctx, node: ast.AST, message: str, severity: str = "error"
+    ) -> Finding:
         """Build a finding for *node* attributed to this rule."""
         return Finding(
             path=ctx.display_path,
@@ -58,47 +80,113 @@ class Rule:
             col=getattr(node, "col_offset", 0) + 1,
             rule=self.id,
             message=message,
+            severity=severity,
+            origin="per-file",
+        )
+
+
+class ProgramRule(_RuleBase):
+    """Base class for whole-program rules.
+
+    ``check(model)`` receives the fully built
+    :class:`~repro.lint.program.model.ProjectModel` and yields findings
+    anchored in the model's *target* modules (reference-corpus modules —
+    tests pulled in only so cross-references resolve — must never receive
+    findings; use :meth:`finding` with a target module's info and the
+    invariant holds by construction).
+    """
+
+    def check(self, model) -> Iterator[Finding]:  # noqa: ANN001
+        """Yield findings for the whole program."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------- helpers
+    def finding(
+        self, module, node: ast.AST, message: str, severity: str = "error"
+    ) -> Finding:
+        """Build a finding for *node* inside *module* (a ModuleInfo)."""
+        return Finding(
+            path=module.ctx.display_path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            rule=self.id,
+            message=message,
+            severity=severity,
+            origin="program",
         )
 
 
 #: id -> rule class, in registration order.
 _REGISTRY: Dict[str, Type[Rule]] = {}
+_PROGRAM_REGISTRY: Dict[str, Type[ProgramRule]] = {}
 
 
-def rule(cls: Type[Rule]) -> Type[Rule]:
-    """Class decorator: register *cls* under its ``id``."""
+def _register(registry: Dict[str, type], cls: type) -> type:
     if not cls.id:
         raise ConfigurationError(f"rule {cls.__name__} has no id")
-    if cls.id in _REGISTRY:
+    if cls.id in _REGISTRY or cls.id in _PROGRAM_REGISTRY:
         raise ConfigurationError(f"duplicate rule id {cls.id!r}")
-    _REGISTRY[cls.id] = cls
+    registry[cls.id] = cls
     return cls
 
 
-def all_rules() -> List[Rule]:
-    """Fresh instances of every registered rule, in registration order."""
-    from . import rules  # noqa: F401 - importing registers the rules
+def rule(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator: register a per-file rule under its ``id``."""
+    return _register(_REGISTRY, cls)
 
+
+def program_rule(cls: Type[ProgramRule]) -> Type[ProgramRule]:
+    """Class decorator: register a program rule under its ``id``."""
+    return _register(_PROGRAM_REGISTRY, cls)
+
+
+def _import_rule_modules() -> None:
+    from . import rules  # noqa: F401 - importing registers per-file rules
+    from .program import rules as program_rules  # noqa: F401
+
+
+def all_rules() -> List[Rule]:
+    """Fresh instances of every per-file rule, in registration order."""
+    _import_rule_modules()
     return [cls() for cls in _REGISTRY.values()]
+
+
+def all_program_rules() -> List[ProgramRule]:
+    """Fresh instances of every program rule, in registration order."""
+    _import_rule_modules()
+    return [cls() for cls in _PROGRAM_REGISTRY.values()]
+
+
+def _validate_names(
+    names: Iterable[str], known: Iterable[str]
+) -> None:
+    known = set(known)
+    for name in names:
+        if name not in known:
+            raise ConfigurationError(
+                f"unknown lint rule {name!r}; known rules: "
+                + ", ".join(sorted(known))
+            )
+
+
+def _known_ids() -> List[str]:
+    _import_rule_modules()
+    return list(_REGISTRY) + list(_PROGRAM_REGISTRY)
 
 
 def resolve_rules(
     select: Optional[Sequence[str]] = None,
     ignore: Optional[Sequence[str]] = None,
 ) -> List[Rule]:
-    """The active rule set after ``--select`` / ``--ignore`` filtering.
+    """The active per-file rule set after ``--select``/``--ignore``.
 
     Unknown rule ids are configuration errors (exit code 2), not silent
-    no-ops — a typo in a CI invocation must fail loudly.
+    no-ops — a typo in a CI invocation must fail loudly.  Program-rule ids
+    are valid in both options (they filter the program pass, see
+    :func:`resolve_program_rules`).
     """
     rules = all_rules()
-    known = {r.id for r in rules}
-    for name in list(select or []) + list(ignore or []):
-        if name not in known:
-            raise ConfigurationError(
-                f"unknown lint rule {name!r}; known rules: "
-                + ", ".join(sorted(known))
-            )
+    _validate_names(list(select or []) + list(ignore or []), _known_ids())
     if select:
         rules = [r for r in rules if r.id in set(select)]
     if ignore:
@@ -106,7 +194,23 @@ def resolve_rules(
     return rules
 
 
-def iter_rule_docs() -> Iterable[Tuple[str, str, Tuple[str, ...]]]:
-    """(id, summary, scope) triples for ``--rules`` listings."""
+def resolve_program_rules(
+    select: Optional[Sequence[str]] = None,
+    ignore: Optional[Sequence[str]] = None,
+) -> List[ProgramRule]:
+    """The active program rule set after ``--select``/``--ignore``."""
+    rules = all_program_rules()
+    _validate_names(list(select or []) + list(ignore or []), _known_ids())
+    if select:
+        rules = [r for r in rules if r.id in set(select)]
+    if ignore:
+        rules = [r for r in rules if r.id not in set(ignore)]
+    return rules
+
+
+def iter_rule_docs() -> Iterable[Tuple[str, str, Tuple[str, ...], str]]:
+    """(id, summary, scope, pass) tuples for ``--rules`` listings."""
     for r in all_rules():
-        yield r.id, r.summary, r.scope
+        yield r.id, r.summary, r.scope, "per-file"
+    for r in all_program_rules():
+        yield r.id, r.summary, r.scope, "program"

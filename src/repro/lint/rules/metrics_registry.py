@@ -25,7 +25,7 @@ import ast
 from typing import Iterator, Optional
 
 from ...obs.metrics import METRIC_SCHEMAS
-from ..astutil import dotted_name
+from ..astutil import ImportMap, dotted_name
 from ..findings import Finding
 from ..registry import Rule, rule
 
@@ -38,19 +38,31 @@ _METHODS = ("inc", "set", "observe")
 _RESERVED = frozenset({"amount", "value"})
 
 
-def _name_argument(call: ast.Call) -> Optional[ast.expr]:
+def _name_argument(
+    call: ast.Call, imports: Optional[ImportMap] = None
+) -> Optional[ast.expr]:
     """The metric-name argument of a recognized update, or ``None``.
 
-    Recognized shape: ``<...>metrics.inc/set/observe(name, ...)`` — any
+    Recognized shapes: ``<...>metrics.inc/set/observe(name, ...)`` — any
     attribute chain whose receiver's final name mentions "metrics"
     (``self.metrics``, ``host.metrics``, ``registry.metrics``, bare
-    ``metrics``); the name is the first positional argument.
+    ``metrics``) or whose *resolved* import alias lives under
+    ``repro.obs`` (``from repro.obs import metrics as mt; mt...`` — pass
+    *imports* to enable this); the name is the first positional argument.
     """
     func = call.func
     if not isinstance(func, ast.Attribute) or func.attr not in _METHODS:
         return None
     receiver = dotted_name(func.value)
-    if receiver is None or "metrics" not in receiver.rsplit(".", 1)[-1]:
+    if receiver is None:
+        return None
+    recognized = "metrics" in receiver.rsplit(".", 1)[-1]
+    if not recognized and imports is not None:
+        canonical = imports.resolve(receiver) or ""
+        recognized = canonical == "repro.obs" or canonical.startswith(
+            "repro.obs."
+        )
+    if not recognized:
         return None
     if not call.args or isinstance(call.args[0], ast.Starred):
         return None
@@ -69,10 +81,13 @@ class MetricsRegistryRule(Rule):
     scope = ()  # the registry contract holds everywhere metrics are updated
 
     def check(self, ctx) -> Iterator[Finding]:
+        imports = ImportMap(
+            ctx.tree, package=ctx.module.rpartition(".")[0]
+        )
         for node in ast.walk(ctx.tree):
             if not isinstance(node, ast.Call):
                 continue
-            name_node = _name_argument(node)
+            name_node = _name_argument(node, imports)
             if name_node is None:
                 continue
             if not (

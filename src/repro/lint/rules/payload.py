@@ -22,11 +22,11 @@ from __future__ import annotations
 import ast
 from typing import Iterator, Optional, Tuple
 
-from ..astutil import call_func_name
+from ..astutil import ImportMap, call_func_name, dotted_name
 from ..findings import Finding
 from ..registry import Rule, rule
 
-__all__ = ["PayloadEncodabilityRule"]
+__all__ = ["PayloadEncodabilityRule", "payload_expr"]
 
 #: Component-level messaging calls: name -> index of the payload argument.
 _PAYLOAD_ARG = {
@@ -56,6 +56,47 @@ _BAD_CONSTRUCTORS = {
     "lambda": "function",
 }
 
+#: Canonical dotted constructors that produce unencodable values — matched
+#: after resolving the call through the module's import aliases, so
+#: ``from pathlib import Path as P; send(dst, P("x"))`` is caught exactly
+#: like a spelled-out ``pathlib.Path("x")``.
+_BAD_CANONICAL = {
+    "io.BytesIO": "an io.BytesIO",
+    "io.StringIO": "an io.StringIO",
+    "pathlib.Path": "a pathlib.Path",
+    "pathlib.PurePath": "a pathlib.PurePath",
+    "pathlib.PosixPath": "a pathlib.PosixPath",
+    "datetime.datetime": "a datetime.datetime",
+    "datetime.date": "a datetime.date",
+    "datetime.time": "a datetime.time",
+    "datetime.timedelta": "a datetime.timedelta",
+    "re.compile": "a compiled re.Pattern",
+    "collections.deque": "a collections.deque",
+    "threading.Lock": "a threading.Lock",
+    "threading.Event": "a threading.Event",
+    "asyncio.Lock": "an asyncio.Lock",
+    "asyncio.Event": "an asyncio.Event",
+    "asyncio.Queue": "an asyncio.Queue",
+}
+
+
+def payload_expr(call: ast.Call, name: str) -> Optional[ast.AST]:
+    """The payload expression of a messaging call, or ``None``.
+
+    Shared with the whole-program ``protocol-flow`` rule, which needs the
+    same argument extraction to find message-kind producers.
+    """
+    for kw in call.keywords:
+        if kw.arg == "payload":
+            return kw.value
+    index = _PAYLOAD_ARG[name]
+    if len(call.args) > index:
+        arg = call.args[index]
+        if isinstance(arg, ast.Starred):
+            return None
+        return arg
+    return None
+
 
 @rule
 class PayloadEncodabilityRule(Rule):
@@ -77,16 +118,20 @@ class PayloadEncodabilityRule(Rule):
     )
 
     def check(self, ctx) -> Iterator[Finding]:
+        # Package anchor only matters for relative imports; best-effort.
+        imports = ImportMap(
+            ctx.tree, package=ctx.module.rpartition(".")[0]
+        )
         for node in ast.walk(ctx.tree):
             if not isinstance(node, ast.Call):
                 continue
             name = call_func_name(node)
             if name not in _PAYLOAD_ARG:
                 continue
-            payload = self._payload_expr(node, name)
+            payload = payload_expr(node, name)
             if payload is None:
                 continue
-            verdict = self._verdict(payload)
+            verdict = self._verdict(payload, imports)
             if verdict is not None:
                 reason, offender = verdict
                 yield self.finding(
@@ -97,20 +142,9 @@ class PayloadEncodabilityRule(Rule):
                     "before sending",
                 )
 
-    @staticmethod
-    def _payload_expr(call: ast.Call, name: str) -> Optional[ast.AST]:
-        for kw in call.keywords:
-            if kw.arg == "payload":
-                return kw.value
-        index = _PAYLOAD_ARG[name]
-        if len(call.args) > index:
-            arg = call.args[index]
-            if isinstance(arg, ast.Starred):
-                return None
-            return arg
-        return None
-
-    def _verdict(self, node: ast.AST) -> Optional[Tuple[str, ast.AST]]:
+    def _verdict(
+        self, node: ast.AST, imports: ImportMap
+    ) -> Optional[Tuple[str, ast.AST]]:
         """``(reason, offending node)`` when *node* is provably
         unencodable, else ``None`` (encodable or unknown)."""
         if isinstance(node, ast.Constant):
@@ -124,7 +158,7 @@ class PayloadEncodabilityRule(Rule):
             return None  # str/int/float/bool/None
         if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
             for elt in node.elts:
-                bad = self._verdict(elt)
+                bad = self._verdict(elt, imports)
                 if bad is not None:
                     return bad
             return None
@@ -132,7 +166,7 @@ class PayloadEncodabilityRule(Rule):
             for part in list(node.keys) + list(node.values):
                 if part is None:
                     continue  # **splat key
-                bad = self._verdict(part)
+                bad = self._verdict(part, imports)
                 if bad is not None:
                     return bad
             return None
@@ -144,11 +178,14 @@ class PayloadEncodabilityRule(Rule):
             name = call_func_name(node)
             if name in _BAD_CONSTRUCTORS:
                 return f"a {_BAD_CONSTRUCTORS[name]}", node
+            canonical = imports.resolve(dotted_name(node.func))
+            if canonical in _BAD_CANONICAL:
+                return _BAD_CANONICAL[canonical], node
             if name in _SAFE_CONSTRUCTORS:
                 for arg in node.args:
                     if isinstance(arg, ast.Starred):
                         continue
-                    bad = self._verdict(arg)
+                    bad = self._verdict(arg, imports)
                     if bad is not None:
                         return bad
             return None  # unknown call result: give it the benefit of doubt

@@ -23,14 +23,16 @@ import ast
 from typing import Iterator, List, Optional
 
 from ...obs.events import EVENT_SCHEMAS
-from ..astutil import dotted_name
+from ..astutil import ImportMap, dotted_name
 from ..findings import Finding
 from ..registry import Rule, rule
 
 __all__ = ["TraceSchemaRule"]
 
 
-def _kind_argument(call: ast.Call) -> Optional[ast.expr]:
+def _kind_argument(
+    call: ast.Call, imports: Optional[ImportMap] = None
+) -> Optional[ast.expr]:
     """The kind argument of a recognized trace emission, or ``None``.
 
     Recognized shapes:
@@ -39,6 +41,9 @@ def _kind_argument(call: ast.Call) -> Optional[ast.expr]:
       — any attribute chain whose receiver's final name mentions "trace"
       (``self.trace``, ``world.trace``, ``self._trace``); kind is the
       second positional argument;
+    * the same ``.record(...)`` on a receiver whose *resolved* import
+      alias lives under ``repro.obs`` (``from repro.obs import events as
+      ev; ev.record(...)``) — pass *imports* to enable this;
     * ``self.trace(kind, **data)`` — the Component helper; kind is the
       first positional argument.
     """
@@ -47,7 +52,15 @@ def _kind_argument(call: ast.Call) -> Optional[ast.expr]:
         return None
     if func.attr == "record":
         receiver = dotted_name(func.value)
-        if receiver is None or "trace" not in receiver.rsplit(".", 1)[-1]:
+        if receiver is None:
+            return None
+        recognized = "trace" in receiver.rsplit(".", 1)[-1]
+        if not recognized and imports is not None:
+            canonical = imports.resolve(receiver) or ""
+            recognized = canonical == "repro.obs" or canonical.startswith(
+                "repro.obs."
+            )
+        if not recognized:
             return None
         if len(call.args) > 1 and not any(
             isinstance(a, ast.Starred) for a in call.args[:2]
@@ -73,10 +86,13 @@ class TraceSchemaRule(Rule):
     scope = ()  # the schema contract holds everywhere events are emitted
 
     def check(self, ctx) -> Iterator[Finding]:
+        imports = ImportMap(
+            ctx.tree, package=ctx.module.rpartition(".")[0]
+        )
         for node in ast.walk(ctx.tree):
             if not isinstance(node, ast.Call):
                 continue
-            kind_node = _kind_argument(node)
+            kind_node = _kind_argument(node, imports)
             if kind_node is None:
                 continue
             if not (

@@ -1,0 +1,1 @@
+"""Bad: sim-style code calling out to helpers that read ambient state."""

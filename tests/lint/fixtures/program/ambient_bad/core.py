@@ -1,0 +1,9 @@
+"""The ambient read sits in a helper module, so the per-file wall-clock
+rule (scoped to the caller's file) cannot see the hazard at this call."""
+
+from .util import jittered, stamp
+
+
+def step(events):
+    events.append(stamp())  # bad: helper reads time.time()
+    return jittered(10.0)  # bad: helper reads the global RNG

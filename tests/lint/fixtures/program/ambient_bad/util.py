@@ -1,0 +1,10 @@
+import random
+import time
+
+
+def stamp():
+    return time.time()
+
+
+def jittered(base):
+    return base * random.random()

@@ -1,0 +1,1 @@
+"""Good near-miss: ambient state threaded in, never read transitively."""

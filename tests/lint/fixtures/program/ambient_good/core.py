@@ -1,0 +1,10 @@
+"""Near-misses for ambient-state-reach: helpers take the clock and rng as
+parameters (the remedy the rule suggests), so no called path reads
+ambient state."""
+
+from .util import jittered, stamp
+
+
+def step(events, now, rng):
+    events.append(stamp(now))  # fine: the clock is threaded through
+    return jittered(10.0, rng)  # fine: the rng is injected

@@ -1,0 +1,6 @@
+def stamp(now):
+    return now
+
+
+def jittered(base, rng):
+    return base * rng.random()

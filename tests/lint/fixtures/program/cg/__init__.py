@@ -1,0 +1,5 @@
+"""Call-graph fixture package: aliases, methods, spawn edges."""
+
+from .work import driver
+
+__all__ = ["driver"]

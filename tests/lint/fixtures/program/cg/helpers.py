@@ -1,0 +1,13 @@
+"""Leaf helpers the call graph must resolve through aliased imports."""
+
+import time
+
+GREETING = "hello"
+
+
+def leaf():
+    return GREETING
+
+
+def sync_sleep():
+    time.sleep(0.01)

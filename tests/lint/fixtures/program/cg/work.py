@@ -1,0 +1,39 @@
+"""Callers: methods, aliased module calls, task-spawn and callback edges."""
+
+import asyncio
+
+from . import helpers as h
+from .helpers import leaf
+
+
+class Worker:
+    def __init__(self):
+        self.count = 0
+
+    def run(self):
+        self.step()
+
+    def step(self):
+        self.count += 1
+        return leaf()
+
+
+async def driver(loop):
+    worker = Worker()
+    worker.run()
+    h.sync_sleep()
+    loop.call_later(0.1, tick)
+    asyncio.create_task(pump())
+
+    def finish():
+        return leaf()
+
+    return finish
+
+
+def tick():
+    return h.leaf()
+
+
+async def pump():
+    await asyncio.sleep(0)

@@ -1,0 +1,5 @@
+"""Bad: a ghost export and a dead public name on the package surface."""
+
+from .impl import dead_fn, used_fn
+
+__all__ = ["used_fn", "dead_fn", "ghost"]

@@ -1,0 +1,5 @@
+from .impl import used_fn
+
+
+def run():
+    return used_fn()

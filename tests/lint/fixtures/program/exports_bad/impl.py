@@ -1,0 +1,9 @@
+__all__ = ["used_fn", "dead_fn", "phantom"]  # bad: phantom is never bound
+
+
+def used_fn():
+    return 1
+
+
+def dead_fn():
+    return 2

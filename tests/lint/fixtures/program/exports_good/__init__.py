@@ -1,0 +1,18 @@
+"""Good near-miss: lazy re-export, entry point, and namespace listing."""
+
+from . import impl
+from .impl import helper
+
+__all__ = ["helper", "main", "impl", "lazy_thing"]
+
+
+def main():
+    return helper()
+
+
+def __getattr__(name):
+    # PEP 562 lazy re-export: lazy_thing is provided dynamically, so the
+    # undefined-export error must not fire on it.
+    if name == "lazy_thing":
+        return impl.helper
+    raise AttributeError(name)

@@ -1,0 +1,5 @@
+from .impl import helper
+
+
+def run():
+    return helper()

@@ -1,0 +1,11 @@
+# internal_only is never imported anywhere, but a *submodule* __all__ is
+# star-import control, not an API promise — no warning.
+__all__ = ["helper", "internal_only"]
+
+
+def helper():
+    return 1
+
+
+def internal_only():
+    return 2

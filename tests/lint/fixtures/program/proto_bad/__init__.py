@@ -1,0 +1,1 @@
+"""Bad: message kinds without handlers, dispatch arms without producers."""

@@ -1,0 +1,21 @@
+"""Dispatch arms: one dead component kind, one dead service op, plus the
+Reply producer that anchors the status space."""
+
+
+class Replica:
+    def on_message(self, src, payload):
+        kind = payload[0]
+        if kind == "fixture-pong":  # bad: nobody sends fixture-pong
+            return "pong"
+        return None
+
+    def on_request(self, command):
+        op = command.get("op")
+        if op == "fixture-put":  # bad: no client issues fixture-put
+            return Reply(status="fixture-ok")
+        return Reply(status="fixture-error")
+
+
+class Reply:
+    def __init__(self, status):
+        self.status = status

@@ -1,0 +1,1 @@
+PING = "fixture-ping"

@@ -1,0 +1,19 @@
+"""Producers: a component kind nobody handles, a service op nobody serves,
+and a client branch on a status the service never produces."""
+
+from .kinds import PING
+
+
+class Prober:
+    def probe(self, dst):
+        self.send(dst, (PING, 0.0))  # bad: no dispatch arm handles PING
+
+    def send(self, dst, payload):
+        pass
+
+
+def put_key(client):
+    reply = client.request("fixture-get", key="k")  # bad: no handler arm
+    if reply.status == "fixture-stale":  # bad: never produced
+        return None
+    return reply

@@ -1,0 +1,1 @@
+"""Good near-miss: every kind/op round-trips; weak signals stay silent."""

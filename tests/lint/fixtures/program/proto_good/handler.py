@@ -1,0 +1,36 @@
+"""Arms for everything produced, plus near-misses the rule must not flag:
+a weak whole-payload compare, and attribute/`.get` reads of "kind" (those
+are TraceEvent analysis, not message dispatch)."""
+
+from .kinds import PING
+
+
+class Replica:
+    def on_message(self, src, payload):
+        kind = payload[0]
+        if kind == PING:  # resolved through the imported constant
+            return "pong"
+        if payload == "fixture-shutdown":  # weak: accepted, never "dead"
+            return None
+        return None
+
+    def on_request(self, command):
+        op = command.get("op")
+        if op == "fixture-get":
+            return Reply(status="fixture-ok")
+        return Reply(status="fixture-error")
+
+
+class Reply:
+    def __init__(self, status):
+        self.status = status
+
+
+def summarize(events):
+    # Near-miss: `.kind` here is a trace-event field, not message dispatch.
+    return [ev for ev in events if ev.kind == "send"]
+
+
+def pick(meta):
+    # Near-miss: `.get("kind")` on a dict is not a dispatch arm either.
+    return meta.get("kind") == "fixture-other"

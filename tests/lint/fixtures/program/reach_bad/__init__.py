@@ -1,0 +1,1 @@
+"""Bad: async code reaching blocking calls through sync helpers."""

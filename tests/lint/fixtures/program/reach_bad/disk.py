@@ -1,0 +1,9 @@
+import time
+
+
+def flush():
+    _write()
+
+
+def _write():
+    time.sleep(0.01)

@@ -1,0 +1,14 @@
+"""The blocking call hides two sync hops away from the async def, so the
+per-file blocking-call rule (which only looks inside async bodies) cannot
+see it — only the whole-program reachability pass can."""
+
+from .disk import flush
+
+
+async def pump(loop):
+    flush()  # bad: sync path reaches time.sleep
+    loop.call_later(0.5, retry)  # bad: scheduled callback blocks too
+
+
+def retry():
+    flush()

@@ -1,0 +1,1 @@
+"""Good near-miss: the same shape as reach_bad, without a blocking path."""

@@ -1,0 +1,5 @@
+_BUFFER = []
+
+
+def buffer_write(frame):
+    _BUFFER.append(frame)

@@ -1,0 +1,1 @@
+"""Bad: constant-valued record sites violating the obs registries."""

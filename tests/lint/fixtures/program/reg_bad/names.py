@@ -1,0 +1,4 @@
+BAD_KIND = "fixture-unregistered-event"
+DECIDE = "decide"
+BAD_METRIC = "fixture_bogus_total"
+SENT = "bytes_sent_total"

@@ -1,0 +1,1 @@
+"""Good near-miss: resolved constants that satisfy the registries."""

@@ -1,0 +1,2 @@
+DECIDE = "decide"
+SENT = "bytes_sent_total"

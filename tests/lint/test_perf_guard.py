@@ -1,0 +1,34 @@
+"""Tier-1 guard: the full whole-program pass over ``src/repro`` fits a
+wall budget and is byte-identical across runs.
+
+The linter runs on every PR; if the project model's cost curve bends (an
+accidental quadratic in the call graph, an unmemoized reach query), this
+is where it shows first.  The budget is deliberately loose — an order of
+magnitude above the measured time — so only real regressions trip it.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.lint import lint_paths
+from repro.lint.reporting import render_json, render_sarif, render_text
+
+#: Generous wall budget (seconds) for one full run; measured ~3 s.
+_BUDGET = 60.0
+
+
+def test_whole_program_pass_fits_budget_and_is_deterministic():
+    start = time.monotonic()
+    first = lint_paths()
+    first_elapsed = time.monotonic() - start
+    assert first_elapsed < _BUDGET, (
+        f"whole-program lint took {first_elapsed:.1f}s (budget {_BUDGET}s)"
+    )
+    second = lint_paths()
+    # Byte-identical output across runs, in every format: the linter holds
+    # itself to the determinism contract it enforces.
+    assert render_text(first) == render_text(second)
+    assert render_json(first) == render_json(second)
+    assert render_sarif(first) == render_sarif(second)
+    assert first.files_checked == second.files_checked > 50

@@ -1,0 +1,135 @@
+"""Each program rule against its good/bad fixture pair: every bad package
+produces exactly the expected findings, every good package (a structural
+near-miss of the bad one) stays silent, and the engine-level knobs
+(``--no-program``, inline suppression, reference-corpus attribution) hold.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.lint import lint_paths
+from repro.lint.engine import _parse_file
+from repro.lint.program.model import build_project_model
+from repro.lint.program.rules.exports import UnreachablePublicRule
+
+FIXTURES = Path(__file__).parent / "fixtures" / "program"
+
+
+def _lint(package: str, rule: str, **kwargs):
+    return lint_paths(paths=[FIXTURES / package], select=[rule], **kwargs)
+
+
+CASES = [
+    # (package, rule, #errors, #warnings)
+    ("reach_bad", "async-blocking-reach", 2, 0),
+    ("reach_good", "async-blocking-reach", 0, 0),
+    ("ambient_bad", "ambient-state-reach", 2, 0),
+    ("ambient_good", "ambient-state-reach", 0, 0),
+    ("proto_bad", "protocol-flow", 2, 3),
+    ("proto_good", "protocol-flow", 0, 0),
+    ("reg_bad", "registry-flow", 4, 0),
+    ("reg_good", "registry-flow", 0, 0),
+    ("exports_bad", "unreachable-public", 2, 1),
+    ("exports_good", "unreachable-public", 0, 0),
+]
+
+
+@pytest.mark.parametrize("package,rule,errors,warnings", CASES)
+def test_fixture_pair_counts(package, rule, errors, warnings):
+    result = _lint(package, rule)
+    by_severity = {"error": 0, "warning": 0}
+    for finding in result.findings:
+        assert finding.rule == rule
+        assert finding.origin == "program"
+        by_severity[finding.severity] += 1
+    assert (by_severity["error"], by_severity["warning"]) == (
+        errors, warnings
+    ), "\n".join(f.render() for f in result.findings)
+
+
+def test_async_blocking_reach_reports_the_chain():
+    rendered = [
+        f.render() for f in _lint("reach_bad", "async-blocking-reach").findings
+    ]
+    assert any(
+        "reach_bad.disk.flush -> reach_bad.disk._write -> time.sleep()" in r
+        for r in rendered
+    )
+    # The scheduled-callback edge is reported as a reference, not a call.
+    assert any("schedules/references" in r for r in rendered)
+
+
+def test_ambient_reach_names_both_ambient_sources():
+    messages = " ".join(
+        f.message for f in _lint("ambient_bad", "ambient-state-reach").findings
+    )
+    assert "time.time()" in messages and "random.random()" in messages
+
+
+def test_protocol_flow_covers_all_three_spaces():
+    findings = _lint("proto_bad", "protocol-flow").findings
+    messages = [f.message for f in findings]
+    assert any("message kind 'fixture-ping' is produced" in m for m in messages)
+    assert any("service op 'fixture-get' is produced" in m for m in messages)
+    assert any("message kind 'fixture-pong'" in m for m in messages)
+    assert any("service op 'fixture-put'" in m for m in messages)
+    assert any("reply status 'fixture-stale'" in m for m in messages)
+
+
+def test_registry_flow_skips_literals_and_dynamics():
+    # reg_good contains a literal kind and a dynamic kind at record sites;
+    # both are out of this rule's jurisdiction (per-file rule / runtime).
+    assert _lint("reg_good", "registry-flow").findings == []
+
+
+def test_unreachable_public_split_between_layers():
+    findings = _lint("exports_bad", "unreachable-public").findings
+    by_rule = {(Path(f.path).name, f.severity) for f in findings}
+    # ghost: undefined on the package surface; phantom: undefined in a
+    # submodule (the error applies everywhere); dead_fn: unused, flagged
+    # only on the package surface.
+    assert ("__init__.py", "error") in by_rule
+    assert ("impl.py", "error") in by_rule
+    assert ("__init__.py", "warning") in by_rule
+
+
+def test_no_program_flag_disables_the_pass():
+    assert _lint("proto_bad", "protocol-flow", program=False).findings == []
+
+
+def test_program_findings_respect_inline_suppressions(tmp_path):
+    pkg = tmp_path / "pkg"
+    pkg.mkdir()
+    (pkg / "__init__.py").write_text(
+        "from .impl import used\n\n"
+        '__all__ = ["used", "ghost"]  # lint: ignore[unreachable-public]\n'
+    )
+    (pkg / "impl.py").write_text("def used():\n    return 1\n")
+    (pkg / "consumer.py").write_text(
+        "from .impl import used\n\n\ndef run():\n    return used()\n"
+    )
+    result = lint_paths(paths=[pkg], select=["unreachable-public"])
+    assert result.findings == []
+
+
+def test_reference_corpus_never_receives_findings():
+    # exports_bad as reference corpus: its ghost export must not surface
+    # when the target is the clean package.
+    targets = [
+        _parse_file(p)[0]
+        for p in sorted((FIXTURES / "exports_good").rglob("*.py"))
+    ]
+    refs = [
+        _parse_file(p)[0]
+        for p in sorted((FIXTURES / "exports_bad").rglob("*.py"))
+    ]
+    model = build_project_model(targets, refs)
+    assert list(UnreachablePublicRule().check(model)) == []
+
+
+def test_program_rules_run_by_default_on_fixtures():
+    result = lint_paths(paths=[FIXTURES / "proto_bad"])
+    assert any(f.rule == "protocol-flow" for f in result.findings)
