@@ -348,6 +348,7 @@ def _cluster_virtual(args: argparse.Namespace, codec, plan) -> int:
         period=5.0, initial_timeout=12.0, timeout_increment=5.0,
         propose_after=crash_time + 1.0,
         metrics_interval=args.metrics_interval,
+        max_batch=args.max_batch, pipeline_depth=args.pipeline_depth,
     )
     cluster.schedule_kill(leader, crash_time)
     cluster.run_virtual(until=4000.0)
@@ -385,6 +386,7 @@ def _cluster_scripted(args: argparse.Namespace, codec, plan) -> int:
     stacks = cluster.deploy_standard_stack(
         stack=args.stack, period=period, propose_after=propose_after,
         metrics_interval=args.metrics_interval,
+        max_batch=args.max_batch, pipeline_depth=args.pipeline_depth,
     )
     for pid, at in crashes:
         cluster.crash(pid, at=at)
@@ -522,6 +524,8 @@ def _cmd_proc_run(args: argparse.Namespace) -> int:
         codec=args.codec,
         workdir=args.trace_out,
         metrics_interval=args.metrics_interval,
+        max_batch=args.max_batch,
+        pipeline_depth=args.pipeline_depth,
     )
     for pid, at in crashes:
         cluster.crash(pid, at=at)
@@ -613,7 +617,10 @@ def _cmd_kv_serve(args: argparse.Namespace) -> int:
             n=args.nodes, transport=args.transport, seed=args.seed,
             codec=codec, trace_out=args.trace_out,
         )
-        cluster.deploy_standard_stack(stack="rsm", period=args.period)
+        cluster.deploy_standard_stack(
+            stack="rsm", period=args.period,
+            max_batch=args.max_batch, pipeline_depth=args.pipeline_depth,
+        )
         await cluster.start()
         frontends = await start_service(
             cluster, cluster.stacks, listen_host=args.serve_host,
@@ -769,6 +776,8 @@ def _cmd_load(args: argparse.Namespace) -> int:
         seed=args.seed,
         workdir=args.trace_out,
         serve=True,
+        max_batch=args.max_batch,
+        pipeline_depth=args.pipeline_depth,
     )
     for pid, at in crashes:
         cluster.crash(pid, at=at)
@@ -863,6 +872,14 @@ def _shared_cluster_options() -> argparse.ArgumentParser:
         "--metrics-interval", type=float, metavar="SECONDS", default=None,
         help="attach a metrics reporter on every node emitting "
              "obs.metrics_snapshot trace events at this interval")
+    group.add_argument(
+        "--max-batch", type=int, metavar="N", default=64,
+        help="most commands one consensus slot may carry on the rsm "
+             "stack (1 restores the legacy one-command-per-slot shape)")
+    group.add_argument(
+        "--pipeline-depth", type=int, metavar="N", default=4,
+        help="how many rsm consensus slots may run concurrently "
+             "(1 disables pipelining)")
     return shared
 
 
@@ -1004,6 +1021,12 @@ def build_parser() -> argparse.ArgumentParser:
     kserve.add_argument("--trace-out", metavar="PATH", default=None,
                         help="ship the cluster trace (JSONL file or "
                              "directory)")
+    kserve.add_argument("--max-batch", type=int, metavar="N", default=64,
+                        help="most commands one consensus slot may carry "
+                             "(1 restores one-command-per-slot)")
+    kserve.add_argument("--pipeline-depth", type=int, metavar="N", default=4,
+                        help="concurrent consensus slots (1 disables "
+                             "pipelining)")
     kserve.set_defaults(func=_cmd_kv)
 
     def _kv_client_options(p: argparse.ArgumentParser) -> None:
@@ -1083,6 +1106,13 @@ def build_parser() -> argparse.ArgumentParser:
     load.add_argument("--merge-out", metavar="OUT.jsonl", default=None,
                       help="write the --proc merged trace as one combined "
                            "JSONL file")
+    load.add_argument("--max-batch", type=int, metavar="N", default=64,
+                      help="most commands one consensus slot may carry in "
+                           "--proc clusters (1 restores "
+                           "one-command-per-slot)")
+    load.add_argument("--pipeline-depth", type=int, metavar="N", default=4,
+                      help="concurrent consensus slots in --proc clusters "
+                           "(1 disables pipelining)")
     load.set_defaults(func=_cmd_load)
 
     trc = sub.add_parser(

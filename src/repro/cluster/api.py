@@ -33,7 +33,7 @@ are judged by exactly the same code.
 from __future__ import annotations
 
 from typing import (
-    Any, Dict, FrozenSet, Optional, Protocol, runtime_checkable,
+    Any, Dict, FrozenSet, Optional, Protocol, Tuple, runtime_checkable,
 )
 
 from ..analysis import check_consensus, check_fd_class, extract_outcome
@@ -155,27 +155,29 @@ def rsm_verdicts(
     )
     for name, result in fd_results.items():
         verdicts[f"fd.{name}"] = result
-    logs: Dict[ProcessId, Dict[int, Any]] = {}
+    # Log positions are (slot, index): batched slots apply several
+    # commands, each traced with its position inside the batch (older
+    # traces without the key collapse to index 0, the unbatched shape).
+    logs: Dict[ProcessId, Dict[Tuple[int, int], Any]] = {}
     for event in trace.events:
         if event.kind == "apply" and event.pid is not None:
-            logs.setdefault(event.pid, {})[event.get("slot")] = (
-                event.get("command")
-            )
-    slots: Dict[int, Any] = {}
+            position = (event.get("slot"), event.get("index") or 0)
+            logs.setdefault(event.pid, {})[position] = event.get("command")
+    positions: Dict[Tuple[int, int], Any] = {}
     agreement = True
     for log in logs.values():
-        for slot, command in log.items():
-            if slot in slots and slots[slot] != command:
+        for position, command in log.items():
+            if position in positions and positions[position] != command:
                 agreement = False
-            slots.setdefault(slot, command)
+            positions.setdefault(position, command)
     prefix = True
-    applied_slots = sorted(slots)
+    applied_positions = sorted(positions)
     for log in logs.values():
         frontier = max(log)
-        expected = [slot for slot in applied_slots if slot <= frontier]
+        expected = [p for p in applied_positions if p <= frontier]
         if sorted(log) != expected:
             prefix = False
-    progress = (not slots) or all(pid in logs for pid in correct)
+    progress = (not positions) or all(pid in logs for pid in correct)
     verdicts["rsm.agreement"] = agreement
     verdicts["rsm.prefix"] = prefix
     verdicts["rsm.progress"] = progress

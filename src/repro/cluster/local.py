@@ -494,6 +494,8 @@ def attach_node_stack(
     stubborn_period: Optional[Time] = None,
     channel: str = "fd",
     metrics_interval: Optional[Time] = None,
+    max_batch: int = 64,
+    pipeline_depth: int = 4,
 ) -> Dict[str, Component]:
     """Deploy one node's slice of the paper's pipeline via *attach*.
 
@@ -506,7 +508,10 @@ def attach_node_stack(
     ``suspects="rsm"`` deploys the service substrate: the ring-sourced
     ◇C detectors as usual, but a slot-by-slot
     :class:`~repro.consensus.multi.ReplicatedStateMachine` (role
-    ``rsm``) in place of the one-shot consensus instance.
+    ``rsm``) in place of the one-shot consensus instance.  *max_batch*
+    and *pipeline_depth* shape its command path (they only matter for
+    that stack); ``max_batch=1, pipeline_depth=1`` restores the
+    historical one-command-per-slot machine.
     """
     parts: Dict[str, Component] = {}
     with_rsm = suspects == "rsm"
@@ -575,6 +580,8 @@ def attach_node_stack(
             # A service sits mostly idle between bursts; without grace it
             # would burn one NOOP consensus instance per slot forever.
             idle_grace=2 * period,
+            max_batch=max_batch,
+            pipeline_depth=pipeline_depth,
         )
         attach(rsm)
         parts["rsm"] = rsm
@@ -596,6 +603,8 @@ def attach_standard_stack(
     stubborn_period: Optional[Time] = None,
     channel: str = "fd",
     metrics_interval: Optional[Time] = None,
+    max_batch: int = 64,
+    pipeline_depth: int = 4,
 ) -> Dict[str, List[Component]]:
     """Deploy the paper's full pipeline on every node of *cluster*.
 
@@ -622,6 +631,8 @@ def attach_standard_stack(
             stubborn_period=stubborn_period,
             channel=channel,
             metrics_interval=metrics_interval,
+            max_batch=max_batch,
+            pipeline_depth=pipeline_depth,
         )
         for role, component in parts.items():
             stacks.setdefault(role, []).append(component)

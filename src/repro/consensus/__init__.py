@@ -8,7 +8,7 @@ from .builders import ALGORITHMS, attach_consensus, propose_all
 from .chandra_toueg import ChandraTouegConsensus
 from .ec_consensus import ECConsensus, NULL
 from .mostefaoui_raynal import MostefaouiRaynalConsensus
-from .multi import NOOP, ReplicatedStateMachine
+from .multi import BATCH, NOOP, ReplicatedStateMachine
 from .paxos import PaxosConsensus
 from .total_order import TotalOrderBroadcast
 
@@ -22,6 +22,7 @@ __all__ = [
     "NULL",
     "MostefaouiRaynalConsensus",
     "ReplicatedStateMachine",
+    "BATCH",
     "NOOP",
     "PaxosConsensus",
     "TotalOrderBroadcast",

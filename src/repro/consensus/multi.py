@@ -8,10 +8,22 @@ exactly that on top of any of the library's consensus algorithms
 
 * clients call :meth:`submit` at any replica; the command is disseminated
   to every replica, which enqueues it (deduplicated, ordered by id);
-* every replica proposes its queue head (or ``NOOP``) in the current slot,
-  so no instance ever stalls waiting for a silent proposer;
-* when slot *i* decides, the command is applied (exactly once — re-decided
-  duplicates are skipped), the queue is trimmed, and slot *i + 1* opens.
+* each open slot proposes a **batch** of pending commands (up to
+  ``max_batch``; one bare command in the legacy ``max_batch=1`` shape), so
+  slot rate and command rate decouple;
+* up to ``pipeline_depth`` slots run concurrently — commands arriving
+  while slot *k* is undecided propose straight into slot *k + 1* instead
+  of queueing behind it — while applies stay strictly in slot order;
+* when slot *i* decides, its commands are applied in batch order (exactly
+  once — commands re-decided by an overlapping batch are skipped), the
+  queue is trimmed, and the window slides forward.
+
+Batches are an ordering optimization, not a new trust boundary: a decided
+batch fans back out to per-command ``on_apply`` callbacks, so everything
+downstream (the KV session table, the log verdicts) still sees a stream of
+single commands.  With ``max_batch=1, pipeline_depth=1`` the component is
+behaviourally identical to the historical one-command-per-slot machine —
+the parity tests pin that.
 
 This is the substrate for the replicated key-value-store example.
 """
@@ -21,16 +33,20 @@ from __future__ import annotations
 from typing import Any, Callable, Dict, List, Optional, Tuple, Type
 
 from ..broadcast.reliable import ReliableBroadcast
+from ..errors import ConfigurationError
 from ..fd.base import FailureDetector
 from ..sim.component import Component
 from ..types import ProcessId
 from .base import ConsensusProtocol
 from .ec_consensus import ECConsensus
 
-__all__ = ["ReplicatedStateMachine", "NOOP"]
+__all__ = ["ReplicatedStateMachine", "NOOP", "BATCH"]
 
 #: Decision filler for slots where a replica had nothing to propose.
 NOOP = ("__noop__",)
+
+#: Tag marking a batched slot value: ``(BATCH, (command, command, ...))``.
+BATCH = "__batch__"
 
 #: A command: (submitting pid, per-submitter sequence, payload).
 Command = Tuple[ProcessId, int, Any]
@@ -49,8 +65,17 @@ class ReplicatedStateMachine(Component):
         rebroadcast_period: Optional[float] = None,
         consensus_kwargs: Optional[dict] = None,
         idle_grace: Optional[float] = None,
+        max_batch: int = 1,
+        pipeline_depth: int = 1,
+        max_delay: float = 0.0,
     ) -> None:
         super().__init__(channel)
+        if max_batch < 1:
+            raise ConfigurationError(f"max_batch must be >= 1, got {max_batch}")
+        if pipeline_depth < 1:
+            raise ConfigurationError(
+                f"pipeline_depth must be >= 1, got {pipeline_depth}"
+            )
         self.fd = fd
         self.consensus_cls = consensus_cls
         self.consensus_kwargs = dict(consensus_kwargs or {})
@@ -59,7 +84,7 @@ class ReplicatedStateMachine(Component):
         # only when the run violates the reliable-links model (partitions);
         # they implement the usual "clients retry" recovery story.
         self.rebroadcast_period = rebroadcast_period
-        # When set: a slot opened with an empty queue delays its NOOP
+        # When set: a head slot with nothing to propose delays its NOOP
         # proposal by this long.  Liveness is untouched — a command
         # arriving mid-grace is proposed immediately (dissemination
         # reaches every replica, so every replica un-parks the slot), and
@@ -69,14 +94,35 @@ class ReplicatedStateMachine(Component):
         # want it, because an idle service otherwise burns one consensus
         # instance per slot at full speed forever.
         self.idle_grace = idle_grace
+        #: Most commands one slot value may carry; 1 keeps the legacy
+        #: bare-command wire shape.
+        self.max_batch = max_batch
+        #: How many slots may be undecided at once.  Non-head slots only
+        #: propose when they have fresh commands to carry; they never burn
+        #: eager NOOPs, so a deep window on an idle cluster costs nothing.
+        self.pipeline_depth = pipeline_depth
+        #: When > 0: a slot holding a non-full batch waits this long for
+        #: more commands before proposing.  0 proposes immediately —
+        #: under load the pipeline itself accumulates batches (commands
+        #: arriving while slots are in flight pile up for the next one),
+        #: so the delay is only for smoothing sparse open-loop traffic.
+        self.max_delay = max_delay
         self.log: List[Any] = []
         self._pending: List[Command] = []
         self._seen: set = set()
         self._applied: set = set()
         self._next_seq = 0
-        self._slot = -1
-        self._noop_timer = None
         self._instances: Dict[int, ConsensusProtocol] = {}
+        #: Command ids proposed (or delay-staged) per undecided slot; used
+        #: to keep concurrent slots from proposing overlapping batches.
+        self._inflight: Dict[int, Tuple[Tuple[ProcessId, int], ...]] = {}
+        #: Decided values buffered until every lower slot has applied.
+        self._decided: Dict[int, Any] = {}
+        self._apply_next = 0
+        self._next_open = 0
+        self._noop_timer = None
+        self._delay_timers: Dict[int, Any] = {}
+        self._delay_done: set = set()
         self._apply_callbacks: List[Callable[[int, Any], None]] = []
 
     # ----------------------------------------------------------------- API
@@ -94,12 +140,17 @@ class ReplicatedStateMachine(Component):
 
     @property
     def current_slot(self) -> int:
-        """Index of the slot currently being agreed on."""
-        return self._slot
+        """Index of the lowest slot still being agreed on."""
+        return self._apply_next
+
+    @property
+    def pending_count(self) -> int:
+        """Commands queued in the batch accumulator, not yet applied."""
+        return len(self._pending)
 
     # ------------------------------------------------------------ life cycle
     def on_start(self) -> None:
-        self._open_slot(0)
+        self._fill_window()
         if self.rebroadcast_period is not None:
             self.periodically(self.rebroadcast_period, self._rebroadcast)
 
@@ -120,16 +171,15 @@ class ReplicatedStateMachine(Component):
         if self._cid(command) not in self._applied:
             self._pending.append(command)
             self._pending.sort(key=self._cid)
-            self._unpark_idle_slot()
+            self._reconsider_open_slots()
 
-    # ------------------------------------------------------------- internals
+    # ------------------------------------------------------------- proposing
+    def _fill_window(self) -> None:
+        while self._next_open < self._apply_next + self.pipeline_depth:
+            self._open_slot(self._next_open)
+            self._next_open += 1
+
     def _open_slot(self, slot: int) -> None:
-        self._slot = slot
-        if self._noop_timer is not None:
-            # The previous slot decided while parked (its decision arrived
-            # by broadcast before our CMD copy did): retire its timer.
-            self._noop_timer[1].cancel()
-            self._noop_timer = None
         rb = ReliableBroadcast(
             channel=f"{self.channel}.c{slot}.rb",
             retransmit_period=self.rebroadcast_period,
@@ -142,47 +192,158 @@ class ReplicatedStateMachine(Component):
         self.process.attach(instance)
         self._instances[slot] = instance
         instance.on_decide(lambda value, s=slot: self._on_slot_decided(s, value))
-        if self._pending or self.idle_grace is None:
-            instance.propose(self._pending[0] if self._pending else NOOP)
-        else:
-            # Idle slot: park it; a CMD arrival or the grace timer (the
-            # liveness fallback) proposes later.
+        self._consider_proposal(slot)
+
+    def _reconsider_open_slots(self) -> None:
+        for slot in range(self._apply_next, self._next_open):
+            self._consider_proposal(slot)
+
+    def _proposable(self, slot: int) -> List[Command]:
+        """Pending commands not already carried by another undecided slot."""
+        taken = set()
+        for other, cids in self._inflight.items():
+            if other != slot:
+                taken.update(cids)
+        batch = [c for c in self._pending if self._cid(c) not in taken]
+        return batch[: self.max_batch]
+
+    def _consider_proposal(self, slot: int) -> None:
+        instance = self._instances.get(slot)
+        if instance is None or instance.proposed or instance.decided:
+            return
+        batch = self._proposable(slot)
+        if batch:
+            if (
+                len(batch) >= self.max_batch
+                or self.max_delay <= 0
+                or slot in self._delay_done
+            ):
+                self._propose(slot, batch)
+                return
+            # Stage a non-full batch: reserve its commands against other
+            # slots and give late arrivals max_delay to join it.
+            self._inflight[slot] = tuple(self._cid(c) for c in batch)
+            if slot not in self._delay_timers:
+                self._delay_timers[slot] = self.set_timer(
+                    self.max_delay, self._delay_expired, slot
+                )
+            return
+        if slot != self._apply_next:
+            return  # non-head slots wait for commands; no eager NOOPs
+        if self.idle_grace is None:
+            self._propose(slot, None)
+        elif self._noop_timer is None or self._noop_timer[0] != slot:
+            # Idle head slot: park it; a CMD arrival or the grace timer
+            # (the liveness fallback) proposes later.
+            if self._noop_timer is not None:
+                self._noop_timer[1].cancel()
             self._noop_timer = (
                 slot, self.set_timer(self.idle_grace, self._grace_expired, slot)
             )
 
-    def _unpark_idle_slot(self) -> None:
-        """A command arrived while the current slot sat parked: propose."""
-        if self._noop_timer is None or not self._pending:
+    def _propose(self, slot: int, batch: Optional[List[Command]]) -> None:
+        self._cancel_slot_timers(slot)
+        instance = self._instances[slot]
+        if not batch:
+            self._inflight.pop(slot, None)
+            instance.propose(NOOP)
             return
-        slot, handle = self._noop_timer
-        if slot != self._slot:
-            self._noop_timer = None
+        self._inflight[slot] = tuple(self._cid(c) for c in batch)
+        if self.max_batch == 1:
+            instance.propose(batch[0])
             return
-        handle.cancel()
-        self._noop_timer = None
-        self._propose_now(slot)
+        self.trace("rsm.batch_proposed", slot=slot, size=len(batch))
+        self.metrics.observe("rsm_batch_size", len(batch))
+        instance.propose((BATCH, tuple(batch)))
 
     def _grace_expired(self, slot: int) -> None:
         if self._noop_timer is not None and self._noop_timer[0] == slot:
             self._noop_timer = None
-        if slot == self._slot:
-            self._propose_now(slot)
+        instance = self._instances.get(slot)
+        if instance is None or instance.proposed or instance.decided:
+            return
+        self._propose(slot, self._proposable(slot) or None)
 
-    def _propose_now(self, slot: int) -> None:
-        instance = self._instances[slot]
-        if instance.proposed or instance.decided:
-            return  # decided via broadcast while parked; nothing to add
-        instance.propose(self._pending[0] if self._pending else NOOP)
+    def _delay_expired(self, slot: int) -> None:
+        self._delay_timers.pop(slot, None)
+        self._delay_done.add(slot)
+        instance = self._instances.get(slot)
+        if instance is None or instance.proposed or instance.decided:
+            return
+        self._inflight.pop(slot, None)
+        batch = self._proposable(slot)
+        if batch:
+            self._propose(slot, batch)
+        else:
+            # The staged commands decided elsewhere meanwhile; fall back
+            # to the regular (head-NOOP / park) consideration.
+            self._consider_proposal(slot)
+
+    def _cancel_slot_timers(self, slot: int) -> None:
+        if self._noop_timer is not None and self._noop_timer[0] == slot:
+            self._noop_timer[1].cancel()
+            self._noop_timer = None
+        handle = self._delay_timers.pop(slot, None)
+        if handle is not None:
+            handle.cancel()
+
+    # -------------------------------------------------------------- applying
+    @staticmethod
+    def _commands_in(value: Any) -> Tuple[Command, ...]:
+        """The commands a decided slot value carries, in batch order."""
+        if value == NOOP:
+            return ()
+        if (
+            isinstance(value, (tuple, list))
+            and len(value) == 2
+            and value[0] == BATCH
+        ):
+            return tuple(tuple(c) for c in value[1])
+        return (tuple(value),)
 
     def _on_slot_decided(self, slot: int, value: Any) -> None:
-        if value != NOOP:
-            cid = self._cid(value)
-            if cid not in self._applied:
-                self._applied.add(cid)
-                self.log.append(value[2])
-                self.trace("apply", slot=slot, command=value[2])
-                for callback in self._apply_callbacks:
-                    callback(slot, value[2])
-            self._pending = [c for c in self._pending if self._cid(c) != cid]
-        self._open_slot(slot + 1)
+        self._cancel_slot_timers(slot)
+        self._inflight.pop(slot, None)
+        self._delay_done.discard(slot)
+        self._decided[slot] = value
+        while self._apply_next in self._decided:
+            self._apply_value(
+                self._apply_next, self._decided.pop(self._apply_next)
+            )
+            self._apply_next += 1
+        self._fill_window()
+        self._reconsider_open_slots()
+
+    def _apply_value(self, slot: int, value: Any) -> None:
+        commands = self._commands_in(value)
+        if not commands:
+            return
+        is_batch = (
+            isinstance(value, (tuple, list))
+            and len(value) == 2
+            and value[0] == BATCH
+        )
+        duplicates = 0
+        index = 0
+        for command in commands:
+            cid = self._cid(command)
+            if cid in self._applied:
+                # An overlapping batch (a retried command proposed into two
+                # slots) already applied it; exactly-once holds here.
+                duplicates += 1
+                continue
+            self._applied.add(cid)
+            self.log.append(command[2])
+            self.trace("apply", slot=slot, index=index, command=command[2])
+            for callback in self._apply_callbacks:
+                callback(slot, command[2])
+            index += 1
+        if is_batch:
+            self.trace(
+                "rsm.batch_applied",
+                slot=slot, size=len(commands), duplicates=duplicates,
+            )
+        decided = set(self._cid(c) for c in commands)
+        self._pending = [
+            c for c in self._pending if self._cid(c) not in decided
+        ]

@@ -40,10 +40,17 @@ class TotalOrderBroadcast(Component):
         fd: FailureDetector,
         consensus_cls: Type[ConsensusProtocol] = ECConsensus,
         channel: str = "tob",
+        max_batch: int = 1,
+        pipeline_depth: int = 1,
     ) -> None:
         super().__init__(channel)
         self.fd = fd
         self.consensus_cls = consensus_cls
+        # Forwarded to the underlying log verbatim; the 1/1 defaults keep
+        # the historical one-message-per-slot delivery schedule that the
+        # deterministic broadcast tests pin.
+        self.max_batch = max_batch
+        self.pipeline_depth = pipeline_depth
         self._rsm: Optional[ReplicatedStateMachine] = None
         self._callbacks: List[Callable[[ProcessId, Any], None]] = []
         self.delivered: List[Tuple[ProcessId, Any]] = []
@@ -65,6 +72,8 @@ class TotalOrderBroadcast(Component):
             self.fd,
             consensus_cls=self.consensus_cls,
             channel=f"{self.channel}.log",
+            max_batch=self.max_batch,
+            pipeline_depth=self.pipeline_depth,
         )
         self.process.attach(self._rsm)
         self._rsm.on_apply(self._on_apply)

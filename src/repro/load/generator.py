@@ -58,6 +58,11 @@ class LoadReport:
     last_acked_put: Dict[str, Tuple[str, int, Any]] = field(
         default_factory=dict
     )
+    #: Consensus-side shape of the run, filled in by harnesses that can
+    #: see the replicas' metrics (None when only the client side is
+    #: visible): decided slots per second and mean commands per batch.
+    slots_per_s: Optional[float] = None
+    mean_batch: Optional[float] = None
 
     @property
     def achieved_rate(self) -> float:
@@ -66,6 +71,21 @@ class LoadReport:
 
     def latency(self, q: float) -> Optional[float]:
         return percentile(self.latencies, q)
+
+    def attach_consensus_shape(self, rsms: Sequence[Any]) -> None:
+        """Derive slots/s and mean batch size from the replicas themselves.
+
+        *rsms* are the run's :class:`ReplicatedStateMachine` components
+        (any substrate exposing ``current_slot`` and ``log``).  Slot rate
+        counts every decided slot (NOOPs included — they are real
+        consensus instances); mean batch is applied commands per decided
+        slot, the honest "how many commands rode each instance" number.
+        """
+        slots = max((r.current_slot for r in rsms), default=0)
+        commands = max((len(r.log) for r in rsms), default=0)
+        if slots > 0 and self.duration > 0:
+            self.slots_per_s = slots / self.duration
+            self.mean_batch = commands / slots
 
     def summary(self) -> Dict[str, Any]:
         p50, p95, p99 = (self.latency(q) for q in (0.5, 0.95, 0.99))
@@ -84,6 +104,13 @@ class LoadReport:
             "p50_ms": None if p50 is None else round(p50 * 1e3, 2),
             "p95_ms": None if p95 is None else round(p95 * 1e3, 2),
             "p99_ms": None if p99 is None else round(p99 * 1e3, 2),
+            "slots_per_s": (
+                None if self.slots_per_s is None
+                else round(self.slots_per_s, 2)
+            ),
+            "mean_batch": (
+                None if self.mean_batch is None else round(self.mean_batch, 2)
+            ),
         }
 
     def render(self) -> str:

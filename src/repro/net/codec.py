@@ -11,23 +11,39 @@ runs unchanged on both substrates.
 The structural transform — the tagged recursion into JSON-safe shape — is
 :mod:`repro.obs.encode`, shared with the JSONL trace files (one transform,
 one set of tags, on the wire and on disk).  This module adds the message
-envelope and the pluggable byte serializers.  The default serializer is
-:mod:`json` (always available); :class:`MsgpackCodec` uses :mod:`msgpack`
-when the host has it and raises a clear error otherwise — the container
-image is the source of truth for dependencies, so the import is gated,
-never installed.
+envelope and the pluggable byte serializers.  :class:`JsonCodec` is the
+dependency-free baseline; :class:`MsgpackCodec` speaks the msgpack wire
+format through the C :mod:`msgpack` extension when the host image ships it
+and through the in-repo :mod:`repro.net.mpack` fallback otherwise — both
+produce interchangeable canonical bytes, so mixed clusters agree.  Nothing
+is ever installed; the image is the source of truth for which
+implementation backs the format.
+
+Broadcast-heavy senders use :meth:`Codec.encode_message_batch`: one
+payload/envelope serialization shared across every destination, with only
+the per-destination field re-encoded — the batching layer's "encode once
+per instance, not once per command" contract extended down to frames.
 """
 
 from __future__ import annotations
 
 import json
-from typing import Any, Optional
+from typing import Any, List, Optional, Sequence
 
 from ..errors import ConfigurationError
 from ..obs.encode import EncodeError, from_jsonable, to_jsonable
 from ..sim.message import Message
+from . import mpack
 
-__all__ = ["CodecError", "Codec", "JsonCodec", "MsgpackCodec", "default_codec"]
+__all__ = [
+    "CodecError",
+    "Codec",
+    "JsonCodec",
+    "MsgpackCodec",
+    "default_codec",
+    "msgpack_extension_available",
+    "wire_preferences",
+]
 
 
 class CodecError(Exception):
@@ -87,6 +103,16 @@ class Codec:
         }
         return self._dumps(envelope)
 
+    def encode_message_batch(self, msgs: Sequence[Message]) -> List[bytes]:
+        """Serialize same-content messages that differ only in ``dst``.
+
+        The caller guarantees every message shares src/channel/payload/
+        send_time/tag/round; subclasses exploit that to run the structural
+        transform and payload serialization once.  The base implementation
+        just loops — correct for any codec, fast for none.
+        """
+        return [self.encode_message(msg) for msg in msgs]
+
     def decode_message(self, data: bytes) -> Message:
         """Inverse of :meth:`encode_message`."""
         try:
@@ -126,37 +152,113 @@ class JsonCodec(Codec):
         except (ValueError, UnicodeDecodeError) as exc:
             raise CodecError(f"not valid JSON: {exc}") from exc
 
+    def encode_message_batch(self, msgs: Sequence[Message]) -> List[bytes]:
+        if len(msgs) < 2:
+            return [self.encode_message(msg) for msg in msgs]
+        head = msgs[0]
+        shared = self._dumps(
+            {
+                "s": head.src,
+                "c": head.channel,
+                "p": _to_wire(head.payload),
+                "t": head.send_time,
+                "g": head.tag,
+                "r": head.round,
+            }
+        )
+        # Splice the per-destination field into the shared envelope: the
+        # serializer emits '{"s":...}', and '{"d":N,' + rest is equally
+        # valid JSON with the same keys.
+        tail = shared[1:]
+        return [b'{"d":%d,' % msg.dst + tail for msg in msgs]
+
 
 class MsgpackCodec(Codec):
-    """msgpack bytes — smaller and faster, used when the host provides it."""
+    """msgpack bytes — smaller and faster than JSON.
+
+    Backed by the C :mod:`msgpack` extension when importable
+    (``impl == "ext"``), by :mod:`repro.net.mpack` otherwise
+    (``impl == "pure"``).  Both write canonical msgpack, so frames are
+    interchangeable across hosts regardless of which backs each end.
+    """
 
     name = "msgpack"
 
     def __init__(self) -> None:
         try:
             import msgpack  # type: ignore[import-not-found]
-        except ImportError as exc:  # pragma: no cover - depends on host image
-            raise ConfigurationError(
-                "msgpack is not installed in this environment; "
-                "use JsonCodec (the default) instead"
-            ) from exc
-        self._msgpack = msgpack
+        except ImportError:
+            self._msgpack = None
+            self.impl = "pure"
+        else:
+            self._msgpack = msgpack
+            self.impl = "ext"
 
-    def _dumps(self, obj: Any) -> bytes:  # pragma: no cover - optional dep
-        return self._msgpack.packb(obj, use_bin_type=True)
-
-    def _loads(self, data: bytes) -> Any:  # pragma: no cover - optional dep
+    def _dumps(self, obj: Any) -> bytes:
         try:
-            return self._msgpack.unpackb(data, raw=False, strict_map_key=False)
+            if self._msgpack is not None:
+                return self._msgpack.packb(obj, use_bin_type=True)
+            return mpack.packb(obj)
+        except CodecError:
+            raise
+        except Exception as exc:
+            raise CodecError(f"not msgpack-serializable: {exc}") from exc
+
+    def _loads(self, data: bytes) -> Any:
+        try:
+            if self._msgpack is not None:
+                return self._msgpack.unpackb(
+                    data, raw=False, strict_map_key=False
+                )
+            return mpack.unpackb(data)
         except Exception as exc:
             raise CodecError(f"not valid msgpack: {exc}") from exc
+
+    def encode_message_batch(self, msgs: Sequence[Message]) -> List[bytes]:
+        if len(msgs) < 2:
+            return [self.encode_message(msg) for msg in msgs]
+        head = msgs[0]
+        # A 7-entry fixmap whose first pair is "d": header + "d" key, then
+        # a per-destination packed int, then the shared remaining 6 pairs.
+        prefix = b"\x87" + self._dumps("d")
+        tail = b"".join(
+            self._dumps(part)
+            for part in (
+                "s", head.src, "c", head.channel, "p", _to_wire(head.payload),
+                "t", head.send_time, "g", head.tag, "r", head.round,
+            )
+        )
+        return [prefix + self._dumps(msg.dst) + tail for msg in msgs]
+
+
+def msgpack_extension_available() -> bool:
+    """Whether the C :mod:`msgpack` extension is importable on this host."""
+    try:
+        import msgpack  # type: ignore[import-not-found]  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
+def wire_preferences() -> List[str]:
+    """Codec names this host *wants*, best first, for negotiation.
+
+    msgpack leads only when the C extension backs it — the pure-Python
+    fallback keeps the format available everywhere but is slower than
+    :mod:`json` (which is C-accelerated), so it is an interoperability
+    floor, not a preference.
+    """
+    if msgpack_extension_available():
+        return ["msgpack", "json"]
+    return ["json"]
 
 
 def default_codec(prefer: Optional[str] = None) -> Codec:
     """The best codec this host supports.
 
     ``prefer="json"``/``"msgpack"`` forces a family; by default msgpack is
-    used when importable, JSON otherwise.
+    used when the C extension is importable, JSON otherwise (the pure
+    msgpack fallback exists for interoperability and tests, not speed).
     """
     if prefer == "json":
         return JsonCodec()
@@ -164,7 +266,6 @@ def default_codec(prefer: Optional[str] = None) -> Codec:
         return MsgpackCodec()
     if prefer is not None:
         raise ConfigurationError(f"unknown codec {prefer!r}")
-    try:
+    if msgpack_extension_available():
         return MsgpackCodec()
-    except ConfigurationError:
-        return JsonCodec()
+    return JsonCodec()

@@ -1,0 +1,89 @@
+"""Length-prefixed framing shared by every stream transport.
+
+TCP gives a byte stream; the codec layer gives discrete frames.  The
+bridge — a 4-byte big-endian length header before each body — used to be
+implemented twice, once in :mod:`repro.net.tcp` for the inter-replica mesh
+and once in :mod:`repro.svc.protocol` for the client protocol.  This
+module is the single implementation both delegate to.
+
+Writers have two shapes: :func:`encode_frame` concatenates header and body
+into one buffer (for callers that hand frames around as values, e.g. the
+per-peer send queues), while :func:`write_frame` pushes the header and the
+body to a stream as two writes — the body bytes are handed to the
+transport as-is, never copied into a joined buffer, which is the cheap
+path for large batch frames.  :func:`read_frame_bytes` is the one reader,
+returning ``None`` on clean EOF at a frame boundary and raising
+:class:`FrameError` on oversized or truncated frames.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Optional
+
+__all__ = [
+    "FrameError",
+    "FrameOversizeError",
+    "FrameTruncatedError",
+    "LEN_BYTES",
+    "encode_frame",
+    "read_frame_bytes",
+    "write_frame",
+]
+
+#: Width of the big-endian length header, in bytes.
+LEN_BYTES = 4
+
+
+class FrameError(Exception):
+    """A frame violated the length-prefix contract (oversize, truncated)."""
+
+
+class FrameOversizeError(FrameError):
+    """The announced frame length exceeds the caller's budget."""
+
+
+class FrameTruncatedError(FrameError):
+    """The stream ended mid-frame (inside the header or the body)."""
+
+
+def encode_frame(body: bytes) -> bytes:
+    """*body* with its length header prepended, as one buffer."""
+    return len(body).to_bytes(LEN_BYTES, "big") + body
+
+
+def write_frame(writer: asyncio.StreamWriter, body: bytes) -> None:
+    """Queue *body* on *writer* as header + body, without joining buffers.
+
+    Two ``write()`` calls, zero copies of *body*; call ``drain()`` (or
+    rely on the caller's flow control) separately.
+    """
+    writer.write(len(body).to_bytes(LEN_BYTES, "big"))
+    writer.write(body)
+
+
+async def read_frame_bytes(
+    reader: asyncio.StreamReader, max_frame: int
+) -> Optional[bytes]:
+    """Read one length-prefixed frame body from *reader*.
+
+    Returns ``None`` on clean EOF at a frame boundary; raises
+    :class:`FrameOversizeError` when the announced length exceeds
+    *max_frame* and :class:`FrameTruncatedError` when the stream ends
+    mid-frame.
+    """
+    try:
+        header = await reader.readexactly(LEN_BYTES)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise FrameTruncatedError("stream ended inside a frame header") from exc
+    size = int.from_bytes(header, "big")
+    if size > max_frame:
+        raise FrameOversizeError(
+            f"frame of {size} bytes exceeds limit {max_frame}"
+        )
+    try:
+        return await reader.readexactly(size)
+    except asyncio.IncompleteReadError as exc:
+        raise FrameTruncatedError("stream ended inside a frame body") from exc

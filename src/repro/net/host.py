@@ -28,7 +28,7 @@ out of band.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Optional
+from typing import Any, Dict, List, Optional, Sequence
 
 from ..errors import ConfigurationError
 from ..obs.metrics import MetricsRegistry
@@ -98,6 +98,63 @@ class RuntimeNetwork:
         metrics.inc("bytes_sent_total", amount=len(frame), channel=channel)
         host.transport.send(dst, frame)
         return msg
+
+    def send_many(
+        self,
+        src: ProcessId,
+        dsts: Sequence[ProcessId],
+        channel: Channel,
+        payload: Any,
+        tag: Optional[str] = None,
+        round: Optional[int] = None,
+    ) -> List[Message]:
+        """Send one payload to many destinations, encoding it once.
+
+        Per-message observable effects — the counters, the per-``dst``
+        ``send`` trace events, the metrics — are identical to calling
+        :meth:`send` in a loop; only the codec work is shared, through
+        :meth:`~repro.net.codec.Codec.encode_message_batch`.
+        """
+        host = self._host
+        now = host.clock.now
+        trace_sends = host.trace.wants("send")
+        msgs: List[Message] = []
+        network: List[Message] = []
+        for dst in dsts:
+            msg = Message(
+                src=src, dst=dst, channel=channel, payload=payload,
+                send_time=now, tag=tag, round=round,
+            )
+            msgs.append(msg)
+            self.sent_total += 1
+            self.sent_by_channel[channel] = (
+                self.sent_by_channel.get(channel, 0) + 1
+            )
+            if src == dst:
+                if trace_sends:
+                    host.trace.record(
+                        now, "send", src, channel=channel, src=src, dst=dst,
+                        tag=tag, round=round, loopback=True,
+                    )
+                host.clock.schedule(0.0, host._deliver, msg)
+                continue
+            self.sent_network += 1
+            if trace_sends:
+                host.trace.record(
+                    now, "send", src, channel=channel, src=src, dst=dst,
+                    tag=tag, round=round, loopback=False,
+                )
+            network.append(msg)
+        if network:
+            frames = host.codec.encode_message_batch(network)
+            metrics = host.metrics
+            for msg, frame in zip(network, frames):
+                metrics.inc("messages_sent_total", channel=channel)
+                metrics.inc(
+                    "bytes_sent_total", amount=len(frame), channel=channel
+                )
+                host.transport.send(msg.dst, frame)
+        return msgs
 
 
 class RuntimeWorld:

@@ -1,0 +1,234 @@
+"""A dependency-free msgpack subset for the wire fast path.
+
+The container image is the source of truth for dependencies, and not every
+image ships the C :mod:`msgpack` extension.  Rather than gate the msgpack
+wire format on an optional import — which would make the fast path
+untestable exactly where CI doesn't install it — this module implements
+the msgpack encoding for the value shapes the codec layer actually
+produces: ``None``, bools, 64-bit ints, float64, str, bytes, lists/tuples,
+and dicts (any packable key, matching ``strict_map_key=False``).
+
+The byte output is canonical msgpack — each value packed in its smallest
+representation, strings as str types and bytes as bin types — so frames
+are interchangeable with the C extension (``packb(use_bin_type=True)`` /
+``unpackb(raw=False)``): a pure-Python node and an extension-equipped node
+speak the same wire format.  Decoding is strict: truncated input, trailing
+bytes, and ext types all raise :class:`MpackError`.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any, List, Tuple
+
+__all__ = ["MpackError", "packb", "unpackb"]
+
+_FLOAT64 = struct.Struct(">d")
+
+# Every ext/timestamp header byte — produced by other msgpack writers, never
+# by :func:`packb`; decoding one means the peer speaks a dialect we don't.
+_EXT_HEADERS = frozenset(
+    {0xC1, 0xC7, 0xC8, 0xC9, 0xD4, 0xD5, 0xD6, 0xD7, 0xD8}
+)
+
+
+class MpackError(ValueError):
+    """A value could not be packed, or bytes are not valid msgpack."""
+
+
+# ------------------------------------------------------------------ packing
+def _pack_int(value: int, out: List[bytes]) -> None:
+    if 0 <= value <= 0x7F:
+        out.append(bytes((value,)))
+    elif -32 <= value < 0:
+        out.append(bytes((value & 0xFF,)))
+    elif 0 < value <= 0xFF:
+        out.append(bytes((0xCC, value)))
+    elif 0 < value <= 0xFFFF:
+        out.append(b"\xcd" + value.to_bytes(2, "big"))
+    elif 0 < value <= 0xFFFFFFFF:
+        out.append(b"\xce" + value.to_bytes(4, "big"))
+    elif 0 < value <= 0xFFFFFFFFFFFFFFFF:
+        out.append(b"\xcf" + value.to_bytes(8, "big"))
+    elif -0x80 <= value < 0:
+        out.append(b"\xd0" + value.to_bytes(1, "big", signed=True))
+    elif -0x8000 <= value < 0:
+        out.append(b"\xd1" + value.to_bytes(2, "big", signed=True))
+    elif -0x80000000 <= value < 0:
+        out.append(b"\xd2" + value.to_bytes(4, "big", signed=True))
+    elif -0x8000000000000000 <= value < 0:
+        out.append(b"\xd3" + value.to_bytes(8, "big", signed=True))
+    else:
+        raise MpackError(f"int out of 64-bit msgpack range: {value}")
+
+
+def _pack_str(value: str, out: List[bytes]) -> None:
+    data = value.encode("utf-8")
+    size = len(data)
+    if size <= 0x1F:
+        out.append(bytes((0xA0 | size,)))
+    elif size <= 0xFF:
+        out.append(bytes((0xD9, size)))
+    elif size <= 0xFFFF:
+        out.append(b"\xda" + size.to_bytes(2, "big"))
+    else:
+        out.append(b"\xdb" + size.to_bytes(4, "big"))
+    out.append(data)
+
+
+def _pack_bin(value: bytes, out: List[bytes]) -> None:
+    size = len(value)
+    if size <= 0xFF:
+        out.append(bytes((0xC4, size)))
+    elif size <= 0xFFFF:
+        out.append(b"\xc5" + size.to_bytes(2, "big"))
+    else:
+        out.append(b"\xc6" + size.to_bytes(4, "big"))
+    out.append(value)
+
+
+def _pack(obj: Any, out: List[bytes]) -> None:
+    if obj is None:
+        out.append(b"\xc0")
+    elif obj is True:
+        out.append(b"\xc3")
+    elif obj is False:
+        out.append(b"\xc2")
+    elif isinstance(obj, int):
+        _pack_int(obj, out)
+    elif isinstance(obj, float):
+        out.append(b"\xcb" + _FLOAT64.pack(obj))
+    elif isinstance(obj, str):
+        _pack_str(obj, out)
+    elif isinstance(obj, (bytes, bytearray)):
+        _pack_bin(bytes(obj), out)
+    elif isinstance(obj, (list, tuple)):
+        size = len(obj)
+        if size <= 0x0F:
+            out.append(bytes((0x90 | size,)))
+        elif size <= 0xFFFF:
+            out.append(b"\xdc" + size.to_bytes(2, "big"))
+        else:
+            out.append(b"\xdd" + size.to_bytes(4, "big"))
+        for item in obj:
+            _pack(item, out)
+    elif isinstance(obj, dict):
+        size = len(obj)
+        if size <= 0x0F:
+            out.append(bytes((0x80 | size,)))
+        elif size <= 0xFFFF:
+            out.append(b"\xde" + size.to_bytes(2, "big"))
+        else:
+            out.append(b"\xdf" + size.to_bytes(4, "big"))
+        for key, value in obj.items():
+            _pack(key, out)
+            _pack(value, out)
+    else:
+        raise MpackError(f"cannot msgpack a {type(obj).__name__}")
+
+
+def packb(obj: Any) -> bytes:
+    """Serialize *obj* to canonical msgpack bytes."""
+    out: List[bytes] = []
+    _pack(obj, out)
+    return b"".join(out)
+
+
+# ---------------------------------------------------------------- unpacking
+def _take(data: bytes, offset: int, count: int) -> Tuple[bytes, int]:
+    end = offset + count
+    if end > len(data):
+        raise MpackError("truncated msgpack input")
+    return data[offset:end], end
+
+
+def _unpack(data: bytes, offset: int) -> Tuple[Any, int]:
+    if offset >= len(data):
+        raise MpackError("truncated msgpack input")
+    header = data[offset]
+    offset += 1
+    if header <= 0x7F:  # positive fixint
+        return header, offset
+    if header >= 0xE0:  # negative fixint
+        return header - 0x100, offset
+    if 0x80 <= header <= 0x8F:  # fixmap
+        return _unpack_map(data, offset, header & 0x0F)
+    if 0x90 <= header <= 0x9F:  # fixarray
+        return _unpack_array(data, offset, header & 0x0F)
+    if 0xA0 <= header <= 0xBF:  # fixstr
+        return _unpack_str(data, offset, header & 0x1F)
+    if header == 0xC0:
+        return None, offset
+    if header == 0xC2:
+        return False, offset
+    if header == 0xC3:
+        return True, offset
+    if header in (0xC4, 0xC5, 0xC6):  # bin8/16/32
+        width = 1 << (header - 0xC4)
+        raw, offset = _take(data, offset, width)
+        size = int.from_bytes(raw, "big")
+        return _take(data, offset, size)
+    if header in (0xCC, 0xCD, 0xCE, 0xCF):  # uint8/16/32/64
+        raw, offset = _take(data, offset, 1 << (header - 0xCC))
+        return int.from_bytes(raw, "big"), offset
+    if header in (0xD0, 0xD1, 0xD2, 0xD3):  # int8/16/32/64
+        raw, offset = _take(data, offset, 1 << (header - 0xD0))
+        return int.from_bytes(raw, "big", signed=True), offset
+    if header == 0xCA:  # float32
+        raw, offset = _take(data, offset, 4)
+        return struct.unpack(">f", raw)[0], offset
+    if header == 0xCB:  # float64
+        raw, offset = _take(data, offset, 8)
+        return _FLOAT64.unpack(raw)[0], offset
+    if header in (0xD9, 0xDA, 0xDB):  # str8/16/32
+        width = 1 << (header - 0xD9)
+        raw, offset = _take(data, offset, width)
+        return _unpack_str(data, offset, int.from_bytes(raw, "big"))
+    if header in (0xDC, 0xDD):  # array16/32
+        width = 2 << (header - 0xDC)
+        raw, offset = _take(data, offset, width)
+        return _unpack_array(data, offset, int.from_bytes(raw, "big"))
+    if header in (0xDE, 0xDF):  # map16/32
+        width = 2 << (header - 0xDE)
+        raw, offset = _take(data, offset, width)
+        return _unpack_map(data, offset, int.from_bytes(raw, "big"))
+    if header in _EXT_HEADERS:
+        raise MpackError(f"unsupported msgpack ext type 0x{header:02x}")
+    raise MpackError(f"invalid msgpack header byte 0x{header:02x}")
+
+
+def _unpack_str(data: bytes, offset: int, size: int) -> Tuple[str, int]:
+    raw, offset = _take(data, offset, size)
+    try:
+        return raw.decode("utf-8"), offset
+    except UnicodeDecodeError as exc:
+        raise MpackError(f"invalid utf-8 in msgpack str: {exc}") from exc
+
+
+def _unpack_array(data: bytes, offset: int, size: int) -> Tuple[list, int]:
+    items = []
+    for _ in range(size):
+        item, offset = _unpack(data, offset)
+        items.append(item)
+    return items, offset
+
+
+def _unpack_map(data: bytes, offset: int, size: int) -> Tuple[dict, int]:
+    result = {}
+    for _ in range(size):
+        key, offset = _unpack(data, offset)
+        if isinstance(key, list):
+            key = tuple(key)  # hashable, like strict_map_key=False tuples
+        value, offset = _unpack(data, offset)
+        result[key] = value
+    return result, offset
+
+
+def unpackb(data: bytes) -> Any:
+    """Deserialize one msgpack value; trailing bytes are an error."""
+    value, offset = _unpack(bytes(data), 0)
+    if offset != len(data):
+        raise MpackError(
+            f"trailing bytes after msgpack value ({len(data) - offset} left)"
+        )
+    return value

@@ -3,8 +3,9 @@
 Each node runs one listening server; for each destination it lazily opens
 one outgoing connection driven by a writer task.  ``send`` enqueues to the
 peer's bounded queue and returns immediately (components must never block);
-the writer task drains the queue, framing each message as a 4-byte
-big-endian length prefix plus body.
+the writer task drains the queue, framing each message through the shared
+:mod:`repro.net.frame` length-prefix contract (header and body pushed as
+two writes — the frame bytes are never re-copied into a joined buffer).
 
 Connection churn — a peer not up yet, a peer restarting, a transient RST —
 is absorbed by exponential backoff with jitter between (re)connect
@@ -33,13 +34,13 @@ from collections import deque
 from typing import Deque, Dict, Optional, Set, Tuple
 
 from ..types import ProcessId
+from .frame import FrameError, read_frame_bytes, write_frame
 from .transport import Transport
 
 __all__ = ["TCPTransport"]
 
 Address = Tuple[str, int]
 
-_LEN_BYTES = 4
 #: Frames above this are protocol bugs, not traffic (mirrors UDP's budget).
 MAX_FRAME = 16 * 1024 * 1024
 
@@ -162,7 +163,7 @@ class TCPTransport(Transport):
                         continue
                 frame = queue[0]
                 try:
-                    writer.write(len(frame).to_bytes(_LEN_BYTES, "big") + frame)
+                    write_frame(writer, frame)
                     await writer.drain()
                 except (OSError, ConnectionError):
                     self.send_errors += 1
@@ -185,14 +186,12 @@ class TCPTransport(Transport):
             task.add_done_callback(self._readers.discard)
         try:
             while not self.closed:
-                header = await reader.readexactly(_LEN_BYTES)
-                length = int.from_bytes(header, "big")
-                if length > MAX_FRAME:
-                    break  # corrupt stream; drop the connection
-                frame = await reader.readexactly(length)
+                frame = await read_frame_bytes(reader, MAX_FRAME)
+                if frame is None:
+                    break  # clean EOF at a frame boundary
                 self._dispatch(frame)
-        except (asyncio.IncompleteReadError, ConnectionError, OSError):
-            pass  # peer went away; it reconnects if it has more to say
+        except (FrameError, ConnectionError, OSError):
+            pass  # peer went away or corrupted the stream; it may reconnect
         except asyncio.CancelledError:
             # Cancelled by close().  Finish normally: asyncio's stream-server
             # wrapper calls task.exception() on this task from a plain

@@ -232,8 +232,19 @@ register_event_kind(
     doc="a process entered a phase within a consensus round",
 )
 register_event_kind(
-    "apply", required=("slot", "command"),
-    doc="the replicated state machine applied a decided command",
+    "apply", required=("slot", "command"), optional=("index",),
+    doc="the replicated state machine applied a decided command (index is "
+        "the command's position within its slot's batch, 0 when unbatched)",
+)
+register_event_kind(
+    "rsm.batch_proposed", required=("slot", "size"),
+    doc="a replica proposed a batch of pending commands into a slot "
+        "(emitted only when batching is enabled, max_batch > 1)",
+)
+register_event_kind(
+    "rsm.batch_applied", required=("slot", "size", "duplicates"),
+    doc="a decided batch finished applying; duplicates counts commands "
+        "skipped because an overlapping earlier batch already applied them",
 )
 register_event_kind(
     "todeliver", required=("origin",),

@@ -527,6 +527,16 @@ register_metric(
     doc="end-to-end client request latency observed by the load generator",
 )
 register_metric(
+    "rsm_batch_size", "histogram", (),
+    doc="commands per proposed batch at the replicated state machine "
+        "(recorded only when batching is enabled, max_batch > 1)",
+)
+register_metric(
+    "svc_submit_queue_depth", "gauge", (),
+    doc="commands pending in the state machine's batch accumulator, "
+        "sampled by the frontend on every submit",
+)
+register_metric(
     "trace_events_total", "counter", ("kind",),
     doc="trace events aggregated per kind (repro trace stats)",
 )

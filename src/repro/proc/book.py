@@ -89,11 +89,24 @@ class AddressBook:
     #: When set, every node attaches a MetricsReporter emitting
     #: ``obs.metrics_snapshot`` trace events at this interval (seconds).
     metrics_interval: Optional[Time] = None
+    #: Command-path shape of the ``rsm`` stack (see
+    #: :class:`~repro.consensus.multi.ReplicatedStateMachine`); books
+    #: written before these fields existed load with the defaults.
+    max_batch: int = 64
+    pipeline_depth: int = 4
     nodes: List[NodeAddress] = field(default_factory=list)
 
     def __post_init__(self) -> None:
         if self.n < 1:
             raise ConfigurationError(f"n must be >= 1, got {self.n}")
+        if self.max_batch < 1:
+            raise ConfigurationError(
+                f"max_batch must be >= 1, got {self.max_batch}"
+            )
+        if self.pipeline_depth < 1:
+            raise ConfigurationError(
+                f"pipeline_depth must be >= 1, got {self.pipeline_depth}"
+            )
         if self.transport not in PROC_TRANSPORTS:
             raise ConfigurationError(
                 f"unknown transport {self.transport!r} for a process "

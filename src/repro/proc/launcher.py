@@ -116,10 +116,15 @@ class ProcessCluster:
         python: Optional[str] = None,
         metrics_interval: Optional[Time] = None,
         serve: bool = False,
+        max_batch: int = 64,
+        pipeline_depth: int = 4,
     ) -> None:
         # Validate early (n, transport, stack, codec) by building a
         # node-less book; ports are allocated at start().
-        AddressBook(n=n, transport=transport, stack=stack, codec=codec)
+        AddressBook(
+            n=n, transport=transport, stack=stack, codec=codec,
+            max_batch=max_batch, pipeline_depth=pipeline_depth,
+        )
         if serve and stack != "rsm":
             raise ConfigurationError(
                 "serve=True needs stack='rsm' (the KV frontend submits "
@@ -137,6 +142,8 @@ class ProcessCluster:
         self.seed = seed
         self.codec = codec
         self.metrics_interval = metrics_interval
+        self.max_batch = max_batch
+        self.pipeline_depth = pipeline_depth
         self.host = host
         self.python = python if python is not None else sys.executable
         self.workdir = Path(
@@ -195,6 +202,8 @@ class ProcessCluster:
             duration=self.duration,
             propose_after=self.propose_after,
             metrics_interval=self.metrics_interval,
+            max_batch=self.max_batch,
+            pipeline_depth=self.pipeline_depth,
         )
         book_path = self.book.save(self.workdir / "book.json")
         env = dict(os.environ)

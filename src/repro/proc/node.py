@@ -68,6 +68,8 @@ def build_node(
         initial_timeout=book.initial_timeout,
         timeout_increment=book.timeout_increment,
         metrics_interval=book.metrics_interval,
+        max_batch=book.max_batch,
+        pipeline_depth=book.pipeline_depth,
     )
     return host
 

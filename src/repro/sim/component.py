@@ -170,9 +170,21 @@ class Component:
         """Send *payload* to every other process (and optionally to self)."""
         if self.crashed:
             return
-        for dst in range(self.n):
-            if dst != self.pid or include_self:
+        dsts = [
+            dst for dst in range(self.n) if dst != self.pid or include_self
+        ]
+        send_many = getattr(self.world.network, "send_many", None)
+        if send_many is None:
+            # The simulator network delivers per-message; keep the loop so
+            # sim event interleavings are bit-identical to before.
+            for dst in dsts:
                 self.send(dst, payload, tag=tag, round=round)
+            return
+        if self._stubborn_last is not None:
+            for dst in dsts:
+                if dst != self.pid:
+                    self._stubborn_last[(dst, tag)] = (payload, round)
+        send_many(self.pid, dsts, self.channel, payload, tag, round)
 
     # --------------------------------------------------------------- timing
     def set_timer(

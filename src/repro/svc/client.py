@@ -6,7 +6,11 @@ open connection at a time (reused across requests, replaced on failure
 or redirect).  The retry loop implements the paper's client-side story:
 
 * a **redirect** reply repoints the connection at the leader the replica
-  named (or rotates to the next known address while no leader is named);
+  named; while *no* leader is named the client rotates and polls on a
+  short fixed cadence (``redirect_poll``) — electing a leader is the
+  cluster converging, not the client failing, so it shares neither the
+  exponential backoff nor the attempt budget (it is bounded by
+  ``request_timeout`` of total waiting instead);
 * a **timeout** or connection failure abandons the connection, backs off
   exponentially, rotates, and *resubmits the same command under the same
   sequence number* — the replicated session table makes the retry
@@ -23,10 +27,11 @@ from __future__ import annotations
 
 import asyncio
 import random
+import time
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..errors import ConfigurationError
-from ..net.codec import Codec, default_codec
+from ..net.codec import Codec, default_codec, wire_preferences
 from .protocol import ProtocolError, Reply, Request, encode_frame, read_frame
 
 __all__ = ["KVClient", "ServiceUnavailable"]
@@ -50,6 +55,7 @@ class KVClient:
         max_attempts: int = 10,
         backoff_initial: float = 0.05,
         backoff_max: float = 1.0,
+        redirect_poll: float = 0.05,
         seed: Optional[int] = None,
     ) -> None:
         if not addrs:
@@ -61,10 +67,18 @@ class KVClient:
         self.max_attempts = max_attempts
         self.backoff_initial = backoff_initial
         self.backoff_max = backoff_max
+        self.redirect_poll = redirect_poll
         self._rng = random.Random(seed if seed is not None else hash(client_id))
         self._target = self._rng.randrange(len(self.addrs))
         self._conn: Optional[Tuple[Address, asyncio.StreamReader,
                                    asyncio.StreamWriter]] = None
+        #: Codec names this host prefers, best first (negotiation offer).
+        self._wire_prefs = wire_preferences()
+        #: The codec the *current connection* speaks (negotiation may
+        #: upgrade it past the configured default).
+        self._conn_codec: Codec = self.codec
+        #: Whether the next request on this connection opens negotiation.
+        self._negotiate_pending = False
         self._seq = 0
         self._rid = 0
         self.redirects = 0
@@ -119,7 +133,10 @@ class KVClient:
             self._seq += 1
         backoff = self.backoff_initial
         pinned = addr
-        for attempt in range(self.max_attempts):
+        started = time.monotonic()
+        attempt = 0
+        while attempt < self.max_attempts:
+            attempt += 1
             self._rid += 1
             request = Request(
                 rid=self._rid, client=self.client_id, op=op, seq=seq,
@@ -145,11 +162,18 @@ class KVClient:
                 if reply.addr is not None:
                     self._point_at(reply.addr)
                 else:
-                    # No leader known there (yet): rotate and back off a
-                    # little — the detectors are still converging.
+                    # No leader known there (yet): the cluster is
+                    # converging, not failing, so rotate and poll on a
+                    # short *fixed* cadence — the exponential backoff is
+                    # for broken connections, and letting elections share
+                    # it turns every cold start into a near-second stall.
+                    # Polling does not burn the attempt budget; it is
+                    # bounded by request_timeout of total waiting.
+                    attempt -= 1
+                    if time.monotonic() - started >= self.request_timeout:
+                        break
                     self._rotate()
-                    await asyncio.sleep(backoff)
-                    backoff = min(backoff * 2, self.backoff_max)
+                    await asyncio.sleep(self.redirect_poll)
                 continue
             if reply.status == "ok":
                 return reply.result
@@ -172,14 +196,21 @@ class KVClient:
 
     async def _roundtrip(self, addr: Address, request: Request) -> Reply:
         reader, writer = await self._connect(addr)
-        writer.write(encode_frame(self.codec, request.to_payload()))
+        if self._negotiate_pending:
+            request.codecs = list(self._wire_prefs)
+        writer.write(encode_frame(self._conn_codec, request.to_payload()))
         await writer.drain()
         while True:
-            payload = await read_frame(reader, self.codec)
+            payload = await read_frame(reader, self._conn_codec)
             if payload is None:
                 raise ConnectionError("frontend closed the connection")
             reply = Reply.from_payload(payload)
             if reply.rid == request.rid:
+                self._negotiate_pending = False
+                if reply.codec is not None:
+                    # The frontend named its pick; it decodes every later
+                    # frame on this connection with it, so switch in step.
+                    self._conn_codec = default_codec(prefer=reply.codec)
                 return reply
             # Stale reply to an earlier, timed-out rid on a reused
             # connection: discard and keep reading.
@@ -195,6 +226,10 @@ class KVClient:
             await self._drop_connection()
         reader, writer = await asyncio.open_connection(addr[0], addr[1])
         self._conn = (addr, reader, writer)
+        self._conn_codec = self.codec
+        # Offer an upgrade only when this host would rather speak
+        # something better than the configured codec.
+        self._negotiate_pending = self._wire_prefs[0] != self.codec.name
         return reader, writer
 
     async def _drop_connection(self) -> None:
@@ -202,6 +237,8 @@ class KVClient:
             return
         _, _, writer = self._conn
         self._conn = None
+        self._conn_codec = self.codec
+        self._negotiate_pending = False
         writer.close()
 
     def _point_at(self, addr: Address) -> None:

@@ -32,10 +32,10 @@ import asyncio
 from typing import Any, Dict, List, Optional, Set, Tuple
 
 from ..errors import ConfigurationError
-from ..net.codec import Codec
+from ..net.codec import Codec, default_codec, wire_preferences
 from ..net.host import NodeHost
 from ..types import ProcessId
-from .protocol import ProtocolError, Reply, Request, encode_frame, read_frame
+from .protocol import ProtocolError, Reply, Request, read_frame, write_frame
 from .state import KVStateMachine
 
 __all__ = ["ServiceFrontend", "start_service"]
@@ -137,14 +137,16 @@ class ServiceFrontend:
             task.add_done_callback(self._conn_tasks.discard)
         self.connections += 1
         self.metrics.set("svc_connections", self.connections)
+        codec = self.codec  # per-connection; negotiation may upgrade it
         try:
             while True:
                 try:
-                    payload = await read_frame(reader, self.codec)
+                    payload = await read_frame(reader, codec)
                 except ProtocolError:
                     break  # stream out of sync; drop the connection
                 if payload is None:
                     break  # clean EOF
+                upgrade: Optional[Codec] = None
                 try:
                     request = Request.from_payload(payload)
                 except ProtocolError as exc:
@@ -152,7 +154,15 @@ class ServiceFrontend:
                     reply = Reply(rid=rid, status="error", error=str(exc))
                 else:
                     reply = await self._handle(request)
-                writer.write(encode_frame(self.codec, reply.to_payload()))
+                    if request.codecs:
+                        upgrade = self._negotiate(request.codecs, codec)
+                        if upgrade is not None:
+                            reply.codec = upgrade.name
+                # The reply goes out in the codec the request arrived in;
+                # the named upgrade takes effect from the next frame.
+                write_frame(writer, codec, reply.to_payload())
+                if upgrade is not None:
+                    codec = upgrade
                 try:
                     await writer.drain()
                 except (ConnectionError, OSError):
@@ -169,6 +179,22 @@ class ServiceFrontend:
             self.connections -= 1
             self.metrics.set("svc_connections", self.connections)
             writer.close()
+
+    def _negotiate(
+        self, offered: List[str], current: Codec
+    ) -> Optional[Codec]:
+        """The codec to upgrade this connection to, or ``None`` to stay.
+
+        Picks the client's most-preferred name this host also prefers
+        (``wire_preferences`` lists only formats that are *fast* here, so
+        a pure-msgpack host never drags a connection off C-accelerated
+        JSON just because the format exists).
+        """
+        ours = wire_preferences()
+        for name in offered:
+            if name in ours:
+                return default_codec(prefer=name) if name != current.name else None
+        return None
 
     # --------------------------------------------------------------- requests
     async def _handle(self, request: Request) -> Reply:
@@ -206,6 +232,9 @@ class ServiceFrontend:
         if cid not in self._submitted:
             self._submitted.add(cid)
             self.rsm.submit(request.command())
+            depth = getattr(self.rsm, "pending_count", None)
+            if depth is not None:
+                self.metrics.set("svc_submit_queue_depth", depth)
         try:
             result = await asyncio.wait_for(future, timeout=self.apply_timeout)
         except asyncio.TimeoutError:

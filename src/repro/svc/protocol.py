@@ -1,11 +1,12 @@
-"""The client wire protocol: length-prefixed tagged-JSON frames.
+"""The client wire protocol: length-prefixed codec frames.
 
 Clients and frontends exchange dict payloads through the same
 :class:`~repro.net.codec.Codec` the node-to-node transports use — one
 structural transform, one set of tags, on every wire this repo owns.
-Framing mirrors :mod:`repro.net.tcp`: a 4-byte big-endian length prefix,
-then the encoded body; frames above :data:`MAX_FRAME` are protocol bugs,
-not traffic.
+Framing is the shared :mod:`repro.net.frame` contract (a 4-byte
+big-endian length prefix, then the encoded body), the same module
+:mod:`repro.net.tcp` frames the replica mesh with; frames above
+:data:`MAX_FRAME` are protocol bugs, not traffic.
 
 Two message shapes cross the wire:
 
@@ -18,15 +19,32 @@ Two message shapes cross the wire:
   state machine's result dict, ``error`` a human-readable reason, and
   ``redirect`` the pid (and, when known, the serve address) of the
   leader the client should retry against.
+
+**Codec negotiation.**  Every connection starts in JSON-compatible
+territory: the first request a client sends may carry ``codecs``, its
+codec names in preference order.  The frontend answers that request in
+the codec it was *received* in, names its pick in the reply's ``codec``
+field, and decodes every subsequent frame on the connection with the
+pick; the client sees the field and switches its next send the same way.
+Both sides upgrade in lockstep with no extra round trip, and either side
+omitting the field (an older peer) leaves the connection on its default
+codec — the fields are additive, so mixed versions interoperate.
 """
 
 from __future__ import annotations
 
 import asyncio
 from dataclasses import dataclass, field
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from ..net.codec import Codec, CodecError
+from ..net.frame import (
+    FrameOversizeError,
+    FrameTruncatedError,
+    encode_frame as _frame,
+    read_frame_bytes,
+    write_frame as _write_frame,
+)
 
 __all__ = [
     "MAX_FRAME",
@@ -35,9 +53,9 @@ __all__ = [
     "Reply",
     "encode_frame",
     "read_frame",
+    "write_frame",
 ]
 
-_LEN_BYTES = 4
 #: Client frames are small command/result dicts; anything near this is a bug.
 MAX_FRAME = 1024 * 1024
 
@@ -57,19 +75,26 @@ class Request:
     key: Optional[str] = None
     value: Any = None
     expect: Any = None
+    #: Codec names in preference order; sent on a connection's first
+    #: request to open negotiation, omitted (None) everywhere else.
+    codecs: Optional[List[str]] = None
 
     def to_payload(self) -> Dict[str, Any]:
-        return {
+        payload = {
             "rid": self.rid, "client": self.client, "op": self.op,
             "seq": self.seq, "key": self.key, "value": self.value,
             "expect": self.expect,
         }
+        if self.codecs is not None:
+            payload["codecs"] = list(self.codecs)
+        return payload
 
     @classmethod
     def from_payload(cls, payload: Any) -> "Request":
         if not isinstance(payload, dict):
             raise ProtocolError(f"request frame is not a dict: {payload!r}")
         try:
+            codecs = payload.get("codecs")
             return cls(
                 rid=int(payload["rid"]),
                 client=str(payload["client"]),
@@ -78,6 +103,7 @@ class Request:
                 key=payload.get("key"),
                 value=payload.get("value"),
                 expect=payload.get("expect"),
+                codecs=[str(c) for c in codecs] if codecs else None,
             )
         except (KeyError, TypeError, ValueError) as exc:
             raise ProtocolError(f"malformed request frame: {exc}") from exc
@@ -101,12 +127,18 @@ class Reply:
     error: Optional[str] = None
     leader: Optional[int] = None
     addr: Optional[Tuple[str, int]] = None
+    #: The codec name this connection speaks from the next frame on;
+    #: set only on the reply that answers a negotiating request.
+    codec: Optional[str] = None
 
     def to_payload(self) -> Dict[str, Any]:
-        return {
+        payload = {
             "rid": self.rid, "status": self.status, "result": self.result,
             "error": self.error, "leader": self.leader, "addr": self.addr,
         }
+        if self.codec is not None:
+            payload["codec"] = self.codec
+        return payload
 
     @classmethod
     def from_payload(cls, payload: Any) -> "Reply":
@@ -114,6 +146,7 @@ class Reply:
             raise ProtocolError(f"reply frame is not a dict: {payload!r}")
         try:
             addr = payload.get("addr")
+            codec = payload.get("codec")
             return cls(
                 rid=int(payload["rid"]),
                 status=str(payload["status"]),
@@ -121,13 +154,13 @@ class Reply:
                 error=payload.get("error"),
                 leader=payload.get("leader"),
                 addr=(str(addr[0]), int(addr[1])) if addr else None,
+                codec=str(codec) if codec is not None else None,
             )
         except (KeyError, TypeError, ValueError, IndexError) as exc:
             raise ProtocolError(f"malformed reply frame: {exc}") from exc
 
 
-def encode_frame(codec: Codec, payload: Any) -> bytes:
-    """Serialize *payload* as one length-prefixed frame."""
+def _encode_body(codec: Codec, payload: Any) -> bytes:
     try:
         body = codec.encode_payload(payload)
     except CodecError as exc:
@@ -136,7 +169,19 @@ def encode_frame(codec: Codec, payload: Any) -> bytes:
         raise ProtocolError(
             f"frame of {len(body)} bytes exceeds MAX_FRAME={MAX_FRAME}"
         )
-    return len(body).to_bytes(_LEN_BYTES, "big") + body
+    return body
+
+
+def encode_frame(codec: Codec, payload: Any) -> bytes:
+    """Serialize *payload* as one length-prefixed frame buffer."""
+    return _frame(_encode_body(codec, payload))
+
+
+def write_frame(
+    writer: asyncio.StreamWriter, codec: Codec, payload: Any
+) -> None:
+    """Queue *payload* on *writer* as a frame, body bytes uncopied."""
+    _write_frame(writer, _encode_body(codec, payload))
 
 
 async def read_frame(reader: asyncio.StreamReader, codec: Codec) -> Any:
@@ -147,17 +192,12 @@ async def read_frame(reader: asyncio.StreamReader, codec: Codec) -> Any:
     is unrecoverable once out of sync).
     """
     try:
-        header = await reader.readexactly(_LEN_BYTES)
-    except (asyncio.IncompleteReadError, ConnectionError):
+        body = await read_frame_bytes(reader, MAX_FRAME)
+    except FrameOversizeError as exc:
+        raise ProtocolError(str(exc)) from exc
+    except (FrameTruncatedError, ConnectionError):
         return None
-    length = int.from_bytes(header, "big")
-    if length > MAX_FRAME:
-        raise ProtocolError(
-            f"frame length {length} exceeds MAX_FRAME={MAX_FRAME}"
-        )
-    try:
-        body = await reader.readexactly(length)
-    except (asyncio.IncompleteReadError, ConnectionError):
+    if body is None:
         return None
     try:
         return codec.decode_payload(body)

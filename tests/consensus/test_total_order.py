@@ -11,7 +11,7 @@ from repro.fd import (
 from repro.sim import FixedDelay, ReliableLink, World
 
 
-def build(n=4, seed=0, stabilize=0.0):
+def build(n=4, seed=0, stabilize=0.0, **tob_kwargs):
     world = World(n=n, seed=seed, default_link=ReliableLink(FixedDelay(1.0)))
     tobs = []
     for pid in world.pids:
@@ -22,7 +22,7 @@ def build(n=4, seed=0, stabilize=0.0):
                 stabilize_time=stabilize,
             ),
         ))
-        tobs.append(world.attach(pid, TotalOrderBroadcast(fd)))
+        tobs.append(world.attach(pid, TotalOrderBroadcast(fd, **tob_kwargs)))
     world.start()
     return world, tobs
 
@@ -57,6 +57,19 @@ class TestTotalOrder:
             seqs = sorted((tuple(t.delivered) for t in tobs), key=len)
             for shorter, longer in zip(seqs, seqs[1:]):
                 assert longer[: len(shorter)] == shorter
+
+    def test_total_order_holds_with_batched_log(self):
+        # The batching/pipelining knobs forward to the underlying log;
+        # all four TO-broadcast properties must survive them.
+        world, tobs = build(seed=7, max_batch=4, pipeline_depth=2)
+        for i in range(6):
+            tobs[i % 4].to_broadcast(f"b{i}")
+        world.run(until=900.0)
+        sequences = {tuple(t.delivered) for t in tobs}
+        assert len(sequences) == 1
+        assert {m for _, m in tobs[0].delivered} == {
+            f"b{i}" for i in range(6)
+        }
 
     def test_callbacks_fire_in_order(self):
         world, tobs = build(seed=3)

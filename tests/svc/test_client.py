@@ -117,6 +117,58 @@ def test_leaderless_redirect_rotates_to_the_next_address():
     assert client.redirects == 1
 
 
+def test_leaderless_redirects_poll_fixed_without_burning_attempts():
+    # Pre-election convergence answers `redirect` with no leader for a
+    # while.  The client must poll on the fixed redirect_poll cadence —
+    # not the exponential failure backoff (the udp/n3 p95 anomaly was
+    # elections inheriting 0.05→0.1→0.2→0.4→0.8 s of backoff) — and the
+    # polls must not consume the retry attempt budget.
+    leaderless = 8  # > max_attempts below
+
+    def handler(request, state={"calls": 0}):
+        state["calls"] += 1
+        if state["calls"] <= leaderless:
+            return Reply(rid=request.rid, status="redirect", leader=None)
+        return ok(request, value="v")
+
+    async def run():
+        server = await FakeFrontend(handler).start()
+        client = make_client(
+            [server.addr], max_attempts=3, redirect_poll=0.01,
+            request_timeout=5.0,
+        )
+        import time
+        started = time.monotonic()
+        result = await client.put("k", "v")
+        elapsed = time.monotonic() - started
+        await client.close()
+        await server.close()
+        return result, client, elapsed
+
+    result, client, elapsed = asyncio.run(run())
+    assert result == {"ok": True, "value": "v"}
+    assert client.redirects == leaderless
+    # 8 polls at 10 ms each; the old shared backoff would have slept
+    # 0.01+0.02+0.04+... plus burned max_attempts=3 long before success.
+    assert elapsed < 1.0
+
+
+def test_leaderless_polling_is_bounded_by_request_timeout():
+    async def run():
+        server = await FakeFrontend(
+            lambda r: Reply(rid=r.rid, status="redirect", leader=None)
+        ).start()
+        client = make_client(
+            [server.addr], request_timeout=0.15, redirect_poll=0.01,
+        )
+        with pytest.raises(ServiceUnavailable):
+            await client.put("k", 1)
+        await client.close()
+        await server.close()
+
+    asyncio.run(run())
+
+
 # -------------------------------------------------------------------- retries
 def test_timeout_retries_under_the_same_seq():
     def handler(request, state={"calls": 0}):
@@ -178,6 +230,103 @@ def test_stale_replies_are_discarded_by_rid():
         return result
 
     assert asyncio.run(run()) == {"ok": True, "value": "fresh"}
+
+
+# ---------------------------------------------------------------- negotiation
+def test_no_codec_offer_when_default_is_already_preferred():
+    # On a host whose preference list starts with the configured codec
+    # (every pure-Python host: ["json"]), requests carry no offer at all —
+    # old servers see byte-identical traffic.
+    async def run():
+        server = await FakeFrontend(lambda r: ok(r)).start()
+        client = make_client([server.addr])
+        await client.get("k")
+        await client.close()
+        await server.close()
+        return server.requests
+
+    saw = asyncio.run(run())
+    if client_preferences() == ["json"]:
+        assert all(r.codecs is None for r in saw)
+
+
+def client_preferences():
+    from repro.net.codec import wire_preferences
+
+    return wire_preferences()
+
+
+def test_negotiation_upgrades_the_connection_codec(monkeypatch):
+    # A client that would rather speak msgpack offers it on the first
+    # request of a connection; the server answers in the arrival codec,
+    # names its pick in reply.codec, and both sides switch in lockstep.
+    from repro.svc import client as client_mod
+
+    monkeypatch.setattr(
+        client_mod, "wire_preferences", lambda: ["msgpack", "json"]
+    )
+    json_codec = default_codec(prefer="json")
+    msgpack_codec = default_codec(prefer="msgpack")
+    saw = []
+
+    async def accept(reader, writer):
+        codec = json_codec
+        while True:
+            payload = await read_frame(reader, codec)
+            if payload is None:
+                break
+            request = Request.from_payload(payload)
+            saw.append((codec.name, request.codecs))
+            reply = Reply(
+                rid=request.rid, status="ok",
+                result={"ok": True, "echo": request.value},
+            )
+            if request.codecs and codec.name != "msgpack":
+                reply.codec = "msgpack"
+                writer.write(encode_frame(codec, reply.to_payload()))
+                await writer.drain()
+                codec = msgpack_codec
+                continue
+            writer.write(encode_frame(codec, reply.to_payload()))
+            await writer.drain()
+        writer.close()
+
+    async def run():
+        server = await asyncio.start_server(
+            accept, host="127.0.0.1", port=0
+        )
+        addr = server.sockets[0].getsockname()[:2]
+        client = make_client([addr])
+        first = await client.put("k", 1)
+        second = await client.put("k", 2)
+        conn_codec = client._conn_codec.name
+        await client.close()
+        server.close()
+        await server.wait_closed()
+        return first, second, conn_codec
+
+    first, second, conn_codec = asyncio.run(run())
+    assert first["ok"] and second["ok"]
+    assert second["echo"] == 2  # the msgpack leg really round-trips
+    assert conn_codec == "msgpack"
+    # Offer on the first request only; the second rides the upgrade.
+    assert saw == [("json", ["msgpack", "json"]), ("msgpack", None)]
+
+
+def test_frontend_negotiate_picks_first_shared_preference(monkeypatch):
+    from repro.svc import frontend as frontend_mod
+    from repro.svc.frontend import ServiceFrontend
+
+    monkeypatch.setattr(
+        frontend_mod, "wire_preferences", lambda: ["msgpack", "json"]
+    )
+    json_codec = default_codec(prefer="json")
+    pick = ServiceFrontend._negotiate(None, ["msgpack", "json"], json_codec)
+    assert pick is not None and pick.name == "msgpack"
+    # Already speaking the best shared format: stay put.
+    assert ServiceFrontend._negotiate(None, ["json"], json_codec) is None
+    # Nothing shared (unknown formats): stay put.
+    assert ServiceFrontend._negotiate(None, ["protobuf"], json_codec) is None
 
 
 # --------------------------------------------------------------------- errors

@@ -76,13 +76,14 @@ def test_throughput_table_skips_every_volatile_column(tmp_path):
     # with "wall"/"latency" so only topology and verdicts are compared.
     headers = (
         "transport", "n", "clients", "acked/s (wall)",
+        "slots/s (wall)", "mean batch (wall)",
         "p50 latency ms", "p95 latency ms", "p99 latency ms",
         "errors", "verdicts",
     )
     fresh, base = _write_dirs(
         tmp_path,
-        [["loopback", 3, 10, 400.0, 5.0, 9.0, 12.0, 0, "ok"]],
-        [["loopback", 3, 10, 60.0, 280.0, 700.0, 900.0, 0, "ok"]],
+        [["loopback", 3, 10, 400.0, 90.0, 55.0, 5.0, 9.0, 12.0, 0, "ok"]],
+        [["loopback", 3, 10, 60.0, 15.0, 1.0, 280.0, 700.0, 900.0, 0, "ok"]],
         headers=headers,
     )
     code, messages = check_drift.run(fresh, base, tolerance=0.35)
@@ -91,8 +92,9 @@ def test_throughput_table_skips_every_volatile_column(tmp_path):
     (tmp_path / "bad").mkdir()
     fresh, base = _write_dirs(
         tmp_path / "bad",
-        [["loopback", 3, 10, 60.0, 280.0, 700.0, 900.0, 9, "VIOLATED"]],
-        [["loopback", 3, 10, 60.0, 280.0, 700.0, 900.0, 0, "ok"]],
+        [["loopback", 3, 10, 60.0, 15.0, 1.0, 280.0, 700.0, 900.0, 9,
+          "VIOLATED"]],
+        [["loopback", 3, 10, 60.0, 15.0, 1.0, 280.0, 700.0, 900.0, 0, "ok"]],
         headers=headers,
     )
     code, messages = check_drift.run(fresh, base, tolerance=0.35)
