@@ -44,9 +44,13 @@ def main() -> None:
     world.start()
 
     counters = {pid: 0 for pid in world.pids}
+
+    def apply_command(pid, cmd):
+        if cmd["op"] == "inc":  # the only command this demo's clients issue
+            counters[pid] += cmd["by"]
+
     for pid, rsm in enumerate(replicas):
-        rsm.on_apply(lambda slot, cmd, pid=pid: counters.__setitem__(
-            pid, counters[pid] + cmd["by"]))
+        rsm.on_apply(lambda slot, cmd, pid=pid: apply_command(pid, cmd))
 
     # Clients submit increments throughout, on both sides of the cut.
     for i, t in enumerate(range(10, 400, 40)):

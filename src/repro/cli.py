@@ -35,6 +35,14 @@ Commands:
     subprocess per pid, delivers scheduled ``kill -9`` crashes, waits for
     quiescence, merges the shipped JSONL traces, and prints the property
     verdicts — the paper's crash-stop model enforced by the OS.
+``scenario``
+    Declarative fault schedules (:mod:`repro.scenario`): ``gen`` compiles
+    a seeded randomized nemesis schedule to canonical JSON (same seed ⇒
+    byte-identical document), ``run`` plays one against a deterministic
+    virtual-clock cluster, a wall-clock in-process cluster, or a real
+    multi-process cluster — same events, same ``ClusterAPI`` verbs — and
+    judges the run (verdicts + QoS).  ``cluster``, ``proc run``, and
+    ``load`` accept ``--scenario FILE`` to arm the same schedules.
 ``trace``
     Operate on shipped JSONL trace files (:mod:`repro.obs`): merge
     per-node files onto one time base, print stats, validate events
@@ -247,11 +255,87 @@ def _parse_crash_specs(specs) -> list:
     return crashes
 
 
+def _parse_degrade_specs(specs) -> list:
+    """Parse repeated ``--degrade SRC:DST:LOSS[:DELAY]`` flags into
+    ``(src, dst, loss, delay)`` tuples (``delay`` may be ``None``)."""
+    from .errors import ConfigurationError
+
+    links = []
+    for spec in specs:
+        parts = spec.split(":")
+        try:
+            if len(parts) not in (3, 4):
+                raise ValueError(spec)
+            src, dst = int(parts[0]), int(parts[1])
+            loss = float(parts[2])
+            delay = float(parts[3]) if len(parts) == 4 else None
+        except ValueError:
+            raise ConfigurationError(
+                f"bad --degrade spec {spec!r}; expected SRC:DST:LOSS[:DELAY]"
+                ", e.g. 0:1:0.3 or 0:1:0.3:0.02"
+            )
+        if not 0.0 <= loss <= 1.0:
+            raise ConfigurationError(
+                f"--degrade loss {loss} outside [0, 1] (spec {spec!r})"
+            )
+        if delay is not None and delay < 0:
+            raise ConfigurationError(
+                f"--degrade delay {delay} must be >= 0 (spec {spec!r})"
+            )
+        links.append((src, dst, loss, delay))
+    return links
+
+
+def _load_cli_scenario(args):
+    """Load the ``--scenario FILE`` document, when the flag is present."""
+    path = getattr(args, "scenario", None)
+    if path is None:
+        return None
+    from .scenario import Scenario
+
+    return Scenario.load(path)
+
+
+def _scenario_defaults(args, scenario, nodes_default: int,
+                       period_default: float) -> None:
+    """Resolve ``--nodes`` / ``--period``: explicit flag beats the scenario
+    document, which beats the subcommand default.  A scenario is a
+    self-contained run spec, so ``repro cluster --scenario f.json`` picks
+    up the cluster size and heartbeat period it was generated for."""
+    if args.nodes is None:
+        args.nodes = (scenario.n if scenario is not None
+                      and scenario.n is not None else nodes_default)
+    if args.period is None:
+        args.period = (scenario.period if scenario is not None
+                       and scenario.period is not None else period_default)
+
+
+def _apply_cli_faults(cluster, args, scenario=None) -> None:
+    """Arm every CLI-requested fault through the ClusterAPI verbs.
+
+    Called right after construction, before ``start()`` — the verbs queue
+    and flush onto the cluster clock at start, exactly like scripted
+    crashes.  One code path for both substrates: ``--loss`` is a storm
+    from time zero, each ``--degrade`` an asymmetric link override, and
+    ``--scenario`` the full compiled schedule.
+    """
+    loss = getattr(args, "loss", 0.0)
+    if loss and loss > 0.0:
+        cluster.storm(loss)
+    for src, dst, loss, delay in _parse_degrade_specs(
+            getattr(args, "degrade", [])):
+        cluster.degrade(src, dst, loss=loss, delay=delay)
+    if scenario is not None:
+        from .scenario import apply_scenario
+
+        apply_scenario(cluster, scenario)
+
+
 def _cmd_cluster(args: argparse.Namespace) -> int:
     import asyncio
 
     from .errors import ConfigurationError
-    from .net import FaultPlan, LocalCluster, attach_standard_stack, default_codec
+    from .net import LocalCluster, attach_standard_stack, default_codec
 
     try:
         codec = default_codec(
@@ -259,13 +343,18 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
     except ConfigurationError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    plan = (FaultPlan(args.nodes, seed=args.seed, loss_prob=args.loss)
-            if args.loss > 0.0 else None)
+    scenario = _load_cli_scenario(args)
+    _scenario_defaults(args, scenario, nodes_default=5, period_default=0.05)
 
     if args.virtual:
-        return _cluster_virtual(args, codec, plan)
-    if args.duration is not None or args.crash:
-        return _cluster_scripted(args, codec, plan)
+        if scenario is not None:
+            print("error: --scenario with --virtual is spelled "
+                  "`repro scenario run --runtime virtual` (the scenario "
+                  "document carries the run parameters)", file=sys.stderr)
+            return 2
+        return _cluster_virtual(args, codec)
+    if scenario is not None or args.duration is not None or args.crash:
+        return _cluster_scripted(args, codec, scenario)
     if args.stack == "rsm":
         print("error: --stack rsm needs a scripted run (--duration and/or "
               "--crash) or --virtual; the adaptive kill-the-leader flow "
@@ -275,8 +364,9 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
     period = args.period
     cluster = LocalCluster(
         n=args.nodes, transport=args.transport, seed=args.seed,
-        codec=codec, fault_plan=plan, trace_out=args.trace_out,
+        codec=codec, trace_out=args.trace_out,
     )
+    _apply_cli_faults(cluster, args)
     stacks = attach_standard_stack(
         cluster, suspects=args.stack, period=period,
         initial_timeout=2.4 * period, timeout_increment=period,
@@ -328,7 +418,7 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
                            decided)
 
 
-def _cluster_virtual(args: argparse.Namespace, codec, plan) -> int:
+def _cluster_virtual(args: argparse.Namespace, codec) -> int:
     """Deterministic variant: virtual clock over loopback, sim-scale times."""
     from .errors import ConfigurationError
     from .net import LocalCluster
@@ -339,9 +429,10 @@ def _cluster_virtual(args: argparse.Namespace, codec, plan) -> int:
         return 2
     cluster = LocalCluster(
         n=args.nodes, transport="loopback", clock="virtual",
-        seed=args.seed, codec=codec, fault_plan=plan,
+        seed=args.seed, codec=codec,
         trace_out=args.trace_out,
     )
+    _apply_cli_faults(cluster, args)
     leader, crash_time = 0, 60.0  # leaders start at p0 deterministically
     stacks = cluster.deploy_standard_stack(
         stack=args.stack,
@@ -362,27 +453,38 @@ def _cluster_virtual(args: argparse.Namespace, codec, plan) -> int:
                            decided)
 
 
-def _cluster_scripted(args: argparse.Namespace, codec, plan) -> int:
+def _cluster_scripted(args: argparse.Namespace, codec,
+                      scenario=None) -> int:
     """Scripted scenario through the unified ClusterAPI: crash schedule
-    from ``--crash``, fixed ``--duration``, survivors propose after the
-    last crash."""
+    from ``--crash``, faults from ``--loss`` / ``--degrade`` /
+    ``--scenario``, fixed ``--duration``, survivors propose after the
+    last fault."""
     import asyncio
 
     from .net import LocalCluster
 
     crashes = _parse_crash_specs(args.crash)
-    duration = args.duration
-    if duration is None:
-        # --crash without --duration: leave room after the last kill for
-        # re-election and a decision.
-        duration = max((at for _, at in crashes), default=0.0) + args.timeout
     period = args.period
+    last_crash = max((at for _, at in crashes), default=0.0)
+    last_fault = last_crash
+    duration = args.duration
+    if scenario is not None:
+        last_fault = max(last_fault, scenario.fault_end)
+        if duration is None:
+            duration = scenario.duration
+    if duration is None:
+        # No declared duration: leave room after the last fault for
+        # re-election and a decision.
+        duration = last_fault + args.timeout
+    if scenario is not None and scenario.propose_after is not None:
+        propose_after = scenario.propose_after
+    else:
+        propose_after = last_fault + 4 * period
     cluster = LocalCluster(
         n=args.nodes, transport=args.transport, seed=args.seed,
-        codec=codec, fault_plan=plan, trace_out=args.trace_out,
+        codec=codec, trace_out=args.trace_out,
         duration=duration,
     )
-    propose_after = max((at for _, at in crashes), default=0.0) + 4 * period
     stacks = cluster.deploy_standard_stack(
         stack=args.stack, period=period, propose_after=propose_after,
         metrics_interval=args.metrics_interval,
@@ -390,6 +492,7 @@ def _cluster_scripted(args: argparse.Namespace, codec, plan) -> int:
     )
     for pid, at in crashes:
         cluster.crash(pid, at=at)
+    _apply_cli_faults(cluster, args, scenario)
 
     async def drive():
         await cluster.start()
@@ -511,15 +614,26 @@ def _cmd_proc_run(args: argparse.Namespace) -> int:
     from .cluster.api import verdicts_ok
     from .proc import ProcessCluster
 
+    scenario = _load_cli_scenario(args)
+    _scenario_defaults(args, scenario, nodes_default=3, period_default=0.05)
     crashes = _parse_crash_specs(args.crash)
-    duration = args.duration if args.duration is not None else 6.0
+    duration = args.duration
+    if duration is None and scenario is not None:
+        duration = scenario.duration
+    if duration is None:
+        duration = 6.0
+    propose_after = args.propose_after
+    if propose_after is None:
+        propose_after = (scenario.propose_after
+                         if scenario is not None
+                         and scenario.propose_after is not None else 1.0)
     cluster = ProcessCluster(
         n=args.nodes,
         transport=args.transport,
         stack=args.stack,
         period=args.period,
         duration=duration,
-        propose_after=args.propose_after,
+        propose_after=propose_after,
         seed=args.seed,
         codec=args.codec,
         workdir=args.trace_out,
@@ -529,6 +643,7 @@ def _cmd_proc_run(args: argparse.Namespace) -> int:
     )
     for pid, at in crashes:
         cluster.crash(pid, at=at)
+    _apply_cli_faults(cluster, args, scenario)
 
     async def drive() -> bool:
         await cluster.start()
@@ -561,6 +676,131 @@ def _cmd_proc_run(args: argparse.Namespace) -> int:
     ok = verdicts_ok(verdicts)
     print("result:", "OK" if ok else "FAILED")
     return 0 if ok else 1
+
+
+def _scenario_from_args(args: argparse.Namespace):
+    """The scenario a ``repro scenario`` subcommand names: ``--file``
+    when given, else the seeded generator over the gen flags."""
+    from .scenario import Scenario, generate_scenario
+
+    if getattr(args, "file", None) is not None:
+        return Scenario.load(args.file)
+    return generate_scenario(
+        args.nodes, args.seed, period=args.period, duration=args.duration,
+        partitions=args.partitions, stalls=args.stalls, storms=args.storms,
+        degrades=args.degrades, skews=args.skews, crashes=args.crashes,
+        name=args.name,
+    )
+
+
+def _cmd_scenario_gen(args: argparse.Namespace) -> int:
+    scenario = _scenario_from_args(args)
+    text = scenario.to_json()
+    if args.out is not None:
+        from pathlib import Path
+
+        Path(args.out).write_text(text)
+        print(f"wrote {args.out}: {scenario.name!r}, {len(scenario)} events, "
+              f"n={scenario.n} duration={scenario.duration}")
+    else:
+        print(text, end="")
+    return 0
+
+
+def _cmd_scenario_run(args: argparse.Namespace) -> int:
+    """Play one scenario end-to-end and judge the run.
+
+    The scenario document is the run spec: cluster size, heartbeat
+    period, duration, and proposal time all come from it (with the same
+    fallbacks the generator uses when a hand-written document omits
+    them).  ``--runtime`` picks the substrate; the events go through the
+    identical ClusterAPI verb calls either way.
+    """
+    import asyncio
+
+    from .analysis.qos import qos_report
+    from .errors import ConfigurationError
+    from .scenario import run_scenario
+
+    scenario = _scenario_from_args(args)
+    n = scenario.n if scenario.n is not None else args.nodes
+    period = scenario.period if scenario.period is not None else args.period
+    propose_after = (scenario.propose_after
+                     if scenario.propose_after is not None
+                     else scenario.fault_end + 4.0 * period)
+    duration = (scenario.duration if scenario.duration is not None
+                else propose_after + 40.0 * period)
+    transport = args.transport
+    if transport is None:
+        transport = "udp" if args.runtime == "proc" else "loopback"
+
+    if args.runtime == "proc":
+        from .proc import ProcessCluster
+
+        if transport == "loopback":
+            print("error: --runtime proc needs --transport udp or tcp "
+                  "(loopback cannot cross process boundaries)",
+                  file=sys.stderr)
+            return 2
+        cluster = ProcessCluster(
+            n=n, transport=transport, stack=args.stack, period=period,
+            duration=duration, propose_after=propose_after,
+            seed=args.cluster_seed, codec=args.codec,
+            workdir=args.trace_out,
+        )
+        result = asyncio.run(run_scenario(cluster, scenario))
+        trace = cluster.traces()
+        where = f"workdir={cluster.workdir}"
+    else:
+        from .net import LocalCluster, default_codec
+
+        try:
+            codec = default_codec(
+                prefer=None if args.codec == "auto" else args.codec)
+        except ConfigurationError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        virtual = args.runtime == "virtual"
+        if virtual and transport != "loopback":
+            print("error: --runtime virtual requires --transport loopback",
+                  file=sys.stderr)
+            return 2
+        cluster = LocalCluster(
+            n=n, transport=transport,
+            clock="virtual" if virtual else "wall",
+            seed=args.cluster_seed, codec=codec,
+            trace_out=args.trace_out, duration=duration,
+        )
+        cluster.deploy_standard_stack(
+            stack=args.stack, period=period, propose_after=propose_after,
+        )
+        result = asyncio.run(run_scenario(cluster, scenario))
+        trace = cluster.trace
+        where = "in-process"
+
+    print(f"scenario {scenario.name!r}: {len(scenario)} events, n={n} "
+          f"period={period} duration={duration}")
+    print(f"runtime: {args.runtime} transport={transport} "
+          f"stack={args.stack} {where}")
+    if not result["quiescent"]:
+        print("warning: cluster was not quiescent at timeout",
+              file=sys.stderr)
+    print("verdicts:")
+    for name, verdict in result["verdicts"].items():
+        print(f"  {name:32s} {'ok' if verdict else 'VIOLATED'}")
+    report = qos_report(trace, period=period, n=n)
+    print()
+    print(report.format())
+    ok = (result["ok"] and result["quiescent"]
+          and report.bound_ok is not False)
+    print("\nresult:", "OK" if ok else "FAILED")
+    return 0 if ok else 1
+
+
+def _cmd_scenario(args: argparse.Namespace) -> int:
+    if args.scenario_command == "gen":
+        return _cmd_scenario_gen(args)
+    return _cmd_scenario_run(args)
 
 
 def _parse_connect(spec: str) -> list:
@@ -752,7 +992,13 @@ def _cmd_load(args: argparse.Namespace) -> int:
             seed=args.seed,
         )
 
+    scenario = _load_cli_scenario(args)
     if args.connect is not None:
+        if scenario is not None:
+            print("error: --scenario needs a --proc cluster to inject "
+                  "faults into (an already-running service is not ours "
+                  "to break)", file=sys.stderr)
+            return 2
         report = asyncio.run(make_generator(_parse_connect(args.connect)).run())
         print(report.render())
         return 0 if report.acked > 0 else 1
@@ -767,6 +1013,14 @@ def _cmd_load(args: argparse.Namespace) -> int:
     # Nodes must outlive warmup + offered load + the slowest straggler
     # command (bounded by the client request timeout).
     node_duration = warmup + args.duration + args.timeout + 2.0
+    if scenario is not None:
+        # ... and the scenario's fault schedule (times are offsets from
+        # cluster start, so the load window overlaps the faults).
+        node_duration = max(
+            node_duration,
+            scenario.fault_end + args.timeout + 2.0,
+            scenario.duration if scenario.duration is not None else 0.0,
+        )
     cluster = ProcessCluster(
         n=args.proc,
         transport=args.transport if args.transport != "loopback" else "udp",
@@ -781,6 +1035,7 @@ def _cmd_load(args: argparse.Namespace) -> int:
     )
     for pid, at in crashes:
         cluster.crash(pid, at=at)
+    _apply_cli_faults(cluster, args, scenario)
 
     async def drive():
         await cluster.start()
@@ -869,6 +1124,22 @@ def _shared_cluster_options() -> argparse.ArgumentParser:
         help="schedule a crash-stop kill of PID at cluster time TIME; "
              "repeatable (a real kill -9 for process clusters)")
     group.add_argument(
+        "--loss", type=float, default=0.0, metavar="PROB",
+        help="uniform message-loss probability on every link for the "
+             "whole run (a storm from time zero, via the cluster's "
+             "fault surface)")
+    group.add_argument(
+        "--degrade", action="append", default=[],
+        metavar="SRC:DST:LOSS[:DELAY]",
+        help="make the directed link SRC->DST lossy (probability LOSS) "
+             "and/or slow (DELAY seconds each way); repeatable, "
+             "asymmetric — the reverse link is untouched")
+    group.add_argument(
+        "--scenario", metavar="FILE.json", default=None,
+        help="arm a declarative fault schedule (see `repro scenario "
+             "gen`); its n/period/duration/propose_after become the "
+             "run's defaults")
+    group.add_argument(
         "--metrics-interval", type=float, metavar="SECONDS", default=None,
         help="attach a metrics reporter on every node emitting "
              "obs.metrics_snapshot trace events at this interval")
@@ -930,14 +1201,15 @@ def build_parser() -> argparse.ArgumentParser:
         parents=[shared],
         help="live asyncio runtime: the same stack over real transports",
     )
-    clu.add_argument("--nodes", "-n", type=int, default=5)
+    clu.add_argument("--nodes", "-n", type=int, default=None,
+                     help="cluster size (default 5, or the --scenario "
+                          "document's n)")
     clu.add_argument("--seed", type=int, default=7)
-    clu.add_argument("--period", type=float, default=0.05,
-                     help="heartbeat period in wall seconds")
+    clu.add_argument("--period", type=float, default=None,
+                     help="heartbeat period in wall seconds (default "
+                          "0.05, or the --scenario document's period)")
     clu.add_argument("--codec", choices=["auto", "json", "msgpack"],
                      default="auto")
-    clu.add_argument("--loss", type=float, default=0.0,
-                     help="inject uniform message loss probability")
     clu.add_argument("--timeout", type=float, default=30.0,
                      help="wall-clock budget for convergence and decision")
     clu.add_argument("--virtual", action="store_true",
@@ -979,16 +1251,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="spawn a cluster of repro-node subprocesses, crash on "
              "schedule, merge traces, check properties",
     )
-    prun.add_argument("--nodes", "-n", type=int, default=3)
+    prun.add_argument("--nodes", "-n", type=int, default=None,
+                      help="cluster size (default 3, or the --scenario "
+                           "document's n)")
     prun.add_argument("--seed", type=int, default=7)
-    prun.add_argument("--period", type=float, default=0.05,
-                      help="heartbeat period in wall seconds")
+    prun.add_argument("--period", type=float, default=None,
+                      help="heartbeat period in wall seconds (default "
+                           "0.05, or the --scenario document's period)")
     prun.add_argument("--codec", choices=["auto", "json", "msgpack"],
                       default="auto")
     prun.add_argument("--propose-after", type=float, metavar="SECONDS",
-                      default=1.0,
+                      default=None,
                       help="cluster time at which every surviving node "
-                           "proposes its value")
+                           "proposes its value (default 1.0, or the "
+                           "--scenario document's propose_after)")
     prun.add_argument("--merge-out", metavar="OUT.jsonl", default=None,
                       help="also write the merged stream (synthetic crash "
                            "events included) as one combined JSONL file — "
@@ -1101,6 +1377,10 @@ def build_parser() -> argparse.ArgumentParser:
                       metavar="PID:TIME",
                       help="schedule a kill -9 in a --proc cluster; "
                            "repeatable")
+    load.add_argument("--scenario", metavar="FILE.json", default=None,
+                      help="arm a declarative fault schedule on a --proc "
+                           "cluster (times are offsets from cluster "
+                           "start, so faults overlap the load window)")
     load.add_argument("--trace-out", metavar="DIR", default=None,
                       help="workdir for --proc traces and logs")
     load.add_argument("--merge-out", metavar="OUT.jsonl", default=None,
@@ -1114,6 +1394,87 @@ def build_parser() -> argparse.ArgumentParser:
                       help="concurrent consensus slots in --proc clusters "
                            "(1 disables pipelining)")
     load.set_defaults(func=_cmd_load)
+
+    gen_opts = argparse.ArgumentParser(add_help=False)
+    gen_group = gen_opts.add_argument_group(
+        "generator options (ignored when --file names a document)")
+    gen_group.add_argument("--nodes", "-n", type=int, default=3,
+                           help="cluster size the schedule targets")
+    gen_group.add_argument("--seed", type=int, default=7,
+                           help="generator seed: same seed, same counts "
+                                "=> byte-identical schedule")
+    gen_group.add_argument("--period", type=float, default=0.05,
+                           help="heartbeat period the fault windows are "
+                                "scaled by, in cluster seconds")
+    gen_group.add_argument("--duration", type=float, metavar="SECONDS",
+                           default=None,
+                           help="override the generated run length "
+                                "(must not cut the schedule short)")
+    gen_group.add_argument("--partitions", type=int, default=2,
+                           help="partition-then-heal windows")
+    gen_group.add_argument("--stalls", type=int, default=1,
+                           help="stall-then-resume windows (SIGSTOP on "
+                                "process clusters)")
+    gen_group.add_argument("--storms", type=int, default=1,
+                           help="loss-storm-then-calm windows")
+    gen_group.add_argument("--degrades", type=int, default=1,
+                           help="asymmetric flaky-link windows")
+    gen_group.add_argument("--skews", type=int, default=0,
+                           help="one-shot clock-skew steps")
+    gen_group.add_argument("--crashes", type=int, default=0,
+                           help="kill -9 victims (scheduled last; at "
+                                "most a minority)")
+    gen_group.add_argument("--name", default=None,
+                           help="scenario name (default "
+                                "nemesis-n<N>-seed<SEED>)")
+
+    scen = sub.add_parser(
+        "scenario",
+        help="declarative fault schedules: generate one, run one, judge it",
+    )
+    scen_sub = scen.add_subparsers(dest="scenario_command", required=True)
+    sgen = scen_sub.add_parser(
+        "gen",
+        parents=[gen_opts],
+        help="compile a seeded randomized nemesis schedule to canonical "
+             "JSON (stdout, or --out FILE)",
+    )
+    sgen.add_argument("--out", metavar="FILE.json", default=None,
+                      help="write the document here instead of stdout")
+    sgen.set_defaults(func=_cmd_scenario, file=None)
+    srun = scen_sub.add_parser(
+        "run",
+        parents=[gen_opts],
+        help="play a scenario on a cluster and judge the run "
+             "(verdicts + QoS)",
+    )
+    srun.add_argument("--file", metavar="FILE.json", default=None,
+                      help="run this scenario document instead of "
+                           "generating one")
+    srun.add_argument("--runtime", choices=["virtual", "local", "proc"],
+                      default="virtual",
+                      help="substrate: deterministic virtual clock "
+                           "in-process, wall clock in-process, or one OS "
+                           "process per node — identical ClusterAPI "
+                           "verbs either way")
+    srun.add_argument("--transport", choices=["loopback", "udp", "tcp"],
+                      default=None,
+                      help="wire transport (default: loopback in-process, "
+                           "udp for --runtime proc)")
+    srun.add_argument("--stack", choices=["ring", "heartbeat", "rsm"],
+                      default="ring",
+                      help="protocol stack under test")
+    srun.add_argument("--codec", choices=["auto", "json", "msgpack"],
+                      default="auto")
+    srun.add_argument("--cluster-seed", type=int, default=7,
+                      help="the cluster's own rng seed (fault-plan loss "
+                           "streams); the scenario seed only shapes the "
+                           "schedule")
+    srun.add_argument("--trace-out", metavar="PATH", default=None,
+                      help="ship traces (JSONL file or directory; the "
+                           "workdir for --runtime proc)")
+    srun.set_defaults(func=_cmd_scenario)
+    scen.set_defaults(func=_cmd_scenario)
 
     trc = sub.add_parser(
         "trace",

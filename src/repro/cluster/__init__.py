@@ -17,7 +17,13 @@ some of them, and judges the run:
 
 from __future__ import annotations
 
-from .api import ClusterAPI, rsm_verdicts, standard_verdicts, verdicts_ok
+from .api import (
+    FAULT_VERBS,
+    ClusterAPI,
+    rsm_verdicts,
+    standard_verdicts,
+    verdicts_ok,
+)
 from .local import (
     LocalCluster,
     STACKS,
@@ -28,6 +34,7 @@ from .local import (
 
 __all__ = [
     "ClusterAPI",
+    "FAULT_VERBS",
     "rsm_verdicts",
     "standard_verdicts",
     "verdicts_ok",

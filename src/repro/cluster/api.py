@@ -13,11 +13,18 @@ drive.  :class:`ClusterAPI` is the structural protocol both implement —
 the whole crash-recovery experiment is expressible against it::
 
     cluster.crash(pid=0, at=2.5)          # schedule a crash-stop kill
+    cluster.partition([[0], [1, 2]], at=1.0)   # fault verbs, same shape
+    cluster.heal(at=2.0)
     await cluster.start()                 # boot every node
     await cluster.wait_quiescent(30.0)    # let the scenario play out
     await cluster.stop()                  # tear down, flush traces
     trace = cluster.traces()              # one time-ordered stream
     verdicts = cluster.verdicts()         # machine-checked properties
+
+Beyond ``crash``, the protocol carries the full fault surface in
+:data:`FAULT_VERBS` — stalls, partitions, link degradation, loss storms,
+clock skew — every verb schedulable via ``at=`` exactly like ``crash``,
+which is what the declarative :mod:`repro.scenario` layer compiles to.
 
 Crashes follow the paper's **crash-stop** model: a crashed process never
 recovers and is excluded from the correct set (no restart semantics).
@@ -33,7 +40,8 @@ are judged by exactly the same code.
 from __future__ import annotations
 
 from typing import (
-    Any, Dict, FrozenSet, Optional, Protocol, Tuple, runtime_checkable,
+    Any, Dict, FrozenSet, Iterable, Optional, Protocol, Sequence, Tuple,
+    runtime_checkable,
 )
 
 from ..analysis import check_consensus, check_fd_class, extract_outcome
@@ -42,7 +50,21 @@ from ..obs.reader import TraceSource, as_trace
 from ..obs.sinks import MemorySink
 from ..types import ProcessId, Time
 
-__all__ = ["ClusterAPI", "standard_verdicts", "rsm_verdicts", "verdicts_ok"]
+__all__ = [
+    "ClusterAPI",
+    "FAULT_VERBS",
+    "standard_verdicts",
+    "rsm_verdicts",
+    "verdicts_ok",
+]
+
+#: Every fault verb a :class:`ClusterAPI` implementation must carry — the
+#: conformance tests iterate this tuple and compare signatures across
+#: substrates, so the scenario layer can drive either one blindly.
+FAULT_VERBS = (
+    "crash", "stall", "resume", "partition", "heal", "isolate",
+    "degrade", "restore", "storm", "calm", "skew",
+)
 
 
 @runtime_checkable
@@ -75,6 +97,76 @@ class ClusterAPI(Protocol):
         May be called before :meth:`start` to schedule the failure
         pattern up front.  Crashed nodes never restart.
         """
+        ...
+
+    # ------------------------------------------------------- fault verbs
+    # Every verb takes ``at`` — cluster time to fire at (``None`` = now),
+    # schedulable before start() like crash() — so a declarative scenario
+    # compiles to the same calls on either substrate.
+
+    def stall(self, pid: ProcessId, at: Optional[Time] = None) -> None:
+        """Freeze node *pid*: it stops executing (process cluster:
+        ``SIGSTOP``) or falls silent (local cluster: every message from
+        or to it dropped) until :meth:`resume`.  Unlike :meth:`crash`,
+        the node stays in the correct set — a stall models the
+        crash-recovery-adjacent pause the paper's detectors must forgive
+        without violating crash-stop."""
+        ...
+
+    def resume(self, pid: ProcessId, at: Optional[Time] = None) -> None:
+        """Unfreeze a stalled node (process cluster: ``SIGCONT``)."""
+        ...
+
+    def partition(
+        self,
+        groups: Sequence[Iterable[ProcessId]],
+        at: Optional[Time] = None,
+    ) -> None:
+        """Split the network into *groups*; traffic crossing a group
+        boundary is dropped in both directions.  Pids named in no group
+        form an implicit final group."""
+        ...
+
+    def heal(self, at: Optional[Time] = None) -> None:
+        """Remove the active network partition."""
+        ...
+
+    def isolate(self, pid: ProcessId, at: Optional[Time] = None) -> None:
+        """Partition node *pid* away from everyone else."""
+        ...
+
+    def degrade(
+        self,
+        src: ProcessId,
+        dst: ProcessId,
+        loss: Optional[float] = None,
+        delay: Optional[Time] = None,
+        at: Optional[Time] = None,
+    ) -> None:
+        """Make the directed link ``src -> dst`` lossy (*loss* probability
+        in [0, 1]) and/or slow (*delay* extra seconds per message)."""
+        ...
+
+    def restore(
+        self, src: ProcessId, dst: ProcessId, at: Optional[Time] = None
+    ) -> None:
+        """Undo :meth:`degrade` for the directed link ``src -> dst``."""
+        ...
+
+    def storm(self, loss: float, at: Optional[Time] = None) -> None:
+        """Start a cluster-wide message-loss storm: every link drops
+        messages with at least probability *loss* until :meth:`calm`."""
+        ...
+
+    def calm(self, at: Optional[Time] = None) -> None:
+        """End the active message-loss storm."""
+        ...
+
+    def skew(
+        self, pid: ProcessId, offset: Time, at: Optional[Time] = None
+    ) -> None:
+        """Step node *pid*'s clock by *offset* seconds (cumulative across
+        calls) — the one-shot NTP-style clock jump."""
         ...
 
     async def wait_quiescent(self, timeout: Optional[Time] = None) -> bool:

@@ -1,8 +1,10 @@
 """In-process clusters of :class:`~repro.net.host.NodeHost` nodes.
 
 :class:`LocalCluster` spins up *n* hosts sharing one clock and one trace
-recorder, wires a transport per node (loopback, UDP, or TCP — optionally
-wrapped in a fault-injection proxy), and drives the run:
+recorder, wires a transport per node (loopback, UDP, or TCP — always
+wrapped in a fault-injection proxy over the cluster's
+:class:`~repro.net.faults.FaultPlan`, which the ClusterAPI fault verbs
+mutate), and drives the run:
 
 * **wall mode** (default) — an :class:`~repro.net.clock.AsyncioClock` and
   real sockets; drive it with ``await cluster.start() / run(seconds) /
@@ -40,9 +42,10 @@ from __future__ import annotations
 
 import asyncio
 import inspect
+import warnings
 from pathlib import Path
 from typing import (
-    Any, Callable, Dict, Iterable, List, Optional, Tuple, Union,
+    Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union,
 )
 
 from ..broadcast.reliable import ReliableBroadcast
@@ -53,7 +56,7 @@ from ..fd.eventually_consistent import CombinedDetector
 from ..fd.heartbeat import HeartbeatEventuallyPerfect
 from ..fd.leader_based import LeaderBasedOmega
 from ..fd.ring import RingDetector
-from ..net.clock import AsyncioClock, VirtualClock
+from ..net.clock import AsyncioClock, SkewedClock, VirtualClock
 from ..net.codec import Codec, default_codec
 from ..net.faults import FaultPlan, FaultyTransport
 from ..net.host import NodeHost
@@ -63,6 +66,7 @@ from ..net.udp import UDPTransport
 from ..obs.metrics import MetricsReporter
 from ..obs.sinks import JsonlSink, MemorySink, TeeSink, TraceSink
 from ..sim.component import Component
+from ..sim.delays import FixedDelay
 from ..transform.c_to_p import CToPTransformation
 from ..types import ProcessId, Time
 from .api import rsm_verdicts, standard_verdicts
@@ -159,12 +163,33 @@ class LocalCluster:
                     self._jsonl_sinks.append(sink)
                     host_traces.append(TeeSink(self.trace, sink))
         self.codec = codec if codec is not None else default_codec()
-        self.plan = fault_plan
+        # Sink the cluster-level scenario.* narration goes through: the
+        # same object node 0 traces into, so combined/per-node JSONL
+        # shipping sees the fault events too (not just the MemorySink).
+        self._cluster_sink: TraceSink = host_traces[0]
+        if fault_plan is not None:
+            warnings.warn(
+                "the fault_plan= constructor kwarg is deprecated; every "
+                "LocalCluster now carries a fault plan — use the ClusterAPI "
+                "fault verbs (partition/degrade/storm/stall/...) instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            self.plan = fault_plan
+        else:
+            #: The always-on fault surface; idle plans cost one flag read
+            #: per send (see FaultPlan.active), so every transport is
+            #: wrapped unconditionally and the ClusterAPI fault verbs are
+            #: always live.
+            self.plan = FaultPlan(n, seed=seed)
         self._hub = LoopbackHub(self.clock) if transport == "loopback" else None
         self._started = False
         # Crash-stop schedule accepted before start; flushed onto the clock
         # the moment components start (ClusterAPI.crash contract).
         self._pending_crashes: List[Tuple[ProcessId, Optional[Time]]] = []
+        # Fault-verb schedule accepted before start, same contract: a list
+        # of (at, fire-closure) pairs flushed by _flush_pending().
+        self._pending_faults: List[Tuple[Optional[Time], Callable[[], None]]] = []
         # (time, value-factory) proposal rounds from deploy_standard_stack.
         self._pending_proposals: List[Time] = []
         #: Components per role when `deploy_standard_stack` was used.
@@ -175,6 +200,10 @@ class LocalCluster:
         # the tasks cannot be garbage-collected mid-close, reaped in stop().
         self._closing: set = set()
         self.hosts: List[NodeHost] = []
+        # Per-node clock proxies: zero-offset (exact) until the skew verb
+        # steps one — every host keeps its *own* notion of time over the
+        # one shared timeline.
+        self._host_clocks: List[SkewedClock] = []
         for pid in range(n):
             real: Transport
             if transport == "loopback":
@@ -183,15 +212,13 @@ class LocalCluster:
                 real = UDPTransport(pid, host=bind_host)
             else:
                 real = TCPTransport(pid, host=bind_host)
-            wire = (
-                FaultyTransport(real, self.plan, self.clock)
-                if self.plan is not None
-                else real
-            )
+            wire = FaultyTransport(real, self.plan, self.clock)
+            host_clock = SkewedClock(self.clock)
+            self._host_clocks.append(host_clock)
             self.hosts.append(
                 NodeHost(
                     pid, n, wire,
-                    clock=self.clock, codec=self.codec,
+                    clock=host_clock, codec=self.codec,
                     trace=host_traces[pid], seed=seed,
                 )
             )
@@ -435,6 +462,171 @@ class LocalCluster:
             self._closing.add(task)
             task.add_done_callback(self._closing.discard)
 
+    # ----------------------------------------------------------- fault verbs
+    # Every verb shares crash()'s scheduling contract: `at=None` fires now,
+    # a time fires at that cluster instant, and calls before start() are
+    # queued and flushed the moment components start.  Arguments are
+    # validated eagerly (at call time) so a bad scenario fails before the
+    # run, not inside a clock callback.
+
+    def _check_pid(self, pid: ProcessId) -> ProcessId:
+        if not 0 <= pid < self.n:
+            raise ConfigurationError(f"pid {pid} out of range for n={self.n}")
+        return pid
+
+    def _fault(self, at: Optional[Time], fire: Callable[[], None]) -> None:
+        if not self._started:
+            self._pending_faults.append((at, fire))
+        elif at is None:
+            fire()
+        else:
+            self.clock.schedule_at(at, fire)
+
+    def _record_fault(
+        self, kind: str, pid: Optional[ProcessId] = None, **data: Any
+    ) -> None:
+        self._cluster_sink.record(self.clock.now, kind, pid, **data)
+
+    def note_scenario(
+        self, name: str, events: int, seed: Optional[int] = None
+    ) -> None:
+        """Record that a scenario schedule was armed (``scenario.run``)."""
+        extra = {} if seed is None else {"seed": seed}
+        self._record_fault("scenario.run", name=name, events=events, **extra)
+
+    def stall(self, pid: ProcessId, at: Optional[Time] = None) -> None:
+        """Freeze node *pid*: every message from or to it is dropped until
+        :meth:`resume` — the in-process stand-in for ``SIGSTOP`` (peers
+        observe the same silence; the node stays in the correct set)."""
+        self._check_pid(pid)
+
+        def fire() -> None:
+            self.plan.stall(pid)
+            self._record_fault("scenario.stall", target=pid, signal="silence")
+
+        self._fault(at, fire)
+
+    def resume(self, pid: ProcessId, at: Optional[Time] = None) -> None:
+        """Unfreeze a stalled node (see :meth:`stall`)."""
+        self._check_pid(pid)
+
+        def fire() -> None:
+            self.plan.resume(pid)
+            self._record_fault("scenario.resume", target=pid, signal="silence")
+
+        self._fault(at, fire)
+
+    def partition(
+        self,
+        groups: Sequence[Iterable[ProcessId]],
+        at: Optional[Time] = None,
+    ) -> None:
+        """Split the network into *groups* (pids in no group form an
+        implicit final group); cross-group traffic is dropped both ways."""
+        frozen = [list(group) for group in groups]
+        seen: set = set()
+        for group in frozen:
+            for pid in group:
+                self._check_pid(pid)
+                if pid in seen:
+                    raise ConfigurationError(f"pid {pid} in two groups")
+                seen.add(pid)
+
+        def fire() -> None:
+            applied = self.plan.partition(*frozen)
+            self._record_fault("scenario.partition", groups=applied)
+
+        self._fault(at, fire)
+
+    def heal(self, at: Optional[Time] = None) -> None:
+        """Remove the active network partition."""
+
+        def fire() -> None:
+            self.plan.heal()
+            self._record_fault("scenario.heal")
+
+        self._fault(at, fire)
+
+    def isolate(self, pid: ProcessId, at: Optional[Time] = None) -> None:
+        """Partition node *pid* away from everyone else."""
+        self._check_pid(pid)
+        self.partition([[pid]], at=at)
+
+    def degrade(
+        self,
+        src: ProcessId,
+        dst: ProcessId,
+        loss: Optional[float] = None,
+        delay: Optional[Time] = None,
+        at: Optional[Time] = None,
+    ) -> None:
+        """Make the directed link ``src -> dst`` lossy and/or slow."""
+        self._check_pid(src)
+        self._check_pid(dst)
+        if loss is not None and not 0.0 <= loss <= 1.0:
+            raise ConfigurationError(f"loss_prob {loss} outside [0, 1]")
+        if delay is not None and delay < 0:
+            raise ConfigurationError(f"negative delay {delay}")
+
+        def fire() -> None:
+            self.plan.degrade(
+                src, dst,
+                loss_prob=loss,
+                delay=None if delay is None else FixedDelay(delay),
+            )
+            self._record_fault(
+                "scenario.degrade", src=src, dst=dst, loss=loss, delay=delay
+            )
+
+        self._fault(at, fire)
+
+    def restore(
+        self, src: ProcessId, dst: ProcessId, at: Optional[Time] = None
+    ) -> None:
+        """Undo :meth:`degrade` for the directed link ``src -> dst``."""
+        self._check_pid(src)
+        self._check_pid(dst)
+
+        def fire() -> None:
+            self.plan.restore(src, dst)
+            self._record_fault("scenario.restore", src=src, dst=dst)
+
+        self._fault(at, fire)
+
+    def storm(self, loss: float, at: Optional[Time] = None) -> None:
+        """Start a cluster-wide message-loss storm (until :meth:`calm`)."""
+        if not 0.0 <= loss <= 1.0:
+            raise ConfigurationError(f"loss_prob {loss} outside [0, 1]")
+
+        def fire() -> None:
+            self.plan.storm(loss)
+            self._record_fault("scenario.storm", loss=loss)
+
+        self._fault(at, fire)
+
+    def calm(self, at: Optional[Time] = None) -> None:
+        """End the active message-loss storm."""
+
+        def fire() -> None:
+            self.plan.calm()
+            self._record_fault("scenario.calm")
+
+        self._fault(at, fire)
+
+    def skew(
+        self, pid: ProcessId, offset: Time, at: Optional[Time] = None
+    ) -> None:
+        """Step node *pid*'s clock by *offset* seconds (cumulative)."""
+        self._check_pid(pid)
+
+        def fire() -> None:
+            self._host_clocks[pid].skew(offset)
+            self._record_fault(
+                "scenario.skew", pid=pid, target=pid, offset=offset
+            )
+
+        self._fault(at, fire)
+
     # ------------------------------------------------------------ postmortem
     def traces(self) -> MemorySink:
         """The run's events as one time-ordered stream (ClusterAPI)."""
@@ -459,13 +651,19 @@ class LocalCluster:
 
     # -------------------------------------------------------------- internals
     def _flush_pending(self) -> None:
-        """Move pre-start crash/proposal schedules onto the live clock."""
+        """Move pre-start crash/fault/proposal schedules onto the clock."""
         for pid, at in self._pending_crashes:
             if at is None:
                 self.kill(pid)
             else:
                 self.schedule_kill(pid, at)
         self._pending_crashes.clear()
+        for at, fire in self._pending_faults:
+            if at is None:
+                fire()
+            else:
+                self.clock.schedule_at(at, fire)
+        self._pending_faults.clear()
         for at in self._pending_proposals:
             self.clock.schedule_at(at, self._propose_all)
         self._pending_proposals.clear()

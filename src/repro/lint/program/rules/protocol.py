@@ -7,8 +7,11 @@ Three protocol "spaces" are tracked across the whole program:
   ``rbroadcast``/``urbroadcast``, versus dispatch arms that compare a
   received kind (``payload[0]``, ``kind, x = payload``, a parameter named
   ``kind``) against a string;
-* **service ops** — ``client.request("get", ...)`` / ``Request(op=...)``
-  versus handler arms comparing ``request.op`` or a name bound from
+* **service ops** — ``client.request("get", ...)`` / ``Request(op=...)`` /
+  a ``{"op": "partition", ...}`` wire-command literal (the fault-control
+  protocol and hand-written scenario documents both spell ops this way)
+  versus handler arms comparing ``request.op``, ``event.op``,
+  ``command["op"]``, a parameter named ``op``, or a name bound from
   ``command.get("op")``;
 * **service reply statuses** — ``Reply(status=...)`` versus client-side
   status compares.  This space is *dead-arm only*: a produced status no
@@ -83,7 +86,7 @@ def _unwrap_str(node: ast.AST) -> ast.AST:
 
 
 def _get_field(node: ast.AST) -> Optional[str]:
-    """The literal field of an ``x.get("op")``-style call, or ``None``."""
+    """The literal field of ``x.get("op")`` or ``x["op"]``, or ``None``."""
     node = _unwrap_str(node)
     if (
         isinstance(node, ast.Call)
@@ -94,6 +97,12 @@ def _get_field(node: ast.AST) -> Optional[str]:
         and isinstance(node.args[0].value, str)
     ):
         return node.args[0].value
+    if (
+        isinstance(node, ast.Subscript)
+        and isinstance(node.slice, ast.Constant)
+        and isinstance(node.slice.value, str)
+    ):
+        return node.slice.value
     return None
 
 
@@ -114,6 +123,11 @@ class _FunctionScan:
         }
         if "kind" in params:
             self.field_names["kind"].add("kind")
+        for field, space in _FIELD_SPACE.items():
+            # A parameter literally named after a dispatch field — the
+            # ``def _dispatch(self, op, command)`` convention.
+            if field in params:
+                self.field_names[space].add(field)
         for node in nodes:
             if not isinstance(node, ast.Assign):
                 continue
@@ -225,7 +239,18 @@ class ProtocolFlowRule(ProgramRule):
     def _collect_producers(
         self, model, module, kinds: _Flow, ops: _Flow, statuses: _Flow
     ) -> None:
+        # The analyzer itself talks *about* op-keyed dicts (_FIELD_SPACE);
+        # only protocol code builds them as commands.
+        in_lint = module.ctx.module.startswith("repro.lint")
         for node in ast.walk(module.ctx.tree):
+            if isinstance(node, ast.Dict) and not in_lint:
+                # A wire command being built: {"op": "partition", ...}.
+                for key, value in zip(node.keys, node.values):
+                    if isinstance(key, ast.Constant) and key.value == "op":
+                        resolved = model.resolve_string(module, value)
+                        if resolved is not None:
+                            ops.produce(resolved, module, node)
+                continue
             if not isinstance(node, ast.Call):
                 continue
             name = call_func_name(node)

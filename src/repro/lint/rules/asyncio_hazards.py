@@ -27,10 +27,12 @@ __all__ = [
 ]
 
 # Every package hosting event-loop code: the transports, the in-process
-# cluster runtime, the multi-process node/launcher pair, and the KV
-# service (frontend + client) with its load generator.
+# cluster runtime, the multi-process node/launcher pair, the KV
+# service (frontend + client) with its load generator, and the scenario
+# runner (async fault-schedule driver).
 NET_SCOPE = (
     "repro.net", "repro.cluster", "repro.proc", "repro.svc", "repro.load",
+    "repro.scenario",
 )
 
 _BLOCKING_CALLS = {

@@ -34,6 +34,8 @@ __all__ = [
 ]
 
 #: Packages whose code must stay deterministic under the simulator.
+#: ``repro.scenario`` is here for the generator: same seed must mean a
+#: byte-identical schedule, so wall clocks and the global rng are out.
 SIM_SCOPE = (
     "repro.sim",
     "repro.fd",
@@ -41,6 +43,7 @@ SIM_SCOPE = (
     "repro.transform",
     "repro.broadcast",
     "repro.workloads",
+    "repro.scenario",
 )
 
 _WALL_CLOCK_CALLS = {

@@ -28,8 +28,9 @@ See ``docs/runtime.md`` for the architecture and the sim-vs-live guarantee
 matrix, and ``python -m repro cluster`` for the end-to-end demo.
 """
 
-from .clock import AsyncioClock, VirtualClock
+from .clock import AsyncioClock, SkewedClock, VirtualClock
 from .codec import Codec, CodecError, JsonCodec, MsgpackCodec, default_codec
+from .control import FaultControlEndpoint, send_fault_command
 from .faults import FaultPlan, FaultyTransport
 from .host import NodeHost, RuntimeNetwork, RuntimeWorld
 from .stats import StatsEndpoint, fetch_stats, parse_stats_addr
@@ -42,7 +43,10 @@ __all__ = [
     "fetch_stats",
     "parse_stats_addr",
     "AsyncioClock",
+    "SkewedClock",
     "VirtualClock",
+    "FaultControlEndpoint",
+    "send_fault_command",
     "LocalCluster",
     "TRANSPORTS",
     "attach_standard_stack",

@@ -13,6 +13,12 @@ Two clocks cover the two ways the runtime is used:
   it makes an entire multi-node *runtime* cluster (host adapters, codec,
   transport framing, fault proxy and all) bit-for-bit reproducible, which is
   what the sim↔net parity tests run on.
+
+:class:`SkewedClock` is the fault-injection veneer over either: a per-node
+proxy whose ``now`` reads *offset* seconds away from the shared underlying
+clock.  The scenario layer's ``skew`` verb mutates the offset at runtime,
+which is how a cluster gives each node its own (deliberately wrong) notion
+of time without forking the timer machinery.
 """
 
 from __future__ import annotations
@@ -24,7 +30,7 @@ from ..errors import SimulationError
 from ..sim.scheduler import Scheduler
 from ..types import Time
 
-__all__ = ["AsyncioTimerHandle", "AsyncioClock", "VirtualClock"]
+__all__ = ["AsyncioTimerHandle", "AsyncioClock", "VirtualClock", "SkewedClock"]
 
 
 class AsyncioTimerHandle:
@@ -97,6 +103,53 @@ class AsyncioClock:
                 f"cannot schedule at {time} before current time {self.now}"
             )
         return self.schedule(max(delay, 0.0), callback, *args)
+
+
+class SkewedClock:
+    """A per-node proxy clock running *offset* seconds off its inner clock.
+
+    ``now`` is ``inner.now + offset`` — a pure float add, so a zero-offset
+    proxy over a :class:`VirtualClock` is still bit-for-bit deterministic.
+    Relative scheduling delegates unchanged (a frozen-rate skew model: the
+    node's clock is *displaced*, not *faster*, matching a one-shot NTP-style
+    step).  Absolute scheduling translates the skewed target back into the
+    inner timeline; a target the forward-skewed node believes is already
+    past fires immediately, exactly what a real clock jump does to pending
+    deadline math.
+
+    Everything else (``rebase``, ``loop``, ``is_virtual``, the scheduler
+    drain methods of a virtual inner clock) passes through untouched.
+    """
+
+    def __init__(self, inner: Any, offset: Time = 0.0) -> None:
+        self.inner = inner
+        self.offset = offset
+
+    def skew(self, offset: Time) -> None:
+        """Step this node's clock by *offset* seconds (cumulative)."""
+        self.offset += offset
+
+    @property
+    def now(self) -> Time:
+        return self.inner.now + self.offset
+
+    def schedule(self, delay: Time, callback: Callable[..., None], *args: Any):
+        return self.inner.schedule(delay, callback, *args)
+
+    def schedule_at(self, time: Time, callback: Callable[..., None], *args: Any):
+        if self.offset == 0.0:
+            # Exact delegation: a never-skewed proxy is indistinguishable
+            # from its inner clock (same heap entries, same error behavior),
+            # which is what keeps virtual-clock parity runs byte-identical.
+            return self.inner.schedule_at(time, callback, *args)
+        delay = time - self.offset - self.inner.now
+        return self.inner.schedule(max(delay, 0.0), callback, *args)
+
+    def __getattr__(self, name: str) -> Any:
+        return getattr(self.inner, name)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<SkewedClock {self.offset:+.6f}s over {self.inner!r}>"
 
 
 class VirtualClock(Scheduler):

@@ -2,22 +2,31 @@
 :mod:`repro.sim.links` and :class:`repro.sim.partition.NetworkController`.
 
 A :class:`FaultPlan` is the cluster-wide control surface: per-directed-pair
-loss probability, delay models, and partitions, with the same verbs the
-simulator's controller exposes (``partition`` / ``heal`` / ``isolate`` /
-``degrade`` / ``restore``).  A :class:`FaultyTransport` wraps any real
-transport and consults the shared plan on every send: drop, delay (through
-the host clock, so virtual-clock runs stay deterministic), or pass through.
+loss probability, delay models, partitions, process stalls, and loss
+storms, with the same verbs the simulator's controller exposes
+(``partition`` / ``heal`` / ``isolate`` / ``degrade`` / ``restore``) plus
+the scenario-layer additions (``stall`` / ``resume`` / ``storm`` /
+``calm``).  A :class:`FaultyTransport` wraps any real transport and
+consults the shared plan on every send: drop, delay (through the host
+clock, so virtual-clock runs stay deterministic), or pass through.
 
 Injecting at the *sender* mirrors the simulator, where the outgoing link
 decides a message's fate at send time; it also means a partition is
 symmetric only if the plan says so — directed pairs are first-class, as in
 :mod:`repro.sim.links`.
+
+An idle plan (no partition, no stalls, no loss, no delay) costs one
+attribute read per send: :attr:`FaultPlan.active` is maintained by the
+mutating verbs, and :meth:`FaultyTransport.send` forwards straight to the
+wrapped transport while it is ``False``.  That is what lets every cluster
+wrap its transports unconditionally — the fault surface is always
+reachable, and the no-fault hot path stays as fast as a bare transport.
 """
 
 from __future__ import annotations
 
 import random
-from typing import Any, Dict, Iterable, List, Optional, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Set, Tuple
 
 from ..errors import ConfigurationError
 from ..sim.delays import DelayModel
@@ -27,6 +36,14 @@ from .transport import Transport
 __all__ = ["FaultPlan", "FaultyTransport"]
 
 Pair = Tuple[ProcessId, ProcessId]
+
+
+def _check_loss(loss_prob: float) -> float:
+    """Validate a loss probability: the full closed interval is legal
+    (1.0 = drop everything, the blackhole link)."""
+    if not 0.0 <= loss_prob <= 1.0:
+        raise ConfigurationError(f"loss_prob {loss_prob} outside [0, 1]")
+    return loss_prob
 
 
 class FaultPlan:
@@ -39,32 +56,59 @@ class FaultPlan:
         loss_prob: float = 0.0,
         delay: Optional[DelayModel] = None,
     ) -> None:
-        if not 0.0 <= loss_prob < 1.0:
-            raise ConfigurationError(f"loss_prob {loss_prob} outside [0, 1)")
         self.n = n
         self.rng = random.Random(seed)
-        self.default_loss = loss_prob
+        self.default_loss = _check_loss(loss_prob)
         self.default_delay = delay
         self._pair_loss: Dict[Pair, float] = {}
         self._pair_delay: Dict[Pair, Optional[DelayModel]] = {}
         self._cut: Dict[Pair, bool] = {}
         self._partition_groups: Optional[List[frozenset]] = None
+        self._stalled: Set[ProcessId] = set()
+        self._storm_loss: Optional[float] = None
+        self._storm_delay: Optional[DelayModel] = None
         self.dropped = 0
         self.delayed = 0
+        self._refresh_active()
+
+    # ------------------------------------------------------------- fast path
+    @property
+    def active(self) -> bool:
+        """``False`` while the plan would pass every send through untouched
+        (the :class:`FaultyTransport` fast path)."""
+        return self._active
+
+    def _refresh_active(self) -> None:
+        self._active = bool(
+            self._cut
+            or self._stalled
+            or self._pair_loss
+            or self._pair_delay
+            or self._storm_loss is not None
+            or self._storm_delay is not None
+            or self.default_loss
+            or self.default_delay is not None
+        )
+
+    def _check_pid(self, pid: ProcessId) -> ProcessId:
+        if pid not in range(self.n):
+            raise ConfigurationError(f"unknown pid {pid}")
+        return pid
 
     # ------------------------------------------------------------ partitions
-    def partition(self, *groups: Iterable[ProcessId]) -> None:
+    def partition(self, *groups: Iterable[ProcessId]) -> List[List[ProcessId]]:
         """Cut every directed pair crossing group boundaries (now).
 
         Processes not named in any group form an implicit final group —
         the exact contract of
-        :meth:`repro.sim.partition.NetworkController.partition`.
+        :meth:`repro.sim.partition.NetworkController.partition`.  Returns
+        the full, explicit group list (implicit rest group included) so
+        callers can record exactly what was applied.
         """
         named = [frozenset(g) for g in groups]
         seen = frozenset().union(*named) if named else frozenset()
         for pid in seen:
-            if pid not in range(self.n):
-                raise ConfigurationError(f"unknown pid {pid}")
+            self._check_pid(pid)
         rest = frozenset(range(self.n)) - seen
         all_groups = named + ([rest] if rest else [])
         membership: Dict[ProcessId, int] = {}
@@ -78,20 +122,73 @@ class FaultPlan:
                 if src != dst:
                     self._cut[(src, dst)] = membership[src] != membership[dst]
         self._partition_groups = all_groups
+        self._refresh_active()
+        return [sorted(group) for group in all_groups]
 
-    def isolate(self, pid: ProcessId) -> None:
+    def isolate(self, pid: ProcessId) -> List[List[ProcessId]]:
         """Partition *pid* away from everyone else."""
-        self.partition([pid])
+        return self.partition([pid])
 
     def heal(self) -> None:
         """Remove any active partition."""
         self._cut.clear()
         self._partition_groups = None
+        self._refresh_active()
 
     @property
     def partitioned(self) -> bool:
         """True while a partition is in force."""
         return self._partition_groups is not None
+
+    # ---------------------------------------------------------------- stalls
+    def stall(self, pid: ProcessId) -> None:
+        """Silence *pid* entirely: every send from or to it is dropped.
+
+        This is the in-process approximation of ``SIGSTOP`` — the node's
+        timers keep running but nothing it says reaches the wire and
+        nothing reaches it, so peers observe exactly the silence a frozen
+        process produces.  (A real ``SIGSTOP`` buffers rather than drops;
+        for loss-tolerant protocols the observable difference is resumed
+        duplicates, which the stacks already absorb.)  Idempotent.
+        """
+        self._stalled.add(self._check_pid(pid))
+        self._refresh_active()
+
+    def resume(self, pid: ProcessId) -> None:
+        """Undo :meth:`stall` for *pid*.  Idempotent."""
+        self._stalled.discard(self._check_pid(pid))
+        self._refresh_active()
+
+    @property
+    def stalled(self) -> frozenset:
+        """Pids currently stalled."""
+        return frozenset(self._stalled)
+
+    # ---------------------------------------------------------------- storms
+    def storm(
+        self, loss_prob: float, delay: Optional[DelayModel] = None
+    ) -> None:
+        """Start a cluster-wide message-loss storm.
+
+        Every directed pair loses messages with at least *loss_prob*
+        (per-pair overrides and the default loss still apply when they
+        are harsher), optionally under a congestion *delay* model.  A new
+        storm replaces the previous one; :meth:`calm` ends it.
+        """
+        self._storm_loss = _check_loss(loss_prob)
+        self._storm_delay = delay
+        self._refresh_active()
+
+    def calm(self) -> None:
+        """End an active loss storm.  Idempotent."""
+        self._storm_loss = None
+        self._storm_delay = None
+        self._refresh_active()
+
+    @property
+    def storming(self) -> bool:
+        """True while a loss storm is in force."""
+        return self._storm_loss is not None
 
     # ----------------------------------------------------------- degradation
     def degrade(
@@ -102,17 +199,19 @@ class FaultPlan:
         delay: Optional[DelayModel] = None,
     ) -> None:
         """Override loss and/or delay for the directed pair ``src -> dst``."""
+        self._check_pid(src)
+        self._check_pid(dst)
         if loss_prob is not None:
-            if not 0.0 <= loss_prob < 1.0:
-                raise ConfigurationError(f"loss_prob {loss_prob} outside [0, 1)")
-            self._pair_loss[(src, dst)] = loss_prob
+            self._pair_loss[(src, dst)] = _check_loss(loss_prob)
         if delay is not None:
             self._pair_delay[(src, dst)] = delay
+        self._refresh_active()
 
     def restore(self, src: ProcessId, dst: ProcessId) -> None:
         """Undo :meth:`degrade` for ``src -> dst``."""
         self._pair_loss.pop((src, dst), None)
         self._pair_delay.pop((src, dst), None)
+        self._refresh_active()
 
     # --------------------------------------------------------------- verdicts
     def plan(self, src: ProcessId, dst: ProcessId) -> Optional[Time]:
@@ -121,14 +220,21 @@ class FaultPlan:
         Same shape as :meth:`repro.sim.links.Link.plan`, minus the message
         (injection here is content-blind).
         """
+        if self._stalled and (src in self._stalled or dst in self._stalled):
+            self.dropped += 1
+            return None
         if self._cut.get((src, dst), False):
             self.dropped += 1
             return None
         loss = self._pair_loss.get((src, dst), self.default_loss)
-        if loss and self.rng.random() < loss:
+        if self._storm_loss is not None and self._storm_loss > loss:
+            loss = self._storm_loss
+        if loss and (loss >= 1.0 or self.rng.random() < loss):
             self.dropped += 1
             return None
-        model = self._pair_delay.get((src, dst), self.default_delay)
+        model = self._pair_delay.get((src, dst), self._storm_delay)
+        if model is None:
+            model = self.default_delay
         if model is None:
             return 0.0
         delay = model.sample(self.rng, 0.0)
@@ -142,7 +248,9 @@ class FaultyTransport(Transport):
 
     Wraps the real transport of one node; the clock is used to realize
     injected delays, so wrapping loopback-on-virtual-clock keeps runs
-    deterministic while still exercising the full fault machinery.
+    deterministic while still exercising the full fault machinery.  While
+    the plan is idle (:attr:`FaultPlan.active` is ``False``) a send is
+    one extra attribute read plus a delegated call.
     """
 
     def __init__(self, inner: Transport, plan: FaultPlan, clock: Any) -> None:
@@ -186,7 +294,11 @@ class FaultyTransport(Transport):
         return self.inner.close()
 
     def send(self, dst: ProcessId, data: bytes) -> None:
-        verdict = self.plan.plan(self.pid, dst)
+        plan = self.plan
+        if not plan.active:
+            self.inner.send(dst, data)
+            return
+        verdict = plan.plan(self.pid, dst)
         if verdict is None:
             self.injected_drops += 1
             return

@@ -287,3 +287,47 @@ register_event_kind(
     doc="the KV state machine executed (or deduplicated) one decided "
         "command from the replicated log",
 )
+register_event_kind(
+    "scenario.run", required=("name", "events"), optional=("seed",),
+    doc="a scenario schedule was armed against the cluster (events is the "
+        "schedule length; seed present for generated scenarios)",
+)
+register_event_kind(
+    "scenario.partition", required=("groups",),
+    doc="the scenario layer partitioned the network into the given groups "
+        "(isolate records the victim as a singleton group)",
+)
+register_event_kind(
+    "scenario.heal",
+    doc="the scenario layer removed the active network partition",
+)
+register_event_kind(
+    "scenario.stall", required=("target",), optional=("signal",),
+    doc="the scenario layer froze a node (SIGSTOP on a process cluster, "
+        "full send/receive silence on a local one)",
+)
+register_event_kind(
+    "scenario.resume", required=("target",), optional=("signal",),
+    doc="the scenario layer unfroze a previously stalled node",
+)
+register_event_kind(
+    "scenario.degrade", required=("src", "dst"), optional=("loss", "delay"),
+    doc="the scenario layer degraded one directed link (loss probability "
+        "and/or fixed extra delay in seconds)",
+)
+register_event_kind(
+    "scenario.restore", required=("src", "dst"),
+    doc="the scenario layer restored a degraded directed link",
+)
+register_event_kind(
+    "scenario.storm", required=("loss",),
+    doc="the scenario layer started a cluster-wide message-loss storm",
+)
+register_event_kind(
+    "scenario.calm",
+    doc="the scenario layer ended the active message-loss storm",
+)
+register_event_kind(
+    "scenario.skew", required=("target", "offset"),
+    doc="the scenario layer stepped one node's clock by offset seconds",
+)

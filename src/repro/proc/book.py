@@ -62,14 +62,17 @@ class NodeAddress:
     """Where one node listens.
 
     ``serve_port`` is the optional client-facing TCP port of the node's
-    KV service frontend (``--stack rsm`` only); ``port`` stays the
-    node-to-node transport address.
+    KV service frontend (``--stack rsm`` only); ``control_port`` the
+    optional UDP port of its fault-control endpoint (see
+    :mod:`repro.net.control` — the launcher's network fault verbs need
+    it); ``port`` stays the node-to-node transport address.
     """
 
     pid: ProcessId
     host: str
     port: int
     serve_port: Optional[int] = None
+    control_port: Optional[int] = None
 
 
 @dataclass
@@ -175,14 +178,33 @@ class AddressBook:
             if entry.serve_port is not None
         }
 
+    def control_address(self, pid: ProcessId) -> Optional[Tuple[str, int]]:
+        """Node *pid*'s fault-control endpoint address, if it has one."""
+        for entry in self.nodes:
+            if entry.pid == pid:
+                if entry.control_port is None:
+                    return None
+                return (entry.host, entry.control_port)
+        raise ConfigurationError(f"pid {pid} not in the address book")
+
+    def control_addresses(self) -> Dict[ProcessId, Tuple[str, int]]:
+        """All fault-control addresses (pids without one omitted)."""
+        return {
+            entry.pid: (entry.host, entry.control_port)
+            for entry in self.nodes
+            if entry.control_port is not None
+        }
+
     # -------------------------------------------------------------- (de)serde
     def to_dict(self) -> Dict[str, Any]:
         data = asdict(self)
         # Keep the on-disk document minimal and byte-compatible with books
-        # written before serve ports existed: absent means "no frontend".
+        # written before serve/control ports existed: absent means "no
+        # frontend" / "no fault-control endpoint".
         for entry in data["nodes"]:
-            if entry.get("serve_port") is None:
-                entry.pop("serve_port")
+            for key in ("serve_port", "control_port"):
+                if entry.get(key) is None:
+                    entry.pop(key)
         return data
 
     @classmethod
@@ -213,13 +235,15 @@ class AddressBook:
     @classmethod
     def allocate(
         cls, n: int, host: str = "127.0.0.1", transport: str = "udp",
-        serve: bool = False, **settings: Any,
+        serve: bool = False, control: bool = False, **settings: Any,
     ) -> "AddressBook":
         """Build a single-machine book with *n* kernel-chosen free ports.
 
         With ``serve=True`` every node also gets a client-facing TCP
         ``serve_port`` for its KV service frontend (requires
-        ``stack="rsm"``).
+        ``stack="rsm"``); with ``control=True`` a UDP ``control_port``
+        for its fault-control endpoint (the launcher's network fault
+        verbs are delivered there).
         """
         kind = (
             socket.SOCK_DGRAM if transport == "udp" else socket.SOCK_STREAM
@@ -241,10 +265,19 @@ class AddressBook:
                     extra.bind((host, 0))
                     probes.append(extra)
                     serve_port = extra.getsockname()[1]
+                control_port: Optional[int] = None
+                if control:
+                    # Fault commands are always UDP datagrams, whatever
+                    # the node-to-node transport is.
+                    ctrl = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+                    ctrl.bind((host, 0))
+                    probes.append(ctrl)
+                    control_port = ctrl.getsockname()[1]
                 nodes.append(
                     NodeAddress(
                         pid=pid, host=host,
                         port=probe.getsockname()[1], serve_port=serve_port,
+                        control_port=control_port,
                     )
                 )
         finally:

@@ -10,7 +10,12 @@ The launcher is the multi-process implementation of the unified
 2. **crash** — :meth:`crash` delivers ``SIGKILL`` at the scheduled wall
    offset.  Nothing cooperative happens on the victim: no signal handler,
    no flush, no goodbye message — the OS enforces the paper's crash-stop
-   model and the launcher remembers the wall time of the kill;
+   model and the launcher remembers the wall time of the kill.  The other
+   fault verbs ride the same scheduling machinery: ``stall``/``resume``
+   deliver real ``SIGSTOP``/``SIGCONT`` (equally uncooperative), while the
+   network verbs (``partition``/``heal``/``isolate``/``degrade``/
+   ``restore``/``storm``/``calm``/``skew``) become JSON commands sent to
+   each node's :class:`~repro.net.control.FaultControlEndpoint`;
 3. **postmortem** — after :meth:`wait_quiescent` and :meth:`stop`,
    :meth:`traces` reads the shipped JSONL files (tolerating a torn final
    line on killed nodes), merges them on a common time base via
@@ -34,10 +39,13 @@ import sys
 import tempfile
 import time
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Union
+from typing import (
+    Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union,
+)
 
 from ..errors import ConfigurationError
 from ..cluster.api import rsm_verdicts, standard_verdicts
+from ..net.control import send_fault_command
 from ..obs.events import TraceEvent
 from ..obs.merge import MergeReport, merge_traces
 from ..obs.reader import TraceFile, iter_trace_events
@@ -158,6 +166,22 @@ class ProcessCluster:
         self._kill_walls: Dict[ProcessId, float] = {}
         self._pending_crashes: List[tuple] = []
         self._crash_timers: List[asyncio.TimerHandle] = []
+        # Fault-verb machinery, mirroring the crash machinery: pre-start
+        # verbs queue as (at, fire) pairs, live ones arm loop timers.
+        self._pending_faults: List[Tuple[Optional[Time], Callable[[], None]]] = []
+        self._fault_timers: List[asyncio.TimerHandle] = []
+        # In-flight control-command broadcasts (referenced so the tasks
+        # survive GC; reaped in stop()) and their terminal failures.
+        self._control_tasks: set = set()
+        #: Failures delivering fault commands ("node down" timeouts on
+        #: killed/frozen targets are expected and land here too).
+        self.control_errors: List[str] = []
+        self._stalled: set = set()
+        # (pid, verb, wall-time) per delivered SIGSTOP/SIGCONT: a frozen
+        # process cannot trace its own freeze, so traces() injects these
+        # synthetically, like the crash events.
+        self._signal_walls: List[Tuple[ProcessId, str, float]] = []
+        self._scenario_meta: Optional[Tuple[str, int, Optional[int]]] = None
         self._started = False
         self._stopped = False
         self._t0: Optional[float] = None
@@ -192,6 +216,7 @@ class ProcessCluster:
             self.n,
             host=self.host,
             serve=self.serve,
+            control=True,
             transport=self.transport,
             stack=self.stack,
             period=self.period,
@@ -226,11 +251,48 @@ class ProcessCluster:
                 ],
                 stdout=log, stderr=subprocess.STDOUT, env=env,
             )
+        await self._wait_control_ready()
         self._t0 = time.monotonic()
         loop = asyncio.get_running_loop()
         for pid, at in self._pending_crashes:
             self._arm_crash(loop, pid, at)
         self._pending_crashes.clear()
+        for at, fire in self._pending_faults:
+            self._arm_fault(loop, at, fire)
+        self._pending_faults.clear()
+
+    async def _wait_control_ready(self, budget: float = 10.0) -> None:
+        """Block until every node's fault-control endpoint answers a ping
+        (or *budget* seconds pass for a node that never will).
+
+        The fault clock must not start while the nodes are still
+        interpreters mid-import: a scenario's first window would fire
+        into unbound sockets and vanish.  Pinging every endpoint before
+        zeroing :attr:`elapsed` pins "cluster time 0" to the moment the
+        whole cluster is actually listening — which is also (to within a
+        ping) when the node-local trace clocks were zeroed, so scheduled
+        faults land at the node-local times the scenario names.  A node
+        that dies during boot just eats its budget; the failure is
+        recorded in :attr:`control_errors`, never raised.
+        """
+        assert self.book is not None
+
+        async def ready(pid: ProcessId) -> None:
+            address = self.book.control_address(pid)
+            if address is None:
+                return
+            try:
+                await send_fault_command(
+                    address, {"op": "ping"},
+                    timeout=0.5, attempts=max(1, int(budget / 0.5)),
+                )
+            except (ConfigurationError, OSError,
+                    asyncio.TimeoutError) as exc:
+                self.control_errors.append(
+                    f"ping -> node {pid}: {exc!r}"
+                )
+
+        await asyncio.gather(*(ready(pid) for pid in self.pids))
 
     @property
     def serve_addresses(self) -> Dict[ProcessId, tuple]:
@@ -276,6 +338,196 @@ class ProcessCluster:
         self._killed.add(pid)
         self._kill_walls[pid] = time.time()
 
+    # ----------------------------------------------------------- fault verbs
+    # Same scheduling contract as crash(): `at` is a wall offset from
+    # cluster start (None = now), callable before start.  Process verbs
+    # (stall/resume) are OS signals — the victim does not cooperate;
+    # network verbs are JSON commands broadcast to every node's
+    # fault-control endpoint (each node's plan only governs its own
+    # sends, so both sides of a partition must install it).
+
+    def _check_pid(self, pid: ProcessId) -> ProcessId:
+        if not 0 <= pid < self.n:
+            raise ConfigurationError(f"pid {pid} out of range for n={self.n}")
+        return pid
+
+    def _fault(self, at: Optional[Time], fire: Callable[[], None]) -> None:
+        if not self._started:
+            self._pending_faults.append((at, fire))
+            return
+        self._arm_fault(asyncio.get_running_loop(), at, fire)
+
+    def _arm_fault(
+        self,
+        loop: asyncio.AbstractEventLoop,
+        at: Optional[Time],
+        fire: Callable[[], None],
+    ) -> None:
+        delay = 0.0 if at is None else max(0.0, at - self.elapsed)
+        if delay <= 0.0:
+            fire()
+        else:
+            self._fault_timers.append(loop.call_later(delay, fire))
+
+    def _signal_now(self, pid: ProcessId, sig: int, verb: str) -> None:
+        """Deliver SIGSTOP/SIGCONT to a still-living node."""
+        proc = self.procs.get(pid)
+        if proc is None or proc.poll() is not None or pid in self._killed:
+            return
+        os.kill(proc.pid, sig)
+        if verb == "stall":
+            self._stalled.add(pid)
+        else:
+            self._stalled.discard(pid)
+        self._signal_walls.append((pid, verb, time.time()))
+
+    def _send_control(
+        self, command: Dict[str, Any], targets: Iterable[ProcessId]
+    ) -> None:
+        task = asyncio.ensure_future(
+            self._broadcast_control(command, list(targets))
+        )
+        self._control_tasks.add(task)
+        task.add_done_callback(self._control_tasks.discard)
+
+    async def _broadcast_control(
+        self, command: Dict[str, Any], targets: List[ProcessId]
+    ) -> None:
+        assert self.book is not None
+        live = []
+        for pid in targets:
+            if pid in self._killed:
+                continue
+            if self.book.control_address(pid) is None:
+                self.control_errors.append(
+                    f"{command.get('op')}: node {pid} has no control port "
+                    "(book written without control=True?)"
+                )
+                continue
+            live.append(pid)
+        sends = []
+        for idx, pid in enumerate(live):
+            # Exactly one copy is flagged to narrate the scenario.* trace
+            # event — one logical fault, one event in the merged trace.
+            per_node = dict(command, record=(idx == 0))
+            address = self.book.control_address(pid)
+            assert address is not None
+            sends.append(send_fault_command(address, per_node))
+        results = await asyncio.gather(*sends, return_exceptions=True)
+        for pid, result in zip(live, results):
+            if isinstance(result, BaseException):
+                # A dead or frozen target cannot ack — expected under
+                # overlapping faults; recorded, not raised.
+                self.control_errors.append(
+                    f"{command.get('op')} -> node {pid}: {result!r}"
+                )
+
+    def note_scenario(
+        self, name: str, events: int, seed: Optional[int] = None
+    ) -> None:
+        """Record that a scenario schedule was armed (``scenario.run``)."""
+        self._scenario_meta = (name, events, seed)
+
+    def stall(self, pid: ProcessId, at: Optional[Time] = None) -> None:
+        """Freeze node *pid* with a real ``SIGSTOP`` until :meth:`resume`.
+
+        The process stops executing mid-instruction — timers, sockets and
+        all — which is the crash-recovery-adjacent fault the paper's
+        detectors must eventually forgive: peers see silence, then the
+        node comes back with its state intact (it stays in the correct
+        set, unlike a :meth:`crash`)."""
+        self._check_pid(pid)
+        self._fault(at, lambda: self._signal_now(pid, signal.SIGSTOP, "stall"))
+
+    def resume(self, pid: ProcessId, at: Optional[Time] = None) -> None:
+        """Unfreeze a stalled node with ``SIGCONT``."""
+        self._check_pid(pid)
+        self._fault(at, lambda: self._signal_now(pid, signal.SIGCONT, "resume"))
+
+    def partition(
+        self,
+        groups: Sequence[Iterable[ProcessId]],
+        at: Optional[Time] = None,
+    ) -> None:
+        """Split the network into *groups* (pids in no group form an
+        implicit final group); cross-group traffic is dropped both ways."""
+        frozen = [list(group) for group in groups]
+        seen: set = set()
+        for group in frozen:
+            for pid in group:
+                self._check_pid(pid)
+                if pid in seen:
+                    raise ConfigurationError(f"pid {pid} in two groups")
+                seen.add(pid)
+        command = {"op": "partition", "groups": frozen}
+        self._fault(at, lambda: self._send_control(command, self.pids))
+
+    def heal(self, at: Optional[Time] = None) -> None:
+        """Remove the active network partition."""
+        self._fault(at, lambda: self._send_control({"op": "heal"}, self.pids))
+
+    def isolate(self, pid: ProcessId, at: Optional[Time] = None) -> None:
+        """Partition node *pid* away from everyone else."""
+        self._check_pid(pid)
+        command = {"op": "isolate", "pid": pid}
+        self._fault(at, lambda: self._send_control(command, self.pids))
+
+    def degrade(
+        self,
+        src: ProcessId,
+        dst: ProcessId,
+        loss: Optional[float] = None,
+        delay: Optional[Time] = None,
+        at: Optional[Time] = None,
+    ) -> None:
+        """Make the directed link ``src -> dst`` lossy and/or slow."""
+        self._check_pid(src)
+        self._check_pid(dst)
+        if loss is not None and not 0.0 <= loss <= 1.0:
+            raise ConfigurationError(f"loss_prob {loss} outside [0, 1]")
+        if delay is not None and delay < 0:
+            raise ConfigurationError(f"negative delay {delay}")
+        command = {
+            "op": "degrade", "src": src, "dst": dst,
+            "loss": loss, "delay": delay,
+        }
+        # A directed link is the sender's business alone: faults inject at
+        # send time, so only src's plan needs the override.
+        self._fault(at, lambda: self._send_control(command, [src]))
+
+    def restore(
+        self, src: ProcessId, dst: ProcessId, at: Optional[Time] = None
+    ) -> None:
+        """Undo :meth:`degrade` for the directed link ``src -> dst``."""
+        self._check_pid(src)
+        self._check_pid(dst)
+        command = {"op": "restore", "src": src, "dst": dst}
+        self._fault(at, lambda: self._send_control(command, [src]))
+
+    def storm(self, loss: float, at: Optional[Time] = None) -> None:
+        """Start a cluster-wide message-loss storm (until :meth:`calm`)."""
+        if not 0.0 <= loss <= 1.0:
+            raise ConfigurationError(f"loss_prob {loss} outside [0, 1]")
+        command = {"op": "storm", "loss": loss}
+        self._fault(at, lambda: self._send_control(command, self.pids))
+
+    def calm(self, at: Optional[Time] = None) -> None:
+        """End the active message-loss storm."""
+        self._fault(at, lambda: self._send_control({"op": "calm"}, self.pids))
+
+    def skew(
+        self, pid: ProcessId, offset: Time, at: Optional[Time] = None
+    ) -> None:
+        """Step node *pid*'s clock by *offset* seconds (cumulative)."""
+        self._check_pid(pid)
+        command = {"op": "skew", "offset": offset}
+        self._fault(at, lambda: self._send_control(command, [pid]))
+
+    @property
+    def stalled_pids(self) -> frozenset:
+        """Pids currently frozen by :meth:`stall`."""
+        return frozenset(self._stalled)
+
     def poll(self) -> Dict[ProcessId, Optional[int]]:
         """Liveness snapshot: pid -> exit status (``None`` = still running)."""
         return {pid: proc.poll() for pid, proc in self.procs.items()}
@@ -307,6 +559,22 @@ class ProcessCluster:
         for timer in self._crash_timers:
             timer.cancel()
         self._crash_timers.clear()
+        for timer in self._fault_timers:
+            timer.cancel()
+        self._fault_timers.clear()
+        if self._control_tasks:
+            await asyncio.gather(
+                *tuple(self._control_tasks), return_exceptions=True
+            )
+            self._control_tasks.clear()
+        # Unfreeze never-resumed stalls before reaping (SIGKILL does land
+        # on a stopped process, but un-stopping first keeps the shutdown
+        # path uniform and the process table free of T-state strays).
+        for pid in tuple(self._stalled):
+            proc = self.procs.get(pid)
+            if proc is not None and proc.poll() is None:
+                os.kill(proc.pid, signal.SIGCONT)
+            self._stalled.discard(pid)
         for pid, proc in self.procs.items():
             if proc.poll() is None:
                 proc.kill()  # launcher cleanup, not part of the crash model
@@ -352,6 +620,30 @@ class ProcessCluster:
                     time=max(0.0, wall - base), kind="crash", pid=pid,
                     data={"signal": "SIGKILL"},
                 )
+            )
+        # Signal faults are as invisible to their victim as kills (the
+        # process is frozen the instant SIGSTOP lands), so they are
+        # injected synthetically too.
+        for pid, verb, wall in self._signal_walls:
+            events.append(
+                TraceEvent(
+                    time=max(0.0, wall - base), kind=f"scenario.{verb}",
+                    pid=pid,
+                    data={
+                        "target": pid,
+                        "signal": (
+                            "SIGSTOP" if verb == "stall" else "SIGCONT"
+                        ),
+                    },
+                )
+            )
+        if self._scenario_meta is not None:
+            name, count, seed = self._scenario_meta
+            data: Dict[str, Any] = {"name": name, "events": count}
+            if seed is not None:
+                data["seed"] = seed
+            events.append(
+                TraceEvent(time=0.0, kind="scenario.run", pid=None, data=data)
             )
         events.sort(key=lambda event: event.time)
         merged = MemorySink()

@@ -11,7 +11,15 @@ a process cluster has no in-process orchestrator to poke components.
 Crashes are *not* handled here, and that is the point: the launcher
 ``kill -9``'s the process, the OS reclaims the sockets, and the peers
 observe genuine silence.  The node never traps signals, so there is no
-cooperative-shutdown path that could soften the failure model.
+cooperative-shutdown path that could soften the failure model — stalls
+arrive the same way, as real ``SIGSTOP``/``SIGCONT``.  *Network* faults,
+by contrast, need the node's cooperation (only it can drop its own
+sends), so each node wraps its transport in a
+:class:`~repro.net.faults.FaultyTransport` over an idle per-node
+:class:`~repro.net.faults.FaultPlan` and — when the address book names a
+``control_port`` — binds a :class:`~repro.net.control.FaultControlEndpoint`
+through which the launcher's partition/degrade/storm/skew verbs mutate
+that plan (and the node's clock) at runtime.
 """
 
 from __future__ import annotations
@@ -21,8 +29,10 @@ from pathlib import Path
 from typing import Any, Dict, Optional, Union
 
 from ..errors import ConfigurationError
-from ..net.clock import AsyncioClock
+from ..net.clock import AsyncioClock, SkewedClock
 from ..net.codec import default_codec
+from ..net.control import FaultControlEndpoint
+from ..net.faults import FaultPlan, FaultyTransport
 from ..net.host import NodeHost
 from ..net.stats import StatsEndpoint, parse_stats_addr
 from ..net.tcp import TCPTransport
@@ -50,17 +60,24 @@ def build_node(
     """
     host_addr, port = book.address(pid)
     if book.transport == "udp":
-        transport: Any = UDPTransport(pid, host=host_addr, port=port)
+        real: Any = UDPTransport(pid, host=host_addr, port=port)
     else:
-        transport = TCPTransport(pid, host=host_addr, port=port)
+        real = TCPTransport(pid, host=host_addr, port=port)
     prefer = None if book.codec == "auto" else book.codec
+    # The node's own fault surface: an (idle, near-free) plan its sends
+    # run through and a steppable clock — the fault-control endpoint
+    # mutates both on command from the launcher.  Decorrelate the plan's
+    # rng from peers so "30% loss everywhere" is not 3 identical streams.
+    plan = FaultPlan(book.n, seed=book.seed * 1009 + pid)
+    clock = SkewedClock(AsyncioClock())
     host = NodeHost(
-        pid, book.n, transport,
-        clock=AsyncioClock(),
+        pid, book.n, FaultyTransport(real, plan, clock),
+        clock=clock,
         codec=default_codec(prefer=prefer),
         trace=trace if trace is not None else MemorySink(),
         seed=book.seed,
     )
+    host.fault_plan = plan  # type: ignore[attr-defined]
     host.stacks = attach_node_stack(  # type: ignore[attr-defined]
         host.attach,
         suspects=book.stack,
@@ -103,6 +120,14 @@ async def run_node(
     else:
         sink = MemorySink()
     host = build_node(book, pid, trace=sink)
+    control: Optional[FaultControlEndpoint] = None
+    control_at = book.control_address(pid)
+    if control_at is not None:
+        control = FaultControlEndpoint(
+            host, host.fault_plan,  # type: ignore[attr-defined]
+            listen_host=control_at[0], port=control_at[1],
+        )
+        await control.bind()
     stats: Optional[StatsEndpoint] = None
     if stats_addr is not None:
         stats_host, stats_port = parse_stats_addr(stats_addr)
@@ -153,6 +178,8 @@ async def run_node(
             )
     run_for = duration if duration is not None else book.duration
     await asyncio.sleep(run_for)
+    if control is not None:
+        control.close()
     if stats is not None:
         stats.close()
     if frontend is not None:

@@ -1,0 +1,258 @@
+"""The scenario DSL: timed fault events and the :class:`Scenario` document.
+
+A scenario is a *compiled schedule*: a list of ``(time, op, args)``
+triples over the :data:`~repro.cluster.api.FAULT_VERBS` surface, plus the
+run parameters the schedule was built for (``n``, ``period``,
+``duration``, ``propose_after``).  It is declarative — nothing executes
+here; :func:`repro.scenario.runner.apply_scenario` turns each event into
+one ``ClusterAPI`` verb call with ``at=time``, on either substrate.
+
+Scenarios serialize to a small canonical JSON document (sorted keys,
+events time-ordered), so "same seed ⇒ byte-identical schedule" is a
+testable statement about :meth:`Scenario.to_json`:
+
+.. code-block:: json
+
+    {
+      "duration": 4.0,
+      "events": [
+        {"op": "partition", "groups": [[0], [1, 2]], "t": 0.5},
+        {"op": "heal", "t": 1.0},
+        {"op": "stall", "pid": 2, "t": 1.5},
+        {"op": "resume", "pid": 2, "t": 2.0}
+      ],
+      "n": 3,
+      "name": "demo",
+      "period": 0.05,
+      "propose_after": 2.5,
+      "seed": null
+    }
+
+Validation is eager and structural: unknown ops, missing/unknown args,
+out-of-range pids (when ``n`` is set), and out-of-bounds probabilities
+are all :class:`~repro.errors.ConfigurationError` at construction, not
+mid-run.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from ..errors import ConfigurationError
+from ..types import Time
+
+__all__ = ["ScenarioEvent", "Scenario", "OP_SPECS"]
+
+#: op -> (required arg names, optional arg names).  The args mirror the
+#: matching ClusterAPI verb's parameters (minus ``at``, which is the
+#: event's ``t``).
+OP_SPECS: Dict[str, Tuple[Tuple[str, ...], Tuple[str, ...]]] = {
+    "crash": (("pid",), ()),
+    "stall": (("pid",), ()),
+    "resume": (("pid",), ()),
+    "isolate": (("pid",), ()),
+    "partition": (("groups",), ()),
+    "heal": ((), ()),
+    "degrade": (("src", "dst"), ("loss", "delay")),
+    "restore": (("src", "dst"), ()),
+    "storm": (("loss",), ()),
+    "calm": ((), ()),
+    "skew": (("pid", "offset"), ()),
+}
+
+
+def _check_loss(value: Any, what: str) -> float:
+    value = float(value)
+    if not 0.0 <= value <= 1.0:
+        raise ConfigurationError(f"{what} {value} outside [0, 1]")
+    return value
+
+
+@dataclass(frozen=True)
+class ScenarioEvent:
+    """One timed fault: apply *op* with *args* at cluster time *time*."""
+
+    time: Time
+    op: str
+    args: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.op not in OP_SPECS:
+            raise ConfigurationError(
+                f"unknown scenario op {self.op!r}; known ops: "
+                + ", ".join(sorted(OP_SPECS))
+            )
+        if self.time < 0:
+            raise ConfigurationError(
+                f"scenario event time {self.time} must be >= 0"
+            )
+        required, optional = OP_SPECS[self.op]
+        missing = [key for key in required if key not in self.args]
+        if missing:
+            raise ConfigurationError(
+                f"scenario op {self.op!r} missing arg(s): {missing}"
+            )
+        unknown = sorted(set(self.args) - set(required) - set(optional))
+        if unknown:
+            raise ConfigurationError(
+                f"scenario op {self.op!r} got unknown arg(s): {unknown}"
+            )
+        # Value-level checks that do not need n (pid ranges are checked by
+        # Scenario, which knows the cluster size).
+        if "loss" in self.args and self.args["loss"] is not None:
+            _check_loss(self.args["loss"], "loss")
+        if "delay" in self.args and self.args["delay"] is not None:
+            if float(self.args["delay"]) < 0:
+                raise ConfigurationError(
+                    f"negative delay {self.args['delay']}"
+                )
+        if self.op == "partition":
+            groups = self.args["groups"]
+            if not isinstance(groups, (list, tuple)) or not all(
+                isinstance(group, (list, tuple)) for group in groups
+            ):
+                raise ConfigurationError(
+                    "partition groups must be a list of pid lists, got "
+                    f"{groups!r}"
+                )
+
+    def pids(self) -> List[int]:
+        """Every pid the event names (for range validation)."""
+        out: List[int] = []
+        for key in ("pid", "src", "dst"):
+            if key in self.args:
+                out.append(self.args[key])
+        if self.op == "partition":
+            for group in self.args["groups"]:
+                out.extend(group)
+        return out
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"t": self.time, "op": self.op, **self.args}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ScenarioEvent":
+        data = dict(data)
+        try:
+            time = data.pop("t")
+            op = data.pop("op")
+        except KeyError as exc:
+            raise ConfigurationError(
+                f"scenario event needs 't' and 'op' keys, got {data!r}"
+            ) from exc
+        # JSON round-trips partition groups as lists of lists; normalize
+        # numeric arg types so to_json stays canonical.
+        return cls(time=float(time), op=str(op), args=data)
+
+
+_SCENARIO_KEYS = (
+    "name", "n", "seed", "period", "duration", "propose_after", "events",
+)
+
+
+@dataclass
+class Scenario:
+    """A named, parameterized fault schedule (see module docstring).
+
+    ``n`` / ``period`` / ``duration`` / ``propose_after`` are the run
+    parameters the schedule assumes; the harness builds the cluster from
+    them (``None`` means "caller decides").  ``seed`` records the
+    generator seed for provenance (``None`` for hand-written scenarios).
+    """
+
+    name: str = "scenario"
+    n: Optional[int] = None
+    seed: Optional[int] = None
+    period: Optional[Time] = None
+    duration: Optional[Time] = None
+    propose_after: Optional[Time] = None
+    events: List[ScenarioEvent] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.n is not None and self.n < 1:
+            raise ConfigurationError(f"n must be >= 1, got {self.n}")
+        self.events = [
+            event if isinstance(event, ScenarioEvent)
+            else ScenarioEvent.from_dict(event)
+            for event in self.events
+        ]
+        # Canonical order: by time, ties kept in authored order (sort is
+        # stable), so equal scenarios serialize equal.
+        self.events.sort(key=lambda event: event.time)
+        if self.n is not None:
+            for event in self.events:
+                for pid in event.pids():
+                    if not 0 <= pid < self.n:
+                        raise ConfigurationError(
+                            f"scenario op {event.op!r} at t={event.time} "
+                            f"names pid {pid}, out of range for n={self.n}"
+                        )
+        if self.duration is not None:
+            late = [e for e in self.events if e.time > self.duration]
+            if late:
+                raise ConfigurationError(
+                    f"{len(late)} scenario event(s) scheduled after the "
+                    f"declared duration {self.duration} (first: "
+                    f"{late[0].op!r} at t={late[0].time})"
+                )
+
+    # ------------------------------------------------------------------ serde
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "n": self.n,
+            "seed": self.seed,
+            "period": self.period,
+            "duration": self.duration,
+            "propose_after": self.propose_after,
+            "events": [event.to_dict() for event in self.events],
+        }
+
+    def to_json(self) -> str:
+        """The canonical serialization ("same seed ⇒ byte-identical")."""
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n"
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Scenario":
+        unknown = sorted(set(data) - set(_SCENARIO_KEYS))
+        if unknown:
+            raise ConfigurationError(f"unknown scenario keys: {unknown}")
+        return cls(**data)
+
+    @classmethod
+    def from_json(cls, text: str) -> "Scenario":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ConfigurationError(f"invalid scenario JSON: {exc}") from exc
+        if not isinstance(data, dict):
+            raise ConfigurationError("a scenario document must be an object")
+        return cls.from_dict(data)
+
+    def save(self, path: Union[str, Path]) -> Path:
+        path = Path(path)
+        path.write_text(self.to_json())
+        return path
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "Scenario":
+        path = Path(path)
+        try:
+            text = path.read_text()
+        except OSError as exc:
+            raise ConfigurationError(
+                f"cannot read scenario {path}: {exc}"
+            ) from exc
+        return cls.from_json(text)
+
+    # ------------------------------------------------------------------ sugar
+    @property
+    def fault_end(self) -> Time:
+        """Time of the last scheduled event (0.0 when empty)."""
+        return self.events[-1].time if self.events else 0.0
+
+    def __len__(self) -> int:
+        return len(self.events)

@@ -3,10 +3,12 @@ virtual-clock LocalCluster driven through the same harness a
 ProcessCluster uses."""
 
 import asyncio
+import inspect
 
 import pytest
 
 from repro.cluster import (
+    FAULT_VERBS,
     ClusterAPI,
     LocalCluster,
     ProcessCluster,
@@ -15,6 +17,7 @@ from repro.cluster import (
     verdicts_ok,
 )
 from repro.errors import ConfigurationError
+from repro.net import FaultPlan
 from repro.obs.sinks import MemorySink
 
 SIM_SCALE = dict(period=5.0, initial_timeout=12.0, timeout_increment=5.0)
@@ -53,6 +56,34 @@ def test_cluster_api_rejects_partial_implementations():
             pass
 
     assert not isinstance(NotACluster(), ClusterAPI)
+
+
+@pytest.mark.parametrize("verb", FAULT_VERBS)
+def test_fault_verb_surface_is_identical_across_substrates(verb):
+    """The scenario layer drives either substrate blindly, so every fault
+    verb must exist on both with the same parameter list — including the
+    trailing ``at=None`` that makes each one schedulable."""
+
+    def shape(cluster):
+        method = getattr(cluster, verb)
+        assert callable(method)
+        return [
+            (p.name, p.default)
+            for p in inspect.signature(method).parameters.values()
+        ]
+
+    local = shape(LocalCluster(n=2, clock="virtual"))
+    proc = shape(ProcessCluster(n=2))
+    assert local == proc
+    assert local[-1] == ("at", None)
+
+
+def test_fault_plan_ctor_kwarg_is_deprecated():
+    plan = FaultPlan(2)
+    with pytest.warns(DeprecationWarning, match="fault_plan"):
+        cluster = LocalCluster(n=2, clock="virtual", fault_plan=plan)
+    # The legacy path still works while deprecated.
+    assert cluster.plan is plan
 
 
 # ------------------------------------------ LocalCluster under the harness

@@ -1,0 +1,63 @@
+"""The declarative nemesis against real OS processes: a partition armed
+over per-node fault-control messages, a SIGSTOP stall, and the same
+``run_scenario`` call that drives the virtual substrate — the CI smoke
+scenario, as a test."""
+
+import asyncio
+from collections import Counter
+
+import pytest
+
+from repro.analysis.qos import qos_report
+from repro.cluster import ProcessCluster
+from repro.scenario import Scenario, run_scenario
+
+pytestmark = pytest.mark.slow
+
+PERIOD = 0.05
+TIMEOUT = 2.4 * PERIOD
+DURATION = 6.0
+
+#: partition + heal, then a SIGSTOP window longer than the detection
+#: timeout — the ISSUE's acceptance schedule.
+NEMESIS = Scenario(
+    name="proc-smoke", n=3, period=PERIOD, duration=DURATION,
+    propose_after=4.0,
+    events=[
+        {"t": 0.6, "op": "partition", "groups": [[2]]},
+        {"t": 1.4, "op": "heal"},
+        {"t": 2.0, "op": "stall", "pid": 1},
+        {"t": 2.0 + 4 * TIMEOUT, "op": "resume", "pid": 1},
+    ],
+)
+
+
+def test_scenario_against_a_real_process_cluster(tmp_path):
+    cluster = ProcessCluster(
+        3, transport="udp", stack="ring", period=PERIOD,
+        duration=DURATION, propose_after=NEMESIS.propose_after, seed=7,
+        workdir=tmp_path,
+    )
+    result = asyncio.run(
+        run_scenario(cluster, NEMESIS, quiesce_timeout=DURATION + 15.0)
+    )
+    assert result["quiescent"]
+    assert result["ok"], result["verdicts"]
+    # Every fault command reached its node (the launcher records failures).
+    assert cluster.control_errors == []
+    # Nobody was killed: the stalled node was resumed, everyone exited 0.
+    assert all(status == 0 for status in cluster.exit_statuses.values())
+    # The merged trace narrates the schedule exactly once per event...
+    trace = cluster.traces()
+    kinds = Counter(
+        ev.kind for ev in trace.events if ev.kind.startswith("scenario.")
+    )
+    assert kinds == Counter({
+        "scenario.run": 1, "scenario.partition": 1, "scenario.heal": 1,
+        "scenario.stall": 1, "scenario.resume": 1,
+    })
+    # ...and the SIGSTOP window shows up as wrongful suspicion of the
+    # frozen-but-correct node, counted by `repro trace qos`.
+    report = qos_report(trace, period=PERIOD, n=3)
+    assert any(m.suspect == 1 for m in report.mistakes)
+    assert report.leader_stabilized_at is not None

@@ -74,15 +74,69 @@ def test_delay_model_verdicts_count_delays():
 
 
 def test_plan_validates_inputs():
-    with pytest.raises(ConfigurationError):
+    with pytest.raises(ConfigurationError, match=r"outside \[0, 1\]"):
         FaultPlan(3, loss_prob=1.5)
     plan = FaultPlan(3)
     with pytest.raises(ConfigurationError):
         plan.partition([0, 7])
     with pytest.raises(ConfigurationError):
         plan.partition([0, 1], [1, 2])
-    with pytest.raises(ConfigurationError):
+    with pytest.raises(ConfigurationError, match=r"outside \[0, 1\]"):
         plan.degrade(0, 1, loss_prob=-0.1)
+    with pytest.raises(ConfigurationError, match=r"outside \[0, 1\]"):
+        plan.storm(1.2)
+
+
+def test_loss_prob_one_is_legal_everywhere():
+    # The boundary is inclusive on BOTH ends for every entry point — the
+    # constructor used to reject what degrade() accepted.
+    plan = FaultPlan(2, loss_prob=1.0)
+    assert all(plan.plan(0, 1) is None for _ in range(10))
+    plan = FaultPlan(2)
+    plan.degrade(0, 1, loss_prob=1.0)
+    assert plan.plan(0, 1) is None
+    plan.restore(0, 1)
+    plan.storm(1.0)
+    assert plan.plan(0, 1) is None and plan.plan(1, 0) is None
+
+
+def test_stall_silences_both_directions():
+    plan = FaultPlan(3)
+    plan.stall(1)
+    assert plan.stalled == frozenset({1})
+    assert plan.plan(1, 0) is None and plan.plan(0, 1) is None
+    assert plan.plan(0, 2) == 0.0  # bystanders talk normally
+    plan.resume(1)
+    assert plan.stalled == frozenset()
+    assert plan.plan(1, 0) == 0.0
+
+
+def test_storm_floors_every_pair_until_calm():
+    plan = FaultPlan(3, seed=2)
+    plan.storm(1.0)
+    assert plan.storming
+    assert plan.plan(0, 1) is None and plan.plan(2, 0) is None
+    plan.calm()
+    assert not plan.storming
+    assert plan.plan(0, 1) == 0.0
+
+
+def test_active_flag_tracks_every_fault_family():
+    # The FaultyTransport fast path: an idle plan must read as inactive,
+    # and every verb pair must restore that state when undone.
+    plan = FaultPlan(3)
+    assert not plan.active
+    for arm, undo in (
+        (lambda: plan.partition([0]), plan.heal),
+        (lambda: plan.stall(1), lambda: plan.resume(1)),
+        (lambda: plan.storm(0.5), plan.calm),
+        (lambda: plan.degrade(0, 1, loss_prob=0.5),
+         lambda: plan.restore(0, 1)),
+    ):
+        arm()
+        assert plan.active
+        undo()
+        assert not plan.active
 
 
 # --------------------------------------------------- proxy over the transport

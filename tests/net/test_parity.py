@@ -16,7 +16,7 @@ from repro.consensus.ec_consensus import ECConsensus
 from repro.fd.eventually_consistent import CombinedDetector
 from repro.fd.leader_based import LeaderBasedOmega
 from repro.fd.ring import RingDetector
-from repro.net import FaultPlan, LocalCluster, attach_standard_stack
+from repro.net import LocalCluster, attach_standard_stack
 from repro.sim import FixedDelay, ReliableLink, World
 from repro.transform.c_to_p import CToPTransformation
 
@@ -55,8 +55,10 @@ def run_sim(seed=0):
 def run_net(seed=0):
     cluster = LocalCluster(
         n=3, transport="loopback", clock="virtual", seed=seed,
-        fault_plan=FaultPlan(3, delay=FixedDelay(1.0)),
     )
+    # Every link a fixed 1.0-unit delay: a zero-loss "storm" puts the
+    # delay model on every pair of the always-on fault plan.
+    cluster.plan.storm(0.0, delay=FixedDelay(1.0))
     stacks = attach_standard_stack(
         cluster, period=PERIOD,
         initial_timeout=TIMEOUT0, timeout_increment=INCREMENT,
@@ -114,8 +116,10 @@ def run_net_jittered(seed):
 
     cluster = LocalCluster(
         n=3, transport="loopback", clock="virtual", seed=seed,
-        fault_plan=FaultPlan(3, seed=seed, delay=UniformDelay(0.5, 1.5)),
     )
+    # The built-in plan is seeded with the cluster seed, so the jittered
+    # delay draws are part of the same deterministic-replay contract.
+    cluster.plan.storm(0.0, delay=UniformDelay(0.5, 1.5))
     stacks = attach_standard_stack(
         cluster, period=PERIOD,
         initial_timeout=TIMEOUT0, timeout_increment=INCREMENT,

@@ -19,7 +19,7 @@ from repro.analysis import (
     qos_report,
 )
 from repro.fd import EVENTUALLY_CONSISTENT
-from repro.net import FaultPlan, LocalCluster, attach_standard_stack
+from repro.net import LocalCluster, attach_standard_stack
 from repro.obs import merge_traces
 from repro.sim import FixedDelay
 
@@ -32,9 +32,11 @@ def shipped_run(tmp_path_factory):
     out = tmp_path_factory.mktemp("traces")
     cluster = LocalCluster(
         n=3, transport="loopback", clock="virtual", seed=0,
-        fault_plan=FaultPlan(3, delay=FixedDelay(1.0)),
         trace_out=out,
     )
+    # Fixed 1.0 delays on every link: a zero-loss "storm" carrying the
+    # delay model, on the always-on fault plan.
+    cluster.plan.storm(0.0, delay=FixedDelay(1.0))
     stacks = attach_standard_stack(
         cluster, period=PERIOD,
         initial_timeout=TIMEOUT0, timeout_increment=INCREMENT,
@@ -118,9 +120,9 @@ def test_combined_file_mode_ships_one_checkable_stream(tmp_path):
     out = tmp_path / "run.jsonl"
     cluster = LocalCluster(
         n=3, transport="loopback", clock="virtual", seed=0,
-        fault_plan=FaultPlan(3, delay=FixedDelay(1.0)),
         trace_out=out,
     )
+    cluster.plan.storm(0.0, delay=FixedDelay(1.0))
     stacks = attach_standard_stack(
         cluster, period=PERIOD,
         initial_timeout=TIMEOUT0, timeout_increment=INCREMENT,

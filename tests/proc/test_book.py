@@ -89,6 +89,26 @@ def test_load_rejects_garbage(tmp_path):
 
 
 # --------------------------------------------------------------- allocation
+def test_allocate_control_ports_for_the_fault_endpoints(tmp_path):
+    book = AddressBook.allocate(3, control=True)
+    ports = [entry.control_port for entry in book.nodes]
+    assert all(port is not None for port in ports)
+    assert len(set(ports)) == 3
+    assert book.control_address(1) == ("127.0.0.1", ports[1])
+    assert book.control_addresses() == {
+        pid: ("127.0.0.1", ports[pid]) for pid in range(3)
+    }
+    # The ports survive the JSON trip to the child processes.
+    loaded = AddressBook.load(book.save(tmp_path / "book.json"))
+    assert loaded == book
+
+
+def test_control_address_is_none_without_allocation():
+    book = make_book()
+    assert book.control_address(0) is None
+    assert book.control_addresses() == {}
+
+
 @pytest.mark.parametrize("transport", PROC_TRANSPORTS)
 def test_allocate_hands_out_distinct_bindable_ports(transport):
     book = AddressBook.allocate(3, transport=transport, seed=5)

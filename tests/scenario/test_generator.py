@@ -1,0 +1,77 @@
+"""The seeded nemesis: same seed => byte-identical schedule, sane shape."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.scenario import generate_scenario
+
+
+def test_same_seed_is_byte_identical():
+    a = generate_scenario(n=4, seed=7)
+    b = generate_scenario(n=4, seed=7)
+    assert a.to_json() == b.to_json()
+
+
+def test_different_seed_differs():
+    assert (
+        generate_scenario(n=4, seed=7).to_json()
+        != generate_scenario(n=4, seed=8).to_json()
+    )
+
+
+def test_counts_shape_the_schedule():
+    scenario = generate_scenario(
+        n=5, seed=3, partitions=2, stalls=1, storms=1, degrades=1,
+        skews=1, crashes=2,
+    )
+    ops = [event.op for event in scenario.events]
+    assert ops.count("partition") == 2 and ops.count("heal") == 2
+    assert ops.count("stall") == 1 and ops.count("resume") == 1
+    assert ops.count("storm") == 1 and ops.count("calm") == 1
+    assert ops.count("degrade") == 1 and ops.count("restore") == 1
+    assert ops.count("skew") == 1
+    assert ops.count("crash") == 2
+
+
+def test_every_fault_window_closes():
+    """Partitions heal, stalls resume, storms calm — in order."""
+    scenario = generate_scenario(
+        n=3, seed=11, partitions=2, stalls=2, storms=2, degrades=2,
+    )
+    closer = {"partition": "heal", "stall": "resume", "storm": "calm",
+              "degrade": "restore"}
+    events = scenario.events
+    for i, event in enumerate(events):
+        if event.op in closer:
+            following = [e.op for e in events[i + 1:]]
+            assert closer[event.op] in following, (
+                f"{event.op} at t={event.time} never closes"
+            )
+
+
+def test_consensus_runs_in_the_well_behaved_suffix():
+    scenario = generate_scenario(n=3, seed=5, crashes=1)
+    assert scenario.propose_after > scenario.fault_end
+    assert scenario.duration > scenario.propose_after
+    # Crashes come last: everything after the first crash is a crash.
+    ops = [event.op for event in scenario.events]
+    first = ops.index("crash")
+    assert set(ops[first:]) == {"crash"}
+
+
+def test_rejects_degenerate_requests():
+    with pytest.raises(ConfigurationError, match="n >= 2"):
+        generate_scenario(n=1, seed=0)
+    with pytest.raises(ConfigurationError, match="must be >= 0"):
+        generate_scenario(n=3, seed=0, stalls=-1)
+    with pytest.raises(ConfigurationError, match="majority"):
+        generate_scenario(n=3, seed=0, crashes=2)
+    with pytest.raises(ConfigurationError, match="after the declared"):
+        generate_scenario(n=3, seed=0, duration=0.1)
+
+
+def test_provenance_is_recorded():
+    scenario = generate_scenario(n=3, seed=42)
+    assert scenario.seed == 42
+    assert scenario.n == 3
+    assert scenario.name == "nemesis-n3-seed42"

@@ -4,12 +4,20 @@ import argparse
 
 import pytest
 
-from repro.cli import _parse_crash_specs, build_parser, main
+from repro.cli import (
+    _parse_crash_specs,
+    _parse_degrade_specs,
+    build_parser,
+    main,
+)
 from repro.errors import ConfigurationError
 
 #: The flags factored into the shared parent parser — `repro cluster` and
 #: `repro proc run` must agree on them exactly.
-SHARED_DESTS = ("transport", "stack", "trace_out", "duration", "crash")
+SHARED_DESTS = (
+    "transport", "stack", "trace_out", "duration", "crash",
+    "loss", "degrade", "scenario",
+)
 
 
 def _subcommands(parser):
@@ -69,6 +77,27 @@ class TestParser:
         for bad in ("1.5", "x:2", "0:y", "0:"):
             with pytest.raises(ConfigurationError):
                 _parse_crash_specs([bad])
+
+    def test_parse_degrade_specs(self):
+        assert _parse_degrade_specs(["0:1:0.5"]) == [(0, 1, 0.5, None)]
+        assert _parse_degrade_specs(["2:0:0.3:0.02"]) == [(2, 0, 0.3, 0.02)]
+        assert _parse_degrade_specs([]) == []
+        for bad in ("0:1", "x:1:0.5", "0:1:2.0", "0:1:0.5:-1"):
+            with pytest.raises(ConfigurationError):
+                _parse_degrade_specs([bad])
+
+    def test_scenario_args(self):
+        args = build_parser().parse_args(
+            ["scenario", "gen", "--nodes", "4", "--seed", "9",
+             "--crashes", "1"]
+        )
+        assert args.nodes == 4 and args.seed == 9 and args.crashes == 1
+        args = build_parser().parse_args(
+            ["scenario", "run", "--file", "nem.json", "--runtime", "proc"]
+        )
+        assert args.file == "nem.json" and args.runtime == "proc"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["scenario", "run", "--runtime", "sim"])
 
     def test_node_serve_addr(self):
         args = build_parser().parse_args(
@@ -189,3 +218,31 @@ class TestCommands:
         out = capsys.readouterr().out
         # Either stored tables or the how-to-generate hint.
         assert "experiment" in out.lower()
+
+    def test_scenario_gen_is_deterministic(self, capsys):
+        argv = ["scenario", "gen", "--nodes", "3", "--seed", "7"]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0
+        assert capsys.readouterr().out == first  # byte-identical schedule
+        assert main(["scenario", "gen", "--nodes", "3", "--seed", "8"]) == 0
+        assert capsys.readouterr().out != first
+
+    def test_scenario_gen_writes_the_canonical_file(self, tmp_path, capsys):
+        out = tmp_path / "nem.json"
+        assert main(
+            ["scenario", "gen", "--seed", "7", "--out", str(out)]
+        ) == 0
+        capsys.readouterr()  # drop the "wrote ..." confirmation line
+        assert main(["scenario", "gen", "--seed", "7"]) == 0
+        assert out.read_text() == capsys.readouterr().out
+
+    def test_scenario_run_on_the_virtual_runtime(self, capsys):
+        assert main(
+            ["scenario", "run", "--nodes", "3", "--seed", "7",
+             "--partitions", "1", "--stalls", "0", "--storms", "0",
+             "--degrades", "0"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "verdict" in out.lower()
+        assert "VIOLATED" not in out
