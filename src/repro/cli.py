@@ -43,10 +43,17 @@ Commands:
     multi-process cluster — same events, same ``ClusterAPI`` verbs — and
     judges the run (verdicts + QoS).  ``cluster``, ``proc run``, and
     ``load`` accept ``--scenario FILE`` to arm the same schedules.
+``watch``
+    Live telemetry (:mod:`repro.obs.live`): bind a trace collector,
+    ingest the streams nodes ship with ``--ship-to``, refresh an online
+    QoS status table (leader, suspicions, message cost vs the 2(n-1)
+    bound), and exit non-zero if the final QoS report violates the
+    bound.  ``--proc N`` self-hosts a process cluster to watch.
 ``trace``
     Operate on shipped JSONL trace files (:mod:`repro.obs`): merge
     per-node files onto one time base, print stats, validate events
-    against the schema registry, print the schema table.
+    against the schema registry, print the schema table — and analyze
+    per-command causal spans (``repro trace spans``).
 ``lint``
     The static analyzer (:mod:`repro.lint`): determinism rules for the
     simulator-path packages, asyncio-hazard rules for the live runtime,
@@ -364,7 +371,7 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
     period = args.period
     cluster = LocalCluster(
         n=args.nodes, transport=args.transport, seed=args.seed,
-        codec=codec, trace_out=args.trace_out,
+        codec=codec, trace_out=args.trace_out, ship_to=args.ship_to,
     )
     _apply_cli_faults(cluster, args)
     stacks = attach_standard_stack(
@@ -430,7 +437,7 @@ def _cluster_virtual(args: argparse.Namespace, codec) -> int:
     cluster = LocalCluster(
         n=args.nodes, transport="loopback", clock="virtual",
         seed=args.seed, codec=codec,
-        trace_out=args.trace_out,
+        trace_out=args.trace_out, ship_to=args.ship_to,
     )
     _apply_cli_faults(cluster, args)
     leader, crash_time = 0, 60.0  # leaders start at p0 deterministically
@@ -483,7 +490,7 @@ def _cluster_scripted(args: argparse.Namespace, codec,
     cluster = LocalCluster(
         n=args.nodes, transport=args.transport, seed=args.seed,
         codec=codec, trace_out=args.trace_out,
-        duration=duration,
+        duration=duration, ship_to=args.ship_to,
     )
     stacks = cluster.deploy_standard_stack(
         stack=args.stack, period=period, propose_after=propose_after,
@@ -601,6 +608,7 @@ def _cmd_node(args: argparse.Namespace) -> int:
             book, args.pid,
             trace_out=args.trace_out, duration=args.duration,
             stats_addr=args.stats_addr, serve_addr=args.serve_addr,
+            ship_to=args.ship_to,
         )
     )
     print(f"node {args.pid}: " +
@@ -640,6 +648,7 @@ def _cmd_proc_run(args: argparse.Namespace) -> int:
         metrics_interval=args.metrics_interval,
         max_batch=args.max_batch,
         pipeline_depth=args.pipeline_depth,
+        ship_to=args.ship_to,
     )
     for pid, at in crashes:
         cluster.crash(pid, at=at)
@@ -746,7 +755,7 @@ def _cmd_scenario_run(args: argparse.Namespace) -> int:
             n=n, transport=transport, stack=args.stack, period=period,
             duration=duration, propose_after=propose_after,
             seed=args.cluster_seed, codec=args.codec,
-            workdir=args.trace_out,
+            workdir=args.trace_out, ship_to=args.ship_to,
         )
         result = asyncio.run(run_scenario(cluster, scenario))
         trace = cluster.traces()
@@ -770,6 +779,7 @@ def _cmd_scenario_run(args: argparse.Namespace) -> int:
             clock="virtual" if virtual else "wall",
             seed=args.cluster_seed, codec=codec,
             trace_out=args.trace_out, duration=duration,
+            ship_to=args.ship_to,
         )
         cluster.deploy_standard_stack(
             stack=args.stack, period=period, propose_after=propose_after,
@@ -855,7 +865,7 @@ def _cmd_kv_serve(args: argparse.Namespace) -> int:
     async def serve() -> None:
         cluster = LocalCluster(
             n=args.nodes, transport=args.transport, seed=args.seed,
-            codec=codec, trace_out=args.trace_out,
+            codec=codec, trace_out=args.trace_out, ship_to=args.ship_to,
         )
         cluster.deploy_standard_stack(
             stack="rsm", period=args.period,
@@ -1064,6 +1074,111 @@ def _cmd_load(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def _render_live_status(collector, period: Optional[float]) -> str:
+    """One refresh of the ``repro watch`` status table."""
+    snap = collector.qos.snapshot()
+    n = snap["n"]
+    crashes = snap["crashes"]
+    lines = [
+        f"t={snap['end_time']:8.2f}s  events={snap['events']:<7d} "
+        f"streams={collector.open_streams} open "
+        f"/ {collector.streams_seen} seen "
+        f"/ {collector.torn_streams} torn   "
+        f"mistakes={snap['open_mistakes']} open "
+        f"/ {snap['closed_mistakes']} closed   "
+        f"span-replies={snap['span_replies']}",
+    ]
+    if n:
+        lines.append(f"  {'pid':4s} {'state':>10s} {'trusts':>7s}  suspects")
+        for pid in range(n):
+            state = f"crash@{crashes[pid]:.1f}" if pid in crashes else "up"
+            trusted = snap["trusted"].get(pid)
+            trusts = "-" if trusted is None else f"p{trusted}"
+            suspects = ",".join(
+                f"p{q}" for q in snap["suspected"].get(pid, ())
+            ) or "-"
+            lines.append(f"  p{pid:<3d} {state:>10s} {trusts:>7s}  {suspects}")
+    sends = snap["sends"]
+    if sends:
+        lines.append(
+            "  sends: " + "  ".join(f"{ch}={c}" for ch, c in sends.items())
+        )
+        # Whole-run msgs/period ticker vs the paper's 2(n-1) bound; the
+        # shutdown report recomputes this properly (post-settlement window).
+        fdp = sends.get("fdp")
+        if fdp and period and n > 1 and snap["end_time"] > period:
+            rate = fdp / (snap["end_time"] / period)
+            lines.append(
+                f"  fdp msgs/period (whole run): {rate:.1f}  "
+                f"bound 2(n-1) = {2 * (n - 1)}"
+            )
+    return "\n".join(lines)
+
+
+def _cmd_watch(args: argparse.Namespace) -> int:
+    """Live collector + refreshing status table; QoS verdict at shutdown."""
+    import asyncio
+
+    from .obs.live import LiveCollector, parse_ship_address
+
+    if args.connect is not None:
+        host, port = parse_ship_address(args.connect)
+        collector = LiveCollector(host=host, port=port)
+    else:
+        collector = LiveCollector()
+    duration = args.duration
+    if duration is None and args.proc is not None:
+        duration = 10.0
+
+    async def refresh_loop() -> None:
+        clear = "\x1b[2J\x1b[H" if sys.stdout.isatty() else ""
+        loop = asyncio.get_running_loop()
+        deadline = None if duration is None else loop.time() + duration
+        while deadline is None or loop.time() < deadline:
+            await asyncio.sleep(args.interval)
+            print(f"{clear}{_render_live_status(collector, args.period)}",
+                  flush=True)
+
+    async def drive() -> None:
+        await collector.bind()
+        print(f"collector listening on {collector.address} "
+              f"(point --ship-to here)")
+        if args.proc is None:
+            await refresh_loop()
+            await collector.close()
+            return
+        from .proc import ProcessCluster
+
+        cluster = ProcessCluster(
+            n=args.proc, transport=args.transport, stack=args.stack,
+            period=args.period, duration=duration, seed=args.seed,
+            workdir=args.trace_out, ship_to=collector.address,
+        )
+        await cluster.start()
+        try:
+            await refresh_loop()
+            await cluster.wait_quiescent()
+        finally:
+            await cluster.stop()
+            await collector.close()
+
+    try:
+        asyncio.run(drive())
+    except KeyboardInterrupt:
+        print()  # ^C ends the watch, not the verdict
+    report = collector.qos.report(period=args.period)
+    print()
+    print(report.format())
+    print(f"\nstreams: {collector.streams_seen} seen, "
+          f"{collector.torn_streams} torn, "
+          f"{collector.events_ingested} events ingested")
+    if report.bound_ok is False:
+        print("result: FAILED (message cost exceeds the 2(n-1) bound)",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from .analysis import render_report
 
@@ -1143,6 +1258,11 @@ def _shared_cluster_options() -> argparse.ArgumentParser:
         "--metrics-interval", type=float, metavar="SECONDS", default=None,
         help="attach a metrics reporter on every node emitting "
              "obs.metrics_snapshot trace events at this interval")
+    group.add_argument(
+        "--ship-to", metavar="HOST:PORT", default=None,
+        help="stream every trace event to a live collector at this "
+             "address as the run happens (start one with `repro watch "
+             "--connect HOST:PORT`)")
     group.add_argument(
         "--max-batch", type=int, metavar="N", default=64,
         help="most commands one consensus slot may carry on the rsm "
@@ -1238,6 +1358,10 @@ def build_parser() -> argparse.ArgumentParser:
                       help="bind the KV service frontend for real clients "
                            "at this TCP address (requires the book's stack "
                            "to be 'rsm'; overrides the book's serve_port)")
+    node.add_argument("--ship-to", metavar="HOST:PORT", default=None,
+                      help="stream this node's trace to a live collector "
+                           "at this TCP address (`repro watch --connect`; "
+                           "overrides the book's ship_to)")
     node.set_defaults(func=_cmd_node)
 
     proc = sub.add_parser(
@@ -1297,6 +1421,10 @@ def build_parser() -> argparse.ArgumentParser:
     kserve.add_argument("--trace-out", metavar="PATH", default=None,
                         help="ship the cluster trace (JSONL file or "
                              "directory)")
+    kserve.add_argument("--ship-to", metavar="HOST:PORT", default=None,
+                        help="stream every trace event to a live collector "
+                             "at this address as the run happens (start one "
+                             "with `repro watch --connect HOST:PORT`)")
     kserve.add_argument("--max-batch", type=int, metavar="N", default=64,
                         help="most commands one consensus slot may carry "
                              "(1 restores one-command-per-slot)")
@@ -1395,6 +1523,41 @@ def build_parser() -> argparse.ArgumentParser:
                            "(1 disables pipelining)")
     load.set_defaults(func=_cmd_load)
 
+    watch = sub.add_parser(
+        "watch",
+        help="live telemetry: collect streamed traces, refresh a status "
+             "table, judge QoS at shutdown",
+    )
+    watch_target = watch.add_mutually_exclusive_group(required=True)
+    watch_target.add_argument(
+        "--connect", metavar="HOST:PORT", default=None,
+        help="bind the collector at this address and watch whatever "
+             "nodes ship to it (start them with --ship-to HOST:PORT)")
+    watch_target.add_argument(
+        "--proc", type=int, metavar="N", default=None,
+        help="self-hosted: spawn an N-node process cluster shipping to "
+             "an in-process collector, watch it end to end")
+    watch.add_argument("--duration", type=float, metavar="SECONDS",
+                       default=None,
+                       help="stop watching after this long (default: "
+                            "--proc runs 10s, --connect watches until "
+                            "Ctrl-C)")
+    watch.add_argument("--interval", type=float, metavar="SECONDS",
+                       default=1.0,
+                       help="status-table refresh interval")
+    watch.add_argument("--period", type=float, default=0.05,
+                       help="heartbeat period: scales the QoS message-"
+                            "cost window (and --proc clusters)")
+    watch.add_argument("--transport", choices=["udp", "tcp"], default="udp",
+                       help="node-to-node transport for --proc clusters")
+    watch.add_argument("--stack", choices=["ring", "heartbeat", "rsm"],
+                       default="ring",
+                       help="stack for --proc clusters")
+    watch.add_argument("--seed", type=int, default=7)
+    watch.add_argument("--trace-out", metavar="DIR", default=None,
+                       help="workdir for --proc traces and logs")
+    watch.set_defaults(func=_cmd_watch)
+
     gen_opts = argparse.ArgumentParser(add_help=False)
     gen_group = gen_opts.add_argument_group(
         "generator options (ignored when --file names a document)")
@@ -1473,6 +1636,10 @@ def build_parser() -> argparse.ArgumentParser:
     srun.add_argument("--trace-out", metavar="PATH", default=None,
                       help="ship traces (JSONL file or directory; the "
                            "workdir for --runtime proc)")
+    srun.add_argument("--ship-to", metavar="HOST:PORT", default=None,
+                      help="stream every trace event to a live collector "
+                           "at this address (`repro watch --connect`); "
+                           "wall or proc runtimes only")
     srun.set_defaults(func=_cmd_scenario)
     scen.set_defaults(func=_cmd_scenario)
 

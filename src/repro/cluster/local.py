@@ -63,6 +63,7 @@ from ..net.host import NodeHost
 from ..net.tcp import TCPTransport
 from ..net.transport import LoopbackHub, LoopbackTransport, Transport
 from ..net.udp import UDPTransport
+from ..obs.live import StreamingSink
 from ..obs.metrics import MetricsReporter
 from ..obs.sinks import JsonlSink, MemorySink, TeeSink, TraceSink
 from ..sim.component import Component
@@ -111,6 +112,7 @@ class LocalCluster:
         trace_kinds: Optional[Iterable[str]] = None,
         trace_out: Optional[Union[str, Path]] = None,
         duration: Optional[Time] = None,
+        ship_to: Optional[str] = None,
     ) -> None:
         if n < 1:
             raise ConfigurationError(f"n must be >= 1, got {n}")
@@ -124,6 +126,11 @@ class LocalCluster:
             raise ConfigurationError(
                 "virtual-clock clusters are deterministic in-process runs; "
                 "only the loopback transport can ride a virtual clock"
+            )
+        if ship_to is not None and clock == "virtual":
+            raise ConfigurationError(
+                "ship_to needs a wall clock: live shipping runs on the "
+                "event loop and a virtual run has no wall epoch to rebase"
             )
         self.n = n
         self.transport_kind = transport
@@ -162,6 +169,15 @@ class LocalCluster:
                     )
                     self._jsonl_sinks.append(sink)
                     host_traces.append(TeeSink(self.trace, sink))
+        # Live shipping: one combined StreamingSink for the whole cluster
+        # (hosts share a time base, so a single ``node=None`` stream is
+        # what the collector expects) teed around every host trace.
+        self._streaming: Optional[StreamingSink] = None
+        if ship_to is not None:
+            self._streaming = StreamingSink(ship_to, node=None)
+            host_traces = [
+                TeeSink(sink, self._streaming) for sink in host_traces
+            ]
         self.codec = codec if codec is not None else default_codec()
         # Sink the cluster-level scenario.* narration goes through: the
         # same object node 0 traces into, so combined/per-node JSONL
@@ -324,6 +340,9 @@ class LocalCluster:
             self.clock.rebase()  # trace time 0 = the instant components start
             for sink in self._jsonl_sinks:
                 sink.rebase_epoch()  # headers must reference the same zero
+        if self._streaming is not None:
+            self._streaming.rebase_epoch()  # hello frame carries this epoch
+            await self._streaming.start()
         for h in self.hosts:
             h.start()
         self._flush_pending()
@@ -385,6 +404,8 @@ class LocalCluster:
         if self._closing:
             await asyncio.gather(*self._closing, return_exceptions=True)
             self._closing.clear()
+        if self._streaming is not None:
+            await self._streaming.aclose()  # drain before the sync close
         self.close_traces()
 
     def close_traces(self) -> None:
@@ -395,6 +416,8 @@ class LocalCluster:
         """
         for sink in self._jsonl_sinks:
             sink.close()
+        if self._streaming is not None:
+            self._streaming.close()
 
     # --------------------------------------------------------- virtual mode
     def start_virtual(self) -> None:

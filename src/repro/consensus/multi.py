@@ -241,6 +241,24 @@ class ReplicatedStateMachine(Component):
                 slot, self.set_timer(self.idle_grace, self._grace_expired, slot)
             )
 
+    @staticmethod
+    def _span_of(command: Command) -> Optional[str]:
+        """The causal-span id riding *command*'s payload, if any."""
+        payload = command[2]
+        if isinstance(payload, dict):
+            span = payload.get("span")
+            return span if isinstance(span, str) else None
+        return None
+
+    def _trace_spans(self, kind: str, slot: int, commands) -> None:
+        """Emit one ``span.*`` stage event per span-carrying command."""
+        if not self.world.trace.wants(kind):
+            return
+        for command in commands:
+            span = self._span_of(command)
+            if span is not None:
+                self.trace(kind, span=span, slot=slot)
+
     def _propose(self, slot: int, batch: Optional[List[Command]]) -> None:
         self._cancel_slot_timers(slot)
         instance = self._instances[slot]
@@ -249,6 +267,7 @@ class ReplicatedStateMachine(Component):
             instance.propose(NOOP)
             return
         self._inflight[slot] = tuple(self._cid(c) for c in batch)
+        self._trace_spans("span.propose", slot, batch)
         if self.max_batch == 1:
             instance.propose(batch[0])
             return
@@ -305,6 +324,7 @@ class ReplicatedStateMachine(Component):
         self._cancel_slot_timers(slot)
         self._inflight.pop(slot, None)
         self._delay_done.discard(slot)
+        self._trace_spans("span.decide", slot, self._commands_in(value))
         self._decided[slot] = value
         while self._apply_next in self._decided:
             self._apply_value(
@@ -335,6 +355,9 @@ class ReplicatedStateMachine(Component):
             self._applied.add(cid)
             self.log.append(command[2])
             self.trace("apply", slot=slot, index=index, command=command[2])
+            span = self._span_of(command)
+            if span is not None:
+                self.trace("span.apply", span=span, slot=slot)
             for callback in self._apply_callbacks:
                 callback(slot, command[2])
             index += 1

@@ -28,11 +28,14 @@ __all__ = [
 
 # Every package hosting event-loop code: the transports, the in-process
 # cluster runtime, the multi-process node/launcher pair, the KV
-# service (frontend + client) with its load generator, and the scenario
-# runner (async fault-schedule driver).
+# service (frontend + client) with its load generator, the scenario
+# runner (async fault-schedule driver), and the live telemetry plane
+# (streaming shipper + collector).  The trace-schema and
+# metrics-registry rules are already global (scope = ()), so the new
+# obs modules fall under them automatically.
 NET_SCOPE = (
     "repro.net", "repro.cluster", "repro.proc", "repro.svc", "repro.load",
-    "repro.scenario",
+    "repro.scenario", "repro.obs.live", "repro.obs.spans",
 )
 
 _BLOCKING_CALLS = {

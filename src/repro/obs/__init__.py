@@ -24,6 +24,15 @@ that stream end to end:
 * :mod:`repro.obs.encode` — the tagged JSON-safe value transform shared
   with the wire codec (tuples, int-keyed dicts, frozensets and the NULL
   sentinel all round-trip exactly).
+* :mod:`repro.obs.live` — the live telemetry plane: a
+  :class:`StreamingSink` shipping trace events to a TCP collector as the
+  run happens, the :class:`LiveCollector` ingesting several node streams
+  onto one time base, and :class:`IncrementalQoS`, the online
+  event-at-a-time twin of :func:`repro.analysis.qos.qos_report`.
+* :mod:`repro.obs.spans` — per-command causal spans: groups the
+  ``span.*`` stage events one client command leaves across the service
+  path (queue → propose → decide → apply → reply) into per-stage
+  latency distributions (``repro trace spans``).
 
 The simulator (:mod:`repro.sim`) and the live runtime (:mod:`repro.net`)
 both record through this layer; hosts in separate OS processes each write
@@ -60,6 +69,38 @@ from .metrics import (
     render_prometheus,
 )
 
+# .live and .spans are exposed lazily: repro.net.host imports repro.obs,
+# and .live needs repro.net.frame — an eager import here would close the
+# cycle during `import repro.net`.  Same pattern as repro.net's moved-name
+# shims: resolve on first attribute access, when both packages exist.
+_LIVE_NAMES = (
+    "IncrementalQoS",
+    "LiveCollector",
+    "StreamingSink",
+    "parse_ship_address",
+)
+_SPAN_NAMES = (
+    "Span",
+    "SpanCoverage",
+    "SpanReport",
+    "analyze_spans",
+    "collect_spans",
+    "span_coverage",
+)
+
+
+def __getattr__(name: str):
+    if name in _LIVE_NAMES:
+        from . import live
+
+        return getattr(live, name)
+    if name in _SPAN_NAMES:
+        from . import spans
+
+        return getattr(spans, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
 __all__ = [
     "EncodeError",
     "from_jsonable",
@@ -92,4 +133,6 @@ __all__ = [
     "metric_schema_for",
     "register_metric",
     "render_prometheus",
+    *_LIVE_NAMES,
+    *_SPAN_NAMES,
 ]

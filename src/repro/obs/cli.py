@@ -25,6 +25,12 @@ Subcommands:
     required payload keys fail the command — the runtime counterpart of
     the ``trace-schema`` lint rule, and what CI runs on the committed
     example traces.
+``spans``
+    Group the ``span.*`` stage events per-command causal spans leave
+    across the service path (queue → propose → decide → apply → reply)
+    and print per-stage latency percentiles plus the fraction of
+    client-observed latency the stages attribute (see
+    :mod:`repro.obs.spans`).
 ``schema``
     Print the generated event-schema table (the same rendering embedded
     in ``docs/traces.md``).
@@ -43,6 +49,7 @@ from .merge import merge_traces
 from .metrics import aggregate_trace_kinds
 from .reader import as_trace, iter_trace_events
 from .sinks import JsonlSink
+from .spans import analyze_spans, span_coverage
 
 __all__ = ["add_trace_arguments", "run_from_args"]
 
@@ -81,6 +88,13 @@ def _cmd_stats(args: argparse.Namespace) -> int:
               f"epoch_wall={stats.header.get('epoch_wall', 0.0):.3f}")
         for kind, count, size in stats.kinds():
             print(f"  {kind:20s} {count:>8d} events {size:>10d} bytes")
+        coverage = span_coverage(path)
+        if coverage.with_span:
+            ratio = coverage.ratio
+            pct = f"{ratio * 100.0:.1f}%" if ratio is not None else "n/a"
+            print(f"  span coverage: {coverage.closed}/{coverage.with_span} "
+                  f"instrumented requests closed ({pct}); "
+                  f"{coverage.requests} svc.request events total")
     return 0
 
 
@@ -128,6 +142,16 @@ def _cmd_check(args: argparse.Namespace) -> int:
         else:
             print(f"{path}: OK ({checked} events conform to the schema)")
     return 1 if failures else 0
+
+
+def _cmd_spans(args: argparse.Namespace) -> int:
+    if len(args.files) == 1:
+        trace = as_trace(args.files[0])
+    else:
+        trace = merge_traces(args.files).trace
+    report = analyze_spans(trace)
+    print(report.format())
+    return 0
 
 
 def _cmd_schema(args: argparse.Namespace) -> int:
@@ -181,6 +205,16 @@ def add_trace_arguments(parser: argparse.ArgumentParser) -> None:
     check.add_argument("--max-problems", type=int, default=20,
                        help="cap the violations printed per file")
     check.set_defaults(trace_func=_cmd_check)
+
+    spans = sub.add_parser(
+        "spans",
+        help="per-command causal spans: stage latencies (queue/propose/"
+             "decide/apply/reply) and latency attribution",
+    )
+    spans.add_argument("files", nargs="+", metavar="FILE",
+                       help="per-node traces (merged first) or one merged "
+                            "file from a span-instrumented service run")
+    spans.set_defaults(trace_func=_cmd_spans)
 
     schema = sub.add_parser("schema", help="print the event-schema table")
     schema.add_argument("--format", choices=["markdown", "rst"],

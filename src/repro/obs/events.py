@@ -273,7 +273,8 @@ register_event_kind(
         "(see repro.obs.metrics; payload is MetricsRegistry.snapshot())",
 )
 register_event_kind(
-    "svc.request", required=("op", "client"), optional=("seq", "rid", "key"),
+    "svc.request", required=("op", "client"),
+    optional=("seq", "rid", "key", "span"),
     doc="the service frontend accepted one client request frame",
 )
 register_event_kind(
@@ -330,4 +331,37 @@ register_event_kind(
 register_event_kind(
     "scenario.skew", required=("target", "offset"),
     doc="the scenario layer stepped one node's clock by offset seconds",
+)
+register_event_kind(
+    "span.queue", required=("span",), optional=("op",),
+    doc="a client command entered the serving frontend's submit path "
+        "(span is the request's correlation id: '<client>.<seq>')",
+)
+register_event_kind(
+    "span.propose", required=("span", "slot"),
+    doc="a staged client command was proposed into a consensus slot",
+)
+register_event_kind(
+    "span.decide", required=("span", "slot"),
+    doc="the consensus slot carrying this command decided (every replica "
+        "emits one; the span analyzer reads the serving replica's)",
+)
+register_event_kind(
+    "span.apply", required=("span", "slot"),
+    doc="the replicated state machine applied this command from its slot",
+)
+register_event_kind(
+    "span.reply", required=("span",), optional=("status",),
+    doc="the serving frontend completed the client reply for this command",
+)
+register_event_kind(
+    "live.connect", required=("node",),
+    doc="the live collector accepted a node's trace stream (node is the "
+        "shipper's node id from its hello header, None for combined "
+        "in-process streams)",
+)
+register_event_kind(
+    "live.disconnect", required=("node",), optional=("events",),
+    doc="a node's trace stream to the live collector ended (events is how "
+        "many events that stream shipped in total)",
 )

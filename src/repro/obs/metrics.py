@@ -114,17 +114,30 @@ def known_metrics() -> Tuple[str, ...]:
     return tuple(sorted(METRIC_SCHEMAS))
 
 
-class _Histogram:
-    """Streaming summary (count/sum/min/max) — enough for QoS tables
-    without storing samples."""
+#: Log-spaced (factor 2) histogram bucket upper bounds, 1e-6 .. ~8.8e6 —
+#: wide enough for latencies in seconds and batch sizes alike at a fixed
+#: ~50% resolution per bucket.  Values beyond the last bound land in one
+#: overflow bucket; quantile estimates there are clamped to the observed
+#: maximum.
+_BUCKET_BOUNDS: Tuple[float, ...] = tuple(1e-6 * 2.0 ** i for i in range(44))
 
-    __slots__ = ("count", "sum", "min", "max")
+
+class _Histogram:
+    """Streaming summary (count/sum/min/max) plus bounded log-spaced
+    buckets — enough for QoS tables and p50/p95 estimates without storing
+    samples."""
+
+    __slots__ = ("count", "sum", "min", "max", "buckets")
 
     def __init__(self) -> None:
         self.count = 0
         self.sum = 0.0
         self.min: Optional[float] = None
         self.max: Optional[float] = None
+        #: sparse bucket-index -> count; index i counts values in
+        #: (_BUCKET_BOUNDS[i-1], _BUCKET_BOUNDS[i]], index len(bounds) is
+        #: the overflow bucket.
+        self.buckets: Dict[int, int] = {}
 
     def observe(self, value: float) -> None:
         self.count += 1
@@ -133,6 +146,34 @@ class _Histogram:
             self.min = value
         if self.max is None or value > self.max:
             self.max = value
+        from bisect import bisect_left
+
+        index = bisect_left(_BUCKET_BOUNDS, value)
+        self.buckets[index] = self.buckets.get(index, 0) + 1
+
+    def quantile(self, q: float) -> Optional[float]:
+        """Estimated q-quantile from the log-spaced buckets.
+
+        Linear interpolation within the containing bucket, clamped to the
+        observed [min, max]; ``None`` for an empty histogram.
+        """
+        if self.count == 0 or self.min is None or self.max is None:
+            return None
+        target = q * self.count
+        cumulative = 0.0
+        for index in sorted(self.buckets):
+            in_bucket = self.buckets[index]
+            if cumulative + in_bucket < target:
+                cumulative += in_bucket
+                continue
+            if index >= len(_BUCKET_BOUNDS):
+                return self.max
+            upper = _BUCKET_BOUNDS[index]
+            lower = _BUCKET_BOUNDS[index - 1] if index > 0 else 0.0
+            fraction = (target - cumulative) / in_bucket
+            estimate = lower + (upper - lower) * fraction
+            return min(self.max, max(self.min, estimate))
+        return self.max
 
     def as_dict(self) -> Dict[str, Any]:
         return {
@@ -271,9 +312,10 @@ def _expo_labels(labels: Dict[str, Any]) -> str:
 def render_prometheus(registry: MetricsRegistry) -> str:
     """Render *registry* in Prometheus text exposition format.
 
-    Histograms are exposed as ``<name>_count`` / ``<name>_sum`` /
-    ``<name>_min`` / ``<name>_max`` gauges (a streaming summary, not
-    bucketed quantiles).
+    Histograms are exposed as proper summaries: ``<name>{quantile="0.5"}``
+    / ``{quantile="0.95"}`` estimates from the log-spaced buckets plus the
+    ``<name>_count`` / ``<name>_sum`` / ``<name>_min`` / ``<name>_max``
+    streaming aggregates.
     """
     lines: List[str] = []
     for name in registry.names():
@@ -282,8 +324,18 @@ def render_prometheus(registry: MetricsRegistry) -> str:
             lines.append(f"# HELP {name} {schema.doc}")
         if schema.kind == "histogram":
             lines.append(f"# TYPE {name} summary")
+            histograms = registry._histograms.get(name, {})
             for labels, summary in registry.series(name):
                 tail = _expo_labels(labels)
+                key = tuple(labels[k] for k in schema.labels)
+                hist = histograms.get(key)
+                for q in (0.5, 0.95):
+                    estimate = hist.quantile(q) if hist is not None else None
+                    if estimate is None:
+                        continue
+                    qlabels = dict(labels)
+                    qlabels["quantile"] = str(q)
+                    lines.append(f"{name}{_expo_labels(qlabels)} {estimate}")
                 for part in ("count", "sum", "min", "max"):
                     value = summary[part]
                     if value is None:
@@ -543,6 +595,26 @@ register_metric(
 register_metric(
     "trace_bytes_total", "counter", ("kind",),
     doc="JSONL bytes aggregated per event kind (repro trace stats)",
+)
+register_metric(
+    "obs_stream_events_shipped", "gauge", (),
+    doc="trace events the streaming shipper delivered to the collector "
+        "(sampled from the StreamingSink counters)",
+)
+register_metric(
+    "obs_stream_events_dropped", "gauge", (),
+    doc="trace events the streaming shipper dropped: buffer overflow or "
+        "batches lost to a torn connection (sampled)",
+)
+register_metric(
+    "obs_stream_batches_shipped", "gauge", (),
+    doc="batch frames the streaming shipper wrote to the collector "
+        "(sampled)",
+)
+register_metric(
+    "obs_stream_reconnects", "gauge", (),
+    doc="times the streaming shipper re-established its collector "
+        "connection (sampled)",
 )
 
 Sampler = Callable[[MetricsRegistry], None]

@@ -1,0 +1,338 @@
+"""Per-command causal spans: stage-latency attribution from ``span.*`` events.
+
+Every KV client request carries a correlation id (``"<client>.<seq>"``,
+minted by :class:`repro.svc.client.KVClient` next to its sequence number,
+so retries reuse it).  The serving path emits one event per stage
+transition, all tagged with that id:
+
+====================  ======================================================
+mark                  emitted when
+====================  ======================================================
+``svc.request``       the frontend accepted the client frame (``span`` key)
+``span.queue``        the command entered the frontend's submit path
+``span.propose``      the staged command was proposed into a consensus slot
+``span.decide``       that slot decided
+``span.apply``        the replicated state machine applied the command
+``span.reply``        the frontend completed the client reply
+====================  ======================================================
+
+The analyzer reads the *serving* replica's marks (the pid that emitted
+``span.reply``) and reports the five named stage latencies —
+
+* **queue**   — request accepted → submit path entered
+* **propose** — staged → proposed into a slot
+* **decide**  — proposed → slot decided (the consensus cost)
+* **apply**   — decided → state machine applied
+* **reply**   — applied → client reply completed
+
+— whose sum telescopes to the client-observed request→reply latency
+exactly, which is how ``repro trace spans`` attributes ≥95 % (in fact
+100 % for complete spans) of observed latency to named stages.
+
+:func:`span_coverage` is the postmortem instrumentation check surfaced
+by ``repro trace stats``: the fraction of ``svc.request`` events whose
+span eventually closed with a ``span.reply``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..types import ProcessId, Time
+from .reader import TraceSource, as_trace
+
+__all__ = [
+    "STAGE_NAMES",
+    "Span",
+    "SpanCoverage",
+    "SpanReport",
+    "analyze_spans",
+    "collect_spans",
+    "span_coverage",
+]
+
+#: The five named stages, in pipeline order.
+STAGE_NAMES = ("queue", "propose", "decide", "apply", "reply")
+
+#: Timeline marks bounding the stages: stage i runs _MARKS[i] → _MARKS[i+1].
+_MARKS = ("request", "queue", "propose", "decide", "apply", "reply")
+
+#: event kind -> mark name (``svc.request`` is handled separately: only
+#: occurrences carrying a ``span`` key participate).
+_KIND_TO_MARK = {
+    "span.queue": "queue",
+    "span.propose": "propose",
+    "span.decide": "decide",
+    "span.apply": "apply",
+    "span.reply": "reply",
+}
+
+
+def _percentile(values: List[float], q: float) -> Optional[float]:
+    """Nearest-rank percentile (``None`` for an empty sample)."""
+    if not values:
+        return None
+    ordered = sorted(values)
+    index = min(len(ordered) - 1, max(0, math.ceil(q * len(ordered)) - 1))
+    return ordered[index]
+
+
+@dataclass
+class Span:
+    """One command's timeline at its serving replica."""
+
+    span: str
+    #: pid of the replica that emitted ``span.reply`` (``None`` = never
+    #: replied within the trace — an open span).
+    pid: Optional[ProcessId]
+    #: mark name -> first time observed at the serving replica.
+    marks: Dict[str, Time] = field(default_factory=dict)
+    status: Optional[str] = None
+
+    @property
+    def complete(self) -> bool:
+        """All six marks present — every stage is measurable."""
+        return all(mark in self.marks for mark in _MARKS)
+
+    def stage(self, name: str) -> Optional[Time]:
+        """Latency of one named stage (``None`` if either mark is missing)."""
+        index = STAGE_NAMES.index(name)
+        start = self.marks.get(_MARKS[index])
+        end = self.marks.get(_MARKS[index + 1])
+        if start is None or end is None:
+            return None
+        return end - start
+
+    @property
+    def total(self) -> Optional[Time]:
+        """Client-observed latency: request accepted → reply completed."""
+        start = self.marks.get("request")
+        end = self.marks.get("reply")
+        if start is None or end is None:
+            return None
+        return end - start
+
+
+@dataclass(frozen=True)
+class SpanCoverage:
+    """How much of the request stream is span-instrumented and closed."""
+
+    #: ``svc.request`` events in the trace.
+    requests: int
+    #: …of which carried a ``span`` correlation id.
+    with_span: int
+    #: …of which belong to a span that closed with ``span.reply``.
+    closed: int
+
+    @property
+    def ratio(self) -> Optional[float]:
+        """closed / with_span (``None`` when nothing was instrumented)."""
+        return self.closed / self.with_span if self.with_span else None
+
+
+@dataclass
+class SpanReport:
+    """Everything :func:`analyze_spans` measured about one trace."""
+
+    #: Spans that closed (reply seen), in reply order.
+    spans: List[Span]
+    #: Correlation ids seen on some mark but never replied.
+    open_spans: int
+    #: Closed spans with every stage measurable.
+    complete: int
+    #: stage name -> latencies over complete spans.
+    stage_durations: Dict[str, List[float]]
+    #: request→reply latencies over complete spans.
+    totals: List[float]
+    #: Σ stage latencies / Σ total latencies over complete spans (the
+    #: acceptance metric; 1.0 when the stages telescope, ``None`` when no
+    #: span completed).
+    attributed: Optional[float]
+    coverage: SpanCoverage
+
+    @property
+    def spans_per_second(self) -> Optional[float]:
+        """Closed-span throughput over the first-request→last-reply window."""
+        starts = [s.marks["request"] for s in self.spans if "request" in s.marks]
+        ends = [s.marks["reply"] for s in self.spans if "reply" in s.marks]
+        if not starts or not ends:
+            return None
+        window = max(ends) - min(starts)
+        return len(self.spans) / window if window > 0 else None
+
+    def format(self) -> str:
+        """Human-readable rendering (what ``repro trace spans`` prints)."""
+        lines = [
+            f"span report — {len(self.spans)} closed "
+            f"({self.complete} complete), {self.open_spans} open"
+        ]
+        ratio = self.coverage.ratio
+        shown = "n/a (no spans recorded)" if ratio is None else f"{ratio:.1%}"
+        lines.append(
+            f"  span coverage        : {shown} "
+            f"({self.coverage.closed}/{self.coverage.with_span} instrumented "
+            f"requests closed; {self.coverage.requests} svc.request total)"
+        )
+        rate = self.spans_per_second
+        if rate is not None:
+            lines.append(f"  throughput           : {rate:.1f} spans/s")
+        if self.attributed is not None:
+            lines.append(
+                f"  latency attributed   : {self.attributed:.1%} of "
+                "client-observed latency falls in named stages"
+            )
+        if self.totals:
+            lines.append(
+                "  stage                :    p50        p95        max"
+            )
+            rows = list(STAGE_NAMES) + ["total"]
+            for name in rows:
+                values = (
+                    self.totals if name == "total"
+                    else self.stage_durations.get(name, [])
+                )
+                if not values:
+                    continue
+                p50 = _percentile(values, 0.50)
+                p95 = _percentile(values, 0.95)
+                lines.append(
+                    f"    {name:<18s}: {p50 * 1e3:8.2f}ms {p95 * 1e3:8.2f}ms "
+                    f"{max(values) * 1e3:8.2f}ms"
+                )
+        else:
+            lines.append(
+                "  stages               : no complete span (is the run "
+                "span-instrumented end to end?)"
+            )
+        return "\n".join(lines)
+
+
+def collect_spans(trace: TraceSource) -> List[Span]:
+    """Extract per-command spans from *trace* (closed spans only, in the
+    order their replies appeared; see :func:`analyze_spans` for totals
+    including open spans)."""
+    spans, _ = _collect(trace)
+    return spans
+
+
+def _collect(trace: TraceSource) -> Tuple[List[Span], Dict[str, Any]]:
+    trace = as_trace(trace)
+    #: (span, pid) -> {mark: first time}.
+    marks: Dict[Tuple[str, Optional[ProcessId]], Dict[str, Time]] = {}
+    #: span -> (serving pid, status) from its first reply.
+    replies: Dict[str, Tuple[Optional[ProcessId], Optional[str]]] = {}
+    seen: Dict[str, bool] = {}  # span id -> True (insertion ordered)
+    reply_order: List[str] = []
+    requests = 0
+    request_spans: List[str] = []  # span id per instrumented svc.request
+
+    def mark(span: str, pid: Optional[ProcessId], name: str, time: Time) -> None:
+        timeline = marks.setdefault((span, pid), {})
+        if name not in timeline:
+            timeline[name] = time
+        seen.setdefault(span, True)
+
+    for ev in trace.events:
+        kind = ev.kind
+        if kind == "svc.request":
+            requests += 1
+            span = ev.get("span")
+            if span is not None:
+                request_spans.append(span)
+                mark(span, ev.pid, "request", ev.time)
+            continue
+        name = _KIND_TO_MARK.get(kind)
+        if name is None:
+            continue
+        span = ev.get("span")
+        if span is None:
+            continue
+        mark(span, ev.pid, name, ev.time)
+        if kind == "span.reply" and span not in replies:
+            replies[span] = (ev.pid, ev.get("status"))
+            reply_order.append(span)
+
+    closed = [
+        Span(
+            span=span,
+            pid=replies[span][0],
+            marks=dict(marks.get((span, replies[span][0]), {})),
+            status=replies[span][1],
+        )
+        for span in reply_order
+    ]
+    closed_ids = set(replies)
+    meta = {
+        "open": sum(1 for span in seen if span not in closed_ids),
+        "requests": requests,
+        "with_span": len(request_spans),
+        "closed_requests": sum(
+            1 for span in request_spans if span in closed_ids
+        ),
+    }
+    return closed, meta
+
+
+def analyze_spans(trace: TraceSource) -> SpanReport:
+    """Full stage-latency breakdown of *trace* (see module docstring)."""
+    closed, meta = _collect(trace)
+    stage_durations: Dict[str, List[float]] = {name: [] for name in STAGE_NAMES}
+    totals: List[float] = []
+    complete = 0
+    attributed_num = 0.0
+    attributed_den = 0.0
+    for span in closed:
+        if not span.complete:
+            continue
+        complete += 1
+        total = span.total
+        assert total is not None
+        totals.append(total)
+        for name in STAGE_NAMES:
+            duration = span.stage(name)
+            assert duration is not None
+            stage_durations[name].append(duration)
+            attributed_num += duration
+        attributed_den += total
+    attributed = (
+        attributed_num / attributed_den if attributed_den > 0 else None
+    )
+    coverage = SpanCoverage(
+        requests=meta["requests"],
+        with_span=meta["with_span"],
+        closed=meta["closed_requests"],
+    )
+    return SpanReport(
+        spans=closed,
+        open_spans=meta["open"],
+        complete=complete,
+        stage_durations=stage_durations,
+        totals=totals,
+        attributed=attributed,
+        coverage=coverage,
+    )
+
+
+def span_coverage(trace: TraceSource) -> SpanCoverage:
+    """Span instrumentation coverage of *trace* (``repro trace stats``)."""
+    trace = as_trace(trace)
+    closed_ids = {
+        ev.get("span") for ev in trace.events
+        if ev.kind == "span.reply" and ev.get("span") is not None
+    }
+    requests = 0
+    with_span = 0
+    closed = 0
+    for ev in trace.events:
+        if ev.kind != "svc.request":
+            continue
+        requests += 1
+        span = ev.get("span")
+        if span is None:
+            continue
+        with_span += 1
+        if span in closed_ids:
+            closed += 1
+    return SpanCoverage(requests=requests, with_span=with_span, closed=closed)

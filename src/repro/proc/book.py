@@ -97,6 +97,11 @@ class AddressBook:
     #: written before these fields existed load with the defaults.
     max_batch: int = 64
     pipeline_depth: int = 4
+    #: ``HOST:PORT`` of a live trace collector (see
+    #: :mod:`repro.obs.live`); when set, every node tees its trace into a
+    #: ``StreamingSink`` shipping there.  Absent from books written
+    #: before live telemetry existed — they load with ``None``.
+    ship_to: Optional[str] = None
     nodes: List[NodeAddress] = field(default_factory=list)
 
     def __post_init__(self) -> None:
@@ -200,7 +205,9 @@ class AddressBook:
         data = asdict(self)
         # Keep the on-disk document minimal and byte-compatible with books
         # written before serve/control ports existed: absent means "no
-        # frontend" / "no fault-control endpoint".
+        # frontend" / "no fault-control endpoint" / "no live shipping".
+        if data.get("ship_to") is None:
+            data.pop("ship_to", None)
         for entry in data["nodes"]:
             for key in ("serve_port", "control_port"):
                 if entry.get(key) is None:

@@ -105,6 +105,10 @@ class ProcessCluster:
         host: listening interface for every node.
         python: interpreter for the subprocesses (default:
             ``sys.executable``).
+        ship_to: ``HOST:PORT`` of a live trace collector; when set it
+            rides the address book and every node tees its trace into a
+            :class:`~repro.obs.live.StreamingSink` shipping there (see
+            ``repro watch``).
     """
 
     def __init__(
@@ -126,6 +130,7 @@ class ProcessCluster:
         serve: bool = False,
         max_batch: int = 64,
         pipeline_depth: int = 4,
+        ship_to: Optional[str] = None,
     ) -> None:
         # Validate early (n, transport, stack, codec) by building a
         # node-less book; ports are allocated at start().
@@ -152,6 +157,7 @@ class ProcessCluster:
         self.metrics_interval = metrics_interval
         self.max_batch = max_batch
         self.pipeline_depth = pipeline_depth
+        self.ship_to = ship_to
         self.host = host
         self.python = python if python is not None else sys.executable
         self.workdir = Path(
@@ -229,6 +235,7 @@ class ProcessCluster:
             metrics_interval=self.metrics_interval,
             max_batch=self.max_batch,
             pipeline_depth=self.pipeline_depth,
+            ship_to=self.ship_to,
         )
         book_path = self.book.save(self.workdir / "book.json")
         env = dict(os.environ)

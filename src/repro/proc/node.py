@@ -37,7 +37,8 @@ from ..net.host import NodeHost
 from ..net.stats import StatsEndpoint, parse_stats_addr
 from ..net.tcp import TCPTransport
 from ..net.udp import UDPTransport
-from ..obs.sinks import JsonlSink, MemorySink, TraceSink
+from ..obs.live import StreamingSink
+from ..obs.sinks import JsonlSink, MemorySink, TeeSink, TraceSink
 from ..cluster.local import attach_node_stack
 from ..svc.frontend import ServiceFrontend
 from ..types import ProcessId
@@ -98,6 +99,7 @@ async def run_node(
     duration: Optional[float] = None,
     stats_addr: Optional[str] = None,
     serve_addr: Optional[str] = None,
+    ship_to: Optional[str] = None,
 ) -> Dict[str, int]:
     """Run node *pid* to completion; returns transport counters.
 
@@ -113,12 +115,24 @@ async def run_node(
     bound for real clients when either *serve_addr* (same spec syntax
     as *stats_addr*) or the book's per-node ``serve_port`` names a
     listen address.
+
+    *ship_to* (``HOST:PORT``, overriding the book's ``ship_to``)
+    additionally tees the node's trace into a
+    :class:`~repro.obs.live.StreamingSink` forwarding every event to a
+    live collector (``repro watch``); its shipper counters ride both
+    the ``obs_stream_*`` gauges and the returned counter dict.
     """
-    sink: TraceSink
+    base_sink: TraceSink
     if trace_out is not None:
-        sink = JsonlSink(Path(trace_out), node=pid)
+        base_sink = JsonlSink(Path(trace_out), node=pid)
     else:
-        sink = MemorySink()
+        base_sink = MemorySink()
+    sink = base_sink
+    streaming: Optional[StreamingSink] = None
+    ship_spec = ship_to if ship_to is not None else book.ship_to
+    if ship_spec is not None:
+        streaming = StreamingSink(ship_spec, node=pid)
+        sink = TeeSink(base_sink, streaming)
     host = build_node(book, pid, trace=sink)
     control: Optional[FaultControlEndpoint] = None
     control_at = book.control_address(pid)
@@ -158,8 +172,20 @@ async def run_node(
     await host.transport.bind()
     host.transport.set_peers(book.addresses())
     host.clock.rebase()  # trace time 0 = the instant this node starts
-    if isinstance(sink, JsonlSink):
-        sink.rebase_epoch()
+    if isinstance(base_sink, JsonlSink):
+        base_sink.rebase_epoch()
+    if streaming is not None:
+        streaming.rebase_epoch()
+        await streaming.start()
+        shipper = streaming  # bind for the sampler closure
+
+        def _sample_stream(registry) -> None:
+            registry.set("obs_stream_events_shipped", shipper.events_shipped)
+            registry.set("obs_stream_events_dropped", shipper.events_dropped)
+            registry.set("obs_stream_batches_shipped", shipper.batches_shipped)
+            registry.set("obs_stream_reconnects", shipper.reconnects)
+
+        host.world.metrics_samplers.append(_sample_stream)
     host.start()
     if frontend is not None:
         await frontend.bind()
@@ -185,9 +211,15 @@ async def run_node(
     if frontend is not None:
         await frontend.close()
     await host.transport.close()
+    if streaming is not None:
+        await streaming.aclose()
     sink.close()
-    return {
+    counters = {
         "frames_sent": host.transport.frames_sent,
         "frames_received": host.transport.frames_received,
         "send_errors": host.transport.send_errors,
     }
+    if streaming is not None:
+        counters["events_shipped"] = streaming.events_shipped
+        counters["events_dropped"] = streaming.events_dropped
+    return counters

@@ -128,9 +128,13 @@ class KVClient:
         :class:`ServiceUnavailable` after *max_attempts* failed tries.
         """
         seq: Optional[int] = None
+        span: Optional[str] = None
         if sequenced:
             seq = self._seq
             self._seq += 1
+            # One causal-span id per command, shared by every retry —
+            # the span.* trace events follow it through the serving path.
+            span = f"{self.client_id}.{seq}"
         backoff = self.backoff_initial
         pinned = addr
         started = time.monotonic()
@@ -140,7 +144,7 @@ class KVClient:
             self._rid += 1
             request = Request(
                 rid=self._rid, client=self.client_id, op=op, seq=seq,
-                key=key, value=value, expect=expect,
+                key=key, value=value, expect=expect, span=span,
             )
             target = pinned if pinned is not None else self.addrs[self._target]
             try:

@@ -202,6 +202,7 @@ class ServiceFrontend:
         self.trace(
             "svc.request", op=request.op, client=request.client,
             seq=request.seq, rid=request.rid, key=request.key,
+            span=request.span,
         )
         if request.op == "dump":
             return Reply(rid=request.rid, status="ok", result=self.state.dump())
@@ -225,12 +226,16 @@ class ServiceFrontend:
         cached = self.state.cached(request.client, request.seq)
         if cached is not None:
             self.metrics.inc("svc_duplicates_total")
+            if request.span is not None:
+                self.trace("span.reply", span=request.span, status="cached")
             return Reply(rid=request.rid, status="ok", result=cached)
         cid: Cid = (request.client, request.seq)
         future: asyncio.Future = asyncio.get_running_loop().create_future()
         self._waiters.setdefault(cid, []).append(future)
         if cid not in self._submitted:
             self._submitted.add(cid)
+            if request.span is not None:
+                self.trace("span.queue", span=request.span, op=request.op)
             self.rsm.submit(request.command())
             depth = getattr(self.rsm, "pending_count", None)
             if depth is not None:
@@ -250,6 +255,8 @@ class ServiceFrontend:
                     waiters.remove(future)
                 if not waiters:
                     self._waiters.pop(cid, None)
+        if request.span is not None:
+            self.trace("span.reply", span=request.span, status="ok")
         return Reply(rid=request.rid, status="ok", result=result)
 
     # ------------------------------------------------------------------ apply

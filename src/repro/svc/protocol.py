@@ -78,6 +78,10 @@ class Request:
     #: Codec names in preference order; sent on a connection's first
     #: request to open negotiation, omitted (None) everywhere else.
     codecs: Optional[List[str]] = None
+    #: Causal-span correlation id (``"<client>.<seq>"``), minted once per
+    #: sequenced command and shared by all its retries; additive like
+    #: ``codecs``, so older peers interoperate.
+    span: Optional[str] = None
 
     def to_payload(self) -> Dict[str, Any]:
         payload = {
@@ -87,6 +91,8 @@ class Request:
         }
         if self.codecs is not None:
             payload["codecs"] = list(self.codecs)
+        if self.span is not None:
+            payload["span"] = self.span
         return payload
 
     @classmethod
@@ -95,6 +101,7 @@ class Request:
             raise ProtocolError(f"request frame is not a dict: {payload!r}")
         try:
             codecs = payload.get("codecs")
+            span = payload.get("span")
             return cls(
                 rid=int(payload["rid"]),
                 client=str(payload["client"]),
@@ -104,6 +111,7 @@ class Request:
                 value=payload.get("value"),
                 expect=payload.get("expect"),
                 codecs=[str(c) for c in codecs] if codecs else None,
+                span=str(span) if span is not None else None,
             )
         except (KeyError, TypeError, ValueError) as exc:
             raise ProtocolError(f"malformed request frame: {exc}") from exc
@@ -111,10 +119,15 @@ class Request:
     def command(self) -> Dict[str, Any]:
         """The replicated-log payload this request submits (no ``rid`` —
         retries get fresh rids but must hash to the same command)."""
-        return {
+        command = {
             "client": self.client, "seq": self.seq, "op": self.op,
             "key": self.key, "value": self.value, "expect": self.expect,
         }
+        if self.span is not None:
+            # Rides the log so every replica can emit span.* stage events;
+            # the state machine dedups on (client, seq) and ignores it.
+            command["span"] = self.span
+        return command
 
 
 @dataclass

@@ -12,7 +12,8 @@ from repro.net import (
     fetch_stats,
     parse_stats_addr,
 )
-from repro.obs import MetricsRegistry
+from repro.obs import MetricsRegistry, render_prometheus
+from repro.obs.metrics import register_metric
 
 
 def test_parse_stats_addr_accepts_the_three_spellings():
@@ -93,6 +94,45 @@ def test_double_bind_is_rejected():
             endpoint.close()
 
     asyncio.run(scenario())
+
+
+def test_histograms_expose_quantile_summary_lines():
+    """Histogram series render as Prometheus summaries: a
+    ``{quantile="0.5"}`` / ``{quantile="0.95"}`` estimate per label set,
+    ahead of the ``_count``/``_sum``/``_min``/``_max`` aggregates."""
+    register_metric("test_stats_latency_seconds", kind="histogram")
+    registry = MetricsRegistry()
+    for ms in range(1, 101):  # 1ms .. 100ms, uniformly
+        registry.observe("test_stats_latency_seconds", ms / 1000.0)
+    text = render_prometheus(registry)
+    assert "# TYPE test_stats_latency_seconds summary" in text
+    lines = {
+        line.split(" ")[0]: float(line.split(" ")[1])
+        for line in text.splitlines()
+        if line.startswith("test_stats_latency_seconds{")
+    }
+    p50 = lines['test_stats_latency_seconds{quantile="0.5"}']
+    p95 = lines['test_stats_latency_seconds{quantile="0.95"}']
+    # Log-spaced buckets give estimates, not exact order statistics:
+    # accept the containing power-of-two bucket around the true value.
+    assert 0.025 <= p50 <= 0.1
+    assert 0.05 <= p95 <= 0.1
+    assert p50 <= p95
+    assert "test_stats_latency_seconds_count 100" in text
+
+
+def test_quantile_lines_keep_series_labels_and_skip_empty_series():
+    register_metric(
+        "test_stats_stage_seconds", kind="histogram", labels=("stage",)
+    )
+    registry = MetricsRegistry()
+    registry.observe("test_stats_stage_seconds", 0.004, stage="apply")
+    text = render_prometheus(registry)
+    assert 'test_stats_stage_seconds{stage="apply",quantile="0.5"}' in text
+    assert 'test_stats_stage_seconds{stage="apply",quantile="0.95"}' in text
+    # A touched-but-empty registry renders no quantile lines at all.
+    empty = render_prometheus(MetricsRegistry())
+    assert "quantile=" not in empty
 
 
 def test_live_cluster_host_registry_is_exposable():

@@ -31,5 +31,5 @@ def test_docs_schema_table_matches_registry():
 
 def test_docs_mention_every_trace_subcommand():
     text = DOC.read_text()
-    for sub in ("merge", "stats", "qos", "check", "schema"):
+    for sub in ("merge", "stats", "qos", "check", "spans", "schema"):
         assert f"repro trace {sub}" in text

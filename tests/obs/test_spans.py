@@ -1,0 +1,135 @@
+"""Per-command causal spans (:mod:`repro.obs.spans`).
+
+The synthetic traces here hand-place the six timeline marks
+(``svc.request`` → ``span.queue/propose/decide/apply/reply``) so every
+property is checkable exactly: the five stage latencies telescope to the
+client-observed total (attribution is 1.0, not ≈1.0), redirected
+requests share one span, and open spans / uninstrumented requests are
+counted but never pollute the stage distributions.
+"""
+
+import pytest
+
+from repro.obs import MemorySink
+from repro.obs.spans import (
+    STAGE_NAMES,
+    analyze_spans,
+    collect_spans,
+    span_coverage,
+)
+
+
+def _record_span(
+    trace, span, base, steps=(0.001, 0.002, 0.004, 0.001, 0.0005),
+    pid=0, status="ok",
+):
+    """One fully-marked span starting at *base*; *steps* are the five
+    stage durations in pipeline order."""
+    t = base
+    trace.record(t, "svc.request", pid, client="c", op="put", span=span)
+    kinds = ("span.queue", "span.propose", "span.decide", "span.apply",
+             "span.reply")
+    for kind, step in zip(kinds, steps):
+        t += step
+        data = {"span": span}
+        if kind == "span.reply":
+            data["status"] = status
+        trace.record(t, kind, pid, **data)
+    return t
+
+
+def test_stage_latencies_telescope_to_the_client_observed_total():
+    trace = MemorySink()
+    steps = (0.001, 0.002, 0.004, 0.001, 0.0005)
+    _record_span(trace, "c.1", 0.0, steps)
+    report = analyze_spans(trace)
+    assert len(report.spans) == 1 and report.complete == 1
+    span = report.spans[0]
+    assert span.complete
+    for name, step in zip(STAGE_NAMES, steps):
+        assert span.stage(name) == pytest.approx(step)
+    assert span.total == pytest.approx(sum(steps))
+    # The acceptance metric: stages attribute the total exactly.
+    assert report.attributed == pytest.approx(1.0)
+    assert report.totals == [pytest.approx(sum(steps))]
+
+
+def test_open_spans_are_counted_but_not_measured():
+    trace = MemorySink()
+    _record_span(trace, "c.1", 0.0)
+    # A second command that never came back within the trace:
+    trace.record(1.0, "svc.request", 0, client="c", op="put", span="c.2")
+    trace.record(1.001, "span.queue", 0, span="c.2")
+    trace.record(1.002, "span.propose", 0, span="c.2")
+    report = analyze_spans(trace)
+    assert len(report.spans) == 1
+    assert report.open_spans == 1
+    assert report.coverage.with_span == 2 and report.coverage.closed == 1
+    assert report.attributed == pytest.approx(1.0)  # complete spans only
+
+
+def test_redirected_request_shares_one_span():
+    """A client retrying against the leader reuses the correlation id:
+    two svc.request events, one closed span, coverage counts both."""
+    trace = MemorySink()
+    trace.record(0.0, "svc.request", 1, client="c", op="put", span="c.1")
+    _record_span(trace, "c.1", 0.5, pid=0)
+    report = analyze_spans(trace)
+    assert len(report.spans) == 1
+    assert report.open_spans == 0
+    coverage = report.coverage
+    assert coverage.requests == 2
+    assert coverage.with_span == 2
+    assert coverage.closed == 2  # both requests' span closed
+    assert coverage.ratio == pytest.approx(1.0)
+    # The serving replica is the one that replied.
+    assert report.spans[0].pid == 0
+
+
+def test_uninstrumented_requests_dilute_coverage_only():
+    trace = MemorySink()
+    _record_span(trace, "c.1", 0.0)
+    trace.record(2.0, "svc.request", 0, client="legacy", op="get")
+    coverage = span_coverage(trace)
+    assert coverage.requests == 2
+    assert coverage.with_span == 1 and coverage.closed == 1
+    assert coverage.ratio == pytest.approx(1.0)
+    assert analyze_spans(trace).attributed == pytest.approx(1.0)
+
+
+def test_marks_from_a_non_serving_replica_are_ignored():
+    """Only the replying pid's timeline measures the stages — a follower
+    that also applied the command must not shadow the leader's marks."""
+    trace = MemorySink()
+    end = _record_span(trace, "c.1", 0.0, pid=0)
+    # The follower applies the same decided command later:
+    trace.record(end + 1.0, "span.decide", 1, span="c.1")
+    trace.record(end + 1.1, "span.apply", 1, span="c.1")
+    report = analyze_spans(trace)
+    assert report.complete == 1
+    assert report.spans[0].pid == 0
+    assert report.spans[0].total == pytest.approx(0.0085)
+
+
+def test_collect_spans_orders_by_reply_and_empty_trace_is_clean():
+    trace = MemorySink()
+    _record_span(trace, "c.2", 1.0)
+    _record_span(trace, "c.1", 0.0, steps=(0.5, 0.5, 0.5, 0.5, 0.5))
+    spans = collect_spans(trace)
+    assert [s.span for s in spans] == ["c.2", "c.1"]  # c.2 replied first
+    empty = analyze_spans(MemorySink())
+    assert empty.spans == [] and empty.attributed is None
+    assert empty.coverage.ratio is None
+    assert "no spans recorded" in empty.format()
+
+
+def test_report_format_names_every_stage():
+    trace = MemorySink()
+    for i in range(20):
+        _record_span(trace, f"c.{i}", i * 0.1)
+    text = analyze_spans(trace).format()
+    assert "20 closed (20 complete), 0 open" in text
+    assert "span coverage        : 100.0%" in text
+    assert "latency attributed   : 100.0%" in text
+    for name in STAGE_NAMES:
+        assert f"\n    {name:<18s}:" in text

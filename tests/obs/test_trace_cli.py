@@ -115,6 +115,38 @@ def test_trace_qos_exit_code_flags_a_bound_violation(tmp_path, capsys):
     assert "VIOLATED" in capsys.readouterr().out
 
 
+@pytest.fixture
+def span_file(tmp_path):
+    """One closed span plus one never-instrumented request."""
+    sink = JsonlSink(tmp_path / "spans.jsonl", node=None,
+                     epoch_wall=1000.0, epoch_mono=0.0)
+    sink.record(0.0, "svc.request", 0, client="c", op="put", span="c.1")
+    sink.record(0.001, "span.queue", 0, span="c.1")
+    sink.record(0.002, "span.propose", 0, span="c.1", slot=0)
+    sink.record(0.006, "span.decide", 0, span="c.1", slot=0)
+    sink.record(0.007, "span.apply", 0, span="c.1", slot=0)
+    sink.record(0.0075, "span.reply", 0, span="c.1", status="ok")
+    sink.record(1.0, "svc.request", 0, client="legacy", op="get")
+    sink.close()
+    return str(tmp_path / "spans.jsonl")
+
+
+def test_trace_spans_prints_the_stage_table(span_file, capsys):
+    assert main(["trace", "spans", span_file]) == 0
+    out = capsys.readouterr().out
+    assert "1 closed (1 complete), 0 open" in out
+    assert "latency attributed   : 100.0%" in out
+    for stage in ("queue", "propose", "decide", "apply", "reply", "total"):
+        assert stage in out
+
+
+def test_trace_stats_reports_span_coverage(span_file, capsys):
+    assert main(["trace", "stats", span_file]) == 0
+    out = capsys.readouterr().out
+    assert ("span coverage: 1/1 instrumented requests closed (100.0%); "
+            "2 svc.request events total") in out
+
+
 def test_trace_check_accepts_conforming_files(node_files, capsys):
     assert main(["trace", "check", *node_files]) == 0
     out = capsys.readouterr().out

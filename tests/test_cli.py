@@ -16,7 +16,7 @@ from repro.errors import ConfigurationError
 #: `repro proc run` must agree on them exactly.
 SHARED_DESTS = (
     "transport", "stack", "trace_out", "duration", "crash",
-    "loss", "degrade", "scenario",
+    "loss", "degrade", "scenario", "ship_to",
 )
 
 
@@ -129,6 +129,37 @@ class TestParser:
             build_parser().parse_args(
                 ["load", "--connect", "h:1", "--proc", "3"]
             )
+
+    def test_watch_args(self):
+        args = build_parser().parse_args(
+            ["watch", "--proc", "3", "--duration", "5", "--interval", "0.5"]
+        )
+        assert args.proc == 3 and args.duration == 5.0
+        assert args.interval == 0.5
+        args = build_parser().parse_args(["watch", "--connect", "127.0.0.1:7"])
+        assert args.connect == "127.0.0.1:7" and args.duration is None
+        with pytest.raises(SystemExit):  # one of --connect/--proc required
+            build_parser().parse_args(["watch"])
+        with pytest.raises(SystemExit):  # ... and they are exclusive
+            build_parser().parse_args(
+                ["watch", "--connect", "h:1", "--proc", "3"]
+            )
+
+    def test_trace_spans_args(self):
+        args = build_parser().parse_args(["trace", "spans", "a.jsonl", "b.jsonl"])
+        assert args.trace_command == "spans"
+        assert args.files == ["a.jsonl", "b.jsonl"]
+
+    def test_ship_to_reaches_node_and_scenario_run(self):
+        args = build_parser().parse_args(
+            ["node", "--book", "b.json", "--pid", "0",
+             "--ship-to", "127.0.0.1:7000"]
+        )
+        assert args.ship_to == "127.0.0.1:7000"
+        args = build_parser().parse_args(
+            ["scenario", "run", "--nodes", "3", "--ship-to", "127.0.0.1:7000"]
+        )
+        assert args.ship_to == "127.0.0.1:7000"
 
 
 class TestSharedClusterOptions:
